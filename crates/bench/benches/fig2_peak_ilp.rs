@@ -1,0 +1,31 @@
+//! Regenerates Figure 2 (peak ILP limits) on a reduced corpus and
+//! benchmarks its building block: widen + MII analysis per loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::experiments::{self, Context};
+use widening::machine::{Configuration, CycleModel};
+use widening::sched::MiiBounds;
+use widening::transform::widen;
+use widening::workload::kernels;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    let ctx = Context::quick(40);
+    g.bench_function("fig2_full_sweep_40_loops", |b| {
+        b.iter(|| black_box(experiments::fig2(&ctx)))
+    });
+    let daxpy = kernels::daxpy();
+    let cfg = Configuration::monolithic(2, 2, 256).unwrap();
+    g.bench_function("widen_plus_mii_daxpy_2w2", |b| {
+        b.iter(|| {
+            let w = widen(daxpy.ddg(), 2);
+            black_box(MiiBounds::compute(w.ddg(), &cfg, CycleModel::Cycles4).mii())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 4 (area of every configuration vs die bands).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::cost::{AreaModel, CostModel};
+use widening::experiments;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("fig4_full_table", |b| b.iter(|| black_box(experiments::fig4())));
+    let area = AreaModel::new();
+    let space = CostModel::design_space(16);
+    g.bench_function("area_model_design_space_x16", |b| {
+        b.iter(|| {
+            let total: f64 = space.iter().map(|cfg| area.total_area(cfg)).sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 6 (RF partitioning trade-off) and benchmarks the
+//! calibrated timing model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::cost::TimingModel;
+use widening::experiments;
+use widening::machine::Configuration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.bench_function("fig6_partition_sweep", |b| {
+        b.iter(|| black_box(experiments::fig6()))
+    });
+    g.bench_function("timing_model_calibration", |b| {
+        b.iter(|| black_box(TimingModel::calibrated()))
+    });
+    let t = TimingModel::calibrated();
+    let cfg = Configuration::new(8, 1, 64, 4).unwrap();
+    g.bench_function("access_time_query", |b| {
+        b.iter(|| black_box(t.relative_access_time(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 7 (relative code size at equal peak performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::experiments::{self, Context};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let ctx = Context::quick(25);
+    g.bench_function("fig7_code_size_25_loops", |b| {
+        b.iter(|| black_box(experiments::fig7(&ctx)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the four Figure 8 panels (performance/cost effects of RF
+//! size, replication, widening, and the equal-peak family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::experiments::{self, Context};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let ctx = Context::quick(25);
+    g.bench_function("fig8a_rf_size", |b| b.iter(|| black_box(experiments::fig8a(&ctx))));
+    g.bench_function("fig8b_replication", |b| {
+        b.iter(|| black_box(experiments::fig8b(&ctx)))
+    });
+    g.bench_function("fig8c_widening", |b| b.iter(|| black_box(experiments::fig8c(&ctx))));
+    g.bench_function("fig8d_equal_peak", |b| {
+        b.iter(|| black_box(experiments::fig8d(&ctx)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

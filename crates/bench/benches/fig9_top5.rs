@@ -1,0 +1,19 @@
+//! Regenerates Figure 9 (top five configurations per technology
+//! generation) on a reduced corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::experiments::{self, Context};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let ctx = Context::quick(20);
+    g.bench_function("fig9_top5_20_loops", |b| {
+        b.iter(|| black_box(experiments::fig9(&ctx)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

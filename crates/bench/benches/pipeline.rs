@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the pipeline stages: corpus generation, the
+//! widening transform, MII bounds, modulo scheduling and register
+//! allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::machine::{Configuration, CycleModel};
+use widening::regalloc::{allocate, lifetimes};
+use widening::sched::{MiiBounds, ModuloScheduler};
+use widening::transform::widen;
+use widening::workload::corpus::{generate, CorpusSpec};
+use widening::workload::kernels;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("corpus_generate_100", |b| {
+        b.iter(|| black_box(generate(&CorpusSpec::small(100, 7))))
+    });
+    let fir = kernels::fir5();
+    for y in [2u32, 8] {
+        g.bench_function(format!("widen_fir5_y{y}"), |b| {
+            b.iter(|| black_box(widen(fir.ddg(), y)))
+        });
+    }
+    let cfg = Configuration::monolithic(2, 1, 256).unwrap();
+    let m = CycleModel::Cycles4;
+    g.bench_function("mii_bounds_fir5", |b| {
+        b.iter(|| black_box(MiiBounds::compute(fir.ddg(), &cfg, m)))
+    });
+    let sched = ModuloScheduler::new(cfg, m).schedule(fir.ddg()).unwrap();
+    g.bench_function("hrms_schedule_fir5", |b| {
+        let s = ModuloScheduler::new(cfg, m);
+        b.iter(|| black_box(s.schedule(fir.ddg()).unwrap()))
+    });
+    let lts = lifetimes(fir.ddg(), &sched, m);
+    g.bench_function("allocate_fir5", |b| {
+        b.iter(|| black_box(allocate(&lts, sched.ii())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

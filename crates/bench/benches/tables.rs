@@ -1,0 +1,36 @@
+//! Regenerates the paper's Tables 1–6 (the static model computations).
+//!
+//! The measured closures produce exactly the rows printed by
+//! `repro table1 … table6`; timing them demonstrates the models are
+//! cheap enough to rebuild from scratch on every query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+    g.bench_function("table1_sia_roadmap", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
+    g.bench_function("table2_register_cells", |b| {
+        b.iter(|| black_box(experiments::table2()))
+    });
+    g.bench_function("table3_rf_area", |b| {
+        b.iter(|| black_box(experiments::table3()))
+    });
+    g.bench_function("table4_access_time_fit", |b| {
+        b.iter(|| black_box(experiments::table4()))
+    });
+    g.bench_function("table5_implementability", |b| {
+        b.iter(|| black_box(experiments::table5()))
+    });
+    g.bench_function("table6_cycle_models", |b| {
+        b.iter(|| black_box(experiments::table6()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark harness for the Widening Resources reproduction.
+//!
+//! All targets live under `benches/`; this library only re-exports the
+//! facade crate so the benches share one import path.
+pub use widening;

@@ -1,0 +1,92 @@
+//! `repro` — regenerate any table or figure of *Widening Resources*
+//! (MICRO 1998).
+//!
+//! ```text
+//! repro [--quick[=N]] [--csv] [--seed S] <experiment>... | all | list
+//! ```
+//!
+//! * `--quick[=N]` — run on an `N`-loop corpus (default 120) instead of
+//!   the paper-scale 1180 loops; useful for smoke tests.
+//! * `--csv` — emit CSV instead of aligned tables.
+//! * `--seed S` — alternative corpus seed (sensitivity checks).
+
+use std::process::ExitCode;
+
+use widening::experiments::{self, Context};
+use widening::Evaluator;
+use widening_workload::corpus::{generate, CorpusSpec};
+
+fn main() -> ExitCode {
+    let mut quick: Option<usize> = None;
+    let mut csv = false;
+    let mut seed: Option<u64> = None;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--quick" => quick = Some(120),
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => return usage("--seed needs an integer"),
+            },
+            a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
+                Ok(n) => quick = Some(n),
+                Err(_) => return usage("--quick=N needs an integer"),
+            },
+            "list" => {
+                for n in experiments::ALL {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(experiments::ALL.iter().map(ToString::to_string)),
+            a if a.starts_with('-') => return usage(&format!("unknown flag {a}")),
+            a => names.push(a.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return usage("no experiment given");
+    }
+
+    let ctx = build_context(quick, seed);
+    eprintln!(
+        "corpus: {} loops (seed {})",
+        ctx.eval.loops().len(),
+        seed.unwrap_or_else(|| CorpusSpec::default().seed)
+    );
+    for name in &names {
+        match experiments::run(name, &ctx) {
+            Some(reports) => {
+                for r in reports {
+                    if csv {
+                        print!("{}", r.to_csv());
+                    } else {
+                        println!("{r}");
+                    }
+                }
+            }
+            None => return usage(&format!("unknown experiment {name:?}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn build_context(quick: Option<usize>, seed: Option<u64>) -> Context {
+    let mut spec = CorpusSpec::default();
+    if let Some(n) = quick {
+        spec.loops = n;
+    }
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    Context { eval: Evaluator::new(generate(&spec)) }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: repro [--quick[=N]] [--csv] [--seed S] <experiment>... | all | list");
+    eprintln!("experiments: {}", experiments::ALL.join(" "));
+    ExitCode::FAILURE
+}

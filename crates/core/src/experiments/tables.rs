@@ -1,0 +1,224 @@
+//! Reproductions of the paper's Tables 1–6.
+
+use widening_cost::{
+    CostModel, Technology, ACCESS_TIMES, CELLS, IMPLEMENTABLE_BUDGET,
+};
+use widening_machine::{Configuration, CycleModel, PortCounts};
+use widening_ir::OpKind;
+
+use crate::report::{f2, mega, Report};
+
+/// Table 1: the SIA'94 roadmap, recomputed from λ and die size.
+#[must_use]
+pub fn table1() -> Report {
+    let mut r = Report::new("Table 1 — SIA predictions (1994)").with_columns([
+        "year",
+        "lambda (um)",
+        "size (mm^2)",
+        "lambda^2/chip (x10^6)",
+        "lambda^2/mm^2 (x10^6)",
+    ]);
+    for t in &Technology::ALL {
+        r.push_row([
+            t.year.to_string(),
+            format!("{:.2}", t.lambda_um),
+            format!("{:.0}", t.chip_mm2),
+            format!("{:.0}", t.lambda2_per_chip() / 1e6),
+            format!("{:.2}", t.lambda2_per_mm2() / 1e6),
+        ]);
+    }
+    r.push_note("paper row 3: 4800 11111 25443 52000 126530 (paper truncates the last entry; the product is 126530.6)");
+    r
+}
+
+/// Table 2: multiported register-cell dimensions (published vs model).
+#[must_use]
+pub fn table2() -> Report {
+    let model = CostModel::paper();
+    let cell = model.area_model().cell();
+    let mut r = Report::new("Table 2 — multiported register cells").with_columns([
+        "ports", "W x H (lambda)", "area (lambda^2)", "relative", "paper rel.",
+    ]);
+    let base = CELLS[0].area();
+    let paper_rel = [1.0, 1.28, 6.4, 22.35, 71.21];
+    for (c, pr) in CELLS.iter().zip(paper_rel) {
+        let g = cell.geometry(PortCounts { reads: c.reads, writes: c.writes });
+        r.push_row([
+            format!("{}R,{}W", c.reads, c.writes),
+            format!("{:.0}x{:.0}", g.width, g.height),
+            format!("{:.0}", g.area()),
+            f2(g.area() / base),
+            f2(pr),
+        ]);
+    }
+    r.push_note("published cells are snapped exactly; see cell model docs");
+    r
+}
+
+/// Table 3: RF area of the ×4 family at 64 registers.
+#[must_use]
+pub fn table3() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new("Table 3 — RF area for equal-peak configurations (64-RF)")
+        .with_columns([
+            "config",
+            "ports",
+            "cell area",
+            "bits/reg",
+            "RF area (x10^6 l^2)",
+            "paper",
+        ]);
+    let paper = [598.0, 375.0, 215.0];
+    for (s, p) in ["4w1(64:1)", "2w2(64:1)", "1w4(64:1)"].iter().zip(paper) {
+        let cfg: Configuration = s.parse().expect("valid");
+        let ports = cfg.ports();
+        let cell = model.area_model().cell().area(ports);
+        r.push_row([
+            cfg.xwy_label(),
+            ports.to_string(),
+            format!("{cell:.0}"),
+            cfg.register_bits().to_string(),
+            mega(model.area_model().rf_area(&cfg)),
+            format!("{p:.0}"),
+        ]);
+    }
+    r
+}
+
+/// Table 4: relative RF access time, model vs published, with fit error.
+#[must_use]
+pub fn table4() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new("Table 4 — relative register-file access time")
+        .with_columns(["config", "RF", "paper", "model", "err %"]);
+    for a in &ACCESS_TIMES {
+        let cfg = Configuration::monolithic(a.buses, a.width, a.registers).expect("valid");
+        let t = model.relative_cycle_time(&cfg);
+        r.push_row([
+            cfg.xwy_label(),
+            a.registers.to_string(),
+            f2(a.relative_time),
+            f2(t),
+            format!("{:+.1}", (t - a.relative_time) / a.relative_time * 100.0),
+        ]);
+    }
+    let (max, mean) = model.timing_model().fit_error();
+    r.push_note(format!(
+        "calibrated CACTI-lite fit: worst {:.2}%, mean {:.2}% over 60 points",
+        max * 100.0,
+        mean * 100.0
+    ));
+    r
+}
+
+/// Table 5: implementable configurations per technology generation.
+#[must_use]
+pub fn table5() -> Report {
+    let model = CostModel::paper();
+    let mut r = Report::new(format!(
+        "Table 5 — implementable configurations ({}% die budget)",
+        (IMPLEMENTABLE_BUDGET * 100.0) as u32
+    ))
+    .with_columns(["config", "RF", "partitions", "first technology", "die %"]);
+    for cfg in CostModel::design_space(16) {
+        let first = Technology::ALL
+            .iter()
+            .find(|t| model.is_implementable(&cfg, t));
+        let (label, frac) = match first {
+            Some(t) => (
+                format!("{:.2} um ({})", t.lambda_um, t.year),
+                format!("{:.1}", model.die_fraction(&cfg, t) * 100.0),
+            ),
+            None => ("none (beyond 0.07 um)".to_string(), "-".to_string()),
+        };
+        r.push_row([
+            cfg.xwy_label(),
+            cfg.registers().to_string(),
+            cfg.partitions().to_string(),
+            label,
+            frac,
+        ]);
+    }
+    r.push_note("paper anchors: 4w1 first at 0.18, 8w1 at 0.13, 16w1 at 0.07 (32-RF)");
+    r
+}
+
+/// Table 6: the four cycle models.
+#[must_use]
+pub fn table6() -> Report {
+    let mut r = Report::new("Table 6 — cycles per operation under each cycle model")
+        .with_columns(["model", "store", "+,*,load", "div", "sqrt"]);
+    for m in [CycleModel::Cycles4, CycleModel::Cycles3, CycleModel::Cycles2, CycleModel::Cycles1]
+    {
+        r.push_row([
+            m.to_string(),
+            m.latency(OpKind::Store).to_string(),
+            m.latency(OpKind::FAdd).to_string(),
+            m.latency(OpKind::FDiv).to_string(),
+            m.latency(OpKind::FSqrt).to_string(),
+        ]);
+    }
+    r.push_note("div and sqrt are not pipelined; all other operations are fully pipelined");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_exact() {
+        let r = table1();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[0][3], "4800");
+        assert_eq!(r.rows[4][3], "126531"); // 204.08e6 x 620 mm^2 rounds up; the paper truncated
+    }
+
+    #[test]
+    fn table2_relative_column_matches_paper() {
+        let r = table2();
+        for row in &r.rows {
+            let got: f64 = row[3].parse().unwrap();
+            let paper: f64 = row[4].parse().unwrap();
+            assert!((got - paper).abs() <= 0.01 * paper.max(1.0), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_exactly() {
+        let r = table3();
+        let areas: Vec<&str> = r.rows.iter().map(|row| row[4].as_str()).collect();
+        assert_eq!(areas, vec!["598", "375", "215"]);
+    }
+
+    #[test]
+    fn table4_within_six_percent() {
+        let r = table4();
+        assert_eq!(r.rows.len(), 60);
+        for row in &r.rows {
+            let err: f64 = row[4].parse().unwrap();
+            assert!(err.abs() < 6.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table5_has_rows_and_16w1_note() {
+        let r = table5();
+        assert!(r.rows.len() > 100);
+        // 16w1 with 256 registers monolithic: beyond every generation
+        // (paper symbol "5").
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row[0] == "16w1" && row[1] == "256" && row[2] == "1")
+            .unwrap();
+        assert!(row[3].contains("none"), "{row:?}");
+    }
+
+    #[test]
+    fn table6_matches_constants() {
+        let r = table6();
+        assert_eq!(r.rows[0], vec!["4-cycle model", "1", "4", "19", "27"]);
+        assert_eq!(r.rows[3], vec!["1-cycle model", "1", "1", "5", "7"]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Figures 8 and 9: performance/cost trade-offs under technology limits.
+
+use widening_cost::{CostModel, Technology};
+use widening_machine::Configuration;
+
+use super::figures::cost_aware_speedup;
+use super::Context;
+use crate::report::{f2, mega, Report};
+
+/// Builds one Figure-8 panel from a list of configurations.
+fn fig8_panel(ctx: &Context, title: &str, configs: &[&str], paper_note: &str) -> Report {
+    let cost = CostModel::paper();
+    let mut r = Report::new(title).with_columns([
+        "config",
+        "speed-up",
+        "area (x10^6 l^2)",
+        "cycle time",
+        "latency model",
+    ]);
+    for s in configs {
+        let cfg: Configuration = s.parse().expect("valid config literal");
+        let p = cost.design_point(&cfg);
+        match cost_aware_speedup(ctx, &cost, &cfg) {
+            Some(speedup) => r.push_row([
+                s.to_string(),
+                f2(speedup),
+                mega(p.area),
+                f2(p.relative_cycle_time),
+                p.cycle_model.to_string(),
+            ]),
+            None => r.push_row([
+                s.to_string(),
+                "-".into(),
+                mega(p.area),
+                f2(p.relative_cycle_time),
+                p.cycle_model.to_string(),
+            ]),
+        }
+    }
+    r.push_note(paper_note);
+    r
+}
+
+/// Figure 8a: the effect of register-file size on `1w1`.
+#[must_use]
+pub fn fig8a(ctx: &Context) -> Report {
+    fig8_panel(
+        ctx,
+        "Figure 8a — 1w1 vs register-file size",
+        &["1w1(32:1)", "1w1(64:1)", "1w1(128:1)", "1w1(256:1)"],
+        "paper: 64-RF is the sweet spot; larger files lose on cycle time",
+    )
+}
+
+/// Figure 8b: pure replication at a 128-RF, best partitioning.
+#[must_use]
+pub fn fig8b(ctx: &Context) -> Report {
+    fig8_panel(
+        ctx,
+        "Figure 8b — pure replication (128-RF, partitioned)",
+        &["1w1(128:1)", "2w1(128:2)", "4w1(128:4)", "8w1(128:8)"],
+        "paper: small replication helps; 8w1 loses to its own cycle time",
+    )
+}
+
+/// Figure 8c: pure widening at a 128-RF.
+#[must_use]
+pub fn fig8c(ctx: &Context) -> Report {
+    fig8_panel(
+        ctx,
+        "Figure 8c — pure widening (128-RF)",
+        &["1w1(128:1)", "1w2(128:1)", "1w4(128:1)", "1w8(128:1)"],
+        "paper: widening is cheap but saturates (non-compactable operations)",
+    )
+}
+
+/// Figure 8d: the equal-peak ×8 family.
+#[must_use]
+pub fn fig8d(ctx: &Context) -> Report {
+    fig8_panel(
+        ctx,
+        "Figure 8d — four ways to build peak x8 (128-RF)",
+        &["8w1(128:8)", "4w2(128:4)", "2w4(128:2)", "1w8(128:1)"],
+        "paper: the mixed designs 4w2/2w4 win the performance/area frontier",
+    )
+}
+
+/// Figure 9: for each technology generation, the five implementable
+/// configurations with the best cost-aware speed-up.
+#[must_use]
+pub fn fig9(ctx: &Context) -> Report {
+    let cost = CostModel::paper();
+    let mut r = Report::new("Figure 9 — top five configurations per technology")
+        .with_columns(["technology", "rank", "config", "speed-up", "die %"]);
+    for tech in &Technology::ALL {
+        let mut scored: Vec<(f64, Configuration)> = Vec::new();
+        for p in cost.implementable_configurations(tech, 16) {
+            if let Some(s) = cost_aware_speedup(ctx, &cost, &p.config) {
+                scored.push((s, p.config));
+            }
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite speedups"));
+        for (rank, (s, cfg)) in scored.iter().take(5).enumerate() {
+            r.push_row([
+                tech.to_string(),
+                (rank + 1).to_string(),
+                cfg.to_string(),
+                f2(*s),
+                format!("{:.1}", cost.die_fraction(cfg, tech) * 100.0),
+            ]);
+        }
+    }
+    r.push_note("paper: winners combine small replication with small widening (e.g. 4w2/2w4)");
+    r.push_note("most-aggressive implementable configs never make the top five");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::quick(25)
+    }
+
+    #[test]
+    fn fig8a_prefers_medium_files() {
+        let r = fig8a(&ctx());
+        let s: Vec<f64> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        assert_eq!(s.len(), 4);
+        // 256-RF pays 1.34x cycle time for no cycle win: strictly worse
+        // than 64-RF.
+        assert!(s[1] > s[3], "64-RF {} should beat 256-RF {}", s[1], s[3]);
+        // Baseline anchor: 32-RF = 1.0 by construction.
+        assert!((s[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig8_panels_have_four_rows() {
+        for f in [fig8b, fig8c, fig8d] {
+            let r = f(&ctx());
+            assert_eq!(r.rows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fig9_ranks_five_per_technology() {
+        let r = fig9(&ctx());
+        for tech in &Technology::ALL {
+            let rows: Vec<_> =
+                r.rows.iter().filter(|row| row[0] == tech.to_string()).collect();
+            assert_eq!(rows.len(), 5, "{tech}");
+            // Ranks are sorted by speed-up descending.
+            let speeds: Vec<f64> = rows.iter().map(|row| row[3].parse().unwrap()).collect();
+            for pair in speeds.windows(2) {
+                assert!(pair[0] >= pair[1]);
+            }
+            // Die budget respected.
+            for row in rows {
+                let frac: f64 = row[4].parse().unwrap();
+                assert!(frac <= 20.0 + 1e-6, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text report rendering: aligned ASCII tables and CSV.
+
+use std::fmt;
+
+/// A rendered experiment result: a titled table plus free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table body; each row has `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Commentary printed after the table (observations, paper-vs-model
+    /// comparisons).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), ..Report::default() }
+    }
+
+    /// Sets the column headers.
+    #[must_use]
+    pub fn with_columns<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as CSV (no notes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        if !self.columns.is_empty() {
+            let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+            for row in &self.rows {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+                let mut first = true;
+                for (w, cell) in widths.iter().zip(cells) {
+                    if !first {
+                        write!(f, "  ")?;
+                    }
+                    first = false;
+                    write!(f, "{cell:>w$}", w = w)?;
+                }
+                writeln!(f)
+            };
+            line(f, &self.columns)?;
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            line(f, &rule)?;
+            for row in &self.rows {
+                line(f, row)?;
+            }
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (the paper's table precision).
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an area in millions of λ², the paper's unit.
+#[must_use]
+pub fn mega(x: f64) -> String {
+    format!("{:.0}", x / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t").with_columns(["a", "bb"]);
+        r.push_row(["1", "2"]);
+        r.push_row(["333", "4"]);
+        r.push_note("hello");
+        r
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("== t =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows, note.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[2].contains("---"));
+        assert!(lines[5].starts_with("note: hello"));
+        // Right-aligned: the `1` lines up under `a`'s column width 3.
+        assert_eq!(lines[3], "  1   2");
+    }
+
+    #[test]
+    fn csv_roundtrip_and_escaping() {
+        let mut r = Report::new("t").with_columns(["x", "y"]);
+        r.push_row(["a,b", "q\"q"]);
+        let csv = r.to_csv();
+        assert_eq!(csv, "x,y\n\"a,b\",\"q\"\"q\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("t").with_columns(["a"]);
+        r.push_row(["1", "2"]);
+    }
+
+    #[test]
+    fn number_formatters() {
+        assert_eq!(f2(1.005), "1.00"); // banker-adjacent rounding is fine
+        assert_eq!(f3(0.1234), "0.123");
+        assert_eq!(mega(598.0e6), "598");
+    }
+}

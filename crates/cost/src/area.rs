@@ -1,0 +1,138 @@
+//! Area model: register file + FPUs, in λ² (§4.1).
+
+use widening_machine::Configuration;
+
+use crate::cell::CellModel;
+
+/// FPU area in λ²: the MIPS R10000 FPU (multiplier + adder + divider)
+/// occupies 12 mm² at 0.25 µm → `12 × 16·10⁶ = 192·10⁶ λ²` (§4.1). A
+/// width-`Y` FPU performs `Y` operations per cycle and needs `Y` times
+/// the hardware.
+pub const FPU_AREA_LAMBDA2: f64 = 192.0e6;
+
+/// The §4.1 area model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AreaModel {
+    cell: CellModel,
+}
+
+impl AreaModel {
+    /// An area model with the paper-calibrated cell geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        AreaModel { cell: CellModel::calibrated() }
+    }
+
+    /// The underlying cell model.
+    #[must_use]
+    pub fn cell(&self) -> &CellModel {
+        &self.cell
+    }
+
+    /// Register-file area in λ², accounting for partitioning: the sum of
+    /// every copy's `cell area × bits/register × registers`. Peripheral
+    /// logic is below 5% of the cell array (§4.1) and ignored, as in the
+    /// paper.
+    #[must_use]
+    pub fn rf_area(&self, cfg: &Configuration) -> f64 {
+        let bits = f64::from(cfg.register_bits());
+        let regs = f64::from(cfg.registers());
+        cfg.partitioned_ports()
+            .copies()
+            .iter()
+            .map(|&ports| self.cell.area(ports) * bits * regs)
+            .sum()
+    }
+
+    /// FPU area in λ²: `2X` FPUs of width `Y`.
+    #[must_use]
+    pub fn fpu_area(&self, cfg: &Configuration) -> f64 {
+        f64::from(2 * cfg.replication()) * f64::from(cfg.widening()) * FPU_AREA_LAMBDA2
+    }
+
+    /// Total modeled area (RF + FPUs) in λ² — the quantity plotted in
+    /// Figure 4 and compared against the die budget in Table 5.
+    #[must_use]
+    pub fn total_area(&self, cfg: &Configuration) -> f64 {
+        self.rf_area(cfg) + self.fpu_area(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(s: &str) -> Configuration {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn table3_rf_areas_exact() {
+        // Table 3 (64-RF): 4w1 → 598·10⁶ λ², 2w2 → 375·10⁶, 1w4 →
+        // 215·10⁶ (cell area × bits × registers).
+        let m = AreaModel::new();
+        let cases = [("4w1(64:1)", 598.0), ("2w2(64:1)", 375.0), ("1w4(64:1)", 215.0)];
+        for (s, want) in cases {
+            let got = m.rf_area(&cfg(s)) / 1.0e6;
+            assert!((got - want).abs() < 1.0, "{s}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn equal_factor_configs_share_fpu_area() {
+        // §4.1: 4w1, 2w2 and 1w4 need the same FPU hardware.
+        let m = AreaModel::new();
+        let a = m.fpu_area(&cfg("4w1(64:1)"));
+        assert_eq!(a, m.fpu_area(&cfg("2w2(64:1)")));
+        assert_eq!(a, m.fpu_area(&cfg("1w4(64:1)")));
+        assert_eq!(a, 8.0 * FPU_AREA_LAMBDA2);
+    }
+
+    #[test]
+    fn widening_is_cheaper_than_replication() {
+        // At equal factor and RF size, total area must order
+        // Xw1 > (X/2)w2 > … > 1wX — the heart of §4.1's Table 3.
+        let m = AreaModel::new();
+        for z in [32, 64, 128, 256] {
+            let mut prev = f64::INFINITY;
+            for (x, y) in [(8u32, 1u32), (4, 2), (2, 4), (1, 8)] {
+                let c = Configuration::monolithic(x, y, z).unwrap();
+                let a = m.total_area(&c);
+                assert!(a < prev, "{c} not cheaper than its predecessor");
+                prev = a;
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_increases_area() {
+        let m = AreaModel::new();
+        let mono = m.rf_area(&cfg("8w1(64:1)"));
+        let mut prev = mono;
+        for n in [2u32, 4, 8] {
+            let part = m.rf_area(&cfg(&format!("8w1(64:{n})")));
+            assert!(part > prev, "n={n} should cost more than n={}", n / 2);
+            prev = part;
+        }
+        // Figure 6's shape: 8 copies land between 1.3× and 2.5× the
+        // monolithic area.
+        assert!(prev / mono > 1.3 && prev / mono < 2.5, "ratio {}", prev / mono);
+    }
+
+    #[test]
+    fn doubling_registers_doubles_rf_area() {
+        let m = AreaModel::new();
+        let a64 = m.rf_area(&cfg("2w2(64:1)"));
+        let a128 = m.rf_area(&cfg("2w2(128:1)"));
+        assert!((a128 / a64 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_width_doubles_rf_and_fpu_area() {
+        let m = AreaModel::new();
+        let c1 = cfg("2w2(64:1)");
+        let c2 = cfg("2w4(64:1)");
+        assert!((m.rf_area(&c2) / m.rf_area(&c1) - 2.0).abs() < 1e-9);
+        assert!((m.fpu_area(&c2) / m.fpu_area(&c1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal dense linear algebra: weighted least squares via normal
+//! equations with Gaussian elimination. Used to calibrate the cell and
+//! timing models against the paper's published tables.
+
+/// Solves the weighted least-squares problem `min Σ wᵢ (rowᵢ·c − yᵢ)²`
+/// and returns the coefficient vector `c`.
+///
+/// # Panics
+///
+/// Panics if the rows are empty, have inconsistent lengths, or the
+/// normal-equation matrix is singular (features linearly dependent).
+#[must_use]
+pub(crate) fn weighted_least_squares(
+    rows: &[Vec<f64>],
+    ys: &[f64],
+    weights: &[f64],
+) -> Vec<f64> {
+    assert!(!rows.is_empty(), "least squares needs at least one row");
+    assert_eq!(rows.len(), ys.len(), "rows and targets must align");
+    assert_eq!(rows.len(), weights.len(), "rows and weights must align");
+    let n = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == n), "ragged design matrix");
+
+    let mut m = vec![vec![0.0f64; n]; n];
+    let mut b = vec![0.0f64; n];
+    for ((row, &y), &w) in rows.iter().zip(ys).zip(weights) {
+        for i in 0..n {
+            b[i] += w * row[i] * y;
+            for j in 0..n {
+                m[i][j] += w * row[i] * row[j];
+            }
+        }
+    }
+    solve(m, b)
+}
+
+/// Solves `M·x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if `M` is (numerically) singular.
+fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&a, &c| m[a][col].abs().total_cmp(&m[c][col].abs()))
+            .expect("non-empty range");
+        m.swap(col, piv);
+        b.swap(col, piv);
+        let d = m[col][col];
+        assert!(d.abs() > 1e-12, "singular normal-equation matrix");
+        for r in col + 1..n {
+            let f = m[r][col] / d;
+            for j in col..n {
+                m[r][j] -= f * m[col][j];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let s: f64 = (i + 1..n).map(|j| m[i][j] * x[j]).sum();
+        x[i] = (b[i] - s) / m[i][i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        // y = 3 + 2x fits exactly.
+        let rows: Vec<Vec<f64>> = (0..5).map(|x| vec![1.0, f64::from(x)]).collect();
+        let ys: Vec<f64> = (0..5).map(|x| 3.0 + 2.0 * f64::from(x)).collect();
+        let w = vec![1.0; 5];
+        let c = weighted_least_squares(&rows, &ys, &w);
+        assert!((c[0] - 3.0).abs() < 1e-9);
+        assert!((c[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_pull_the_fit() {
+        // Two incompatible points; the heavier one wins.
+        let rows = vec![vec![1.0], vec![1.0]];
+        let ys = vec![0.0, 10.0];
+        let c = weighted_least_squares(&rows, &ys, &[1.0, 9.0]);
+        assert!((c[0] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_minimizes_residual() {
+        // y = x with noise; slope must be close to 1.
+        let rows: Vec<Vec<f64>> =
+            (1..=10).map(|x| vec![1.0, f64::from(x)]).collect();
+        let ys: Vec<f64> = (1..=10)
+            .map(|x| f64::from(x) + if x % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let w = vec![1.0; 10];
+        let c = weighted_least_squares(&rows, &ys, &w);
+        assert!((c[1] - 1.0).abs() < 0.02, "slope {}", c[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        // Duplicate feature columns.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let ys = vec![1.0, 2.0];
+        let _ = weighted_least_squares(&rows, &ys, &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows and targets")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_least_squares(&[vec![1.0]], &[1.0, 2.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First diagonal entry is 0 — requires pivoting.
+        let m = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![2.0, 3.0];
+        let x = solve(m, b);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's published calibration data: Table 2 (register cells) and
+//! Table 4 (relative access times). Embedded so that models can
+//! self-calibrate and experiments can print paper-vs-model columns.
+
+/// One published multiported register cell (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedCell {
+    /// Read ports.
+    pub reads: u32,
+    /// Write ports.
+    pub writes: u32,
+    /// Cell width in λ.
+    pub width: f64,
+    /// Cell height in λ.
+    pub height: f64,
+}
+
+impl PublishedCell {
+    /// Cell area in λ².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// Table 2: dimensions of several multiported register cells.
+pub const CELLS: [PublishedCell; 5] = [
+    PublishedCell { reads: 1, writes: 1, width: 50.0, height: 41.0 },
+    PublishedCell { reads: 2, writes: 1, width: 64.0, height: 41.0 },
+    PublishedCell { reads: 5, writes: 3, width: 162.0, height: 81.0 },
+    PublishedCell { reads: 10, writes: 6, width: 316.0, height: 145.0 },
+    PublishedCell { reads: 20, writes: 12, width: 568.0, height: 257.0 },
+];
+
+/// One row×column entry of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedAccessTime {
+    /// Replication degree `X`.
+    pub buses: u32,
+    /// Widening degree `Y`.
+    pub width: u32,
+    /// Register count `Z`.
+    pub registers: u32,
+    /// Access time relative to the `1w1` 32-register file.
+    pub relative_time: f64,
+}
+
+const fn at(buses: u32, width: u32, registers: u32, relative_time: f64) -> PublishedAccessTime {
+    PublishedAccessTime { buses, width, registers, relative_time }
+}
+
+/// Table 4: relative register-file access time (baseline `1w1` 32-RF),
+/// 15 configurations × 4 register-file sizes.
+pub const ACCESS_TIMES: [PublishedAccessTime; 60] = [
+    at(1, 1, 32, 1.00),
+    at(1, 1, 64, 1.05),
+    at(1, 1, 128, 1.18),
+    at(1, 1, 256, 1.34),
+    at(2, 1, 32, 1.49),
+    at(2, 1, 64, 1.54),
+    at(2, 1, 128, 1.70),
+    at(2, 1, 256, 1.87),
+    at(1, 2, 32, 1.10),
+    at(1, 2, 64, 1.15),
+    at(1, 2, 128, 1.29),
+    at(1, 2, 256, 1.45),
+    at(4, 1, 32, 2.44),
+    at(4, 1, 64, 2.51),
+    at(4, 1, 128, 2.69),
+    at(4, 1, 256, 2.90),
+    at(2, 2, 32, 1.65),
+    at(2, 2, 64, 1.72),
+    at(2, 2, 128, 1.87),
+    at(2, 2, 256, 2.06),
+    at(1, 4, 32, 1.22),
+    at(1, 4, 64, 1.27),
+    at(1, 4, 128, 1.43),
+    at(1, 4, 256, 1.60),
+    at(8, 1, 32, 4.32),
+    at(8, 1, 64, 4.41),
+    at(8, 1, 128, 4.61),
+    at(8, 1, 256, 4.87),
+    at(4, 2, 32, 2.75),
+    at(4, 2, 64, 2.82),
+    at(4, 2, 128, 3.00),
+    at(4, 2, 256, 3.23),
+    at(2, 4, 32, 1.85),
+    at(2, 4, 64, 1.92),
+    at(2, 4, 128, 2.09),
+    at(2, 4, 256, 2.29),
+    at(1, 8, 32, 1.39),
+    at(1, 8, 64, 1.45),
+    at(1, 8, 128, 1.62),
+    at(1, 8, 256, 1.80),
+    at(16, 1, 32, 8.04),
+    at(16, 1, 64, 8.15),
+    at(16, 1, 128, 8.39),
+    at(16, 1, 256, 8.72),
+    at(8, 2, 32, 4.89),
+    at(8, 2, 64, 4.99),
+    at(8, 2, 128, 5.20),
+    at(8, 2, 256, 5.48),
+    at(4, 4, 32, 3.10),
+    at(4, 4, 64, 3.18),
+    at(4, 4, 128, 3.38),
+    at(4, 4, 256, 3.61),
+    at(2, 8, 32, 2.12),
+    at(2, 8, 64, 2.20),
+    at(2, 8, 128, 2.38),
+    at(2, 8, 256, 2.60),
+    at(1, 16, 32, 1.68),
+    at(1, 16, 64, 1.75),
+    at(1, 16, 128, 1.93),
+    at(1, 16, 256, 2.14),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_areas_match_table2() {
+        let areas: Vec<f64> = CELLS.iter().map(PublishedCell::area).collect();
+        assert_eq!(areas, vec![2050.0, 2624.0, 13122.0, 45820.0, 145976.0]);
+    }
+
+    #[test]
+    fn table4_is_complete_and_monotone_in_registers() {
+        assert_eq!(ACCESS_TIMES.len(), 60);
+        for chunk in ACCESS_TIMES.chunks(4) {
+            assert_eq!(chunk.len(), 4);
+            let (x, y) = (chunk[0].buses, chunk[0].width);
+            assert!(chunk.iter().all(|a| a.buses == x && a.width == y));
+            for pair in chunk.windows(2) {
+                assert!(pair[0].registers < pair[1].registers);
+                assert!(pair[0].relative_time < pair[1].relative_time);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_is_one() {
+        let base = ACCESS_TIMES
+            .iter()
+            .find(|a| a.buses == 1 && a.width == 1 && a.registers == 32)
+            .unwrap();
+        assert_eq!(base.relative_time, 1.00);
+    }
+
+    #[test]
+    fn replication_costs_more_than_widening_at_equal_factor() {
+        // §4.2's qualitative claim, directly visible in Table 4.
+        for z in [32, 64, 128, 256] {
+            let find = |x: u32, y: u32| {
+                ACCESS_TIMES
+                    .iter()
+                    .find(|a| a.buses == x && a.width == y && a.registers == z)
+                    .unwrap()
+                    .relative_time
+            };
+            assert!(find(2, 1) > find(1, 2));
+            assert!(find(4, 1) > find(2, 2));
+            assert!(find(2, 2) > find(1, 4));
+            assert!(find(8, 1) > find(4, 2));
+            assert!(find(16, 1) > find(8, 2));
+        }
+    }
+}

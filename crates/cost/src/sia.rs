@@ -1,0 +1,100 @@
+//! The SIA'94 technology roadmap (paper Table 1).
+
+use std::fmt;
+
+/// One technology generation from the 1994 SIA National Technology
+/// Roadmap for Semiconductors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Production year.
+    pub year: u32,
+    /// Feature size λ in µm.
+    pub lambda_um: f64,
+    /// Die size in mm².
+    pub chip_mm2: f64,
+}
+
+impl Technology {
+    /// The five generations of Table 1 (1998 … 2010).
+    pub const ALL: [Technology; 5] = [
+        Technology { year: 1998, lambda_um: 0.25, chip_mm2: 300.0 },
+        Technology { year: 2001, lambda_um: 0.18, chip_mm2: 360.0 },
+        Technology { year: 2004, lambda_um: 0.13, chip_mm2: 430.0 },
+        Technology { year: 2007, lambda_um: 0.10, chip_mm2: 520.0 },
+        Technology { year: 2010, lambda_um: 0.07, chip_mm2: 620.0 },
+    ];
+
+    /// λ² per mm²: `10⁶ / λ_µm²` (Table 1 row 4).
+    #[must_use]
+    pub fn lambda2_per_mm2(&self) -> f64 {
+        1.0e6 / (self.lambda_um * self.lambda_um)
+    }
+
+    /// λ² per chip (Table 1 row 3).
+    #[must_use]
+    pub fn lambda2_per_chip(&self) -> f64 {
+        self.lambda2_per_mm2() * self.chip_mm2
+    }
+
+    /// The generation for a given feature size, if it is on the roadmap.
+    #[must_use]
+    pub fn for_lambda(lambda_um: f64) -> Option<Technology> {
+        Technology::ALL
+            .iter()
+            .copied()
+            .find(|t| (t.lambda_um - lambda_um).abs() < 1e-9)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} µm ({})", self.lambda_um, self.year)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lambda2_per_chip() {
+        // Paper values (×10⁶): 4800, 11111, 25443, 52000, 126530.
+        let expected = [4800.0, 11111.0, 25443.0, 52000.0, 126530.0];
+        for (t, want) in Technology::ALL.iter().zip(expected) {
+            let got = t.lambda2_per_chip() / 1.0e6;
+            assert!(
+                (got - want).abs() / want < 0.001,
+                "{t}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_lambda2_per_mm2() {
+        // Paper values (×10⁶): 16, 30.86, 59.17, 100, 204.08.
+        let expected = [16.0, 30.86, 59.17, 100.0, 204.08];
+        for (t, want) in Technology::ALL.iter().zip(expected) {
+            let got = t.lambda2_per_mm2() / 1.0e6;
+            assert!((got - want).abs() / want < 0.001, "{t}");
+        }
+    }
+
+    #[test]
+    fn generations_grow_monotonically() {
+        for pair in Technology::ALL.windows(2) {
+            assert!(pair[0].lambda2_per_chip() < pair[1].lambda2_per_chip());
+            assert!(pair[0].year < pair[1].year);
+        }
+    }
+
+    #[test]
+    fn lookup_by_lambda() {
+        assert_eq!(Technology::for_lambda(0.13).unwrap().year, 2004);
+        assert!(Technology::for_lambda(0.5).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Technology::ALL[0].to_string(), "0.25 µm (1998)");
+    }
+}

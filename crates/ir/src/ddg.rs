@@ -1,0 +1,472 @@
+//! The data-dependence graph (`Ddg`) and its builder.
+
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::op::{EdgeKind, Op, OpKind, ResourceClass};
+use crate::scc::StronglyConnectedComponents;
+use crate::topo;
+
+/// Index of an operation node inside a [`Ddg`].
+///
+/// Node ids are dense (`0..num_nodes`) and stable: a `Ddg` is immutable
+/// once built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing parallel arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dependence edge: `dst` of iteration `i` depends on `src` of
+/// iteration `i - distance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Producer node.
+    pub src: NodeId,
+    /// Consumer node.
+    pub dst: NodeId,
+    /// Dependence kind; only [`EdgeKind::Flow`] edges carry register
+    /// values.
+    pub kind: EdgeKind,
+    /// Iteration distance (`0` = same iteration, `k` = `k` iterations
+    /// earlier). Loop-carried edges have `distance ≥ 1` and close
+    /// recurrences.
+    pub distance: u32,
+}
+
+impl Edge {
+    /// Whether the edge is loop-carried.
+    #[must_use]
+    pub fn is_loop_carried(self) -> bool {
+        self.distance > 0
+    }
+}
+
+/// An immutable data-dependence graph for one inner-loop body.
+///
+/// Invariants (checked at build time):
+///
+/// * the graph is non-empty;
+/// * all edges reference valid nodes;
+/// * flow edges leave only value-producing operations;
+/// * the distance-0 subgraph is acyclic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ddg {
+    ops: Vec<Op>,
+    edges: Vec<Edge>,
+    // Adjacency (edge indices), built once.
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl Ddg {
+    /// Builds and validates a graph from parts. Prefer [`DdgBuilder`] for
+    /// incremental construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if any invariant listed on [`Ddg`] is
+    /// violated.
+    pub fn from_parts(ops: Vec<Op>, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if ops.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = ops.len();
+        for e in &edges {
+            for id in [e.src, e.dst] {
+                if id.index() >= n {
+                    return Err(GraphError::NodeOutOfRange { index: id.index(), len: n });
+                }
+            }
+            if e.kind.is_flow() && !ops[e.src.index()].produces_value() {
+                return Err(GraphError::FlowFromValueless { src: e.src.index() });
+            }
+        }
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            succs[e.src.index()].push(i as u32);
+            preds[e.dst.index()].push(i as u32);
+        }
+        let ddg = Ddg { ops, edges, succs, preds };
+        // Distance-0 subgraph must be a DAG.
+        if let Some(witness) = topo::zero_distance_cycle_witness(&ddg) {
+            return Err(GraphError::ZeroDistanceCycle { witness: witness.index() });
+        }
+        Ok(ddg)
+    }
+
+    /// Number of operation nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of dependence edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The operation at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn op(&self, id: NodeId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// All operations, indexable by [`NodeId::index`].
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over all node ids, `n0..n(N-1)`.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.ops.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + Clone {
+        self.succs[id.index()].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Incoming edges of `id`.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + Clone {
+        self.preds[id.index()].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Number of operations that occupy resource class `class`.
+    #[must_use]
+    pub fn count_class(&self, class: ResourceClass) -> usize {
+        self.ops.iter().filter(|o| o.resource_class() == class).count()
+    }
+
+    /// Number of operations of the given kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind() == kind).count()
+    }
+
+    /// Strongly connected components of the full graph (all distances).
+    /// Singleton components without a self-edge are not recurrences;
+    /// every other component is a recurrence the scheduler must respect.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        StronglyConnectedComponents::compute(self).into_components()
+    }
+
+    /// Nodes that belong to some recurrence (an SCC with ≥ 2 nodes, or a
+    /// self-edge of any distance).
+    #[must_use]
+    pub fn recurrence_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for comp in self.sccs() {
+            if comp.len() >= 2 {
+                out.extend(comp);
+            } else {
+                let v = comp[0];
+                if self.out_edges(v).any(|e| e.dst == v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// A topological order of the distance-0 subgraph. Always exists by
+    /// the build-time invariant.
+    #[must_use]
+    pub fn zero_distance_topological_order(&self) -> Vec<NodeId> {
+        topo::topological_order(self).expect("validated at construction")
+    }
+
+    /// Minimum loop-carried distance over every recurrence circuit
+    /// through `id`, or `None` if `id` is on no recurrence.
+    ///
+    /// This is the quantity the widening transform compares against the
+    /// widening degree `Y`: instances of an operation whose tightest
+    /// recurrence spans fewer than `Y` iterations are serially dependent
+    /// and cannot be compacted.
+    #[must_use]
+    pub fn min_recurrence_distance(&self, id: NodeId) -> Option<u64> {
+        // Shortest cycle through `id` by total distance, via Dijkstra-like
+        // BFS on distance weights (all weights ≥ 0, small integers).
+        let n = self.num_nodes();
+        let mut dist = vec![u64::MAX; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        // Start from successors of id.
+        for e in self.out_edges(id) {
+            let d = u64::from(e.distance);
+            if e.dst == id {
+                // Self-loop: candidate immediately.
+                if d > 0 {
+                    heap.push(std::cmp::Reverse((d, e.dst)));
+                }
+                continue;
+            }
+            if d < dist[e.dst.index()] {
+                dist[e.dst.index()] = d;
+                heap.push(std::cmp::Reverse((d, e.dst)));
+            }
+        }
+        let mut best: Option<u64> = self
+            .out_edges(id)
+            .filter(|e| e.dst == id && e.distance > 0)
+            .map(|e| u64::from(e.distance))
+            .min();
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if v != id && d > dist[v.index()] {
+                continue;
+            }
+            if v == id {
+                // Completed a circuit.
+                if d > 0 {
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+                continue;
+            }
+            for e in self.out_edges(v) {
+                let nd = d + u64::from(e.distance);
+                if e.dst == id {
+                    if nd > 0 && best.is_none_or(|b| nd < b) {
+                        heap.push(std::cmp::Reverse((nd, e.dst)));
+                    }
+                } else if nd < dist[e.dst.index()] {
+                    dist[e.dst.index()] = nd;
+                    heap.push(std::cmp::Reverse((nd, e.dst)));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Incremental builder for [`Ddg`].
+///
+/// Convenience methods cover the common cases; [`DdgBuilder::add_op`] and
+/// [`DdgBuilder::add_edge`] are fully general.
+#[derive(Debug, Clone, Default)]
+pub struct DdgBuilder {
+    ops: Vec<Op>,
+    edges: Vec<Edge>,
+}
+
+impl DdgBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary operation and returns its id.
+    pub fn add_op(&mut self, op: Op) -> NodeId {
+        let id = NodeId(self.ops.len() as u32);
+        self.ops.push(op);
+        id
+    }
+
+    /// Adds a non-memory operation of the given kind.
+    pub fn op(&mut self, kind: OpKind) -> NodeId {
+        self.add_op(Op::new(kind))
+    }
+
+    /// Adds a load with the given element stride.
+    pub fn load(&mut self, stride: i64) -> NodeId {
+        self.add_op(Op::memory(OpKind::Load, stride))
+    }
+
+    /// Adds a store with the given element stride.
+    pub fn store(&mut self, stride: i64) -> NodeId {
+        self.add_op(Op::memory(OpKind::Store, stride))
+    }
+
+    /// Adds an arbitrary edge.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind, distance: u32) {
+        self.edges.push(Edge { src, dst, kind, distance });
+    }
+
+    /// Adds a same-iteration flow edge `src → dst`.
+    pub fn flow(&mut self, src: NodeId, dst: NodeId) {
+        self.add_edge(src, dst, EdgeKind::Flow, 0);
+    }
+
+    /// Adds a loop-carried flow edge `src → dst` with the given distance,
+    /// closing a recurrence.
+    pub fn carried_flow(&mut self, src: NodeId, dst: NodeId, distance: u32) {
+        self.add_edge(src, dst, EdgeKind::Flow, distance);
+    }
+
+    /// Number of operations added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Validates and builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ddg::from_parts`].
+    pub fn build(self) -> Result<Ddg, GraphError> {
+        Ddg::from_parts(self.ops, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Ddg {
+        // ld -> fmul -> st
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let mul = b.op(OpKind::FMul);
+        let st = b.store(1);
+        b.flow(ld, mul);
+        b.flow(mul, st);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let g = chain3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.count_class(ResourceClass::Bus), 2);
+        assert_eq!(g.count_class(ResourceClass::Fpu), 1);
+        assert_eq!(g.count_kind(OpKind::Load), 1);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = chain3();
+        let mul = NodeId(1);
+        assert_eq!(g.in_edges(mul).count(), 1);
+        assert_eq!(g.out_edges(mul).count(), 1);
+        assert_eq!(g.in_edges(mul).next().unwrap().src, NodeId(0));
+        assert_eq!(g.out_edges(mul).next().unwrap().dst, NodeId(2));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(DdgBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let ops = vec![Op::new(OpKind::FAdd)];
+        let edges =
+            vec![Edge { src: NodeId(0), dst: NodeId(5), kind: EdgeKind::Flow, distance: 0 }];
+        assert!(matches!(
+            Ddg::from_parts(ops, edges),
+            Err(GraphError::NodeOutOfRange { index: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn flow_from_store_rejected() {
+        let mut b = DdgBuilder::new();
+        let st = b.store(1);
+        let add = b.op(OpKind::FAdd);
+        b.flow(st, add);
+        assert!(matches!(b.build(), Err(GraphError::FlowFromValueless { src: 0 })));
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected() {
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m);
+        b.flow(m, a);
+        assert!(matches!(b.build(), Err(GraphError::ZeroDistanceCycle { .. })));
+    }
+
+    #[test]
+    fn loop_carried_cycle_allowed() {
+        // s = s + x[i]  (first-order recurrence)
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let add = b.op(OpKind::FAdd);
+        b.flow(ld, add);
+        b.carried_flow(add, add, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.recurrence_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn min_recurrence_distance_self_loop() {
+        let mut b = DdgBuilder::new();
+        let add = b.op(OpKind::FAdd);
+        b.carried_flow(add, add, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.min_recurrence_distance(NodeId(0)), Some(3));
+    }
+
+    #[test]
+    fn min_recurrence_distance_two_node_cycle() {
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m);
+        b.carried_flow(m, a, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.min_recurrence_distance(NodeId(0)), Some(2));
+        assert_eq!(g.min_recurrence_distance(NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn min_recurrence_distance_none_for_dag() {
+        let g = chain3();
+        for v in g.node_ids() {
+            assert_eq!(g.min_recurrence_distance(v), None);
+        }
+    }
+
+    #[test]
+    fn min_recurrence_distance_picks_tightest_circuit() {
+        // Two circuits through node 0: distance 1 (via n1) and distance 4
+        // (self-loop).
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m);
+        b.carried_flow(m, a, 1);
+        b.carried_flow(a, a, 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.min_recurrence_distance(NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

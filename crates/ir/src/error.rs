@@ -1,0 +1,70 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge references a node index outside the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// A flow (register) edge starts at an operation that produces no
+    /// value (e.g. a store).
+    FlowFromValueless {
+        /// Index of the offending source node.
+        src: usize,
+    },
+    /// The distance-0 subgraph contains a cycle, so no execution order
+    /// exists within one iteration.
+    ZeroDistanceCycle {
+        /// A node on the offending cycle.
+        witness: usize,
+    },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { index, len } => {
+                write!(f, "edge references node {index} but graph has {len} nodes")
+            }
+            GraphError::FlowFromValueless { src } => {
+                write!(f, "flow edge leaves node {src} which produces no register value")
+            }
+            GraphError::ZeroDistanceCycle { witness } => {
+                write!(f, "distance-0 dependence cycle through node {witness}")
+            }
+            GraphError::Empty => write!(f, "dependence graph has no nodes"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            GraphError::NodeOutOfRange { index: 7, len: 3 }.to_string(),
+            GraphError::FlowFromValueless { src: 2 }.to_string(),
+            GraphError::ZeroDistanceCycle { witness: 0 }.to_string(),
+            GraphError::Empty.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Summary statistics over a dependence graph, used by the workload
+//! generator for calibration and by reports.
+
+use crate::ddg::Ddg;
+use crate::op::{OpKind, ResourceClass};
+
+/// Aggregate shape statistics of a [`Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdgStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Total dependence edges.
+    pub edges: usize,
+    /// Memory operations (loads + stores).
+    pub memory_ops: usize,
+    /// Loads.
+    pub loads: usize,
+    /// Stores.
+    pub stores: usize,
+    /// FPU operations.
+    pub fpu_ops: usize,
+    /// Unpipelined operations (divide, square root).
+    pub unpipelined_ops: usize,
+    /// Loop-carried edges.
+    pub carried_edges: usize,
+    /// Nodes on some recurrence circuit.
+    pub recurrence_ops: usize,
+    /// Memory operations with unit stride.
+    pub unit_stride_ops: usize,
+}
+
+impl DdgStats {
+    /// Computes statistics for `ddg`.
+    #[must_use]
+    pub fn of(ddg: &Ddg) -> Self {
+        let loads = ddg.count_kind(OpKind::Load);
+        let stores = ddg.count_kind(OpKind::Store);
+        let unit_stride_ops =
+            ddg.ops().iter().filter(|o| o.stride() == Some(1)).count();
+        DdgStats {
+            ops: ddg.num_nodes(),
+            edges: ddg.num_edges(),
+            memory_ops: loads + stores,
+            loads,
+            stores,
+            fpu_ops: ddg.count_class(ResourceClass::Fpu),
+            unpipelined_ops: ddg.count_kind(OpKind::FDiv) + ddg.count_kind(OpKind::FSqrt),
+            carried_edges: ddg.edges().iter().filter(|e| e.is_loop_carried()).count(),
+            recurrence_ops: ddg.recurrence_nodes().len(),
+            unit_stride_ops,
+        }
+    }
+
+    /// Fraction of memory operations that are unit stride, or `None` if
+    /// the loop has no memory operations.
+    #[must_use]
+    pub fn unit_stride_fraction(&self) -> Option<f64> {
+        (self.memory_ops > 0).then(|| self.unit_stride_ops as f64 / self.memory_ops as f64)
+    }
+
+    /// Fraction of operations on a recurrence circuit.
+    #[must_use]
+    pub fn recurrence_fraction(&self) -> f64 {
+        self.recurrence_ops as f64 / self.ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::DdgBuilder;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut b = DdgBuilder::new();
+        let x = b.load(1);
+        let y = b.load(2);
+        let m = b.op(OpKind::FMul);
+        let d = b.op(OpKind::FDiv);
+        let s = b.store(1);
+        b.flow(x, m);
+        b.flow(y, m);
+        b.flow(m, d);
+        b.flow(d, s);
+        b.carried_flow(d, d, 1);
+        let g = b.build().unwrap();
+        let st = DdgStats::of(&g);
+        assert_eq!(st.ops, 5);
+        assert_eq!(st.memory_ops, 3);
+        assert_eq!(st.loads, 2);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.fpu_ops, 2);
+        assert_eq!(st.unpipelined_ops, 1);
+        assert_eq!(st.carried_edges, 1);
+        assert_eq!(st.recurrence_ops, 1);
+        assert_eq!(st.unit_stride_ops, 2);
+        assert_eq!(st.unit_stride_fraction(), Some(2.0 / 3.0));
+        assert!((st.recurrence_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_memory_ops_gives_none() {
+        let mut b = DdgBuilder::new();
+        b.op(OpKind::FAdd);
+        let g = b.build().unwrap();
+        assert_eq!(DdgStats::of(&g).unit_stride_fraction(), None);
+    }
+}

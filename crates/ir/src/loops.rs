@@ -1,0 +1,183 @@
+//! A named, weighted inner loop: dependence graph plus execution
+//! statistics.
+
+use std::fmt;
+
+use crate::ddg::Ddg;
+
+/// One inner loop of the workload.
+///
+/// The paper's corpus is 1180 inner loops that account for 78% of the
+/// Perfect Club's execution time; results aggregate *total cycles*, so a
+/// loop contributes `II · iterations · weight` cycles, where `weight` is
+/// the number of times the loop is entered over the whole program run and
+/// `iterations` the average trip count per entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    name: String,
+    ddg: Ddg,
+    trip_count: u64,
+    weight: f64,
+}
+
+impl Loop {
+    /// Creates a loop with weight 1. See [`LoopBuilder`] for full control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip_count` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ddg: Ddg, trip_count: u64) -> Self {
+        LoopBuilder::new(name, ddg).trip_count(trip_count).build()
+    }
+
+    /// The loop's name (diagnostic only).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dependence graph of the loop body.
+    #[must_use]
+    pub fn ddg(&self) -> &Ddg {
+        &self.ddg
+    }
+
+    /// Average iterations per entry to the loop.
+    #[must_use]
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// Relative execution frequency (times the loop is entered).
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Total dynamic iterations contributed to aggregate metrics:
+    /// `trip_count · weight`.
+    #[must_use]
+    pub fn dynamic_iterations(&self) -> f64 {
+        self.trip_count as f64 * self.weight
+    }
+
+    /// Replaces the dependence graph, keeping name and statistics. Used
+    /// by transforms (widening, spill insertion) that rewrite the body.
+    #[must_use]
+    pub fn with_ddg(&self, ddg: Ddg) -> Self {
+        Loop { name: self.name.clone(), ddg, trip_count: self.trip_count, weight: self.weight }
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} ops, {} edges, trip {}, weight {})",
+            self.name,
+            self.ddg.num_nodes(),
+            self.ddg.num_edges(),
+            self.trip_count,
+            self.weight
+        )
+    }
+}
+
+/// Builder for [`Loop`].
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    ddg: Ddg,
+    trip_count: u64,
+    weight: f64,
+}
+
+impl LoopBuilder {
+    /// Starts a builder with trip count 100 and weight 1.
+    pub fn new(name: impl Into<String>, ddg: Ddg) -> Self {
+        LoopBuilder { name: name.into(), ddg, trip_count: 100, weight: 1.0 }
+    }
+
+    /// Sets the average trip count per loop entry.
+    #[must_use]
+    pub fn trip_count(mut self, trip_count: u64) -> Self {
+        self.trip_count = trip_count;
+        self
+    }
+
+    /// Sets the relative execution frequency.
+    #[must_use]
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builds the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trip count is zero or the weight is not a positive,
+    /// finite number.
+    #[must_use]
+    pub fn build(self) -> Loop {
+        assert!(self.trip_count > 0, "trip count must be positive");
+        assert!(
+            self.weight.is_finite() && self.weight > 0.0,
+            "weight must be positive and finite"
+        );
+        Loop { name: self.name, ddg: self.ddg, trip_count: self.trip_count, weight: self.weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::DdgBuilder;
+    use crate::op::OpKind;
+
+    fn tiny() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let add = b.op(OpKind::FAdd);
+        b.flow(ld, add);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let l = LoopBuilder::new("t", tiny()).trip_count(50).weight(3.0).build();
+        assert_eq!(l.trip_count(), 50);
+        assert_eq!(l.weight(), 3.0);
+        assert_eq!(l.dynamic_iterations(), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trip count must be positive")]
+    fn zero_trip_count_panics() {
+        let _ = LoopBuilder::new("t", tiny()).trip_count(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn bad_weight_panics() {
+        let _ = LoopBuilder::new("t", tiny()).weight(f64::NAN).build();
+    }
+
+    #[test]
+    fn with_ddg_preserves_stats() {
+        let l = LoopBuilder::new("t", tiny()).trip_count(7).weight(2.0).build();
+        let l2 = l.with_ddg(tiny());
+        assert_eq!(l2.trip_count(), 7);
+        assert_eq!(l2.weight(), 2.0);
+        assert_eq!(l2.name(), "t");
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let l = Loop::new("daxpy", tiny(), 10);
+        let s = l.to_string();
+        assert!(s.contains("daxpy"));
+        assert!(s.contains("2 ops"));
+    }
+}

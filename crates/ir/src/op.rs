@@ -1,0 +1,313 @@
+//! Operation kinds, resource classes and compactability hints.
+
+use std::fmt;
+
+/// The kind of a loop-body operation.
+///
+/// The paper's machine model schedules two resource classes: memory
+/// accesses on *buses* and floating-point operations on *FPUs* (§2). The
+/// kinds below are the operation repertoire of the paper's latency table
+/// (Table 6): stores, fully pipelined loads/adds/multiplies, and
+/// unpipelined divides and square roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Memory read into a register (a bus operation).
+    Load,
+    /// Memory write (a bus operation). Produces no register result.
+    Store,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction (same cost class as [`OpKind::FAdd`]).
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division — **not pipelined** (Table 6).
+    FDiv,
+    /// Floating-point square root — **not pipelined** (Table 6).
+    FSqrt,
+    /// Register-to-register copy; used e.g. when modeling compiler
+    /// temporaries. Executes on an FPU slot with add-class latency.
+    FCopy,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::FAdd,
+        OpKind::FSub,
+        OpKind::FMul,
+        OpKind::FDiv,
+        OpKind::FSqrt,
+        OpKind::FCopy,
+    ];
+
+    /// The resource class this operation occupies for one cycle when it
+    /// issues.
+    #[must_use]
+    pub fn resource_class(self) -> ResourceClass {
+        match self {
+            OpKind::Load | OpKind::Store => ResourceClass::Bus,
+            _ => ResourceClass::Fpu,
+        }
+    }
+
+    /// Whether the operation reads or writes memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Whether the operation produces a register result that downstream
+    /// operations consume. Stores do not.
+    #[must_use]
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Whether the functional unit pipeline accepts a new operation of
+    /// this kind every cycle. Divide and square root are unpipelined
+    /// (Table 6): they occupy their unit for their full latency.
+    #[must_use]
+    pub fn is_pipelined(self) -> bool {
+        !matches!(self, OpKind::FDiv | OpKind::FSqrt)
+    }
+
+    /// Short mnemonic used in schedule dumps.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Load => "ld",
+            OpKind::Store => "st",
+            OpKind::FAdd => "fadd",
+            OpKind::FSub => "fsub",
+            OpKind::FMul => "fmul",
+            OpKind::FDiv => "fdiv",
+            OpKind::FSqrt => "fsqrt",
+            OpKind::FCopy => "fmov",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The two replicated/widened resource classes of the paper's machine
+/// model: buses between the register file and the first-level cache, and
+/// general-purpose floating-point units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceClass {
+    /// Memory port (bidirectional bus). An `XwY` machine has `X`.
+    Bus,
+    /// General-purpose FPU. An `XwY` machine has `2·X`.
+    Fpu,
+}
+
+impl ResourceClass {
+    /// Both resource classes, in a stable order.
+    pub const ALL: [ResourceClass; 2] = [ResourceClass::Bus, ResourceClass::Fpu];
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceClass::Bus => f.write_str("bus"),
+            ResourceClass::Fpu => f.write_str("fpu"),
+        }
+    }
+}
+
+/// A hint for the widening transform's compactability analysis (§2 of the
+/// paper): whether `Y` consecutive-iteration instances of this operation
+/// may be *compacted* into one wide operation.
+///
+/// `Auto` lets the analysis decide from structure (stride, recurrences);
+/// `Never` marks operations that are never compactable regardless of
+/// structure — the paper's examples are non-unit-stride or irregular
+/// accesses, but the same flag models any operation the compiler cannot
+/// prove safe to widen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Compactability {
+    /// Decide from structure (default).
+    #[default]
+    Auto,
+    /// Never compact this operation.
+    Never,
+}
+
+/// Kind of dependence between two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// True data flow through a register: the destination consumes the
+    /// source's result. Only these edges define register lifetimes.
+    Flow,
+    /// Memory-carried dependence (store→load, load→store, store→store on
+    /// possibly-aliasing addresses).
+    Memory,
+    /// Any other ordering constraint the front end wants preserved.
+    Order,
+}
+
+impl EdgeKind {
+    /// Whether the edge carries a register value from source to
+    /// destination.
+    #[must_use]
+    pub fn is_flow(self) -> bool {
+        matches!(self, EdgeKind::Flow)
+    }
+}
+
+/// A single operation node of a [`crate::Ddg`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Op {
+    kind: OpKind,
+    stride: Option<i64>,
+    compactability: Compactability,
+}
+
+impl Op {
+    /// Creates a non-memory operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a memory operation — use [`Op::memory`] so a
+    /// stride is always recorded for loads and stores.
+    #[must_use]
+    pub fn new(kind: OpKind) -> Self {
+        assert!(
+            !kind.is_memory(),
+            "memory operations must be built with Op::memory (kind={kind})"
+        );
+        Op { kind, stride: None, compactability: Compactability::Auto }
+    }
+
+    /// Creates a memory operation with the given element stride between
+    /// consecutive iterations. Stride `1` accesses consecutive words — the
+    /// compactable case for wide buses (§2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a memory operation.
+    #[must_use]
+    pub fn memory(kind: OpKind, stride: i64) -> Self {
+        assert!(kind.is_memory(), "Op::memory requires a load or store (kind={kind})");
+        Op { kind, stride: Some(stride), compactability: Compactability::Auto }
+    }
+
+    /// Marks the operation as never compactable and returns it.
+    #[must_use]
+    pub fn never_compactable(mut self) -> Self {
+        self.compactability = Compactability::Never;
+        self
+    }
+
+    /// The operation kind.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The memory stride in elements, if this is a load or store.
+    #[must_use]
+    pub fn stride(&self) -> Option<i64> {
+        self.stride
+    }
+
+    /// The compactability hint.
+    #[must_use]
+    pub fn compactability(&self) -> Compactability {
+        self.compactability
+    }
+
+    /// Resource class shortcut (see [`OpKind::resource_class`]).
+    #[must_use]
+    pub fn resource_class(&self) -> ResourceClass {
+        self.kind.resource_class()
+    }
+
+    /// Whether this operation produces a register value.
+    #[must_use]
+    pub fn produces_value(&self) -> bool {
+        self.kind.produces_value()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stride {
+            Some(s) => write!(f, "{}[stride {s}]", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_classes() {
+        assert_eq!(OpKind::Load.resource_class(), ResourceClass::Bus);
+        assert_eq!(OpKind::Store.resource_class(), ResourceClass::Bus);
+        for k in [OpKind::FAdd, OpKind::FSub, OpKind::FMul, OpKind::FDiv, OpKind::FSqrt] {
+            assert_eq!(k.resource_class(), ResourceClass::Fpu);
+        }
+    }
+
+    #[test]
+    fn stores_produce_no_value() {
+        assert!(!OpKind::Store.produces_value());
+        assert!(OpKind::Load.produces_value());
+        assert!(OpKind::FDiv.produces_value());
+    }
+
+    #[test]
+    fn div_sqrt_unpipelined() {
+        assert!(!OpKind::FDiv.is_pipelined());
+        assert!(!OpKind::FSqrt.is_pipelined());
+        assert!(OpKind::FMul.is_pipelined());
+        assert!(OpKind::Load.is_pipelined());
+    }
+
+    #[test]
+    fn op_constructors() {
+        let ld = Op::memory(OpKind::Load, 2);
+        assert_eq!(ld.stride(), Some(2));
+        let add = Op::new(OpKind::FAdd);
+        assert_eq!(add.stride(), None);
+        assert_eq!(add.compactability(), Compactability::Auto);
+        let nc = Op::new(OpKind::FMul).never_compactable();
+        assert_eq!(nc.compactability(), Compactability::Never);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory operations must be built with Op::memory")]
+    fn new_rejects_memory() {
+        let _ = Op::new(OpKind::Load);
+    }
+
+    #[test]
+    #[should_panic(expected = "Op::memory requires a load or store")]
+    fn memory_rejects_fpu() {
+        let _ = Op::memory(OpKind::FAdd, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::memory(OpKind::Load, 1).to_string(), "ld[stride 1]");
+        assert_eq!(Op::new(OpKind::FSqrt).to_string(), "fsqrt");
+        assert_eq!(format!("{}", ResourceClass::Bus), "bus");
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_mnemonics() {
+        let mut seen = std::collections::HashSet::new();
+        for k in OpKind::ALL {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::ddg::{Ddg, NodeId};
+
+/// Result of an SCC computation over a [`Ddg`], considering edges of all
+/// iteration distances.
+///
+/// Components are emitted in *reverse topological order* of the
+/// condensation (Tarjan's natural output order); [`NodeId`]s inside each
+/// component are sorted ascending for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StronglyConnectedComponents {
+    components: Vec<Vec<NodeId>>,
+    component_of: Vec<u32>,
+}
+
+impl StronglyConnectedComponents {
+    /// Computes the SCCs of `ddg`.
+    #[must_use]
+    pub fn compute(ddg: &Ddg) -> Self {
+        Tarjan::run(ddg)
+    }
+
+    /// The components, each a sorted list of node ids.
+    #[must_use]
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// Consumes `self` and returns the component list.
+    #[must_use]
+    pub fn into_components(self) -> Vec<Vec<NodeId>> {
+        self.components
+    }
+
+    /// Index (into [`Self::components`]) of the component containing `v`.
+    #[must_use]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.component_of[v.index()] as usize
+    }
+
+    /// Whether `v` lies on any dependence circuit: its component has more
+    /// than one node, or it has a self-edge.
+    #[must_use]
+    pub fn on_circuit(&self, ddg: &Ddg, v: NodeId) -> bool {
+        self.components[self.component_of(v)].len() > 1
+            || ddg.out_edges(v).any(|e| e.dst == v)
+    }
+}
+
+/// Iterative Tarjan implementation (explicit stack so deep graphs from
+/// high widening degrees cannot overflow the call stack).
+struct Tarjan<'g> {
+    ddg: &'g Ddg,
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    next_index: u32,
+    components: Vec<Vec<NodeId>>,
+    component_of: Vec<u32>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+impl<'g> Tarjan<'g> {
+    fn run(ddg: &'g Ddg) -> StronglyConnectedComponents {
+        let n = ddg.num_nodes();
+        let mut t = Tarjan {
+            ddg,
+            index: vec![UNVISITED; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+            component_of: vec![0; n],
+        };
+        for v in 0..n as u32 {
+            if t.index[v as usize] == UNVISITED {
+                t.visit(v);
+            }
+        }
+        for c in &mut t.components {
+            c.sort_unstable();
+        }
+        StronglyConnectedComponents {
+            components: t.components,
+            component_of: t.component_of,
+        }
+    }
+
+    fn visit(&mut self, root: u32) {
+        // Work-list frame: (node, iterator position over its out-edges).
+        let mut frames: Vec<(u32, usize)> = vec![(root, 0)];
+        self.begin(root);
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            let succ = self
+                .ddg
+                .out_edges(NodeId(v))
+                .nth(*ei)
+                .map(|e| e.dst.0);
+            match succ {
+                Some(w) => {
+                    *ei += 1;
+                    if self.index[w as usize] == UNVISITED {
+                        self.begin(w);
+                        frames.push((w, 0));
+                    } else if self.on_stack[w as usize] {
+                        self.lowlink[v as usize] =
+                            self.lowlink[v as usize].min(self.index[w as usize]);
+                    }
+                }
+                None => {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        self.lowlink[parent as usize] =
+                            self.lowlink[parent as usize].min(self.lowlink[v as usize]);
+                    }
+                    if self.lowlink[v as usize] == self.index[v as usize] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = self.stack.pop().expect("scc stack underflow");
+                            self.on_stack[w as usize] = false;
+                            self.component_of[w as usize] = self.components.len() as u32;
+                            comp.push(NodeId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.components.push(comp);
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin(&mut self, v: u32) {
+        self.index[v as usize] = self.next_index;
+        self.lowlink[v as usize] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v as usize] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::DdgBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        let s = b.op(OpKind::FSub);
+        b.flow(a, m);
+        b.flow(m, s);
+        let g = b.build().unwrap();
+        let sccs = StronglyConnectedComponents::compute(&g);
+        assert_eq!(sccs.components().len(), 3);
+        assert!(sccs.components().iter().all(|c| c.len() == 1));
+        for v in g.node_ids() {
+            assert!(!sccs.on_circuit(&g, v));
+        }
+    }
+
+    #[test]
+    fn two_node_recurrence_is_one_component() {
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        let ld = b.load(1);
+        b.flow(a, m);
+        b.carried_flow(m, a, 1);
+        b.flow(ld, a);
+        let g = b.build().unwrap();
+        let sccs = StronglyConnectedComponents::compute(&g);
+        let big: Vec<_> = sccs.components().iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0].as_slice(), &[NodeId(0), NodeId(1)]);
+        assert!(sccs.on_circuit(&g, NodeId(0)));
+        assert!(!sccs.on_circuit(&g, NodeId(2)));
+        assert_eq!(sccs.component_of(NodeId(0)), sccs.component_of(NodeId(1)));
+        assert_ne!(sccs.component_of(NodeId(0)), sccs.component_of(NodeId(2)));
+    }
+
+    #[test]
+    fn self_loop_is_on_circuit_but_singleton() {
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        b.carried_flow(a, a, 1);
+        let g = b.build().unwrap();
+        let sccs = StronglyConnectedComponents::compute(&g);
+        assert_eq!(sccs.components().len(), 1);
+        assert!(sccs.on_circuit(&g, NodeId(0)));
+    }
+
+    #[test]
+    fn components_cover_all_nodes_exactly_once() {
+        // Two interlocked recurrences plus a tail.
+        let mut b = DdgBuilder::new();
+        let n: Vec<_> = (0..6).map(|_| b.op(OpKind::FAdd)).collect();
+        b.flow(n[0], n[1]);
+        b.carried_flow(n[1], n[0], 1);
+        b.flow(n[1], n[2]);
+        b.flow(n[2], n[3]);
+        b.carried_flow(n[3], n[2], 2);
+        b.flow(n[3], n[4]);
+        b.flow(n[4], n[5]);
+        let g = b.build().unwrap();
+        let sccs = StronglyConnectedComponents::compute(&g);
+        let mut seen: Vec<NodeId> = sccs.components().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, g.node_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 60k-node chain with a back edge — would overflow a recursive
+        // Tarjan on small stacks.
+        let mut b = DdgBuilder::new();
+        let first = b.op(OpKind::FAdd);
+        let mut prev = first;
+        for _ in 0..60_000 {
+            let v = b.op(OpKind::FAdd);
+            b.flow(prev, v);
+            prev = v;
+        }
+        b.carried_flow(prev, first, 1);
+        let g = b.build().unwrap();
+        let sccs = StronglyConnectedComponents::compute(&g);
+        assert_eq!(sccs.components().len(), 1);
+        assert_eq!(sccs.components()[0].len(), 60_001);
+    }
+}

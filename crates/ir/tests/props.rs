@@ -1,0 +1,112 @@
+//! Property tests for the IR: graph construction invariants hold for
+//! arbitrary generated loop shapes.
+
+use proptest::prelude::*;
+use widening_ir::{Ddg, DdgBuilder, EdgeKind, NodeId, OpKind, StronglyConnectedComponents};
+
+/// Strategy: a random but always-valid loop body. Distance-0 edges only
+/// go forward (src < dst), which guarantees the distance-0 DAG
+/// invariant; carried edges may go anywhere.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let kinds = prop_oneof![
+        Just(OpKind::FAdd),
+        Just(OpKind::FMul),
+        Just(OpKind::FSub),
+        Just(OpKind::FDiv),
+    ];
+    (2usize..24, proptest::collection::vec(kinds, 24))
+        .prop_flat_map(|(n, kinds)| {
+            let edges = proptest::collection::vec(
+                (0usize..n, 0usize..n, 0u32..4),
+                0..3 * n,
+            );
+            (Just(n), Just(kinds), edges)
+        })
+        .prop_map(|(n, kinds, edges)| {
+            let mut b = DdgBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        b.load(1)
+                    } else {
+                        b.op(kinds[i])
+                    }
+                })
+                .collect();
+            for (s, d, dist) in edges {
+                let (s, d) = (s.min(n - 1), d.min(n - 1));
+                if dist == 0 {
+                    if s < d {
+                        b.flow(ids[s], ids[d]);
+                    }
+                } else {
+                    b.carried_flow(ids[s], ids[d], dist);
+                }
+            }
+            b.build().expect("construction is valid by design")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sccs_partition_the_nodes(g in arb_ddg()) {
+        let sccs = StronglyConnectedComponents::compute(&g);
+        let mut seen: Vec<NodeId> =
+            sccs.components().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, g.node_ids().collect::<Vec<_>>());
+        // component_of is consistent with the component lists.
+        for (i, comp) in sccs.components().iter().enumerate() {
+            for &v in comp {
+                prop_assert_eq!(sccs.component_of(v), i);
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_respects_zero_distance_edges(g in arb_ddg()) {
+        let order = g.zero_distance_topological_order();
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+        for e in g.edges() {
+            if e.distance == 0 {
+                prop_assert!(pos[&e.src] < pos[&e.dst]);
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_nodes_have_circuits(g in arb_ddg()) {
+        let sccs = StronglyConnectedComponents::compute(&g);
+        for v in g.recurrence_nodes() {
+            prop_assert!(sccs.on_circuit(&g, v));
+            prop_assert!(g.min_recurrence_distance(v).is_some());
+        }
+    }
+
+    #[test]
+    fn min_recurrence_distance_is_positive_and_tight(g in arb_ddg()) {
+        for v in g.node_ids() {
+            if let Some(d) = g.min_recurrence_distance(v) {
+                prop_assert!(d >= 1);
+                // There is a circuit: v must be in a non-trivial SCC or
+                // have a self edge.
+                let sccs = StronglyConnectedComponents::compute(&g);
+                prop_assert!(sccs.on_circuit(&g, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_endpoints_always_valid(g in arb_ddg()) {
+        for e in g.edges() {
+            prop_assert!(e.src.index() < g.num_nodes());
+            prop_assert!(e.dst.index() < g.num_nodes());
+            if e.kind == EdgeKind::Flow {
+                prop_assert!(g.op(e.src).produces_value());
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The `XwY(Z:n)` configuration type, with parsing and display.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use widening_ir::ResourceClass;
+
+use crate::ports::{PortCounts, PortPartition};
+
+/// FPUs per bus in every configuration of the paper (§3, footnote 1:
+/// "a relation of 2 FPUs for each bus is the most balanced
+/// configuration", modeled on the MIPS R10000's 2 FP + 1 memory issue).
+pub const FPUS_PER_BUS: u32 = 2;
+
+/// Bits per machine word; registers are `64·Y` bits (§3.2).
+pub const WORD_BITS: u32 = 64;
+
+/// A VLIW design point `XwY(Z:n)`.
+///
+/// Construction validates the shape (see [`Configuration::new`]); the
+/// type is `Copy` and cheap to pass around. The `Display`/`FromStr` pair
+/// round-trips the paper's notation:
+///
+/// ```
+/// use widening_machine::Configuration;
+/// let c: Configuration = "8w2(256:4)".parse()?;
+/// assert_eq!(c.to_string(), "8w2(256:4)");
+/// // Partition `:1` and the paper's short form `XwY` are equivalent:
+/// assert_eq!("2w4(64:1)".parse::<Configuration>()?,
+///            Configuration::new(2, 4, 64, 1)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Configuration {
+    buses: u32,
+    width: u32,
+    registers: u32,
+    partitions: u32,
+}
+
+impl Configuration {
+    /// Creates a configuration with `buses` buses (`X`), `width`-word
+    /// resources (`Y`), `registers` registers (`Z`) and `partitions` RF
+    /// copies (`n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigParseError::Invalid`] unless:
+    ///
+    /// * `X`, `Y`, `Z`, `n` are all powers of two (the paper's design
+    ///   space: factors ×1…×128, RF sizes 32…256);
+    /// * `n` does not exceed the number of reading units `3·X`, so every
+    ///   RF copy serves at least one reader (§4.2).
+    pub fn new(
+        buses: u32,
+        width: u32,
+        registers: u32,
+        partitions: u32,
+    ) -> Result<Self, ConfigParseError> {
+        let pow2 = |v: u32| v != 0 && v.is_power_of_two();
+        let ok = pow2(buses)
+            && pow2(width)
+            && pow2(registers)
+            && pow2(partitions)
+            && partitions <= 3 * buses;
+        if ok {
+            Ok(Configuration { buses, width, registers, partitions })
+        } else {
+            Err(ConfigParseError::Invalid {
+                what: format!("{buses}w{width}({registers}:{partitions})"),
+            })
+        }
+    }
+
+    /// Shorthand for a monolithic register file: `XwY(Z:1)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Configuration::new`].
+    pub fn monolithic(buses: u32, width: u32, registers: u32) -> Result<Self, ConfigParseError> {
+        Configuration::new(buses, width, registers, 1)
+    }
+
+    /// The replication degree `X` (number of buses).
+    #[must_use]
+    pub fn replication(&self) -> u32 {
+        self.buses
+    }
+
+    /// The widening degree `Y` (words per resource and per register).
+    #[must_use]
+    pub fn widening(&self) -> u32 {
+        self.width
+    }
+
+    /// The register count `Z`.
+    #[must_use]
+    pub fn registers(&self) -> u32 {
+        self.registers
+    }
+
+    /// The number of RF partitions `n`.
+    #[must_use]
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Peak operations-per-cycle scale factor `X·Y` relative to `1w1` —
+    /// the `×N` group of the paper's Figure 2.
+    #[must_use]
+    pub fn factor(&self) -> u32 {
+        self.buses * self.width
+    }
+
+    /// Number of functional units in a resource class: `X` buses or
+    /// `2·X` FPUs.
+    #[must_use]
+    pub fn units(&self, class: ResourceClass) -> u32 {
+        match class {
+            ResourceClass::Bus => self.buses,
+            ResourceClass::Fpu => FPUS_PER_BUS * self.buses,
+        }
+    }
+
+    /// Bits per register: `64·Y`.
+    #[must_use]
+    pub fn register_bits(&self) -> u32 {
+        WORD_BITS * self.width
+    }
+
+    /// Register-file port requirement before partitioning: each bus needs
+    /// `1R+1W`, each FPU `2R+1W`, hence `5X` reads and `3X` writes (§4.1).
+    #[must_use]
+    pub fn ports(&self) -> PortCounts {
+        PortCounts { reads: 5 * self.buses, writes: 3 * self.buses }
+    }
+
+    /// Per-copy port requirements once the RF is split into
+    /// [`Self::partitions`] copies. See [`PortPartition`] for the
+    /// distribution rule.
+    #[must_use]
+    pub fn partitioned_ports(&self) -> PortPartition {
+        PortPartition::split(self.buses, self.units(ResourceClass::Fpu), self.partitions)
+    }
+
+    /// The same design point with a different register count.
+    #[must_use]
+    pub fn with_registers(&self, registers: u32) -> Result<Self, ConfigParseError> {
+        Configuration::new(self.buses, self.width, registers, self.partitions)
+    }
+
+    /// The same design point with a different partition count.
+    #[must_use]
+    pub fn with_partitions(&self, partitions: u32) -> Result<Self, ConfigParseError> {
+        Configuration::new(self.buses, self.width, self.registers, partitions)
+    }
+
+    /// The `XwY` label without the register-file part, as used in the
+    /// paper's Figures 2–4.
+    #[must_use]
+    pub fn xwy_label(&self) -> String {
+        format!("{}w{}", self.buses, self.width)
+    }
+
+    /// Partition counts that are valid for this `X` (powers of two up to
+    /// `3·X`, capped at 16 as in the paper's Table 5).
+    #[must_use]
+    pub fn valid_partitions(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut n = 1;
+        while n <= 3 * self.buses && n <= 16 {
+            out.push(n);
+            n *= 2;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w{}({}:{})", self.buses, self.width, self.registers, self.partitions)
+    }
+}
+
+impl FromStr for Configuration {
+    type Err = ConfigParseError;
+
+    /// Parses `"XwY"`, `"XwY(Z)"` or `"XwY(Z:n)"`. A missing register
+    /// part defaults to `Z = 256, n = 1` (the paper's baseline RF).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ConfigParseError::Syntax { input: s.to_string() };
+        let s = s.trim();
+        let (xwy, rf) = match s.find('(') {
+            Some(p) => {
+                let inner = s[p..].strip_prefix('(').and_then(|t| t.strip_suffix(')'));
+                (&s[..p], Some(inner.ok_or_else(bad)?))
+            }
+            None => (s, None),
+        };
+        let (x, y) = xwy.split_once('w').ok_or_else(bad)?;
+        let buses: u32 = x.trim().parse().map_err(|_| bad())?;
+        let width: u32 = y.trim().parse().map_err(|_| bad())?;
+        let (registers, partitions) = match rf {
+            None => (256, 1),
+            Some(inner) => match inner.split_once(':') {
+                None => (inner.trim().parse().map_err(|_| bad())?, 1),
+                Some((z, n)) => (
+                    z.trim().parse().map_err(|_| bad())?,
+                    n.trim().parse().map_err(|_| bad())?,
+                ),
+            },
+        };
+        Configuration::new(buses, width, registers, partitions)
+    }
+}
+
+/// Error parsing or constructing a [`Configuration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigParseError {
+    /// The string did not match `XwY`, `XwY(Z)` or `XwY(Z:n)`.
+    Syntax {
+        /// The offending input.
+        input: String,
+    },
+    /// The shape parameters are outside the modeled design space.
+    Invalid {
+        /// Canonical text of the rejected configuration.
+        what: String,
+    },
+}
+
+impl fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigParseError::Syntax { input } => {
+                write!(f, "expected XwY, XwY(Z) or XwY(Z:n), got {input:?}")
+            }
+            ConfigParseError::Invalid { what } => write!(
+                f,
+                "configuration {what} is invalid: X, Y, Z, n must be powers of two \
+                 and n must not exceed 3X"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1w1(32:1)", "4w2(128:2)", "16w1(256:16)", "1w128(64:2)"] {
+            let c: Configuration = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_short_forms() {
+        let c: Configuration = "4w2".parse().unwrap();
+        assert_eq!(c, Configuration::new(4, 2, 256, 1).unwrap());
+        let c: Configuration = "4w2(64)".parse().unwrap();
+        assert_eq!(c, Configuration::new(4, 2, 64, 1).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "4x2", "4w2(", "4w2(64:2", "4w2)64(", "aw2", "4w2(64:b)"] {
+            assert!(
+                matches!(s.parse::<Configuration>(), Err(ConfigParseError::Syntax { .. })),
+                "should reject {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_and_bad_partition() {
+        assert!(Configuration::new(3, 1, 64, 1).is_err());
+        assert!(Configuration::new(4, 5, 64, 1).is_err());
+        assert!(Configuration::new(4, 1, 100, 1).is_err());
+        assert!(Configuration::new(0, 1, 64, 1).is_err());
+        // n = 4 > 3X = 3 for X = 1.
+        assert!(Configuration::new(1, 2, 64, 4).is_err());
+        // n = 2 ≤ 3 is fine for X = 1 (one copy serves the bus + 1 FPU,
+        // the other the remaining FPU).
+        assert!(Configuration::new(1, 2, 64, 2).is_ok());
+    }
+
+    #[test]
+    fn units_and_factor() {
+        let c = Configuration::monolithic(4, 2, 128).unwrap();
+        assert_eq!(c.units(ResourceClass::Bus), 4);
+        assert_eq!(c.units(ResourceClass::Fpu), 8);
+        assert_eq!(c.factor(), 8);
+        assert_eq!(c.register_bits(), 128);
+    }
+
+    #[test]
+    fn port_requirements_match_paper_table3() {
+        // §4.1: 1w4 requires 5R+3W; doubling replication doubles ports.
+        let p = Configuration::monolithic(1, 4, 64).unwrap().ports();
+        assert_eq!((p.reads, p.writes), (5, 3));
+        let p = Configuration::monolithic(2, 2, 64).unwrap().ports();
+        assert_eq!((p.reads, p.writes), (10, 6));
+        let p = Configuration::monolithic(4, 1, 64).unwrap().ports();
+        assert_eq!((p.reads, p.writes), (20, 12));
+    }
+
+    #[test]
+    fn valid_partitions_follow_reader_rule() {
+        assert_eq!(
+            Configuration::monolithic(1, 1, 64).unwrap().valid_partitions(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            Configuration::monolithic(2, 1, 64).unwrap().valid_partitions(),
+            vec![1, 2, 4]
+        );
+        assert_eq!(
+            Configuration::monolithic(8, 1, 64).unwrap().valid_partitions(),
+            vec![1, 2, 4, 8, 16]
+        );
+        // Cap at 16 even for 16w1 (3X = 48).
+        assert_eq!(
+            Configuration::monolithic(16, 1, 64).unwrap().valid_partitions(),
+            vec![1, 2, 4, 8, 16]
+        );
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let c = Configuration::monolithic(4, 2, 128).unwrap();
+        assert_eq!(c.with_registers(64).unwrap().registers(), 64);
+        assert_eq!(c.with_partitions(4).unwrap().partitions(), 4);
+        assert_eq!(c.xwy_label(), "4w2");
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = "zzz".parse::<Configuration>().unwrap_err();
+        assert!(e.to_string().contains("zzz"));
+        let e = Configuration::new(3, 1, 64, 1).unwrap_err();
+        assert!(e.to_string().contains("3w1"));
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = Configuration::monolithic(1, 2, 64).unwrap();
+        let b = Configuration::monolithic(2, 1, 64).unwrap();
+        assert!(a < b); // ordered by (buses, width, registers, partitions)
+    }
+}

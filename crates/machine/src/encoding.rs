@@ -1,0 +1,89 @@
+//! VLIW instruction-word encoding model (§4.3 of the paper).
+//!
+//! In a VLIW, one instruction word carries one field per issue slot. With
+//! widening, a single field commands a whole wide operation, so the word
+//! of `XwY` holds `X` memory fields and `2·X` FPU fields regardless of
+//! `Y`: "the instruction length required by configuration 4w1 is 2 times
+//! the length required by configuration 2w2 and 4 times the length
+//! required by configuration 1w4".
+
+use crate::config::Configuration;
+
+/// Field widths (in bits) for the instruction-word model. The defaults
+/// give a conventional RISC-like encoding; only *relative* code sizes are
+/// used by the paper's Figure 7, which the absolute field widths cancel
+/// out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstructionEncoding {
+    /// Bits per memory-operation field (opcode + register + address
+    /// specifier).
+    pub memory_field_bits: u32,
+    /// Bits per FPU-operation field (opcode + three register
+    /// specifiers).
+    pub fpu_field_bits: u32,
+}
+
+impl Default for InstructionEncoding {
+    fn default() -> Self {
+        InstructionEncoding { memory_field_bits: 32, fpu_field_bits: 32 }
+    }
+}
+
+impl InstructionEncoding {
+    /// A new encoding with the default 32-bit fields.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bits in one instruction word of `cfg`: `X` memory fields plus
+    /// `2·X` FPU fields.
+    #[must_use]
+    pub fn word_bits(&self, cfg: &Configuration) -> u64 {
+        let x = u64::from(cfg.replication());
+        x * u64::from(self.memory_field_bits)
+            + 2 * x * u64::from(self.fpu_field_bits)
+    }
+
+    /// Static code size, in bits, of a kernel of `instructions`
+    /// long-instruction words on `cfg`.
+    #[must_use]
+    pub fn code_bits(&self, cfg: &Configuration, instructions: u64) -> u64 {
+        instructions * self.word_bits(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(x: u32, y: u32) -> Configuration {
+        Configuration::monolithic(x, y, 64).unwrap()
+    }
+
+    #[test]
+    fn word_length_scales_with_replication_only() {
+        let e = InstructionEncoding::new();
+        let w4w1 = e.word_bits(&cfg(4, 1));
+        let w2w2 = e.word_bits(&cfg(2, 2));
+        let w1w4 = e.word_bits(&cfg(1, 4));
+        // §4.3: 4w1 word = 2 × 2w2 word = 4 × 1w4 word.
+        assert_eq!(w4w1, 2 * w2w2);
+        assert_eq!(w4w1, 4 * w1w4);
+        // Width does not change the word.
+        assert_eq!(e.word_bits(&cfg(2, 1)), e.word_bits(&cfg(2, 8)));
+    }
+
+    #[test]
+    fn code_bits_scale_with_instruction_count() {
+        let e = InstructionEncoding::new();
+        assert_eq!(e.code_bits(&cfg(1, 1), 10), 10 * 96);
+        assert_eq!(e.code_bits(&cfg(2, 1), 5), 5 * 192);
+    }
+
+    #[test]
+    fn custom_fields() {
+        let e = InstructionEncoding { memory_field_bits: 24, fpu_field_bits: 40 };
+        assert_eq!(e.word_bits(&cfg(1, 1)), 24 + 80);
+    }
+}

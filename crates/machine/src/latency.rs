@@ -1,0 +1,189 @@
+//! The paper's Table 6: operation latencies under the four cycle models.
+//!
+//! The processor cycle time is the register-file access time (§5). When a
+//! configuration's cycle becomes longer than the baseline's, operations
+//! finish in *fewer* cycles: a configuration with relative cycle time
+//! `Tc` uses the `z = ⌈4 / Tc⌉`-cycle model (clamped to 1..=4). The
+//! wall-clock latency of a fully pipelined FP operation is roughly
+//! constant (`z · Tc ≈ 4`); what changes is the schedule granularity.
+
+use std::fmt;
+
+use widening_ir::OpKind;
+
+/// One of the four latency models of Table 6.
+///
+/// | model | store | +,*,load | div | sqrt |
+/// |-------|-------|----------|-----|------|
+/// | 4-cycles | 1 | 4 | 19 | 27 |
+/// | 3-cycles | 1 | 3 | 15 | 21 |
+/// | 2-cycles | 1 | 2 | 10 | 14 |
+/// | 1-cycle  | 1 | 1 |  5 |  7 |
+///
+/// Divide and square root are not pipelined; all other operations are
+/// fully pipelined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CycleModel {
+    /// 1-cycle model (fastest clock relative to FPU delay).
+    Cycles1,
+    /// 2-cycle model.
+    Cycles2,
+    /// 3-cycle model.
+    Cycles3,
+    /// 4-cycle model — the baseline `1w1` model of §3.
+    Cycles4,
+}
+
+impl CycleModel {
+    /// All models, in increasing pipeline-depth order.
+    pub const ALL: [CycleModel; 4] =
+        [CycleModel::Cycles1, CycleModel::Cycles2, CycleModel::Cycles3, CycleModel::Cycles4];
+
+    /// The baseline model used for the ILP-limit studies (§3).
+    pub const BASELINE: CycleModel = CycleModel::Cycles4;
+
+    /// The `z` in "`z`-cycles model".
+    #[must_use]
+    pub fn depth(self) -> u32 {
+        match self {
+            CycleModel::Cycles1 => 1,
+            CycleModel::Cycles2 => 2,
+            CycleModel::Cycles3 => 3,
+            CycleModel::Cycles4 => 4,
+        }
+    }
+
+    /// Selects the model for a configuration whose cycle time is
+    /// `relative_cycle_time` × the baseline `1w1(32:1)` cycle:
+    /// `z = clamp(⌈4 / Tc⌉, 1, 4)` (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_cycle_time` is not a positive finite number.
+    #[must_use]
+    pub fn for_relative_cycle_time(relative_cycle_time: f64) -> Self {
+        assert!(
+            relative_cycle_time.is_finite() && relative_cycle_time > 0.0,
+            "relative cycle time must be positive and finite"
+        );
+        let z = (4.0 / relative_cycle_time).ceil().clamp(1.0, 4.0) as u32;
+        Self::from_depth(z).expect("clamped to 1..=4")
+    }
+
+    /// The model with the given depth, if `depth ∈ 1..=4`.
+    #[must_use]
+    pub fn from_depth(depth: u32) -> Option<Self> {
+        match depth {
+            1 => Some(CycleModel::Cycles1),
+            2 => Some(CycleModel::Cycles2),
+            3 => Some(CycleModel::Cycles3),
+            4 => Some(CycleModel::Cycles4),
+            _ => None,
+        }
+    }
+
+    /// Latency in cycles of `kind` under this model (Table 6).
+    #[must_use]
+    pub fn latency(self, kind: OpKind) -> u32 {
+        let (pipelined, div, sqrt) = match self {
+            CycleModel::Cycles4 => (4, 19, 27),
+            CycleModel::Cycles3 => (3, 15, 21),
+            CycleModel::Cycles2 => (2, 10, 14),
+            CycleModel::Cycles1 => (1, 5, 7),
+        };
+        match kind {
+            OpKind::Store => 1,
+            OpKind::FDiv => div,
+            OpKind::FSqrt => sqrt,
+            OpKind::Load
+            | OpKind::FAdd
+            | OpKind::FSub
+            | OpKind::FMul
+            | OpKind::FCopy => pipelined,
+        }
+    }
+
+    /// Number of consecutive cycles `kind` occupies its functional unit.
+    /// Pipelined operations occupy one issue slot; divide and square root
+    /// block their unit for their whole latency (Table 6 note).
+    #[must_use]
+    pub fn occupancy(self, kind: OpKind) -> u32 {
+        if kind.is_pipelined() {
+            1
+        } else {
+            self.latency(kind)
+        }
+    }
+}
+
+impl fmt::Display for CycleModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-cycle model", self.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_values() {
+        use OpKind::*;
+        let rows = [
+            (CycleModel::Cycles4, 4, 19, 27),
+            (CycleModel::Cycles3, 3, 15, 21),
+            (CycleModel::Cycles2, 2, 10, 14),
+            (CycleModel::Cycles1, 1, 5, 7),
+        ];
+        for (m, pip, div, sqrt) in rows {
+            assert_eq!(m.latency(Store), 1, "{m}");
+            for k in [Load, FAdd, FSub, FMul, FCopy] {
+                assert_eq!(m.latency(k), pip, "{m} {k}");
+            }
+            assert_eq!(m.latency(FDiv), div, "{m}");
+            assert_eq!(m.latency(FSqrt), sqrt, "{m}");
+        }
+    }
+
+    #[test]
+    fn occupancy_blocks_unpipelined_units() {
+        assert_eq!(CycleModel::Cycles4.occupancy(OpKind::FDiv), 19);
+        assert_eq!(CycleModel::Cycles4.occupancy(OpKind::FSqrt), 27);
+        assert_eq!(CycleModel::Cycles4.occupancy(OpKind::FMul), 1);
+        assert_eq!(CycleModel::Cycles1.occupancy(OpKind::FDiv), 5);
+    }
+
+    #[test]
+    fn paper_examples_of_model_selection() {
+        // §5.2: 2w4(32:1) with Tc = 1.85 → 3-cycles; 2w4(128:1) with
+        // Tc = 2.09 → 2-cycles; 2w4(128:2) with Tc = 1.80 → 3-cycles.
+        assert_eq!(CycleModel::for_relative_cycle_time(1.85), CycleModel::Cycles3);
+        assert_eq!(CycleModel::for_relative_cycle_time(2.09), CycleModel::Cycles2);
+        assert_eq!(CycleModel::for_relative_cycle_time(1.80), CycleModel::Cycles3);
+        // Baseline.
+        assert_eq!(CycleModel::for_relative_cycle_time(1.0), CycleModel::Cycles4);
+        // Extremes clamp.
+        assert_eq!(CycleModel::for_relative_cycle_time(9.0), CycleModel::Cycles1);
+        assert_eq!(CycleModel::for_relative_cycle_time(0.5), CycleModel::Cycles4);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative cycle time must be positive")]
+    fn rejects_nan_cycle_time() {
+        let _ = CycleModel::for_relative_cycle_time(f64::NAN);
+    }
+
+    #[test]
+    fn depth_roundtrip() {
+        for m in CycleModel::ALL {
+            assert_eq!(CycleModel::from_depth(m.depth()), Some(m));
+        }
+        assert_eq!(CycleModel::from_depth(0), None);
+        assert_eq!(CycleModel::from_depth(5), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CycleModel::Cycles3.to_string(), "3-cycle model");
+    }
+}

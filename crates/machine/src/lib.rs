@@ -1,0 +1,48 @@
+//! VLIW machine configurations for the *Widening Resources* (MICRO 1998)
+//! reproduction.
+//!
+//! A design point is written **`XwY(Z:n)`** (§3, §5 of the paper):
+//!
+//! * `X` buses and `2·X` general-purpose FPUs — the *replication* degree;
+//! * every resource (and every register) is `Y` words wide — the
+//!   *widening* degree;
+//! * a register file of `Z` registers, each `64·Y` bits;
+//! * optionally maintained as `n` identical copies (*partitions*) to
+//!   reduce access time (§4.2).
+//!
+//! This crate also owns the paper's Table 6: the four *cycle models* that
+//! re-express operation latencies when the processor cycle time (set by
+//! the register-file access time) changes.
+//!
+//! # Example
+//!
+//! ```
+//! use widening_machine::{Configuration, CycleModel};
+//! use widening_ir::{OpKind, ResourceClass};
+//!
+//! let cfg: Configuration = "4w2(128:2)".parse()?;
+//! assert_eq!(cfg.replication(), 4);
+//! assert_eq!(cfg.widening(), 2);
+//! assert_eq!(cfg.units(ResourceClass::Fpu), 8);
+//! assert_eq!(cfg.factor(), 8); // peak operations per cycle ×8 vs 1w1
+//!
+//! // A configuration whose cycle is 1.85× the baseline cycle needs the
+//! // 3-cycle latency model (⌈4 / 1.85⌉ = 3).
+//! let m = CycleModel::for_relative_cycle_time(1.85);
+//! assert_eq!(m, CycleModel::Cycles3);
+//! assert_eq!(m.latency(OpKind::FDiv), 15);
+//! # Ok::<(), widening_machine::ConfigParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod encoding;
+mod latency;
+mod ports;
+
+pub use config::{ConfigParseError, Configuration};
+pub use encoding::InstructionEncoding;
+pub use latency::CycleModel;
+pub use ports::{PortCounts, PortPartition};

@@ -1,0 +1,175 @@
+//! Register-file port counts and the partitioning rule of §4.2.
+//!
+//! A multiported RF can be maintained as `n` identical copies: every
+//! functional unit *writes all copies* (so they stay coherent), but each
+//! copy is *read* by only a subset of the units. The paper's example:
+//! the 8w1 RF (40R+24W monolithic) split in two becomes two copies of
+//! 20R+24W each — more total area, much faster access.
+
+use std::fmt;
+
+/// A read/write port requirement for one RF copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortCounts {
+    /// Read ports.
+    pub reads: u32,
+    /// Write ports.
+    pub writes: u32,
+}
+
+impl PortCounts {
+    /// Total ports.
+    #[must_use]
+    pub fn total(self) -> u32 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for PortCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}R+{}W", self.reads, self.writes)
+    }
+}
+
+/// The result of splitting a configuration's readers across `n` RF
+/// copies.
+///
+/// Distribution rule: buses and FPUs are dealt round-robin to copies so
+/// the load is as even as possible, preserving (where divisible) the
+/// 1-bus-per-2-FPUs balance. Every copy receives **all** write ports
+/// (`3X`), because every producer must update every copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortPartition {
+    copies: Vec<PortCounts>,
+}
+
+impl PortPartition {
+    /// Splits `buses` + `fpus` reading units across `n` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the number of reading units.
+    #[must_use]
+    pub fn split(buses: u32, fpus: u32, n: u32) -> Self {
+        let units = buses + fpus;
+        assert!(n >= 1, "at least one RF copy is required");
+        assert!(
+            n <= units,
+            "cannot split {units} reading units across {n} copies"
+        );
+        let writes = buses + fpus; // one write port per producer: 3X when fpus = 2X
+        let mut bus_of = vec![0u32; n as usize];
+        let mut fpu_of = vec![0u32; n as usize];
+        for i in 0..buses {
+            bus_of[(i % n) as usize] += 1;
+        }
+        // Deal FPUs starting from the copy after the last bus so that a
+        // lone bus does not always share with two FPUs when spreading is
+        // possible.
+        for i in 0..fpus {
+            fpu_of[((i + buses) % n) as usize] += 1;
+        }
+        let copies = bus_of
+            .iter()
+            .zip(&fpu_of)
+            .map(|(&b, &f)| PortCounts { reads: b + 2 * f, writes })
+            .collect();
+        PortPartition { copies }
+    }
+
+    /// Per-copy port requirements.
+    #[must_use]
+    pub fn copies(&self) -> &[PortCounts] {
+        &self.copies
+    }
+
+    /// The copy with the most ports — it bounds the access time of the
+    /// partitioned RF.
+    #[must_use]
+    pub fn widest_copy(&self) -> PortCounts {
+        *self
+            .copies
+            .iter()
+            .max_by_key(|c| (c.total(), c.reads))
+            .expect("partition has at least one copy")
+    }
+
+    /// Number of copies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Whether there are no copies (never true for a valid partition).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_8w1_two_copies() {
+        // §4.2: 8w1 monolithic needs 40R+24W; two copies need 20R+24W
+        // each (4 buses + 8 FPUs read each copy, all 24 writers write
+        // both).
+        let p = PortPartition::split(8, 16, 1);
+        assert_eq!(p.widest_copy(), PortCounts { reads: 40, writes: 24 });
+        let p = PortPartition::split(8, 16, 2);
+        assert_eq!(p.copies().len(), 2);
+        for c in p.copies() {
+            assert_eq!(*c, PortCounts { reads: 20, writes: 24 });
+        }
+    }
+
+    #[test]
+    fn eight_copies_of_8w1() {
+        // Each copy: 1 bus + 2 FPUs → 5R + 24W.
+        let p = PortPartition::split(8, 16, 8);
+        for c in p.copies() {
+            assert_eq!(*c, PortCounts { reads: 5, writes: 24 });
+        }
+    }
+
+    #[test]
+    fn uneven_split_balances_within_one_unit() {
+        // 1 bus + 2 FPUs over 2 copies: copy A gets bus + 1 FPU (3R),
+        // copy B gets 1 FPU (2R); both get all 3 writes.
+        let p = PortPartition::split(1, 2, 2);
+        let mut reads: Vec<u32> = p.copies().iter().map(|c| c.reads).collect();
+        reads.sort_unstable();
+        assert_eq!(reads, vec![2, 3]);
+        assert!(p.copies().iter().all(|c| c.writes == 3));
+        assert_eq!(p.widest_copy().reads, 3);
+    }
+
+    #[test]
+    fn one_copy_is_identity() {
+        let p = PortPartition::split(4, 8, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.copies()[0], PortCounts { reads: 20, writes: 12 });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_copies_panics() {
+        let _ = PortPartition::split(1, 2, 4);
+    }
+
+    #[test]
+    fn display_port_counts() {
+        assert_eq!(PortCounts { reads: 5, writes: 3 }.to_string(), "5R+3W");
+    }
+
+    #[test]
+    fn total_reads_conserved() {
+        for n in [1u32, 2, 4, 8, 16] {
+            let p = PortPartition::split(8, 16, n);
+            let total: u32 = p.copies().iter().map(|c| c.reads).sum();
+            assert_eq!(total, 40, "n={n}");
+        }
+    }
+}

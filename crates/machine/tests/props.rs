@@ -1,0 +1,81 @@
+//! Property tests for configurations, partitioning and cycle models.
+
+use proptest::prelude::*;
+use widening_ir::OpKind;
+use widening_machine::{Configuration, CycleModel, PortPartition};
+
+fn arb_config() -> impl Strategy<Value = Configuration> {
+    (0u32..6, 0u32..6, 0u32..3).prop_filter_map("partition bound", |(xe, ye, ze)| {
+        let (x, y, z) = (1 << xe, 1 << ye, 32 << ze);
+        Configuration::monolithic(x, y, z).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display/FromStr round-trips for every valid configuration and
+    /// partition choice.
+    #[test]
+    fn parse_roundtrip(cfg in arb_config()) {
+        for n in cfg.valid_partitions() {
+            let c = cfg.with_partitions(n).expect("valid partition");
+            let parsed: Configuration = c.to_string().parse().expect("roundtrip");
+            prop_assert_eq!(parsed, c);
+        }
+    }
+
+    /// Partitioning conserves read ports and replicates write ports.
+    #[test]
+    fn partition_conserves_ports(cfg in arb_config()) {
+        let total_reads = cfg.ports().reads;
+        let writes = cfg.ports().writes;
+        for n in cfg.valid_partitions() {
+            let p = PortPartition::split(
+                cfg.replication(),
+                2 * cfg.replication(),
+                n,
+            );
+            prop_assert_eq!(p.copies().len(), n as usize);
+            let reads: u32 = p.copies().iter().map(|c| c.reads).sum();
+            prop_assert_eq!(reads, total_reads);
+            for c in p.copies() {
+                prop_assert_eq!(c.writes, writes);
+                prop_assert!(c.reads >= 1, "every copy must serve a reader");
+            }
+            // Balanced within two reads of each other … except the
+            // bus/FPU granularity, which is at most 2 reads per unit.
+            let max = p.copies().iter().map(|c| c.reads).max().unwrap();
+            let min = p.copies().iter().map(|c| c.reads).min().unwrap();
+            prop_assert!(max - min <= 2, "unbalanced partition {max}-{min}");
+        }
+    }
+
+    /// Latency monotonicity: a deeper cycle model never shortens an
+    /// operation, and occupancy is bounded by latency.
+    #[test]
+    fn latency_structure(k in prop_oneof![
+        Just(OpKind::Load), Just(OpKind::Store), Just(OpKind::FAdd),
+        Just(OpKind::FMul), Just(OpKind::FDiv), Just(OpKind::FSqrt),
+    ]) {
+        let mut prev = 0;
+        for m in CycleModel::ALL {
+            let lat = m.latency(k);
+            prop_assert!(lat >= prev, "{m} shortened {k}");
+            prev = lat;
+            prop_assert!(m.occupancy(k) <= lat.max(1));
+            if k.is_pipelined() {
+                prop_assert_eq!(m.occupancy(k), 1);
+            }
+        }
+    }
+
+    /// Cycle-model selection is monotone in the cycle time: slower
+    /// clocks never need deeper pipelines.
+    #[test]
+    fn model_selection_monotone(tc in 1.0f64..10.0, dtc in 0.0f64..5.0) {
+        let a = CycleModel::for_relative_cycle_time(tc);
+        let b = CycleModel::for_relative_cycle_time(tc + dtc);
+        prop_assert!(b.depth() <= a.depth());
+    }
+}

@@ -1,0 +1,198 @@
+//! Value lifetimes under a modulo schedule, and the `MaxLives` bound.
+
+use widening_ir::{Ddg, NodeId};
+use widening_machine::CycleModel;
+use widening_sched::Schedule;
+
+/// The live range of one loop-variant value: from the issue of its
+/// defining operation to the issue of its last consumer (plus `II ×
+/// distance` for consumers in later iterations).
+///
+/// This is the lifetime convention of the paper's scheduler lineage
+/// (values are tied up from definition issue, since results may be
+/// written back out of order with respect to issue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The defining operation.
+    pub def: NodeId,
+    /// Issue cycle of the definition.
+    pub start: u32,
+    /// One past the last cycle the value is needed (`end > start`).
+    pub end: u32,
+}
+
+impl Lifetime {
+    /// Length of the live range in cycles.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Lifetimes are never empty (a defined value lives at least until
+    /// its writeback); provided for clippy-conventional pairing with
+    /// [`Lifetime::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// How many instances of this value are simultaneously live in
+    /// steady state: `⌈len / II⌉`.
+    #[must_use]
+    pub fn concurrent_instances(&self, ii: u32) -> u32 {
+        self.len().div_ceil(ii)
+    }
+}
+
+/// Extracts the lifetime of every value-producing operation in `ddg`
+/// under `schedule`.
+///
+/// A value with no consumers lives until its result is written back
+/// (issue + latency): the register is still needed for the writeback.
+#[must_use]
+pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, model: CycleModel) -> Vec<Lifetime> {
+    let ii = schedule.ii();
+    let mut out = Vec::new();
+    for v in ddg.node_ids() {
+        let op = ddg.op(v);
+        if !op.produces_value() {
+            continue;
+        }
+        let start = schedule.time(v);
+        let mut end = start + model.latency(op.kind());
+        for e in ddg.out_edges(v) {
+            if !e.kind.is_flow() {
+                continue;
+            }
+            let use_time = schedule.time(e.dst) + ii * e.distance;
+            end = end.max(use_time.max(start + 1));
+        }
+        out.push(Lifetime { def: v, start, end });
+    }
+    out
+}
+
+/// `MaxLives`: the maximum number of values simultaneously live at any
+/// kernel cycle — the classic lower bound on registers required
+/// (Llosa et al., IJPP'98).
+#[must_use]
+pub fn max_lives(lifetimes: &[Lifetime], ii: u32) -> u32 {
+    assert!(ii >= 1, "II must be at least 1");
+    let mut rows = vec![0u32; ii as usize];
+    for lt in lifetimes {
+        for t in lt.start..lt.end {
+            rows[(t % ii) as usize] += 1;
+        }
+    }
+    rows.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::{DdgBuilder, OpKind};
+    use widening_machine::Configuration;
+
+    const M4: CycleModel = CycleModel::Cycles4;
+
+    fn cfg() -> Configuration {
+        Configuration::monolithic(4, 1, 256).unwrap()
+    }
+
+    fn sched(ddg: &Ddg, ii: u32, times: Vec<u32>) -> Schedule {
+        Schedule::new(ddg, &cfg(), M4, ii, times).unwrap()
+    }
+
+    #[test]
+    fn lifetime_spans_def_to_last_use() {
+        // ld(t0) -> fmul(t8); ld -> fadd(t4)
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        b.flow(ld, m);
+        b.flow(ld, a);
+        let g = b.build().unwrap();
+        let s = sched(&g, 9, vec![0, 8, 4]);
+        let lts = lifetimes(&g, &s, M4);
+        let ld_lt = lts.iter().find(|l| l.def == ld).unwrap();
+        assert_eq!((ld_lt.start, ld_lt.end), (0, 8));
+        assert_eq!(ld_lt.len(), 8);
+    }
+
+    #[test]
+    fn unused_value_lives_through_writeback() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        b.op(OpKind::FAdd); // dead value
+        b.flow(ld, widening_ir::NodeId(1));
+        let g = b.build().unwrap();
+        let s = sched(&g, 5, vec![0, 4]);
+        let lts = lifetimes(&g, &s, M4);
+        let dead = lts.iter().find(|l| l.def == widening_ir::NodeId(1)).unwrap();
+        assert_eq!((dead.start, dead.end), (4, 8)); // + fadd latency
+    }
+
+    #[test]
+    fn stores_produce_no_lifetime() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let st = b.store(1);
+        b.flow(ld, st);
+        let g = b.build().unwrap();
+        let s = sched(&g, 5, vec![0, 4]);
+        let lts = lifetimes(&g, &s, M4);
+        assert_eq!(lts.len(), 1);
+        assert_eq!(lts[0].def, ld);
+    }
+
+    #[test]
+    fn carried_use_extends_by_ii_distance() {
+        // fadd feeds itself at distance 1: lifetime = II.
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        b.carried_flow(a, a, 1);
+        let g = b.build().unwrap();
+        let s = sched(&g, 4, vec![0]);
+        let lts = lifetimes(&g, &s, M4);
+        assert_eq!((lts[0].start, lts[0].end), (0, 4));
+        assert_eq!(lts[0].concurrent_instances(4), 1);
+    }
+
+    #[test]
+    fn max_lives_counts_overlapping_instances() {
+        // One value of length 8 at II=2: 4 concurrent instances.
+        let lts =
+            vec![Lifetime { def: NodeId(0), start: 0, end: 8 }];
+        assert_eq!(max_lives(&lts, 2), 4);
+        assert_eq!(lts[0].concurrent_instances(2), 4);
+        // Same value at II=8: a single instance.
+        assert_eq!(max_lives(&lts, 8), 1);
+    }
+
+    use widening_ir::NodeId;
+
+    #[test]
+    fn max_lives_of_disjoint_rows() {
+        // Two unit lifetimes in different kernel rows never overlap.
+        let lts = vec![
+            Lifetime { def: NodeId(0), start: 0, end: 1 },
+            Lifetime { def: NodeId(1), start: 1, end: 2 },
+        ];
+        assert_eq!(max_lives(&lts, 2), 1);
+        // At II=1 they share the only row.
+        assert_eq!(max_lives(&lts, 1), 2);
+    }
+
+    #[test]
+    fn lower_ii_raises_pressure() {
+        // The paper's §3.2 premise: reducing II increases register
+        // requirements for the same dependence structure.
+        let lts = vec![
+            Lifetime { def: NodeId(0), start: 0, end: 12 },
+            Lifetime { def: NodeId(1), start: 2, end: 10 },
+        ];
+        let p: Vec<u32> = [1u32, 2, 4, 12].iter().map(|&ii| max_lives(&lts, ii)).collect();
+        assert_eq!(p, vec![20, 10, 5, 2]);
+    }
+}

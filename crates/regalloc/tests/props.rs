@@ -1,0 +1,110 @@
+//! Property tests for lifetimes, allocation bounds and the spill engine.
+
+use proptest::prelude::*;
+use widening_ir::NodeId;
+use widening_machine::{Configuration, CycleModel};
+use widening_regalloc::{allocate, max_lives, schedule_with_registers, Lifetime, SpillOptions};
+use widening_sched::SchedulerOptions;
+use widening_workload::corpus::{generate, CorpusSpec};
+
+fn arb_lifetimes() -> impl Strategy<Value = (Vec<Lifetime>, u32)> {
+    (1u32..24, proptest::collection::vec((0u32..60, 1u32..40), 1..40)).prop_map(
+        |(ii, raw)| {
+            let lts = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (start, len))| Lifetime {
+                    def: NodeId(i as u32),
+                    start,
+                    end: start + len,
+                })
+                .collect();
+            (lts, ii)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The clique bound is a hard floor; Lam's per-value expansion
+    /// (power-of-two rounded) is a hard ceiling.
+    #[test]
+    fn allocation_between_bounds((lts, ii) in arb_lifetimes()) {
+        let a = allocate(&lts, ii);
+        prop_assert_eq!(a.max_lives(), max_lives(&lts, ii));
+        prop_assert!(a.registers_used() >= a.max_lives());
+        let lam: u32 = lts
+            .iter()
+            .map(|lt| lt.concurrent_instances(ii).max(1).next_power_of_two())
+            .sum();
+        prop_assert!(a.registers_used() <= lam);
+    }
+
+    /// The assignment covers one entry per (lifetime, kernel copy) and
+    /// never names a register outside the allocation.
+    #[test]
+    fn assignment_is_complete((lts, ii) in arb_lifetimes()) {
+        let a = allocate(&lts, ii);
+        prop_assert_eq!(
+            a.assignment().len(),
+            lts.len() * a.kernel_unroll() as usize
+        );
+        for &(lifetime, register) in a.assignment() {
+            prop_assert!((lifetime as usize) < lts.len());
+            prop_assert!(register < a.registers_used());
+        }
+    }
+
+    /// MaxLives is monotone: growing any lifetime cannot reduce it.
+    #[test]
+    fn max_lives_monotone((lts, ii) in arb_lifetimes(), extra in 1u32..10) {
+        let before = max_lives(&lts, ii);
+        let grown: Vec<Lifetime> = lts
+            .iter()
+            .map(|lt| Lifetime { def: lt.def, start: lt.start, end: lt.end + extra })
+            .collect();
+        prop_assert!(max_lives(&grown, ii) >= before);
+    }
+
+    /// A larger II never increases the instance count of a lifetime.
+    #[test]
+    fn instances_monotone_in_ii((lts, ii) in arb_lifetimes()) {
+        for lt in &lts {
+            prop_assert!(lt.concurrent_instances(ii + 1) <= lt.concurrent_instances(ii));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end: whatever corpus loop and machine we draw, a
+    /// successful pressure result always fits the register file, and its
+    /// schedule is verified by construction.
+    #[test]
+    fn pressure_results_fit_the_file(seed in 0u64..5000, x in 0u32..3, z in 0usize..3) {
+        let loops = generate(&CorpusSpec::small(3, seed));
+        let regs = [32u32, 64, 128][z];
+        let cfg = Configuration::monolithic(1 << x, 1, regs).expect("valid");
+        for l in &loops {
+            match schedule_with_registers(
+                l.ddg(),
+                &cfg,
+                CycleModel::Cycles4,
+                &SchedulerOptions::default(),
+                &SpillOptions::default(),
+            ) {
+                Ok(r) => {
+                    prop_assert!(r.allocation.registers_used() <= regs);
+                    prop_assert!(r.ddg.num_nodes() >= l.ddg().num_nodes());
+                }
+                Err(widening_regalloc::RegallocError::Pressure { needed, available }) => {
+                    prop_assert!(needed > available);
+                    prop_assert_eq!(available, regs);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-node timing analysis (ASAP/ALAP/mobility) for a candidate `II`.
+//!
+//! The modulo constraint `t(dst) ≥ t(src) + delay(e) − II·distance(e)`
+//! turns the DDG into a constraint graph whose longest paths give the
+//! earliest (ASAP) and latest (ALAP) feasible issue cycles. Because
+//! loop-carried edges have negative adjusted weights once `II ≥ RecMII`,
+//! a Bellman-Ford-style relaxation converges; if `II < RecMII` it would
+//! not, and [`TimeAnalysis::compute`] reports that by returning `None`.
+
+use widening_ir::Ddg;
+use widening_machine::CycleModel;
+
+use crate::edge_delay;
+
+/// ASAP/ALAP times, critical-path length and mobility for each node at a
+/// fixed `II`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeAnalysis {
+    ii: u32,
+    asap: Vec<i64>,
+    alap: Vec<i64>,
+    span: i64,
+}
+
+impl TimeAnalysis {
+    /// Computes the analysis, or `None` if the constraint system has a
+    /// positive cycle (i.e. `ii < RecMII`).
+    #[must_use]
+    pub fn compute(ddg: &Ddg, model: CycleModel, ii: u32) -> Option<Self> {
+        let n = ddg.num_nodes();
+        let iil = i64::from(ii);
+
+        // ASAP: longest paths from below (every node starts ≥ 0).
+        let mut asap = vec![0i64; n];
+        if !relax(ddg, model, iil, &mut asap, false) {
+            return None;
+        }
+        let span = ddg
+            .node_ids()
+            .map(|v| asap[v.index()] + i64::from(model.latency(ddg.op(v).kind())))
+            .max()
+            .expect("non-empty graph");
+
+        // ALAP: latest issue times such that every node still *completes*
+        // by the span; relax downward.
+        let mut alap: Vec<i64> = ddg
+            .node_ids()
+            .map(|v| span - i64::from(model.latency(ddg.op(v).kind())))
+            .collect();
+        debug_assert_eq!(alap.len(), n);
+        if !relax(ddg, model, iil, &mut alap, true) {
+            return None;
+        }
+        Some(TimeAnalysis { ii, asap, alap, span })
+    }
+
+    /// The `II` the analysis was computed for.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Earliest feasible issue cycle of node `v`.
+    #[must_use]
+    pub fn asap(&self, v: widening_ir::NodeId) -> i64 {
+        self.asap[v.index()]
+    }
+
+    /// Latest issue cycle of node `v` under the critical-path span.
+    #[must_use]
+    pub fn alap(&self, v: widening_ir::NodeId) -> i64 {
+        self.alap[v.index()]
+    }
+
+    /// Scheduling freedom `alap − asap` of node `v`; 0 on the critical
+    /// path.
+    #[must_use]
+    pub fn mobility(&self, v: widening_ir::NodeId) -> i64 {
+        self.alap[v.index()] - self.asap[v.index()]
+    }
+
+    /// Critical-path length (cycles) of one iteration at this `II`.
+    #[must_use]
+    pub fn span(&self) -> i64 {
+        self.span
+    }
+
+    /// Depth of `v`: its distance from the graph's sources (`asap`).
+    #[must_use]
+    pub fn depth(&self, v: widening_ir::NodeId) -> i64 {
+        self.asap[v.index()]
+    }
+
+    /// Height of `v`: its distance to the graph's sinks (`span − alap`).
+    #[must_use]
+    pub fn height(&self, v: widening_ir::NodeId) -> i64 {
+        self.span - self.alap[v.index()]
+    }
+}
+
+/// Relaxes the constraint system to a fixpoint. `backward = false`
+/// raises `t[dst]` to satisfy `t[dst] ≥ t[src] + w`; `backward = true`
+/// lowers `t[src]` to satisfy `t[src] ≤ t[dst] − w`. Returns `false` if
+/// no fixpoint is reached after `n + 1` rounds (positive cycle).
+fn relax(ddg: &Ddg, model: CycleModel, ii: i64, t: &mut [i64], backward: bool) -> bool {
+    let rounds = ddg.num_nodes() + 1;
+    for round in 0..=rounds {
+        let mut changed = false;
+        for e in ddg.edges() {
+            let w = edge_delay(model, ddg.op(e.src).kind(), e) - ii * i64::from(e.distance);
+            if backward {
+                let bound = t[e.dst.index()] - w;
+                if t[e.src.index()] > bound {
+                    t[e.src.index()] = bound;
+                    changed = true;
+                }
+            } else {
+                let bound = t[e.src.index()] + w;
+                if t[e.dst.index()] < bound {
+                    t[e.dst.index()] = bound;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+        if round == rounds {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::{DdgBuilder, NodeId, OpKind};
+
+    const M4: CycleModel = CycleModel::Cycles4;
+
+    #[test]
+    fn chain_asap_alap() {
+        // ld(4) -> fmul(4) -> st
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let s = b.store(1);
+        b.flow(ld, m);
+        b.flow(m, s);
+        let g = b.build().unwrap();
+        let ta = TimeAnalysis::compute(&g, M4, 1).unwrap();
+        assert_eq!(ta.asap(ld), 0);
+        assert_eq!(ta.asap(m), 4);
+        assert_eq!(ta.asap(s), 8);
+        assert_eq!(ta.span(), 9); // store issues at 8, takes 1 cycle
+        // Chain is critical: zero mobility everywhere.
+        for v in g.node_ids() {
+            assert_eq!(ta.mobility(v), 0, "{v}");
+        }
+        assert_eq!(ta.height(ld), 9);
+        assert_eq!(ta.depth(s), 8);
+    }
+
+    #[test]
+    fn independent_node_has_mobility() {
+        let mut b = DdgBuilder::new();
+        let ld = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let s = b.store(1);
+        let lonely = b.op(OpKind::FAdd);
+        b.flow(ld, m);
+        b.flow(m, s);
+        let g = b.build().unwrap();
+        let ta = TimeAnalysis::compute(&g, M4, 1).unwrap();
+        // `lonely` can sit anywhere in the 9-cycle span minus its 4-cycle
+        // latency: alap = 9 - 4 = 5.
+        assert_eq!(ta.asap(lonely), 0);
+        assert_eq!(ta.alap(lonely), 5);
+        assert_eq!(ta.mobility(lonely), 5);
+    }
+
+    #[test]
+    fn carried_edge_relaxes_with_ii() {
+        // add self-loop distance 1: feasible only when II ≥ 4.
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        b.carried_flow(a, a, 1);
+        let g = b.build().unwrap();
+        assert!(TimeAnalysis::compute(&g, M4, 3).is_none());
+        let ta = TimeAnalysis::compute(&g, M4, 4).unwrap();
+        assert_eq!(ta.asap(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn two_node_recurrence_windows() {
+        // a →(4) m, m →(4, dist 1) a: RecMII = 8.
+        let mut b = DdgBuilder::new();
+        let a = b.op(OpKind::FAdd);
+        let m = b.op(OpKind::FMul);
+        b.flow(a, m);
+        b.carried_flow(m, a, 1);
+        let g = b.build().unwrap();
+        assert!(TimeAnalysis::compute(&g, M4, 7).is_none());
+        let ta = TimeAnalysis::compute(&g, M4, 8).unwrap();
+        assert_eq!(ta.asap(a), 0);
+        assert_eq!(ta.asap(m), 4);
+        // At exactly RecMII the circuit is rigid: the *relative* offset
+        // t(m) − t(a) is forced to 4 at both window ends (the pair may
+        // still slide jointly inside the span).
+        assert_eq!(ta.asap(m) - ta.asap(a), 4);
+        assert_eq!(ta.alap(m) - ta.alap(a), 4);
+        assert_eq!(ta.mobility(a), ta.mobility(m));
+        // A larger II keeps the same one-iteration span (the critical
+        // path through the body is unchanged) and the same forced offset.
+        let ta = TimeAnalysis::compute(&g, M4, 10).unwrap();
+        assert_eq!(ta.span(), 8);
+        assert_eq!(ta.asap(m) - ta.asap(a), 4);
+    }
+}

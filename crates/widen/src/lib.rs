@@ -1,0 +1,54 @@
+//! The **widening transform** — the core contribution of *Widening
+//! Resources* (MICRO 1998).
+//!
+//! A machine of widening degree `Y` executes one *wide* operation over
+//! `Y` consecutive data elements per functional-unit slot — but only for
+//! *compactable* operations (§2). This crate turns a scalar loop body
+//! into the dependence graph the compiler would produce for width `Y`:
+//!
+//! * notionally unroll `Y` consecutive iterations (a *block*);
+//! * **pack** the `Y` instances of each compactable operation into a
+//!   single wide node (loads/stores need unit stride; operations on a
+//!   recurrence tighter than `Y` iterations are serially dependent and
+//!   cannot be packed);
+//! * **expand** every non-compactable operation into `Y` scalar nodes —
+//!   each still occupies a full wide slot, which is exactly the penalty
+//!   that makes pure widening saturate in the paper's Figure 2;
+//! * re-derive all dependence edges with lane-accurate iteration
+//!   distances.
+//!
+//! The result is an ordinary [`widening_ir::Ddg`]: the scheduler,
+//! allocator and cost models need no special cases. One widened-block
+//! iteration covers `Y` original iterations, so cycle accounting divides
+//! trip counts by `Y` (handled by the evaluation pipeline).
+//!
+//! # Example
+//!
+//! ```
+//! use widening_ir::{DdgBuilder, OpKind};
+//! use widening_transform::widen;
+//!
+//! // y[i] = a * x[i]: fully compactable at any width.
+//! let mut b = DdgBuilder::new();
+//! let x = b.load(1);
+//! let m = b.op(OpKind::FMul);
+//! let s = b.store(1);
+//! b.flow(x, m);
+//! b.flow(m, s);
+//! let ddg = b.build()?;
+//!
+//! let wide = widen(&ddg, 4);
+//! assert_eq!(wide.ddg().num_nodes(), 3);     // every op packed
+//! assert_eq!(wide.packed_original_ops(), 3);
+//! assert_eq!(wide.scalar_original_ops(), 0);
+//! # Ok::<(), widening_ir::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compact;
+mod transform;
+
+pub use compact::{compactable_nodes, CompactReason};
+pub use transform::{widen, NodeMapping, WideningOutcome};

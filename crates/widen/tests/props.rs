@@ -1,0 +1,113 @@
+//! Property tests for the widening transform.
+
+use proptest::prelude::*;
+use widening_ir::{Ddg, DdgBuilder, NodeId, Op, OpKind};
+use widening_transform::{compactable_nodes, widen, NodeMapping};
+
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    (2usize..14, any::<u64>()).prop_map(|(n, seed)| {
+        // Small deterministic mix keyed by a seed: loads (some strided),
+        // FPU ops, a store, and a few carried edges.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut b = DdgBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| match i % 5 {
+                0 => b.load(if next() % 3 == 0 { 2 } else { 1 }),
+                4 => b.store(1),
+                1 if next() % 7 == 0 => {
+                    b.add_op(Op::new(OpKind::FMul).never_compactable())
+                }
+                _ => b.op(if next() % 2 == 0 { OpKind::FAdd } else { OpKind::FMul }),
+            })
+            .collect();
+        for i in 1..n {
+            let p = (next() as usize) % i;
+            if ids[p].index() % 5 != 4 {
+                b.flow(ids[p], ids[i]);
+            }
+        }
+        for _ in 0..(next() % 3) {
+            let v = (next() as usize) % n;
+            if ids[v].index() % 5 != 4 {
+                let dist = 1 + (next() % 4) as u32;
+                b.carried_flow(ids[v], ids[v], dist);
+            }
+        }
+        b.build().expect("valid by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Width 1 is the identity transform.
+    #[test]
+    fn width_one_identity(g in arb_ddg()) {
+        let w = widen(&g, 1);
+        prop_assert_eq!(w.ddg(), &g);
+        prop_assert_eq!(w.packed_original_ops(), g.num_nodes());
+    }
+
+    /// Node accounting: packed nodes stay single, scalar nodes expand
+    /// `Y`-fold; the result is a valid graph (construction re-validates).
+    #[test]
+    fn node_accounting(g in arb_ddg(), yexp in 1u32..4) {
+        let y = 1 << yexp;
+        let w = widen(&g, y);
+        prop_assert_eq!(
+            w.ddg().num_nodes(),
+            w.packed_original_ops() + w.scalar_original_ops() * y as usize
+        );
+        prop_assert_eq!(w.mapping().len(), g.num_nodes());
+        for (v, m) in g.node_ids().zip(w.mapping()) {
+            match m {
+                NodeMapping::Wide(id) => {
+                    prop_assert_eq!(w.ddg().op(*id).kind(), g.op(v).kind());
+                }
+                NodeMapping::Lanes(ids) => {
+                    prop_assert_eq!(ids.len(), y as usize);
+                    for id in ids {
+                        prop_assert_eq!(w.ddg().op(*id).kind(), g.op(v).kind());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural verdicts are honoured: never-compactable and strided
+    /// operations are always expanded; packed nodes were judged
+    /// compactable.
+    #[test]
+    fn verdicts_respected(g in arb_ddg(), yexp in 1u32..4) {
+        let y = 1 << yexp;
+        let w = widen(&g, y);
+        let verdicts = compactable_nodes(&g, y);
+        for (i, m) in w.mapping().iter().enumerate() {
+            if m.is_wide() {
+                prop_assert!(verdicts[i].is_compactable(), "node {i} packed against verdict");
+            }
+        }
+    }
+
+    /// Widening preserves the total amount of work: summing lanes, every
+    /// original operation appears exactly `Y` times per block (a wide op
+    /// covers `Y` lanes; scalars appear `Y` times literally).
+    #[test]
+    fn work_conservation(g in arb_ddg(), yexp in 1u32..4) {
+        let y = 1 << yexp;
+        let w = widen(&g, y);
+        let lanes_covered: usize = w
+            .mapping()
+            .iter()
+            .map(|m| match m {
+                NodeMapping::Wide(_) => y as usize,
+                NodeMapping::Lanes(l) => l.len(),
+            })
+            .sum();
+        prop_assert_eq!(lanes_covered, g.num_nodes() * y as usize);
+    }
+}

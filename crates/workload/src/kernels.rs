@@ -1,0 +1,317 @@
+//! Classic numerical inner loops as concrete dependence graphs.
+//!
+//! These serve three purposes: executable documentation (each kernel is
+//! the DDG a compiler front end would emit), anchors for tests (their
+//! MII/compactability values are known by inspection), and building
+//! blocks for the examples.
+
+use widening_ir::{DdgBuilder, Loop, LoopBuilder, OpKind};
+
+/// `y[i] = a*x[i] + y[i]` — the BLAS-1 workhorse; fully compactable.
+#[must_use]
+pub fn daxpy() -> Loop {
+    let mut b = DdgBuilder::new();
+    let x = b.load(1);
+    let y = b.load(1);
+    let m = b.op(OpKind::FMul);
+    let a = b.op(OpKind::FAdd);
+    let s = b.store(1);
+    b.flow(x, m);
+    b.flow(m, a);
+    b.flow(y, a);
+    b.flow(a, s);
+    LoopBuilder::new("daxpy", b.build().expect("valid")).trip_count(512).build()
+}
+
+/// `s += x[i] * y[i]` — dot product: a multiply stream feeding a
+/// distance-1 sum recurrence.
+#[must_use]
+pub fn dot_product() -> Loop {
+    let mut b = DdgBuilder::new();
+    let x = b.load(1);
+    let y = b.load(1);
+    let m = b.op(OpKind::FMul);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(x, m);
+    b.flow(y, m);
+    b.flow(m, acc);
+    b.carried_flow(acc, acc, 1);
+    LoopBuilder::new("dot_product", b.build().expect("valid")).trip_count(1024).build()
+}
+
+/// `y[i] = a*x[i] + b*z[i] + c` — STREAM-triad-like, fully compactable.
+#[must_use]
+pub fn triad() -> Loop {
+    let mut b = DdgBuilder::new();
+    let x = b.load(1);
+    let z = b.load(1);
+    let m1 = b.op(OpKind::FMul);
+    let m2 = b.op(OpKind::FMul);
+    let a1 = b.op(OpKind::FAdd);
+    let a2 = b.op(OpKind::FAdd);
+    let s = b.store(1);
+    b.flow(x, m1);
+    b.flow(z, m2);
+    b.flow(m1, a1);
+    b.flow(m2, a1);
+    b.flow(a1, a2);
+    b.flow(a2, s);
+    LoopBuilder::new("triad", b.build().expect("valid")).trip_count(512).build()
+}
+
+/// `y[i] = (x[i-1] + x[i] + x[i+1]) / 3` — 3-point stencil: three
+/// shifted unit-stride loads (modeled as independent streams), adds and
+/// a multiply by the reciprocal.
+#[must_use]
+pub fn stencil3() -> Loop {
+    let mut b = DdgBuilder::new();
+    let xm = b.load(1);
+    let x0 = b.load(1);
+    let xp = b.load(1);
+    let a1 = b.op(OpKind::FAdd);
+    let a2 = b.op(OpKind::FAdd);
+    let m = b.op(OpKind::FMul);
+    let s = b.store(1);
+    b.flow(xm, a1);
+    b.flow(x0, a1);
+    b.flow(a1, a2);
+    b.flow(xp, a2);
+    b.flow(a2, m);
+    b.flow(m, s);
+    LoopBuilder::new("stencil3", b.build().expect("valid")).trip_count(400).build()
+}
+
+/// Inner loop of column-major matrix–vector product:
+/// `y[i] += A[i][j] * x[j]` walking a column — the matrix access has a
+/// row-length stride and cannot ride a wide bus.
+#[must_use]
+pub fn matvec_column(row_stride: i64) -> Loop {
+    let mut b = DdgBuilder::new();
+    let aij = b.load(row_stride);
+    let xj = b.load(1);
+    let m = b.op(OpKind::FMul);
+    let acc = b.op(OpKind::FAdd);
+    b.flow(aij, m);
+    b.flow(xj, m);
+    b.flow(m, acc);
+    b.carried_flow(acc, acc, 1);
+    LoopBuilder::new("matvec_column", b.build().expect("valid")).trip_count(256).build()
+}
+
+/// `x[i] = a[i] / b[i]` — a divide stream; unpipelined units dominate.
+#[must_use]
+pub fn vector_divide() -> Loop {
+    let mut b = DdgBuilder::new();
+    let a = b.load(1);
+    let d = b.load(1);
+    let q = b.op(OpKind::FDiv);
+    let s = b.store(1);
+    b.flow(a, q);
+    b.flow(d, q);
+    b.flow(q, s);
+    LoopBuilder::new("vector_divide", b.build().expect("valid")).trip_count(128).build()
+}
+
+/// `n[i] = sqrt(x[i]² + y[i]²)` — 2-D vector norm with a square root.
+#[must_use]
+pub fn norm2() -> Loop {
+    let mut b = DdgBuilder::new();
+    let x = b.load(1);
+    let y = b.load(1);
+    let mx = b.op(OpKind::FMul);
+    let my = b.op(OpKind::FMul);
+    let a = b.op(OpKind::FAdd);
+    let r = b.op(OpKind::FSqrt);
+    let s = b.store(1);
+    b.flow(x, mx);
+    b.flow(x, mx);
+    b.flow(y, my);
+    b.flow(mx, a);
+    b.flow(my, a);
+    b.flow(a, r);
+    b.flow(r, s);
+    LoopBuilder::new("norm2", b.build().expect("valid")).trip_count(200).build()
+}
+
+/// `x[i] = a*x[i-1] + b` — first-order linear recurrence: the
+/// archetypal recurrence-bound loop; no amount of hardware helps.
+#[must_use]
+pub fn linear_recurrence() -> Loop {
+    let mut b = DdgBuilder::new();
+    let m = b.op(OpKind::FMul);
+    let a = b.op(OpKind::FAdd);
+    let s = b.store(1);
+    b.flow(m, a);
+    b.flow(a, s);
+    b.carried_flow(a, m, 1);
+    LoopBuilder::new("linear_recurrence", b.build().expect("valid"))
+        .trip_count(300)
+        .build()
+}
+
+/// Horner evaluation step `p = p*x + c[i]` — recurrence through a
+/// multiply and an add.
+#[must_use]
+pub fn horner() -> Loop {
+    let mut b = DdgBuilder::new();
+    let c = b.load(1);
+    let m = b.op(OpKind::FMul);
+    let a = b.op(OpKind::FAdd);
+    b.flow(m, a);
+    b.flow(c, a);
+    b.carried_flow(a, m, 1);
+    LoopBuilder::new("horner", b.build().expect("valid")).trip_count(64).build()
+}
+
+/// Complex multiply-accumulate on split arrays:
+/// `(cr, ci) += (ar, ai) * (br, bi)` — rich ILP plus two sum
+/// recurrences.
+#[must_use]
+pub fn complex_mac() -> Loop {
+    let mut b = DdgBuilder::new();
+    let ar = b.load(1);
+    let ai = b.load(1);
+    let br = b.load(1);
+    let bi = b.load(1);
+    let m1 = b.op(OpKind::FMul); // ar*br
+    let m2 = b.op(OpKind::FMul); // ai*bi
+    let m3 = b.op(OpKind::FMul); // ar*bi
+    let m4 = b.op(OpKind::FMul); // ai*br
+    let re = b.op(OpKind::FSub);
+    let im = b.op(OpKind::FAdd);
+    let accr = b.op(OpKind::FAdd);
+    let acci = b.op(OpKind::FAdd);
+    b.flow(ar, m1);
+    b.flow(br, m1);
+    b.flow(ai, m2);
+    b.flow(bi, m2);
+    b.flow(ar, m3);
+    b.flow(bi, m3);
+    b.flow(ai, m4);
+    b.flow(br, m4);
+    b.flow(m1, re);
+    b.flow(m2, re);
+    b.flow(m3, im);
+    b.flow(m4, im);
+    b.flow(re, accr);
+    b.flow(im, acci);
+    b.carried_flow(accr, accr, 1);
+    b.carried_flow(acci, acci, 1);
+    LoopBuilder::new("complex_mac", b.build().expect("valid")).trip_count(256).build()
+}
+
+/// Five-tap FIR filter `y[i] = Σ c_k · x[i+k]` — load-heavy,
+/// compactable, register-hungry.
+#[must_use]
+pub fn fir5() -> Loop {
+    let mut b = DdgBuilder::new();
+    let taps: Vec<_> = (0..5).map(|_| b.load(1)).collect();
+    let mut acc = None;
+    for &t in &taps {
+        let m = b.op(OpKind::FMul);
+        b.flow(t, m);
+        acc = Some(match acc {
+            None => m,
+            Some(prev) => {
+                let a = b.op(OpKind::FAdd);
+                b.flow(prev, a);
+                b.flow(m, a);
+                a
+            }
+        });
+    }
+    let s = b.store(1);
+    b.flow(acc.expect("nonempty"), s);
+    LoopBuilder::new("fir5", b.build().expect("valid")).trip_count(480).build()
+}
+
+/// Gather-style indirection `y[i] = x[idx[i]]` modeled as a unit-stride
+/// index load plus a never-compactable data load.
+#[must_use]
+pub fn gather_scale() -> Loop {
+    let mut b = DdgBuilder::new();
+    let idx = b.load(1);
+    let x = b.add_op(widening_ir::Op::memory(OpKind::Load, 1).never_compactable());
+    let m = b.op(OpKind::FMul);
+    let s = b.store(1);
+    b.flow(idx, x);
+    b.flow(x, m);
+    b.flow(m, s);
+    LoopBuilder::new("gather_scale", b.build().expect("valid")).trip_count(150).build()
+}
+
+/// All named kernels, in a stable order.
+#[must_use]
+pub fn all() -> Vec<Loop> {
+    vec![
+        daxpy(),
+        dot_product(),
+        triad(),
+        stencil3(),
+        matvec_column(64),
+        vector_divide(),
+        norm2(),
+        linear_recurrence(),
+        horner(),
+        complex_mac(),
+        fir5(),
+        gather_scale(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::DdgStats;
+
+    #[test]
+    fn all_kernels_are_valid_and_named_uniquely() {
+        let ks = all();
+        assert_eq!(ks.len(), 12);
+        let mut names: Vec<&str> = ks.iter().map(Loop::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn recurrence_kernels_have_recurrences() {
+        for k in [dot_product(), linear_recurrence(), horner(), complex_mac()] {
+            assert!(
+                !k.ddg().recurrence_nodes().is_empty(),
+                "{} should have a recurrence",
+                k.name()
+            );
+        }
+        for k in [daxpy(), triad(), stencil3(), fir5()] {
+            assert!(
+                k.ddg().recurrence_nodes().is_empty(),
+                "{} should be recurrence-free",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn strided_kernel_has_non_unit_stride() {
+        let k = matvec_column(64);
+        let stats = DdgStats::of(k.ddg());
+        assert!(stats.unit_stride_fraction().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn divide_kernels_use_unpipelined_units() {
+        assert_eq!(DdgStats::of(vector_divide().ddg()).unpipelined_ops, 1);
+        assert_eq!(DdgStats::of(norm2().ddg()).unpipelined_ops, 1);
+    }
+
+    #[test]
+    fn kernel_shapes() {
+        let st = DdgStats::of(daxpy().ddg());
+        assert_eq!((st.loads, st.stores, st.fpu_ops), (2, 1, 2));
+        let st = DdgStats::of(complex_mac().ddg());
+        assert_eq!((st.loads, st.fpu_ops), (4, 8));
+        let st = DdgStats::of(fir5().ddg());
+        assert_eq!((st.loads, st.stores, st.fpu_ops), (5, 1, 9));
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload for the *Widening Resources* (MICRO 1998) reproduction.
+//!
+//! The paper evaluates 1180 software-pipelined inner loops from the
+//! Perfect Club (extracted with the Ictíneo tool; 78% of the benchmark
+//! suite's execution time). Those loops are not redistributable, so this
+//! crate provides:
+//!
+//! * [`corpus`] — a deterministic synthetic surrogate with the same
+//!   *aggregate* characteristics (operation mix, recurrences, strides,
+//!   trip counts), calibrated against the paper's Figure 2 curves;
+//! * [`kernels`] — a dozen classic numerical inner loops (DAXPY, dot
+//!   product, stencils, recurrences, …) with known properties, used by
+//!   tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use widening_workload::{corpus, kernels};
+//!
+//! let loops = corpus::generate(&corpus::CorpusSpec::small(25, 42));
+//! assert_eq!(loops.len(), 25);
+//!
+//! let daxpy = kernels::daxpy();
+//! assert_eq!(daxpy.ddg().num_nodes(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod kernels;
+mod rng;
+
+pub use corpus::{generate, perfect_club_surrogate, CorpusSpec, PAPER_LOOP_COUNT};
+pub use rng::Rng;

@@ -1,0 +1,59 @@
+//! Design-space sweep: the performance/area frontier.
+//!
+//! Evaluates every `XwY(Z:n)` point up to peak factor ×8 on a reduced
+//! corpus, prices it with the paper's cost models, and prints the points
+//! on the cost-aware Pareto frontier — a miniature of the analysis behind
+//! the paper's Figures 8 and 9.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use widening_resources::prelude::*;
+
+fn main() {
+    let ctx = Context::quick(150);
+    let cost = CostModel::paper();
+    let base = ctx.eval.baseline_32().total_cycles;
+
+    // Evaluate the whole ×8 design space.
+    let mut points: Vec<(Configuration, f64, f64)> = Vec::new(); // (cfg, speedup, area)
+    for cfg in CostModel::design_space(8) {
+        let tc = cost.relative_cycle_time(&cfg);
+        let model = CycleModel::for_relative_cycle_time(tc);
+        let eval = ctx.eval.scheduled(&cfg, model, &EvalOptions::default());
+        if !eval.is_complete() {
+            continue; // register pressure unresolvable: not a buildable point
+        }
+        let speedup = base / (eval.total_cycles * tc);
+        points.push((cfg, speedup, cost.total_area(&cfg)));
+    }
+
+    // Pareto frontier: no other point is both faster and smaller.
+    let mut frontier: Vec<&(Configuration, f64, f64)> = points
+        .iter()
+        .filter(|(_, s, a)| {
+            !points.iter().any(|(_, s2, a2)| *s2 > *s && *a2 <= *a)
+        })
+        .collect();
+    frontier.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite areas"));
+
+    println!("{:>12} {:>9} {:>16} {:>7}", "config", "speed-up", "area (e6 l^2)", "mix?");
+    for (cfg, s, a) in frontier {
+        let mixed = cfg.replication() > 1 && cfg.widening() > 1;
+        println!(
+            "{:>12} {:>9.2} {:>16.0} {:>7}",
+            cfg.to_string(),
+            s,
+            a / 1e6,
+            if mixed { "yes" } else { "-" }
+        );
+    }
+    println!();
+    println!(
+        "{} of {} evaluated points survive on the frontier; the paper's claim is",
+        points.iter().filter(|(_, s, a)| !points.iter().any(|(_, s2, a2)| s2 > s && a2 <= a)).count(),
+        points.len()
+    );
+    println!("that mixed replication+widening designs dominate its upper half.");
+}

@@ -1,0 +1,53 @@
+//! Technology projection: the best buildable core, 1998 → 2010.
+//!
+//! For each SIA'94 generation, finds the implementable configuration
+//! (FPUs + register file within 20% of the die) with the best cost-aware
+//! speed-up on a reduced corpus — the analysis of the paper's Figure 9,
+//! condensed to one winner per generation.
+//!
+//! ```sh
+//! cargo run --release --example technology_projection
+//! ```
+
+use widening_resources::prelude::*;
+
+fn main() {
+    let ctx = Context::quick(150);
+    let cost = CostModel::paper();
+    let base = ctx.eval.baseline_32().total_cycles;
+
+    println!(
+        "{:>16} {:>12} {:>9} {:>7} {:>11} {:>14}",
+        "technology", "winner", "speed-up", "die %", "cycle time", "latency model"
+    );
+    for tech in &Technology::ALL {
+        let mut best: Option<(f64, _)> = None;
+        for point in cost.implementable_configurations(tech, 16) {
+            let eval = ctx.eval.scheduled(
+                &point.config,
+                point.cycle_model,
+                &EvalOptions::default(),
+            );
+            if !eval.is_complete() {
+                continue;
+            }
+            let speedup = base / (eval.total_cycles * point.relative_cycle_time);
+            if best.as_ref().is_none_or(|(s, _)| speedup > *s) {
+                best = Some((speedup, point));
+            }
+        }
+        let (speedup, point) = best.expect("every generation builds something");
+        println!(
+            "{:>16} {:>12} {:>9.2} {:>7.1} {:>11.2} {:>14}",
+            tech.to_string(),
+            point.config.to_string(),
+            speedup,
+            cost.die_fraction(&point.config, tech) * 100.0,
+            point.relative_cycle_time,
+            point.cycle_model.to_string(),
+        );
+    }
+    println!();
+    println!("expected shape (paper §6): winners pair a small replication degree");
+    println!("with a small widening degree; neither extreme ever wins.");
+}

@@ -1,0 +1,22 @@
+//! **widening-resources** — the top-level facade of the *Widening
+//! Resources* (MICRO 1998) reproduction.
+//!
+//! This crate simply re-exports [`widening`], which itself federates the
+//! component crates (IR, machine model, scheduler, register allocator,
+//! widening transform, cost models, workload) and hosts the experiment
+//! harness. See the repository README for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology and
+//! results.
+//!
+//! ```
+//! use widening_resources::prelude::*;
+//!
+//! let cfg: Configuration = "4w2(128:2)".parse()?;
+//! assert_eq!(cfg.factor(), 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use widening::*;

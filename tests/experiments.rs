@@ -1,0 +1,99 @@
+//! Experiment smoke tests on a reduced corpus: every registered
+//! experiment runs, produces well-formed reports, and preserves the
+//! paper's qualitative conclusions.
+
+use widening::experiments::{self, Context};
+
+fn ctx() -> Context {
+    Context::quick(40)
+}
+
+#[test]
+fn every_registered_experiment_runs() {
+    let ctx = ctx();
+    for name in experiments::ALL {
+        let reports = experiments::run(name, &ctx)
+            .unwrap_or_else(|| panic!("{name} not in registry"));
+        for r in &reports {
+            assert!(!r.title.is_empty());
+            assert!(!r.rows.is_empty(), "{name} produced an empty table");
+            for row in &r.rows {
+                assert_eq!(row.len(), r.columns.len(), "{name}: ragged row");
+            }
+            // CSV and Display renderings never panic and stay consistent.
+            let csv = r.to_csv();
+            assert_eq!(csv.lines().count(), r.rows.len() + 1);
+            assert!(r.to_string().contains(&r.title));
+        }
+    }
+}
+
+#[test]
+fn headline_conclusion_holds_on_the_small_corpus() {
+    // The paper's §6: with cost accounted, 4w2(128) beats 8w1(128).
+    let ctx = ctx();
+    let r = experiments::fig8d(&ctx);
+    let speed = |cfg: &str| -> f64 {
+        r.rows
+            .iter()
+            .find(|row| row[0] == cfg)
+            .and_then(|row| row[1].parse().ok())
+            .unwrap_or(0.0)
+    };
+    let best_mixed = speed("4w2(128:4)").max(speed("2w4(128:2)"));
+    assert!(
+        best_mixed > speed("8w1(128:8)"),
+        "a mixed design must beat pure replication under the cost model"
+    );
+    assert!(
+        best_mixed > speed("1w8(128:1)"),
+        "a mixed design must beat pure widening under the cost model"
+    );
+}
+
+#[test]
+fn fig9_winners_mix_replication_and_widening() {
+    let ctx = ctx();
+    let r = experiments::fig9(&ctx);
+    // In the last two technology generations, at least half the top-5
+    // combine X > 1 with Y > 1.
+    let late: Vec<&Vec<String>> = r
+        .rows
+        .iter()
+        .filter(|row| row[0].contains("2007") || row[0].contains("2010"))
+        .collect();
+    assert_eq!(late.len(), 10);
+    let mixed = late
+        .iter()
+        .filter(|row| {
+            let cfg: widening::machine::Configuration = row[2].parse().unwrap();
+            cfg.replication() > 1 && cfg.widening() > 1
+        })
+        .count();
+    assert!(mixed >= 5, "only {mixed}/10 late winners are mixed designs");
+}
+
+#[test]
+fn peak_speedups_are_monotone_in_hardware_factor() {
+    let ctx = ctx();
+    let r = experiments::fig2(&ctx);
+    // Within the pure-replication family the speed-up never decreases.
+    let mut prev = 0.0f64;
+    for row in r.rows.iter().filter(|row| row[1].ends_with("w1")) {
+        let s: f64 = row[2].parse().unwrap();
+        assert!(s >= prev - 1e-9, "replication curve dipped at {row:?}");
+        prev = s;
+    }
+}
+
+#[test]
+fn quick_and_paper_contexts_share_structure() {
+    // The reduced corpus must preserve the class mix (same generator,
+    // same seed stream) so quick runs are predictive.
+    let quick = Context::quick(60);
+    let names: Vec<&str> =
+        quick.eval.loops().iter().map(|l| l.name()).collect();
+    assert!(names.iter().any(|n| n.starts_with("vec_")));
+    assert!(names.iter().any(|n| n.starts_with("reduce_")));
+    assert!(names.iter().any(|n| n.starts_with("divsqrt_")));
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the full widen → schedule → allocate →
+//! spill pipeline on the named kernels, checked against hand-derived
+//! expectations.
+
+use widening_resources::prelude::*;
+
+fn run(
+    l: &widening::ir::Loop,
+    cfg: &Configuration,
+) -> widening::regalloc::PressureResult {
+    let wide = widen(l.ddg(), cfg.widening());
+    schedule_with_registers(
+        wide.ddg(),
+        cfg,
+        CycleModel::Cycles4,
+        &Default::default(),
+        &SpillOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{} on {cfg}: {e}", l.name()))
+}
+
+#[test]
+fn daxpy_on_the_baseline_machine() {
+    // 3 memory ops on 1 bus → II = 3; trivial register needs.
+    let out = run(&kernels::daxpy(), &"1w1(32:1)".parse().unwrap());
+    assert_eq!(out.schedule.ii(), 3);
+    assert_eq!(out.spill_stores + out.spill_loads, 0);
+    assert!(out.allocation.registers_used() <= 8);
+}
+
+#[test]
+fn daxpy_speeds_up_with_replication_and_widening() {
+    let daxpy = kernels::daxpy();
+    let base = run(&daxpy, &"1w1(64:1)".parse().unwrap()).schedule.ii() as f64;
+    // 2w1: 3 mem / 2 buses → II 2.
+    let repl = run(&daxpy, &"2w1(64:1)".parse().unwrap()).schedule.ii() as f64;
+    assert_eq!(repl, 2.0);
+    // 1w2: II 3 per 2 iterations → 1.5 cycles/iteration.
+    let wide = run(&daxpy, &"1w2(64:1)".parse().unwrap()).schedule.ii() as f64 / 2.0;
+    assert_eq!(wide, 1.5);
+    assert!(repl < base && wide < base);
+}
+
+#[test]
+fn dot_product_is_recurrence_bound() {
+    // The sum recurrence pins II at the add latency regardless of
+    // replication.
+    let dot = kernels::dot_product();
+    for spec in ["4w1(64:1)", "8w1(64:1)"] {
+        let out = run(&dot, &spec.parse().unwrap());
+        assert_eq!(out.schedule.ii(), 4, "{spec}");
+    }
+}
+
+#[test]
+fn dot_product_widens_past_its_recurrence() {
+    // At width 4 the distance-1 accumulator serialises inside the block
+    // (4 adds × 4 cycles = 16 per 4 iterations): still 4 cycles/iter.
+    let dot = kernels::dot_product();
+    let out = run(&dot, &"1w4(64:1)".parse().unwrap());
+    assert_eq!(out.schedule.ii(), 16);
+}
+
+#[test]
+fn strided_matvec_resists_widening() {
+    // The column walk cannot ride a wide bus: its widened loop keeps one
+    // scalar access per lane, so cycles/iteration stay near 1w1's.
+    let mv = kernels::matvec_column(64);
+    let narrow = run(&mv, &"1w1(64:1)".parse().unwrap()).schedule.ii() as f64;
+    let wide = run(&mv, &"1w4(64:1)".parse().unwrap()).schedule.ii() as f64 / 4.0;
+    assert!(
+        wide > 0.8 * narrow,
+        "widening should barely help a strided walk: {narrow} vs {wide}"
+    );
+}
+
+#[test]
+fn division_kernel_is_bounded_by_unpipelined_units() {
+    // One divide per iteration, occupancy 19, two FPUs → II = 10.
+    let out = run(&kernels::vector_divide(), &"1w1(64:1)".parse().unwrap());
+    assert_eq!(out.schedule.ii(), 10);
+}
+
+#[test]
+fn every_kernel_schedules_on_every_small_machine() {
+    for kernel in kernels::all() {
+        for spec in ["1w1(64:1)", "2w1(64:1)", "1w2(64:1)", "2w2(128:1)", "4w2(128:1)"] {
+            let cfg: Configuration = spec.parse().unwrap();
+            let out = run(&kernel, &cfg);
+            assert!(out.allocation.registers_used() <= cfg.registers());
+            let wide = widen(kernel.ddg(), cfg.widening());
+            let mii = MiiBounds::compute(wide.ddg(), &cfg, CycleModel::Cycles4).mii();
+            assert!(out.schedule.ii() >= mii);
+            assert!(
+                out.schedule.ii() <= mii.max(2) * 3,
+                "{} on {spec}: II {} vs MII {mii}",
+                kernel.name(),
+                out.schedule.ii()
+            );
+        }
+    }
+}
+
+#[test]
+fn spill_appears_exactly_when_the_file_shrinks() {
+    // FIR with 5 taps on a fast machine: generous file → no spill;
+    // 4-register file → spill or failure, never silent overflow.
+    let fir = kernels::fir5();
+    let big = run(&fir, &"4w1(256:1)".parse().unwrap());
+    assert_eq!(big.spill_stores + big.spill_loads, 0);
+    let wide = widen(fir.ddg(), 1);
+    let tiny: Configuration = "4w1(32:1)".parse().unwrap();
+    match schedule_with_registers(
+        wide.ddg(),
+        &tiny,
+        CycleModel::Cycles4,
+        &Default::default(),
+        &SpillOptions::default(),
+    ) {
+        Ok(out) => assert!(out.allocation.registers_used() <= 32),
+        Err(e) => panic!("fir5 must fit 32 registers with spilling: {e}"),
+    }
+}

@@ -29,7 +29,10 @@ fn bench_ablation(c: &mut Criterion) {
             let s = ModuloScheduler::with_options(
                 cfg,
                 CycleModel::Cycles4,
-                SchedulerOptions { strategy: strat, ..Default::default() },
+                SchedulerOptions {
+                    strategy: strat,
+                    ..Default::default()
+                },
             );
             b.iter(|| black_box(s.schedule(mac.ddg()).unwrap()))
         });

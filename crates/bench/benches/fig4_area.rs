@@ -7,7 +7,9 @@ use widening::experiments;
 
 fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4");
-    g.bench_function("fig4_full_table", |b| b.iter(|| black_box(experiments::fig4())));
+    g.bench_function("fig4_full_table", |b| {
+        b.iter(|| black_box(experiments::fig4()))
+    });
     let area = AreaModel::new();
     let space = CostModel::design_space(16);
     g.bench_function("area_model_design_space_x16", |b| {

@@ -9,11 +9,15 @@ fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     let ctx = Context::quick(25);
-    g.bench_function("fig8a_rf_size", |b| b.iter(|| black_box(experiments::fig8a(&ctx))));
+    g.bench_function("fig8a_rf_size", |b| {
+        b.iter(|| black_box(experiments::fig8a(&ctx)))
+    });
     g.bench_function("fig8b_replication", |b| {
         b.iter(|| black_box(experiments::fig8b(&ctx)))
     });
-    g.bench_function("fig8c_widening", |b| b.iter(|| black_box(experiments::fig8c(&ctx))));
+    g.bench_function("fig8c_widening", |b| {
+        b.iter(|| black_box(experiments::fig8c(&ctx)))
+    });
     g.bench_function("fig8d_equal_peak", |b| {
         b.iter(|| black_box(experiments::fig8d(&ctx)))
     });

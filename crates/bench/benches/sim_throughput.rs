@@ -1,0 +1,81 @@
+//! Simulator hot-path benchmark: simulated loops per second at the
+//! scalar baseline `1w1` versus the paper's winner `4w2`, plus the
+//! scalar reference interpreter alone. Future PRs touching the
+//! simulator's issue loop, operand resolution or forwarding rings
+//! should watch these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::machine::{Configuration, CycleModel};
+use widening::regalloc::schedule_with_registers;
+use widening::sim::{run_reference, simulate_scheduled, WideMachine};
+use widening::transform::widen;
+use widening::workload::kernels;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(20);
+    let model = CycleModel::Cycles4;
+    let loops = kernels::all();
+
+    for spec in ["1w1(64:1)", "4w2(128:1)"] {
+        let cfg: Configuration = spec.parse().unwrap();
+        // Pre-schedule outside the timed region: the benchmark tracks
+        // the simulator, not the scheduler.
+        let prepared: Vec<_> = loops
+            .iter()
+            .map(|l| {
+                let outcome = widen(l.ddg(), cfg.widening());
+                let result = schedule_with_registers(
+                    outcome.ddg(),
+                    &cfg,
+                    model,
+                    &Default::default(),
+                    &Default::default(),
+                )
+                .unwrap_or_else(|e| panic!("{} on {spec}: {e}", l.name()));
+                (l.clone(), outcome, result)
+            })
+            .collect();
+
+        g.bench_function(format!("machine_only_{spec}"), |b| {
+            b.iter(|| {
+                for (l, outcome, result) in &prepared {
+                    let run =
+                        WideMachine::new(l.ddg(), outcome, result, model, l.trip_count().min(100))
+                            .run()
+                            .unwrap();
+                    black_box(run.stats.cycles);
+                }
+            })
+        });
+        g.bench_function(format!("validated_{spec}"), |b| {
+            b.iter(|| {
+                for (l, outcome, result) in &prepared {
+                    let report = simulate_scheduled(
+                        l.ddg(),
+                        outcome,
+                        result,
+                        model,
+                        l.trip_count().min(100),
+                    )
+                    .unwrap();
+                    assert!(report.is_validated());
+                    black_box(report.stats.cycles);
+                }
+            })
+        });
+    }
+
+    g.bench_function("scalar_reference_kernels", |b| {
+        b.iter(|| {
+            for l in &loops {
+                black_box(run_reference(l.ddg(), l.trip_count().min(100)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

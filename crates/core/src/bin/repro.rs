@@ -2,13 +2,16 @@
 //! (MICRO 1998).
 //!
 //! ```text
-//! repro [--quick[=N]] [--csv] [--seed S] <experiment>... | all | list
+//! repro [--quick[=N]] [--csv] [--seed S] [--simulate] <experiment>... | all | list
 //! ```
 //!
 //! * `--quick[=N]` — run on an `N`-loop corpus (default 120) instead of
 //!   the paper-scale 1180 loops; useful for smoke tests.
 //! * `--csv` — emit CSV instead of aligned tables.
 //! * `--seed S` — alternative corpus seed (sensitivity checks).
+//! * `--simulate` — run the cycle-accurate simulator over the corpus
+//!   (differential validation + transient analysis) in addition to any
+//!   named experiments.
 
 use std::process::ExitCode;
 
@@ -26,6 +29,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => csv = true,
+            "--simulate" => {
+                names.push("simulate".to_string());
+                names.push("transients".to_string());
+            }
             "--quick" => quick = Some(120),
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
@@ -49,6 +56,9 @@ fn main() -> ExitCode {
     if names.is_empty() {
         return usage("no experiment given");
     }
+    // `--simulate all` would otherwise queue simulate/transients twice.
+    let mut seen = std::collections::HashSet::new();
+    names.retain(|n| seen.insert(n.clone()));
 
     let ctx = build_context(quick, seed);
     eprintln!(
@@ -81,12 +91,16 @@ fn build_context(quick: Option<usize>, seed: Option<u64>) -> Context {
     if let Some(s) = seed {
         spec.seed = s;
     }
-    Context { eval: Evaluator::new(generate(&spec)) }
+    Context {
+        eval: Evaluator::new(generate(&spec)),
+    }
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
-    eprintln!("usage: repro [--quick[=N]] [--csv] [--seed S] <experiment>... | all | list");
+    eprintln!(
+        "usage: repro [--quick[=N]] [--csv] [--seed S] [--simulate] <experiment>... | all | list"
+    );
     eprintln!("experiments: {}", experiments::ALL.join(" "));
     ExitCode::FAILURE
 }

@@ -31,7 +31,10 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { strategy: Strategy::Hrms, spill: SpillOptions::default() }
+        EvalOptions {
+            strategy: Strategy::Hrms,
+            spill: SpillOptions::default(),
+        }
     }
 }
 
@@ -113,7 +116,9 @@ impl Evaluator {
     /// Creates an evaluator over `loops` with the paper's cost models.
     #[must_use]
     pub fn new(loops: Vec<Loop>) -> Self {
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
         Evaluator {
             loops: Arc::new(loops),
             cost: Arc::new(CostModel::paper()),
@@ -134,6 +139,13 @@ impl Evaluator {
         &self.cost
     }
 
+    /// Worker threads the evaluator fans corpus work out to (shared by
+    /// the analytic and simulation pipelines).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Peak evaluation (§3.1): perfect scheduling, infinite registers —
     /// `II = MII` per widened loop.
     #[must_use]
@@ -146,7 +158,9 @@ impl Evaluator {
             strategy: Strategy::Hrms,
             spill_policy: widening_regalloc::SpillPolicy::SpillFirst,
         };
-        self.cached(key, || self.run(replication, width, None, model, &EvalOptions::default()))
+        self.cached(key, || {
+            self.run(replication, width, None, model, &EvalOptions::default())
+        })
     }
 
     /// Full scheduled evaluation against `cfg.registers()` registers
@@ -167,7 +181,13 @@ impl Evaluator {
             spill_policy: opts.spill.policy,
         };
         self.cached(key, || {
-            self.run(cfg.replication(), cfg.widening(), Some(cfg.registers()), model, opts)
+            self.run(
+                cfg.replication(),
+                cfg.widening(),
+                Some(cfg.registers()),
+                model,
+                opts,
+            )
         })
     }
 
@@ -212,9 +232,7 @@ impl Evaluator {
             let mut out = vec![(LoopEval::Failed, 0.0, 0.0, 0.0); n];
             let chunk = n.div_ceil(self.threads.max(1));
             std::thread::scope(|scope| {
-                for (slot, loops) in
-                    out.chunks_mut(chunk).zip(self.loops.chunks(chunk))
-                {
+                for (slot, loops) in out.chunks_mut(chunk).zip(self.loops.chunks(chunk)) {
                     scope.spawn(move || {
                         for (s, l) in slot.iter_mut().zip(loops) {
                             *s = evaluate_loop(l, replication, width, registers, model, opts);
@@ -235,7 +253,9 @@ impl Evaluator {
         };
         for (le, cycles, words, static_words) in results {
             match le {
-                LoopEval::Ok { ii, mii, spill_ops, .. } => {
+                LoopEval::Ok {
+                    ii, mii, spill_ops, ..
+                } => {
                     eval.total_cycles += cycles;
                     eval.total_kernel_words += words;
                     eval.total_static_words += static_words;
@@ -276,7 +296,10 @@ fn evaluate_loop(
             (bounds.mii(), bounds.mii(), 0, 0)
         }
         Some(_) => {
-            let sched_opts = SchedulerOptions { strategy: opts.strategy, ..Default::default() };
+            let sched_opts = SchedulerOptions {
+                strategy: opts.strategy,
+                ..Default::default()
+            };
             match schedule_with_registers(wide.ddg(), &cfg, model, &sched_opts, &opts.spill) {
                 Ok(r) => {
                     // Judge the scheduler against the graph it actually
@@ -309,7 +332,12 @@ fn evaluate_loop(
     let cycles = weight * f64::from(ii) * block_iterations as f64;
     let words = weight * f64::from(ii);
     (
-        LoopEval::Ok { ii, mii, registers: regs, spill_ops: spills },
+        LoopEval::Ok {
+            ii,
+            mii,
+            registers: regs,
+            spill_ops: spills,
+        },
         cycles,
         words,
         f64::from(ii),

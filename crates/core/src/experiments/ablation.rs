@@ -16,12 +16,20 @@ use crate::report::{f2, f3, Report};
 /// mid-range machine.
 #[must_use]
 pub fn ablate_sched(ctx: &Context) -> Report {
-    let mut r = Report::new("Ablation — scheduler ordering strategy (4w1, 64-RF)")
-        .with_columns(["strategy", "cycles (rel)", "II=MII rate", "spill ops", "failures"]);
+    let mut r = Report::new("Ablation — scheduler ordering strategy (4w1, 64-RF)").with_columns([
+        "strategy",
+        "cycles (rel)",
+        "II=MII rate",
+        "spill ops",
+        "failures",
+    ]);
     let cfg = Configuration::monolithic(4, 1, 64).expect("valid");
     let mut base: Option<f64> = None;
     for strat in Strategy::ALL {
-        let opts = EvalOptions { strategy: strat, ..Default::default() };
+        let opts = EvalOptions {
+            strategy: strat,
+            ..Default::default()
+        };
         let e = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &opts);
         let b = *base.get_or_insert(e.total_cycles);
         r.push_row([
@@ -40,21 +48,37 @@ pub fn ablate_sched(ctx: &Context) -> Report {
 /// default on the pressure-critical Figure 3 configurations.
 #[must_use]
 pub fn ablate_spill(ctx: &Context) -> Report {
-    let mut r = Report::new("Ablation — spill policy under register pressure")
-        .with_columns(["config", "RF", "spill-first", "increase-II", "adaptive", "spill ops"]);
+    let mut r = Report::new("Ablation — spill policy under register pressure").with_columns([
+        "config",
+        "RF",
+        "spill-first",
+        "increase-II",
+        "adaptive",
+        "spill ops",
+    ]);
     let base = ctx.eval.baseline_256().total_cycles;
     let with_policy = |policy| EvalOptions {
-        spill: SpillOptions { policy, ..Default::default() },
+        spill: SpillOptions {
+            policy,
+            ..Default::default()
+        },
         ..Default::default()
     };
     for (x, y, z) in [(4u32, 1u32, 32u32), (4, 2, 32), (4, 2, 64), (8, 1, 64)] {
         let cfg = Configuration::monolithic(x, y, z).expect("valid");
-        let spill =
-            ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &with_policy(SpillPolicy::SpillFirst));
-        let incr = ctx
+        let spill = ctx.eval.scheduled(
+            &cfg,
+            CycleModel::Cycles4,
+            &with_policy(SpillPolicy::SpillFirst),
+        );
+        let incr = ctx.eval.scheduled(
+            &cfg,
+            CycleModel::Cycles4,
+            &with_policy(SpillPolicy::IncreaseIiOnly),
+        );
+        let adaptive = ctx
             .eval
-            .scheduled(&cfg, CycleModel::Cycles4, &with_policy(SpillPolicy::IncreaseIiOnly));
-        let adaptive = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default());
+            .scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default());
         let cell = |e: &crate::evaluate::CorpusEval| {
             if e.is_complete() {
                 f2(base / e.total_cycles)
@@ -86,14 +110,22 @@ pub fn ablate_spill(ctx: &Context) -> Report {
 pub fn ablate_latency(ctx: &Context) -> Report {
     let cost = CostModel::paper();
     let mut r = Report::new("Ablation — FPU latency adaptation (Table 6 rule vs fixed 4-cycle)")
-        .with_columns(["config", "Tc", "adapted model", "speed-up adapted", "speed-up fixed"]);
+        .with_columns([
+            "config",
+            "Tc",
+            "adapted model",
+            "speed-up adapted",
+            "speed-up fixed",
+        ]);
     let base = ctx.eval.baseline_32().total_cycles;
     for s in ["2w1(64:1)", "4w2(128:2)", "8w1(128:8)", "2w4(128:1)"] {
         let cfg: Configuration = s.parse().expect("valid");
         let tc = cost.relative_cycle_time(&cfg);
         let adapted = cost_aware_speedup(ctx, &cost, &cfg);
         let fixed = {
-            let e = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &Default::default());
+            let e = ctx
+                .eval
+                .scheduled(&cfg, CycleModel::Cycles4, &Default::default());
             e.is_complete().then(|| base / (e.total_cycles * tc))
         };
         let show = |v: Option<f64>| v.map_or("-".to_string(), f2);

@@ -38,17 +38,32 @@ pub fn fig2(ctx: &Context) -> Report {
         factor *= 2;
     }
     if let Some((_, s)) = saturation.first() {
-        r.push_note(format!("replication endpoint 128w1: {:.2}x (paper: ~11x)", s));
+        r.push_note(format!(
+            "replication endpoint 128w1: {:.2}x (paper: ~11x)",
+            s
+        ));
     }
     if let Some((_, s)) = saturation.last() {
-        r.push_note(format!("widening endpoint 1w128: {:.2}x (paper: ~4.5-5x)", s));
+        r.push_note(format!(
+            "widening endpoint 1w128: {:.2}x (paper: ~4.5-5x)",
+            s
+        ));
     }
     r
 }
 
 /// The nine configurations of Figure 3, paper order.
-pub const FIG3_CONFIGS: [(u32, u32); 9] =
-    [(2, 1), (1, 2), (4, 1), (2, 2), (1, 4), (8, 1), (4, 2), (2, 4), (1, 8)];
+pub const FIG3_CONFIGS: [(u32, u32); 9] = [
+    (2, 1),
+    (1, 2),
+    (4, 1),
+    (2, 2),
+    (1, 4),
+    (8, 1),
+    (4, 2),
+    (2, 4),
+    (1, 8),
+];
 
 /// Figure 3: speed-up with spill code against 32/64/128/256-register
 /// files, baseline `1w1` with a 256-RF, 4-cycle latency model.
@@ -61,7 +76,9 @@ pub fn fig3(ctx: &Context) -> Report {
         let mut row = vec![format!("{x}w{y}")];
         for z in [32u32, 64, 128, 256] {
             let cfg = Configuration::monolithic(x, y, z).expect("valid");
-            let e = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &Default::default());
+            let e = ctx
+                .eval
+                .scheduled(&cfg, CycleModel::Cycles4, &Default::default());
             if e.is_complete() {
                 row.push(f2(base / e.total_cycles));
             } else {
@@ -111,8 +128,11 @@ pub fn fig4() -> Report {
 pub fn fig6() -> Report {
     let area = AreaModel::new();
     let timing = TimingModel::calibrated();
-    let mut r = Report::new("Figure 6 — 8w1(64-RF) with 1, 2, 4, 8 RF partitions")
-        .with_columns(["partitions", "area (rel)", "access time (rel)"]);
+    let mut r = Report::new("Figure 6 — 8w1(64-RF) with 1, 2, 4, 8 RF partitions").with_columns([
+        "partitions",
+        "area (rel)",
+        "access time (rel)",
+    ]);
     let mono = Configuration::new(8, 1, 64, 1).expect("valid");
     let a0 = area.rf_area(&mono);
     let t0 = timing.relative_access_time(&mono);
@@ -142,9 +162,10 @@ pub fn fig7(ctx: &Context) -> Report {
         let mut baseline_bits: Option<f64> = None;
         for (x, y) in pairs_at_factor(factor) {
             let cfg = Configuration::monolithic(x, y, 256).expect("valid");
-            let e = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &Default::default());
-            let bits =
-                e.total_static_words * enc.word_bits(&cfg) as f64 / f64::from(y);
+            let e = ctx
+                .eval
+                .scheduled(&cfg, CycleModel::Cycles4, &Default::default());
+            let bits = e.total_static_words * enc.word_bits(&cfg) as f64 / f64::from(y);
             let base = *baseline_bits.get_or_insert(bits);
             r.push_row([
                 format!("x{factor}"),
@@ -163,7 +184,11 @@ pub fn fig7(ctx: &Context) -> Report {
 /// Shared helper for Figures 8/9: speed-up of `cfg` relative to the
 /// `1w1(32:1)` anchor, accounting spill, latency adaptation and cycle
 /// time; `None` if any loop fails to schedule.
-pub(super) fn cost_aware_speedup(ctx: &Context, cost: &CostModel, cfg: &Configuration) -> Option<f64> {
+pub(super) fn cost_aware_speedup(
+    ctx: &Context,
+    cost: &CostModel,
+    cfg: &Configuration,
+) -> Option<f64> {
     let base = ctx.eval.baseline_32().total_cycles; // Tc = 1.0 by definition
     let tc = cost.relative_cycle_time(cfg);
     let model = CycleModel::for_relative_cycle_time(tc);
@@ -204,8 +229,7 @@ mod tests {
         let r = fig3(&ctx());
         assert_eq!(r.rows.len(), 9);
         for row in &r.rows {
-            let vals: Vec<Option<f64>> =
-                row[1..].iter().map(|c| c.parse().ok()).collect();
+            let vals: Vec<Option<f64>> = row[1..].iter().map(|c| c.parse().ok()).collect();
             // Where present, more registers never hurt.
             let present: Vec<f64> = vals.iter().flatten().copied().collect();
             for pair in present.windows(2) {
@@ -221,7 +245,9 @@ mod tests {
     fn fig4_orders_families_by_replication() {
         let r = fig4();
         let area = |cfg: &str, col: usize| -> f64 {
-            r.rows.iter().find(|row| row[0] == cfg).unwrap()[col].parse().unwrap()
+            r.rows.iter().find(|row| row[0] == cfg).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         for col in 1..=4 {
             assert!(area("8w1", col) > area("4w2", col));

@@ -9,11 +9,13 @@ mod ablation;
 mod figures;
 mod tables;
 mod tradeoffs;
+mod transients;
 
 pub use ablation::{ablate_latency, ablate_sched, ablate_spill};
 pub use figures::{fig2, fig3, fig4, fig6, fig7};
 pub use tables::{table1, table2, table3, table4, table5, table6};
 pub use tradeoffs::{fig8a, fig8b, fig8c, fig8d, fig9};
+pub use transients::{simulate, transients};
 
 use crate::evaluate::Evaluator;
 use crate::report::Report;
@@ -31,21 +33,42 @@ impl Context {
     /// The paper-scale context: the full 1180-loop surrogate corpus.
     #[must_use]
     pub fn paper() -> Self {
-        Context { eval: Evaluator::new(corpus::perfect_club_surrogate()) }
+        Context {
+            eval: Evaluator::new(corpus::perfect_club_surrogate()),
+        }
     }
 
     /// A reduced context for tests, benches and `repro --quick`: same
     /// corpus mix, fewer loops.
     #[must_use]
     pub fn quick(loops: usize) -> Self {
-        Context { eval: Evaluator::new(corpus::generate(&CorpusSpec::small(loops, 1998))) }
+        Context {
+            eval: Evaluator::new(corpus::generate(&CorpusSpec::small(loops, 1998))),
+        }
     }
 }
 
 /// All experiment names, in paper order.
-pub const ALL: [&str; 17] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4",
-    "fig6", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig9", "ablate",
+pub const ALL: [&str; 19] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig9",
+    "ablate",
+    "simulate",
+    "transients",
 ];
 
 /// Runs the experiment with the given name; `None` for an unknown name.
@@ -70,7 +93,13 @@ pub fn run(name: &str, ctx: &Context) -> Option<Vec<Report>> {
         "fig8c" => one(fig8c(ctx)),
         "fig8d" => one(fig8d(ctx)),
         "fig9" => one(fig9(ctx)),
-        "ablate" => Some(vec![ablate_sched(ctx), ablate_spill(ctx), ablate_latency(ctx)]),
+        "ablate" => Some(vec![
+            ablate_sched(ctx),
+            ablate_spill(ctx),
+            ablate_latency(ctx),
+        ]),
+        "simulate" => one(simulate(ctx)),
+        "transients" => one(transients(ctx)),
         _ => None,
     }
 }

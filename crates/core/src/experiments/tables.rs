@@ -1,10 +1,8 @@
 //! Reproductions of the paper's Tables 1–6.
 
-use widening_cost::{
-    CostModel, Technology, ACCESS_TIMES, CELLS, IMPLEMENTABLE_BUDGET,
-};
-use widening_machine::{Configuration, CycleModel, PortCounts};
+use widening_cost::{CostModel, Technology, ACCESS_TIMES, CELLS, IMPLEMENTABLE_BUDGET};
 use widening_ir::OpKind;
+use widening_machine::{Configuration, CycleModel, PortCounts};
 
 use crate::report::{f2, mega, Report};
 
@@ -37,12 +35,19 @@ pub fn table2() -> Report {
     let model = CostModel::paper();
     let cell = model.area_model().cell();
     let mut r = Report::new("Table 2 — multiported register cells").with_columns([
-        "ports", "W x H (lambda)", "area (lambda^2)", "relative", "paper rel.",
+        "ports",
+        "W x H (lambda)",
+        "area (lambda^2)",
+        "relative",
+        "paper rel.",
     ]);
     let base = CELLS[0].area();
     let paper_rel = [1.0, 1.28, 6.4, 22.35, 71.21];
     for (c, pr) in CELLS.iter().zip(paper_rel) {
-        let g = cell.geometry(PortCounts { reads: c.reads, writes: c.writes });
+        let g = cell.geometry(PortCounts {
+            reads: c.reads,
+            writes: c.writes,
+        });
         r.push_row([
             format!("{}R,{}W", c.reads, c.writes),
             format!("{:.0}x{:.0}", g.width, g.height),
@@ -148,8 +153,12 @@ pub fn table5() -> Report {
 pub fn table6() -> Report {
     let mut r = Report::new("Table 6 — cycles per operation under each cycle model")
         .with_columns(["model", "store", "+,*,load", "div", "sqrt"]);
-    for m in [CycleModel::Cycles4, CycleModel::Cycles3, CycleModel::Cycles2, CycleModel::Cycles1]
-    {
+    for m in [
+        CycleModel::Cycles4,
+        CycleModel::Cycles3,
+        CycleModel::Cycles2,
+        CycleModel::Cycles1,
+    ] {
         r.push_row([
             m.to_string(),
             m.latency(OpKind::Store).to_string(),

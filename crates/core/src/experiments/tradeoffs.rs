@@ -90,8 +90,13 @@ pub fn fig8d(ctx: &Context) -> Report {
 #[must_use]
 pub fn fig9(ctx: &Context) -> Report {
     let cost = CostModel::paper();
-    let mut r = Report::new("Figure 9 — top five configurations per technology")
-        .with_columns(["technology", "rank", "config", "speed-up", "die %"]);
+    let mut r = Report::new("Figure 9 — top five configurations per technology").with_columns([
+        "technology",
+        "rank",
+        "config",
+        "speed-up",
+        "die %",
+    ]);
     for tech in &Technology::ALL {
         let mut scored: Vec<(f64, Configuration)> = Vec::new();
         for p in cost.implementable_configurations(tech, 16) {
@@ -147,8 +152,11 @@ mod tests {
     fn fig9_ranks_five_per_technology() {
         let r = fig9(&ctx());
         for tech in &Technology::ALL {
-            let rows: Vec<_> =
-                r.rows.iter().filter(|row| row[0] == tech.to_string()).collect();
+            let rows: Vec<_> = r
+                .rows
+                .iter()
+                .filter(|row| row[0] == tech.to_string())
+                .collect();
             assert_eq!(rows.len(), 5, "{tech}");
             // Ranks are sorted by speed-up descending.
             let speeds: Vec<f64> = rows.iter().map(|row| row[3].parse().unwrap()).collect();

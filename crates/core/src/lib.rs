@@ -18,7 +18,10 @@
 //! * `widening-regalloc` — lifetimes, end-fit allocation, spill code;
 //! * `widening-cost` — register-cell/area/timing models, SIA roadmap;
 //! * `widening-workload` — the Perfect-Club-surrogate corpus;
-//! * [`experiments`] — one runnable entry per paper table and figure.
+//! * `widening-sim` — cycle-accurate wide-datapath simulator with
+//!   differential validation against a scalar reference;
+//! * [`experiments`] — one runnable entry per paper table and figure,
+//!   plus the simulation experiments (`simulate`, `transients`).
 //!
 //! # Quick start
 //!
@@ -46,8 +49,10 @@
 mod evaluate;
 pub mod experiments;
 pub mod report;
+mod simulate;
 
 pub use evaluate::{CorpusEval, EvalOptions, Evaluator, LoopEval};
+pub use simulate::{simulate_corpus, SimCorpusEval, SimLoopEval};
 
 // Re-export the component crates under short names.
 pub use widening_cost as cost;
@@ -55,6 +60,7 @@ pub use widening_ir as ir;
 pub use widening_machine as machine;
 pub use widening_regalloc as regalloc;
 pub use widening_sched as sched;
+pub use widening_sim as sim;
 pub use widening_transform as transform;
 pub use widening_workload as workload;
 
@@ -68,6 +74,7 @@ pub mod prelude {
     pub use widening_machine::{Configuration, CycleModel};
     pub use widening_regalloc::{schedule_with_registers, SpillOptions};
     pub use widening_sched::{MiiBounds, ModuloScheduler, Schedule, Strategy};
+    pub use widening_sim::{simulate_loop, SimReport};
     pub use widening_transform::widen;
     pub use widening_workload::{corpus, kernels};
 }

@@ -20,7 +20,10 @@ impl Report {
     /// Creates an empty report with a title.
     #[must_use]
     pub fn new(title: impl Into<String>) -> Self {
-        Report { title: title.into(), ..Report::default() }
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
     }
 
     /// Sets the column headers.
@@ -64,7 +67,12 @@ impl Report {
             }
         };
         out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

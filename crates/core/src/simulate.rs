@@ -1,0 +1,218 @@
+//! Corpus-scale simulation: every loop is widened, scheduled, executed
+//! cycle-accurately and differentially validated against its scalar
+//! reference, in parallel on the evaluator's thread pool.
+//!
+//! Where [`crate::Evaluator::scheduled`] *counts* `II · ⌈trip/Y⌉`
+//! analytically, [`simulate_corpus`] *runs* the schedule and reports
+//! both numbers side by side — so experiments can quantify the
+//! fill/drain transient and assert functional correctness of the whole
+//! widen → schedule → allocate → spill pipeline on real corpus loops.
+
+use widening_machine::{Configuration, CycleModel};
+use widening_sched::SchedulerOptions;
+use widening_sim::{simulate_ddg, SimStats};
+
+use crate::evaluate::{EvalOptions, Evaluator};
+
+/// Outcome of simulating one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimLoopEval {
+    /// Executed and bitwise-identical to the scalar reference.
+    Validated {
+        /// Achieved initiation interval.
+        ii: u32,
+        /// Dynamic execution counters.
+        stats: SimStats,
+    },
+    /// Executed but diverged from the reference (a pipeline bug).
+    Divergent {
+        /// Number of reported divergences.
+        divergences: usize,
+    },
+    /// Could not be scheduled (register pressure) or hit a hard machine
+    /// violation.
+    Failed {
+        /// Human-readable cause.
+        why: String,
+    },
+}
+
+/// Aggregated corpus simulation results for one configuration.
+#[derive(Debug, Clone)]
+pub struct SimCorpusEval {
+    /// Per-loop outcomes, parallel to the corpus.
+    pub per_loop: Vec<SimLoopEval>,
+    /// Loops that executed and matched the reference bitwise.
+    pub validated: usize,
+    /// Loops that executed but diverged (always a bug somewhere).
+    pub divergent: usize,
+    /// Loops that failed to schedule or execute.
+    pub failed: usize,
+    /// `Σ weight · dynamic cycles` over validated loops.
+    pub dynamic_cycles: f64,
+    /// `Σ weight · II · ⌈trip/Y⌉` over the same loops — the analytic
+    /// accounting for exactly the runs that were simulated.
+    pub steady_cycles: f64,
+    /// Total masked lanes (trips not divisible by `Y`).
+    pub masked_lanes: u64,
+    /// Total forwarding-served cross-block lane reads.
+    pub cross_block_reads: u64,
+}
+
+impl SimCorpusEval {
+    /// Whether every simulated loop matched its reference.
+    #[must_use]
+    pub fn all_validated(&self) -> bool {
+        self.divergent == 0
+    }
+
+    /// Dynamic over steady-state cycles: how much the paper's
+    /// accounting underestimates real execution (1.0 = exact).
+    #[must_use]
+    pub fn transient_ratio(&self) -> f64 {
+        if self.steady_cycles == 0.0 {
+            1.0
+        } else {
+            self.dynamic_cycles / self.steady_cycles
+        }
+    }
+}
+
+/// Simulates the whole corpus on `cfg`, optionally forcing every loop to
+/// `trip_override` iterations (used by the transients experiment to
+/// sweep trip counts).
+#[must_use]
+pub fn simulate_corpus(
+    eval: &Evaluator,
+    cfg: &Configuration,
+    model: CycleModel,
+    opts: &EvalOptions,
+    trip_override: Option<u64>,
+) -> SimCorpusEval {
+    let loops = eval.loops();
+    let n = loops.len();
+    let mut out: Vec<SimLoopEval> = vec![SimLoopEval::Failed { why: String::new() }; n];
+    let chunk = n.div_ceil(eval.threads().max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (slot, ls) in out.chunks_mut(chunk).zip(loops.chunks(chunk)) {
+            scope.spawn(move || {
+                for (s, l) in slot.iter_mut().zip(ls) {
+                    *s = simulate_one(l, cfg, model, opts, trip_override);
+                }
+            });
+        }
+    });
+
+    let mut agg = SimCorpusEval {
+        per_loop: Vec::with_capacity(n),
+        validated: 0,
+        divergent: 0,
+        failed: 0,
+        dynamic_cycles: 0.0,
+        steady_cycles: 0.0,
+        masked_lanes: 0,
+        cross_block_reads: 0,
+    };
+    for (le, l) in out.into_iter().zip(loops) {
+        match &le {
+            SimLoopEval::Validated { stats, .. } => {
+                agg.validated += 1;
+                agg.dynamic_cycles += l.weight() * stats.cycles as f64;
+                agg.steady_cycles += l.weight() * stats.steady_state_cycles as f64;
+                agg.masked_lanes += stats.masked_lanes;
+                agg.cross_block_reads += stats.cross_block_reads;
+            }
+            SimLoopEval::Divergent { .. } => agg.divergent += 1,
+            SimLoopEval::Failed { .. } => agg.failed += 1,
+        }
+        agg.per_loop.push(le);
+    }
+    agg
+}
+
+fn simulate_one(
+    l: &widening_ir::Loop,
+    cfg: &Configuration,
+    model: CycleModel,
+    opts: &EvalOptions,
+    trip_override: Option<u64>,
+) -> SimLoopEval {
+    let trip = trip_override.unwrap_or_else(|| l.trip_count());
+    let sched_opts = SchedulerOptions {
+        strategy: opts.strategy,
+        ..Default::default()
+    };
+    match simulate_ddg(l.ddg(), trip, cfg, model, &sched_opts, &opts.spill) {
+        Ok(report) if report.is_validated() => SimLoopEval::Validated {
+            ii: report.ii,
+            stats: report.stats,
+        },
+        Ok(report) => SimLoopEval::Divergent {
+            divergences: report.divergences.len(),
+        },
+        Err(e) => SimLoopEval::Failed { why: e.to_string() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_workload::{corpus, kernels};
+
+    #[test]
+    fn kernels_simulate_and_validate() {
+        let ev = Evaluator::new(kernels::all());
+        let cfg = Configuration::monolithic(2, 2, 128).unwrap();
+        let r = simulate_corpus(
+            &ev,
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+            None,
+        );
+        assert!(r.all_validated(), "divergent: {}", r.divergent);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.validated, 12);
+        // Dynamic cycles always include the fill transient.
+        assert!(r.dynamic_cycles >= r.steady_cycles * 0.99);
+    }
+
+    #[test]
+    fn small_corpus_validates_across_configs() {
+        let ev = Evaluator::new(corpus::generate(&corpus::CorpusSpec::small(12, 5)));
+        for spec in ["1w1(128:1)", "1w4(128:1)", "4w2(128:1)"] {
+            let cfg: Configuration = spec.parse().unwrap();
+            let r = simulate_corpus(
+                &ev,
+                &cfg,
+                CycleModel::Cycles4,
+                &EvalOptions::default(),
+                None,
+            );
+            assert!(r.all_validated(), "{spec}: {} divergent", r.divergent);
+        }
+    }
+
+    #[test]
+    fn trip_override_shrinks_runs() {
+        let ev = Evaluator::new(kernels::all());
+        let cfg = Configuration::monolithic(1, 2, 128).unwrap();
+        let short = simulate_corpus(
+            &ev,
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+            Some(4),
+        );
+        let long = simulate_corpus(
+            &ev,
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+            Some(64),
+        );
+        assert!(short.dynamic_cycles < long.dynamic_cycles);
+        // Short trips amplify the transient share.
+        assert!(short.transient_ratio() >= long.transient_ratio());
+    }
+}

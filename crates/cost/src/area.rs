@@ -20,7 +20,9 @@ impl AreaModel {
     /// An area model with the paper-calibrated cell geometry.
     #[must_use]
     pub fn new() -> Self {
-        AreaModel { cell: CellModel::calibrated() }
+        AreaModel {
+            cell: CellModel::calibrated(),
+        }
     }
 
     /// The underlying cell model.
@@ -71,7 +73,11 @@ mod tests {
         // Table 3 (64-RF): 4w1 → 598·10⁶ λ², 2w2 → 375·10⁶, 1w4 →
         // 215·10⁶ (cell area × bits × registers).
         let m = AreaModel::new();
-        let cases = [("4w1(64:1)", 598.0), ("2w2(64:1)", 375.0), ("1w4(64:1)", 215.0)];
+        let cases = [
+            ("4w1(64:1)", 598.0),
+            ("2w2(64:1)", 375.0),
+            ("1w4(64:1)", 215.0),
+        ];
         for (s, want) in cases {
             let got = m.rf_area(&cfg(s)) / 1.0e6;
             assert!((got - want).abs() < 1.0, "{s}: got {got}, want {want}");
@@ -116,7 +122,11 @@ mod tests {
         }
         // Figure 6's shape: 8 copies land between 1.3× and 2.5× the
         // monolithic area.
-        assert!(prev / mono > 1.3 && prev / mono < 2.5, "ratio {}", prev / mono);
+        assert!(
+            prev / mono > 1.3 && prev / mono < 2.5,
+            "ratio {}",
+            prev / mono
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl CellModel {
         let heights: Vec<f64> = CELLS.iter().map(|c| c.height).collect();
         let hc = weighted_least_squares(&hrows, &heights, &w1);
 
-        CellModel { width_coef: [wc[0], wc[1]], height_coef: [hc[0], hc[1]] }
+        CellModel {
+            width_coef: [wc[0], wc[1]],
+            height_coef: [hc[0], hc[1]],
+        }
     }
 
     /// Geometry of a cell with the given port counts. Published cells
@@ -67,10 +70,14 @@ impl CellModel {
     /// calibrated mechanism.
     #[must_use]
     pub fn geometry(&self, ports: PortCounts) -> CellGeometry {
-        if let Some(p) =
-            CELLS.iter().find(|c| c.reads == ports.reads && c.writes == ports.writes)
+        if let Some(p) = CELLS
+            .iter()
+            .find(|c| c.reads == ports.reads && c.writes == ports.writes)
         {
-            return CellGeometry { width: p.width, height: p.height };
+            return CellGeometry {
+                width: p.width,
+                height: p.height,
+            };
         }
         let tracks = f64::from(ports.reads + 2 * ports.writes);
         let port_lines = f64::from(ports.total());
@@ -133,7 +140,10 @@ mod tests {
         // 8w1 monolithic cell (40R+24W) must dwarf 4w1's (20R+12W).
         let a8 = m.area(ports(40, 24));
         let a4 = m.area(ports(20, 12));
-        assert!(a8 > 2.0 * a4, "area should grow superlinearly: {a8} vs {a4}");
+        assert!(
+            a8 > 2.0 * a4,
+            "area should grow superlinearly: {a8} vs {a4}"
+        );
         // And more reads cost more than fewer at fixed writes.
         assert!(m.area(ports(21, 12)) > a4);
     }
@@ -158,10 +168,8 @@ mod tests {
         // of the published dimensions everywhere.
         let m = CellModel::calibrated();
         for c in &CELLS {
-            let raw_w =
-                m.width_coef[0] + m.width_coef[1] * f64::from(c.reads + 2 * c.writes);
-            let raw_h =
-                m.height_coef[0] + m.height_coef[1] * f64::from(c.reads + c.writes);
+            let raw_w = m.width_coef[0] + m.width_coef[1] * f64::from(c.reads + 2 * c.writes);
+            let raw_h = m.height_coef[0] + m.height_coef[1] * f64::from(c.reads + c.writes);
             assert!((raw_w - c.width).abs() / c.width < 0.2);
             assert!((raw_h - c.height).abs() / c.height < 0.2);
         }

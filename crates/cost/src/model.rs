@@ -37,7 +37,10 @@ impl CostModel {
     /// The model calibrated exactly as in the paper.
     #[must_use]
     pub fn paper() -> Self {
-        CostModel { area: AreaModel::new(), timing: TimingModel::calibrated() }
+        CostModel {
+            area: AreaModel::new(),
+            timing: TimingModel::calibrated(),
+        }
     }
 
     /// The area sub-model.
@@ -106,8 +109,7 @@ impl CostModel {
             let mut y = 1;
             while x * y <= max_factor {
                 for z in [32u32, 64, 128, 256] {
-                    let base = Configuration::monolithic(x, y, z)
-                        .expect("powers of two are valid");
+                    let base = Configuration::monolithic(x, y, z).expect("powers of two are valid");
                     for n in base.valid_partitions() {
                         out.push(base.with_partitions(n).expect("valid partition"));
                     }
@@ -200,15 +202,15 @@ mod tests {
         // (32-RF, monolithic), per Table 5: 4w1 at 0.18 ("I"), 8w1 at
         // 0.13 ("o"), 16w1 at 0.07 ("l").
         let m = CostModel::paper();
-        let cases = [("4w1(32:1)", 0.18), ("8w1(32:1)", 0.13), ("16w1(32:1)", 0.07)];
+        let cases = [
+            ("4w1(32:1)", 0.18),
+            ("8w1(32:1)", 0.13),
+            ("16w1(32:1)", 0.07),
+        ];
         for (c, first_lambda) in cases {
             for t in &Technology::ALL {
                 let expect = t.lambda_um <= first_lambda + 1e-9;
-                assert_eq!(
-                    m.is_implementable(&cfg(c), t),
-                    expect,
-                    "{c} at {t}"
-                );
+                assert_eq!(m.is_implementable(&cfg(c), t), expect, "{c} at {t}");
             }
         }
     }

@@ -25,11 +25,36 @@ impl PublishedCell {
 
 /// Table 2: dimensions of several multiported register cells.
 pub const CELLS: [PublishedCell; 5] = [
-    PublishedCell { reads: 1, writes: 1, width: 50.0, height: 41.0 },
-    PublishedCell { reads: 2, writes: 1, width: 64.0, height: 41.0 },
-    PublishedCell { reads: 5, writes: 3, width: 162.0, height: 81.0 },
-    PublishedCell { reads: 10, writes: 6, width: 316.0, height: 145.0 },
-    PublishedCell { reads: 20, writes: 12, width: 568.0, height: 257.0 },
+    PublishedCell {
+        reads: 1,
+        writes: 1,
+        width: 50.0,
+        height: 41.0,
+    },
+    PublishedCell {
+        reads: 2,
+        writes: 1,
+        width: 64.0,
+        height: 41.0,
+    },
+    PublishedCell {
+        reads: 5,
+        writes: 3,
+        width: 162.0,
+        height: 81.0,
+    },
+    PublishedCell {
+        reads: 10,
+        writes: 6,
+        width: 316.0,
+        height: 145.0,
+    },
+    PublishedCell {
+        reads: 20,
+        writes: 12,
+        width: 568.0,
+        height: 257.0,
+    },
 ];
 
 /// One row×column entry of the paper's Table 4.
@@ -46,7 +71,12 @@ pub struct PublishedAccessTime {
 }
 
 const fn at(buses: u32, width: u32, registers: u32, relative_time: f64) -> PublishedAccessTime {
-    PublishedAccessTime { buses, width, registers, relative_time }
+    PublishedAccessTime {
+        buses,
+        width,
+        registers,
+        relative_time,
+    }
 }
 
 /// Table 4: relative register-file access time (baseline `1w1` 32-RF),

@@ -17,11 +17,31 @@ pub struct Technology {
 impl Technology {
     /// The five generations of Table 1 (1998 … 2010).
     pub const ALL: [Technology; 5] = [
-        Technology { year: 1998, lambda_um: 0.25, chip_mm2: 300.0 },
-        Technology { year: 2001, lambda_um: 0.18, chip_mm2: 360.0 },
-        Technology { year: 2004, lambda_um: 0.13, chip_mm2: 430.0 },
-        Technology { year: 2007, lambda_um: 0.10, chip_mm2: 520.0 },
-        Technology { year: 2010, lambda_um: 0.07, chip_mm2: 620.0 },
+        Technology {
+            year: 1998,
+            lambda_um: 0.25,
+            chip_mm2: 300.0,
+        },
+        Technology {
+            year: 2001,
+            lambda_um: 0.18,
+            chip_mm2: 360.0,
+        },
+        Technology {
+            year: 2004,
+            lambda_um: 0.13,
+            chip_mm2: 430.0,
+        },
+        Technology {
+            year: 2007,
+            lambda_um: 0.10,
+            chip_mm2: 520.0,
+        },
+        Technology {
+            year: 2010,
+            lambda_um: 0.07,
+            chip_mm2: 620.0,
+        },
     ];
 
     /// λ² per mm²: `10⁶ / λ_µm²` (Table 1 row 4).

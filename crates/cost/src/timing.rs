@@ -42,7 +42,10 @@ impl TimingModel {
         let mut ys = Vec::with_capacity(ACCESS_TIMES.len());
         let mut weights = Vec::with_capacity(ACCESS_TIMES.len());
         for a in &ACCESS_TIMES {
-            let ports = PortCounts { reads: 5 * a.buses, writes: 3 * a.buses };
+            let ports = PortCounts {
+                reads: 5 * a.buses,
+                writes: 3 * a.buses,
+            };
             rows.push(features(&cell, ports, 64 * a.width, a.registers));
             ys.push(a.relative_time);
             // Relative-error weighting; the baseline point is pinned so
@@ -56,9 +59,23 @@ impl TimingModel {
         }
         let c = weighted_least_squares(&rows, &ys, &weights);
         let coef = [c[0], c[1], c[2], c[3], c[4]];
-        let base =
-            dot(&coef, &features(&cell, PortCounts { reads: 5, writes: 3 }, 64, 32));
-        TimingModel { cell, coef, base_raw: base }
+        let base = dot(
+            &coef,
+            &features(
+                &cell,
+                PortCounts {
+                    reads: 5,
+                    writes: 3,
+                },
+                64,
+                32,
+            ),
+        );
+        TimingModel {
+            cell,
+            coef,
+            base_raw: base,
+        }
     }
 
     /// Raw (unnormalised) access time of one RF copy.
@@ -96,8 +113,7 @@ impl TimingModel {
         for a in &ACCESS_TIMES {
             let cfg = Configuration::monolithic(a.buses, a.width, a.registers)
                 .expect("published configs are valid");
-            let rel = (self.relative_access_time(&cfg) - a.relative_time).abs()
-                / a.relative_time;
+            let rel = (self.relative_access_time(&cfg) - a.relative_time).abs() / a.relative_time;
             max = max.max(rel);
             sum += rel;
         }
@@ -135,8 +151,16 @@ mod tests {
     fn fit_reproduces_table4_within_tolerance() {
         let m = TimingModel::calibrated();
         let (max, mean) = m.fit_error();
-        assert!(max < 0.06, "worst-case fit error {:.2}% too large", max * 100.0);
-        assert!(mean < 0.025, "mean fit error {:.2}% too large", mean * 100.0);
+        assert!(
+            max < 0.06,
+            "worst-case fit error {:.2}% too large",
+            max * 100.0
+        );
+        assert!(
+            mean < 0.025,
+            "mean fit error {:.2}% too large",
+            mean * 100.0
+        );
         // Expected values from the calibration (see EXPERIMENTS.md):
         // ≈ 5.4% worst-case, ≈ 2.1% mean.
         assert!(max > 0.03, "suspiciously perfect fit: {max}");
@@ -175,11 +199,7 @@ mod tests {
         let m = TimingModel::calibrated();
         let t: Vec<f64> = [1u32, 2, 4, 8]
             .iter()
-            .map(|&n| {
-                m.relative_access_time(
-                    &Configuration::new(8, 1, 64, n).unwrap(),
-                )
-            })
+            .map(|&n| m.relative_access_time(&Configuration::new(8, 1, 64, n).unwrap()))
             .collect();
         assert!(t[1] < t[0] && t[2] < t[1] && t[3] < t[2], "{t:?}");
         // First split helps most (log-like decrease).
@@ -207,8 +227,12 @@ mod tests {
     #[test]
     fn replication_slower_than_widening_at_equal_factor() {
         let m = TimingModel::calibrated();
-        for (fast, slow) in [("1w2", "2w1"), ("2w2", "4w1"), ("1w8", "8w1"), ("4w2", "8w1")]
-        {
+        for (fast, slow) in [
+            ("1w2", "2w1"),
+            ("2w2", "4w1"),
+            ("1w8", "8w1"),
+            ("4w2", "8w1"),
+        ] {
             let f: Configuration = format!("{fast}(64:1)").parse().unwrap();
             let s: Configuration = format!("{slow}(64:1)").parse().unwrap();
             assert!(

@@ -1,0 +1,144 @@
+//! A small, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this stand-in
+//! implements the surface the workspace benches use: `Criterion`,
+//! benchmark groups, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple best-of-samples
+//! wall-clock measurement printed to stdout — enough to track relative
+//! regressions locally, with the same bench source compiling unchanged
+//! against real criterion when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Timed samples per benchmark (each sample runs the closure until
+    /// ~1ms has elapsed, then normalises).
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 10 }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.settings, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.settings, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    /// Best observed nanoseconds per iteration, filled by `iter`.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1ms?
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1);
+        let per_sample = ((1_000_000 / once) as usize).clamp(1, 10_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / per_sample as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    let mut b = Bencher {
+        settings,
+        best_ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.best_ns_per_iter.is_nan() {
+        println!("bench {id:<40} (no measurement)");
+    } else {
+        println!("bench {id:<40} {:>14.1} ns/iter", b.best_ns_per_iter);
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -32,13 +32,14 @@ fn main() {
     // Pareto frontier: no other point is both faster and smaller.
     let mut frontier: Vec<&(Configuration, f64, f64)> = points
         .iter()
-        .filter(|(_, s, a)| {
-            !points.iter().any(|(_, s2, a2)| *s2 > *s && *a2 <= *a)
-        })
+        .filter(|(_, s, a)| !points.iter().any(|(_, s2, a2)| *s2 > *s && *a2 <= *a))
         .collect();
     frontier.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite areas"));
 
-    println!("{:>12} {:>9} {:>16} {:>7}", "config", "speed-up", "area (e6 l^2)", "mix?");
+    println!(
+        "{:>12} {:>9} {:>16} {:>7}",
+        "config", "speed-up", "area (e6 l^2)", "mix?"
+    );
     for (cfg, s, a) in frontier {
         let mixed = cfg.replication() > 1 && cfg.widening() > 1;
         println!(
@@ -52,7 +53,10 @@ fn main() {
     println!();
     println!(
         "{} of {} evaluated points survive on the frontier; the paper's claim is",
-        points.iter().filter(|(_, s, a)| !points.iter().any(|(_, s2, a2)| s2 > s && a2 <= a)).count(),
+        points
+            .iter()
+            .filter(|(_, s, a)| !points.iter().any(|(_, s2, a2)| s2 > s && a2 <= a))
+            .count(),
         points.len()
     );
     println!("that mixed replication+widening designs dominate its upper half.");

@@ -13,8 +13,10 @@
 use widening_resources::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let configs: Vec<Configuration> =
-        ["4w1(64:1)", "2w2(64:1)", "1w4(64:1)"].iter().map(|s| s.parse()).collect::<Result<_, _>>()?;
+    let configs: Vec<Configuration> = ["4w1(64:1)", "2w2(64:1)", "1w4(64:1)"]
+        .iter()
+        .map(|s| s.parse())
+        .collect::<Result<_, _>>()?;
 
     println!(
         "{:<18} {:>6} {:>10} {:>10} {:>10}   notes",

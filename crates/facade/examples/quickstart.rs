@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let point = cost.design_point(&cfg);
 
         // One widened iteration covers `Y` original iterations.
-        let cycles_per_iter =
-            f64::from(out.schedule.ii()) / f64::from(cfg.widening());
+        let cycles_per_iter = f64::from(out.schedule.ii()) / f64::from(cfg.widening());
         println!(
             "{spec:>10}: II={} (MII {}), {:.2} cycles/iter, {} regs, \
              area {:.0}e6 l^2, cycle time {:.2}x",

@@ -23,11 +23,9 @@ fn main() {
     for tech in &Technology::ALL {
         let mut best: Option<(f64, _)> = None;
         for point in cost.implementable_configurations(tech, 16) {
-            let eval = ctx.eval.scheduled(
-                &point.config,
-                point.cycle_model,
-                &EvalOptions::default(),
-            );
+            let eval =
+                ctx.eval
+                    .scheduled(&point.config, point.cycle_model, &EvalOptions::default());
             if !eval.is_complete() {
                 continue;
             }

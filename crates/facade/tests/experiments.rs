@@ -12,8 +12,8 @@ fn ctx() -> Context {
 fn every_registered_experiment_runs() {
     let ctx = ctx();
     for name in experiments::ALL {
-        let reports = experiments::run(name, &ctx)
-            .unwrap_or_else(|| panic!("{name} not in registry"));
+        let reports =
+            experiments::run(name, &ctx).unwrap_or_else(|| panic!("{name} not in registry"));
         for r in &reports {
             assert!(!r.title.is_empty());
             assert!(!r.rows.is_empty(), "{name} produced an empty table");
@@ -91,8 +91,7 @@ fn quick_and_paper_contexts_share_structure() {
     // The reduced corpus must preserve the class mix (same generator,
     // same seed stream) so quick runs are predictive.
     let quick = Context::quick(60);
-    let names: Vec<&str> =
-        quick.eval.loops().iter().map(|l| l.name()).collect();
+    let names: Vec<&str> = quick.eval.loops().iter().map(|l| l.name()).collect();
     assert!(names.iter().any(|n| n.starts_with("vec_")));
     assert!(names.iter().any(|n| n.starts_with("reduce_")));
     assert!(names.iter().any(|n| n.starts_with("divsqrt_")));

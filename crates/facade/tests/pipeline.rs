@@ -4,10 +4,7 @@
 
 use widening_resources::prelude::*;
 
-fn run(
-    l: &widening::ir::Loop,
-    cfg: &Configuration,
-) -> widening::regalloc::PressureResult {
+fn run(l: &widening::ir::Loop, cfg: &Configuration) -> widening::regalloc::PressureResult {
     let wide = widen(l.ddg(), cfg.widening());
     schedule_with_registers(
         wide.ddg(),
@@ -84,7 +81,13 @@ fn division_kernel_is_bounded_by_unpipelined_units() {
 #[test]
 fn every_kernel_schedules_on_every_small_machine() {
     for kernel in kernels::all() {
-        for spec in ["1w1(64:1)", "2w1(64:1)", "1w2(64:1)", "2w2(128:1)", "4w2(128:1)"] {
+        for spec in [
+            "1w1(64:1)",
+            "2w1(64:1)",
+            "1w2(64:1)",
+            "2w2(128:1)",
+            "4w2(128:1)",
+        ] {
             let cfg: Configuration = spec.parse().unwrap();
             let out = run(&kernel, &cfg);
             assert!(out.allocation.registers_used() <= cfg.registers());

@@ -35,7 +35,10 @@ fn table2_cell_areas_are_exact() {
     ];
     for ((r, w), area) in expect {
         assert_eq!(
-            cell.area(widening::machine::PortCounts { reads: r, writes: w }),
+            cell.area(widening::machine::PortCounts {
+                reads: r,
+                writes: w
+            }),
             area
         );
     }
@@ -44,7 +47,11 @@ fn table2_cell_areas_are_exact() {
 #[test]
 fn table3_rf_areas_are_exact() {
     let m = CostModel::paper();
-    let expect = [("4w1(64:1)", 598.0), ("2w2(64:1)", 375.0), ("1w4(64:1)", 215.0)];
+    let expect = [
+        ("4w1(64:1)", 598.0),
+        ("2w2(64:1)", 375.0),
+        ("1w4(64:1)", 215.0),
+    ];
     for (s, want) in expect {
         let cfg: Configuration = s.parse().unwrap();
         let got = m.area_model().rf_area(&cfg) / 1e6;
@@ -68,11 +75,9 @@ fn table4_fit_within_documented_tolerance() {
     for rows in ACCESS_TIMES.chunks(4) {
         for pair in rows.windows(2) {
             let a: Configuration =
-                Configuration::monolithic(pair[0].buses, pair[0].width, pair[0].registers)
-                    .unwrap();
+                Configuration::monolithic(pair[0].buses, pair[0].width, pair[0].registers).unwrap();
             let b: Configuration =
-                Configuration::monolithic(pair[1].buses, pair[1].width, pair[1].registers)
-                    .unwrap();
+                Configuration::monolithic(pair[1].buses, pair[1].width, pair[1].registers).unwrap();
             assert!(m.relative_cycle_time(&a) < m.relative_cycle_time(&b));
         }
     }
@@ -83,7 +88,12 @@ fn table5_anchor_configurations() {
     let m = CostModel::paper();
     // First implementable generation for the pure-replication family at
     // 32 registers, straight from the paper's symbols.
-    let anchors = [("2w1(32:1)", 0.25), ("4w1(32:1)", 0.18), ("8w1(32:1)", 0.13), ("16w1(32:1)", 0.07)];
+    let anchors = [
+        ("2w1(32:1)", 0.25),
+        ("4w1(32:1)", 0.18),
+        ("8w1(32:1)", 0.13),
+        ("16w1(32:1)", 0.07),
+    ];
     for (s, first) in anchors {
         let cfg: Configuration = s.parse().unwrap();
         let got = Technology::ALL
@@ -94,7 +104,9 @@ fn table5_anchor_configurations() {
     }
     // The paper's "5" symbol: 16w1 with 256 registers fits nowhere.
     let never: Configuration = "16w1(256:1)".parse().unwrap();
-    assert!(Technology::ALL.iter().all(|t| !m.is_implementable(&never, t)));
+    assert!(Technology::ALL
+        .iter()
+        .all(|t| !m.is_implementable(&never, t)));
 }
 
 #[test]

@@ -86,7 +86,10 @@ impl Ddg {
         for e in &edges {
             for id in [e.src, e.dst] {
                 if id.index() >= n {
-                    return Err(GraphError::NodeOutOfRange { index: id.index(), len: n });
+                    return Err(GraphError::NodeOutOfRange {
+                        index: id.index(),
+                        len: n,
+                    });
                 }
             }
             if e.kind.is_flow() && !ops[e.src.index()].produces_value() {
@@ -99,10 +102,17 @@ impl Ddg {
             succs[e.src.index()].push(i as u32);
             preds[e.dst.index()].push(i as u32);
         }
-        let ddg = Ddg { ops, edges, succs, preds };
+        let ddg = Ddg {
+            ops,
+            edges,
+            succs,
+            preds,
+        };
         // Distance-0 subgraph must be a DAG.
         if let Some(witness) = topo::zero_distance_cycle_witness(&ddg) {
-            return Err(GraphError::ZeroDistanceCycle { witness: witness.index() });
+            return Err(GraphError::ZeroDistanceCycle {
+                witness: witness.index(),
+            });
         }
         Ok(ddg)
     }
@@ -148,18 +158,25 @@ impl Ddg {
 
     /// Outgoing edges of `id`.
     pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + Clone {
-        self.succs[id.index()].iter().map(|&i| &self.edges[i as usize])
+        self.succs[id.index()]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Incoming edges of `id`.
     pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + Clone {
-        self.preds[id.index()].iter().map(|&i| &self.edges[i as usize])
+        self.preds[id.index()]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Number of operations that occupy resource class `class`.
     #[must_use]
     pub fn count_class(&self, class: ResourceClass) -> usize {
-        self.ops.iter().filter(|o| o.resource_class() == class).count()
+        self.ops
+            .iter()
+            .filter(|o| o.resource_class() == class)
+            .count()
     }
 
     /// Number of operations of the given kind.
@@ -304,7 +321,12 @@ impl DdgBuilder {
 
     /// Adds an arbitrary edge.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind, distance: u32) {
-        self.edges.push(Edge { src, dst, kind, distance });
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind,
+            distance,
+        });
     }
 
     /// Adds a same-iteration flow edge `src → dst`.
@@ -383,8 +405,12 @@ mod tests {
     #[test]
     fn out_of_range_edge_rejected() {
         let ops = vec![Op::new(OpKind::FAdd)];
-        let edges =
-            vec![Edge { src: NodeId(0), dst: NodeId(5), kind: EdgeKind::Flow, distance: 0 }];
+        let edges = vec![Edge {
+            src: NodeId(0),
+            dst: NodeId(5),
+            kind: EdgeKind::Flow,
+            distance: 0,
+        }];
         assert!(matches!(
             Ddg::from_parts(ops, edges),
             Err(GraphError::NodeOutOfRange { index: 5, len: 1 })
@@ -397,7 +423,10 @@ mod tests {
         let st = b.store(1);
         let add = b.op(OpKind::FAdd);
         b.flow(st, add);
-        assert!(matches!(b.build(), Err(GraphError::FlowFromValueless { src: 0 })));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::FlowFromValueless { src: 0 })
+        ));
     }
 
     #[test]
@@ -407,7 +436,10 @@ mod tests {
         let m = b.op(OpKind::FMul);
         b.flow(a, m);
         b.flow(m, a);
-        assert!(matches!(b.build(), Err(GraphError::ZeroDistanceCycle { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::ZeroDistanceCycle { .. })
+        ));
     }
 
     #[test]

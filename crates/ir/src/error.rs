@@ -37,7 +37,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge references node {index} but graph has {len} nodes")
             }
             GraphError::FlowFromValueless { src } => {
-                write!(f, "flow edge leaves node {src} which produces no register value")
+                write!(
+                    f,
+                    "flow edge leaves node {src} which produces no register value"
+                )
             }
             GraphError::ZeroDistanceCycle { witness } => {
                 write!(f, "distance-0 dependence cycle through node {witness}")

@@ -35,8 +35,7 @@ impl DdgStats {
     pub fn of(ddg: &Ddg) -> Self {
         let loads = ddg.count_kind(OpKind::Load);
         let stores = ddg.count_kind(OpKind::Store);
-        let unit_stride_ops =
-            ddg.ops().iter().filter(|o| o.stride() == Some(1)).count();
+        let unit_stride_ops = ddg.ops().iter().filter(|o| o.stride() == Some(1)).count();
         DdgStats {
             ops: ddg.num_nodes(),
             edges: ddg.num_edges(),

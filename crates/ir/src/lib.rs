@@ -47,6 +47,7 @@ mod kernels_support;
 mod loops;
 mod op;
 mod scc;
+pub mod semantics;
 mod topo;
 
 pub use ddg::{Ddg, DdgBuilder, Edge, NodeId};

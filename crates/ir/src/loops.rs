@@ -66,7 +66,12 @@ impl Loop {
     /// by transforms (widening, spill insertion) that rewrite the body.
     #[must_use]
     pub fn with_ddg(&self, ddg: Ddg) -> Self {
-        Loop { name: self.name.clone(), ddg, trip_count: self.trip_count, weight: self.weight }
+        Loop {
+            name: self.name.clone(),
+            ddg,
+            trip_count: self.trip_count,
+            weight: self.weight,
+        }
     }
 }
 
@@ -96,7 +101,12 @@ pub struct LoopBuilder {
 impl LoopBuilder {
     /// Starts a builder with trip count 100 and weight 1.
     pub fn new(name: impl Into<String>, ddg: Ddg) -> Self {
-        LoopBuilder { name: name.into(), ddg, trip_count: 100, weight: 1.0 }
+        LoopBuilder {
+            name: name.into(),
+            ddg,
+            trip_count: 100,
+            weight: 1.0,
+        }
     }
 
     /// Sets the average trip count per loop entry.
@@ -126,7 +136,12 @@ impl LoopBuilder {
             self.weight.is_finite() && self.weight > 0.0,
             "weight must be positive and finite"
         );
-        Loop { name: self.name, ddg: self.ddg, trip_count: self.trip_count, weight: self.weight }
+        Loop {
+            name: self.name,
+            ddg: self.ddg,
+            trip_count: self.trip_count,
+            weight: self.weight,
+        }
     }
 }
 
@@ -146,7 +161,10 @@ mod tests {
 
     #[test]
     fn builder_defaults_and_overrides() {
-        let l = LoopBuilder::new("t", tiny()).trip_count(50).weight(3.0).build();
+        let l = LoopBuilder::new("t", tiny())
+            .trip_count(50)
+            .weight(3.0)
+            .build();
         assert_eq!(l.trip_count(), 50);
         assert_eq!(l.weight(), 3.0);
         assert_eq!(l.dynamic_iterations(), 150.0);
@@ -166,7 +184,10 @@ mod tests {
 
     #[test]
     fn with_ddg_preserves_stats() {
-        let l = LoopBuilder::new("t", tiny()).trip_count(7).weight(2.0).build();
+        let l = LoopBuilder::new("t", tiny())
+            .trip_count(7)
+            .weight(2.0)
+            .build();
         let l2 = l.with_ddg(tiny());
         assert_eq!(l2.trip_count(), 7);
         assert_eq!(l2.weight(), 2.0);

@@ -182,7 +182,11 @@ impl Op {
             !kind.is_memory(),
             "memory operations must be built with Op::memory (kind={kind})"
         );
-        Op { kind, stride: None, compactability: Compactability::Auto }
+        Op {
+            kind,
+            stride: None,
+            compactability: Compactability::Auto,
+        }
     }
 
     /// Creates a memory operation with the given element stride between
@@ -194,8 +198,15 @@ impl Op {
     /// Panics if `kind` is not a memory operation.
     #[must_use]
     pub fn memory(kind: OpKind, stride: i64) -> Self {
-        assert!(kind.is_memory(), "Op::memory requires a load or store (kind={kind})");
-        Op { kind, stride: Some(stride), compactability: Compactability::Auto }
+        assert!(
+            kind.is_memory(),
+            "Op::memory requires a load or store (kind={kind})"
+        );
+        Op {
+            kind,
+            stride: Some(stride),
+            compactability: Compactability::Auto,
+        }
     }
 
     /// Marks the operation as never compactable and returns it.
@@ -253,7 +264,13 @@ mod tests {
     fn resource_classes() {
         assert_eq!(OpKind::Load.resource_class(), ResourceClass::Bus);
         assert_eq!(OpKind::Store.resource_class(), ResourceClass::Bus);
-        for k in [OpKind::FAdd, OpKind::FSub, OpKind::FMul, OpKind::FDiv, OpKind::FSqrt] {
+        for k in [
+            OpKind::FAdd,
+            OpKind::FSub,
+            OpKind::FMul,
+            OpKind::FDiv,
+            OpKind::FSqrt,
+        ] {
             assert_eq!(k.resource_class(), ResourceClass::Fpu);
         }
     }
@@ -307,7 +324,11 @@ mod tests {
     fn all_kinds_have_distinct_mnemonics() {
         let mut seen = std::collections::HashSet::new();
         for k in OpKind::ALL {
-            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+            assert!(
+                seen.insert(k.mnemonic()),
+                "duplicate mnemonic {}",
+                k.mnemonic()
+            );
         }
     }
 }

@@ -43,8 +43,7 @@ impl StronglyConnectedComponents {
     /// than one node, or it has a self-edge.
     #[must_use]
     pub fn on_circuit(&self, ddg: &Ddg, v: NodeId) -> bool {
-        self.components[self.component_of(v)].len() > 1
-            || ddg.out_edges(v).any(|e| e.dst == v)
+        self.components[self.component_of(v)].len() > 1 || ddg.out_edges(v).any(|e| e.dst == v)
     }
 }
 
@@ -95,11 +94,7 @@ impl<'g> Tarjan<'g> {
         let mut frames: Vec<(u32, usize)> = vec![(root, 0)];
         self.begin(root);
         while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
-            let succ = self
-                .ddg
-                .out_edges(NodeId(v))
-                .nth(*ei)
-                .map(|e| e.dst.0);
+            let succ = self.ddg.out_edges(NodeId(v)).nth(*ei).map(|e| e.dst.0);
             match succ {
                 Some(w) => {
                     *ei += 1;

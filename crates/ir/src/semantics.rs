@@ -1,0 +1,147 @@
+//! Executable operation semantics.
+//!
+//! The analytic pipeline never runs a loop; the simulator crate
+//! (`widening-sim`) does, and it needs a concrete meaning for every
+//! [`OpKind`]. The functions here define that meaning **once** so the
+//! scalar reference interpreter and the wide-datapath simulator are
+//! bitwise comparable: both fold a node's register operands in original
+//! in-edge order through [`eval_op`], and both draw loop live-in values
+//! and operand-less sources from [`source_value`].
+//!
+//! Two choices keep differential comparison exact and robust:
+//!
+//! * every result passes through [`squash`], which bounds magnitudes so
+//!   multiplicative recurrences cannot overflow to infinity over long
+//!   trips (IEEE arithmetic stays fully deterministic, so equal inputs
+//!   give bitwise-equal outputs on both interpreters);
+//! * divides guard near-zero denominators with a fixed fallback instead
+//!   of producing infinities.
+
+use crate::op::OpKind;
+
+/// Magnitude bound applied by [`squash`].
+const SQUASH_BOUND: f64 = 1.0e6;
+
+/// Denominator guard threshold for [`OpKind::FDiv`].
+const DIV_GUARD: f64 = 1.0e-6;
+
+/// Bounds `x` to `(-1e6, 1e6)` deterministically; non-finite inputs
+/// collapse to `1.0`. Applied to every operation result.
+#[must_use]
+pub fn squash(x: f64) -> f64 {
+    if x.is_finite() {
+        x % SQUASH_BOUND
+    } else {
+        1.0
+    }
+}
+
+/// A deterministic pseudo-random source value for `(node, iteration)`:
+/// used for loop live-ins (`iteration < 0`) and for value-producing
+/// operations with no register operands. Values are small dyadic
+/// rationals, exactly representable in an `f64`.
+#[must_use]
+pub fn source_value(node: u32, iteration: i64) -> f64 {
+    let mut h = (u64::from(node) << 32) ^ (iteration as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    ((h % 4096) as f64 - 2048.0) / 64.0
+}
+
+/// The initial content of the memory cell a load of `node` reads at
+/// `iteration` (loads and stores use disjoint regions; see the simulator
+/// crate for the layout).
+#[must_use]
+pub fn initial_memory_value(node: u32, iteration: i64) -> f64 {
+    source_value(node ^ 0x4D45_4D00, iteration)
+}
+
+/// Applies the semantic function of `kind` to register operands
+/// `inputs`, folded in operand order. `node` and `iteration` identify
+/// the executing instance, for operand-less sources.
+///
+/// * `FAdd`, `FCopy` and memory kinds fold with `+` (a load's operand
+///   sum is added to the loaded cell by the caller; a store's folded
+///   value is what it writes);
+/// * `FSub` computes `inputs[0] - inputs[1] - …`;
+/// * `FMul` folds with `*`;
+/// * `FDiv` computes `inputs[0] / (inputs[1] * …)`, guarding near-zero
+///   denominators;
+/// * `FSqrt` computes `sqrt(|inputs[0] + …|)`.
+///
+/// With no operands the value is [`source_value`]. Every result is
+/// [`squash`]ed.
+#[must_use]
+pub fn eval_op(kind: OpKind, inputs: &[f64], node: u32, iteration: i64) -> f64 {
+    if inputs.is_empty() {
+        return squash(source_value(node, iteration));
+    }
+    let sum = || inputs.iter().copied().fold(0.0_f64, |a, b| a + b);
+    let value = match kind {
+        OpKind::FAdd | OpKind::FCopy | OpKind::Load | OpKind::Store => sum(),
+        OpKind::FSub => inputs[1..].iter().copied().fold(inputs[0], |a, b| a - b),
+        OpKind::FMul => inputs.iter().copied().fold(1.0_f64, |a, b| a * b),
+        OpKind::FDiv => {
+            let denom = inputs[1..].iter().copied().fold(1.0_f64, |a, b| a * b);
+            let denom = if denom.abs() < DIV_GUARD { 1.0 } else { denom };
+            inputs[0] / denom
+        }
+        OpKind::FSqrt => sum().abs().sqrt(),
+    };
+    squash(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_bounds_and_handles_non_finite() {
+        assert_eq!(squash(3.5), 3.5);
+        assert!(squash(1.0e9).abs() < SQUASH_BOUND);
+        assert_eq!(squash(f64::INFINITY), 1.0);
+        assert_eq!(squash(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn source_values_are_deterministic_and_bounded() {
+        for node in [0u32, 7, 1000] {
+            for i in [-3i64, 0, 1, 999] {
+                let a = source_value(node, i);
+                assert_eq!(a.to_bits(), source_value(node, i).to_bits());
+                assert!(a.abs() <= 32.0);
+            }
+        }
+        assert_ne!(
+            source_value(1, 5).to_bits(),
+            source_value(2, 5).to_bits(),
+            "different nodes should draw different streams"
+        );
+    }
+
+    #[test]
+    fn eval_follows_kind_semantics() {
+        let node = 3;
+        assert_eq!(eval_op(OpKind::FAdd, &[1.0, 2.0, 3.0], node, 0), 6.0);
+        assert_eq!(eval_op(OpKind::FSub, &[10.0, 3.0, 2.0], node, 0), 5.0);
+        assert_eq!(eval_op(OpKind::FMul, &[2.0, 3.0, 4.0], node, 0), 24.0);
+        assert_eq!(eval_op(OpKind::FDiv, &[10.0, 4.0], node, 0), 2.5);
+        assert_eq!(eval_op(OpKind::FSqrt, &[9.0], node, 0), 3.0);
+        assert_eq!(eval_op(OpKind::FCopy, &[7.0], node, 0), 7.0);
+        assert_eq!(eval_op(OpKind::Store, &[1.0, 2.0], node, 0), 3.0);
+    }
+
+    #[test]
+    fn divide_guards_near_zero_denominators() {
+        let v = eval_op(OpKind::FDiv, &[5.0, 0.0], 0, 0);
+        assert_eq!(v, 5.0);
+        assert!(eval_op(OpKind::FDiv, &[5.0, 1.0e-9], 0, 0).is_finite());
+    }
+
+    #[test]
+    fn empty_inputs_use_the_source_stream() {
+        let v = eval_op(OpKind::FAdd, &[], 4, 17);
+        assert_eq!(v.to_bits(), squash(source_value(4, 17)).to_bits());
+    }
+}

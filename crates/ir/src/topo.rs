@@ -54,8 +54,12 @@ pub fn zero_distance_cycle_witness(ddg: &Ddg) -> Option<NodeId> {
             indeg[e.dst.index()] += 1;
         }
     }
-    let mut ready: Vec<u32> =
-        indeg.iter().enumerate().filter(|&(_, &d)| d == 0).map(|(i, _)| i as u32).collect();
+    let mut ready: Vec<u32> = indeg
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| i as u32)
+        .collect();
     let mut removed = 0usize;
     while let Some(v) = ready.pop() {
         removed += 1;

@@ -16,10 +16,7 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
     ];
     (2usize..24, proptest::collection::vec(kinds, 24))
         .prop_flat_map(|(n, kinds)| {
-            let edges = proptest::collection::vec(
-                (0usize..n, 0usize..n, 0u32..4),
-                0..3 * n,
-            );
+            let edges = proptest::collection::vec((0usize..n, 0usize..n, 0u32..4), 0..3 * n);
             (Just(n), Just(kinds), edges)
         })
         .prop_map(|(n, kinds, edges)| {

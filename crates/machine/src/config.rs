@@ -65,7 +65,12 @@ impl Configuration {
             && pow2(partitions)
             && partitions <= 3 * buses;
         if ok {
-            Ok(Configuration { buses, width, registers, partitions })
+            Ok(Configuration {
+                buses,
+                width,
+                registers,
+                partitions,
+            })
         } else {
             Err(ConfigParseError::Invalid {
                 what: format!("{buses}w{width}({registers}:{partitions})"),
@@ -133,7 +138,10 @@ impl Configuration {
     /// `1R+1W`, each FPU `2R+1W`, hence `5X` reads and `3X` writes (§4.1).
     #[must_use]
     pub fn ports(&self) -> PortCounts {
-        PortCounts { reads: 5 * self.buses, writes: 3 * self.buses }
+        PortCounts {
+            reads: 5 * self.buses,
+            writes: 3 * self.buses,
+        }
     }
 
     /// Per-copy port requirements once the RF is split into
@@ -145,13 +153,11 @@ impl Configuration {
     }
 
     /// The same design point with a different register count.
-    #[must_use]
     pub fn with_registers(&self, registers: u32) -> Result<Self, ConfigParseError> {
         Configuration::new(self.buses, self.width, registers, self.partitions)
     }
 
     /// The same design point with a different partition count.
-    #[must_use]
     pub fn with_partitions(&self, partitions: u32) -> Result<Self, ConfigParseError> {
         Configuration::new(self.buses, self.width, self.registers, partitions)
     }
@@ -179,7 +185,11 @@ impl Configuration {
 
 impl fmt::Display for Configuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}w{}({}:{})", self.buses, self.width, self.registers, self.partitions)
+        write!(
+            f,
+            "{}w{}({}:{})",
+            self.buses, self.width, self.registers, self.partitions
+        )
     }
 }
 
@@ -189,7 +199,9 @@ impl FromStr for Configuration {
     /// Parses `"XwY"`, `"XwY(Z)"` or `"XwY(Z:n)"`. A missing register
     /// part defaults to `Z = 256, n = 1` (the paper's baseline RF).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let bad = || ConfigParseError::Syntax { input: s.to_string() };
+        let bad = || ConfigParseError::Syntax {
+            input: s.to_string(),
+        };
         let s = s.trim();
         let (xwy, rf) = match s.find('(') {
             Some(p) => {
@@ -272,7 +284,10 @@ mod tests {
     fn parse_rejects_garbage() {
         for s in ["", "4x2", "4w2(", "4w2(64:2", "4w2)64(", "aw2", "4w2(64:b)"] {
             assert!(
-                matches!(s.parse::<Configuration>(), Err(ConfigParseError::Syntax { .. })),
+                matches!(
+                    s.parse::<Configuration>(),
+                    Err(ConfigParseError::Syntax { .. })
+                ),
                 "should reject {s:?}"
             );
         }
@@ -314,20 +329,28 @@ mod tests {
     #[test]
     fn valid_partitions_follow_reader_rule() {
         assert_eq!(
-            Configuration::monolithic(1, 1, 64).unwrap().valid_partitions(),
+            Configuration::monolithic(1, 1, 64)
+                .unwrap()
+                .valid_partitions(),
             vec![1, 2]
         );
         assert_eq!(
-            Configuration::monolithic(2, 1, 64).unwrap().valid_partitions(),
+            Configuration::monolithic(2, 1, 64)
+                .unwrap()
+                .valid_partitions(),
             vec![1, 2, 4]
         );
         assert_eq!(
-            Configuration::monolithic(8, 1, 64).unwrap().valid_partitions(),
+            Configuration::monolithic(8, 1, 64)
+                .unwrap()
+                .valid_partitions(),
             vec![1, 2, 4, 8, 16]
         );
         // Cap at 16 even for 16w1 (3X = 48).
         assert_eq!(
-            Configuration::monolithic(16, 1, 64).unwrap().valid_partitions(),
+            Configuration::monolithic(16, 1, 64)
+                .unwrap()
+                .valid_partitions(),
             vec![1, 2, 4, 8, 16]
         );
     }

@@ -25,7 +25,10 @@ pub struct InstructionEncoding {
 
 impl Default for InstructionEncoding {
     fn default() -> Self {
-        InstructionEncoding { memory_field_bits: 32, fpu_field_bits: 32 }
+        InstructionEncoding {
+            memory_field_bits: 32,
+            fpu_field_bits: 32,
+        }
     }
 }
 
@@ -41,8 +44,7 @@ impl InstructionEncoding {
     #[must_use]
     pub fn word_bits(&self, cfg: &Configuration) -> u64 {
         let x = u64::from(cfg.replication());
-        x * u64::from(self.memory_field_bits)
-            + 2 * x * u64::from(self.fpu_field_bits)
+        x * u64::from(self.memory_field_bits) + 2 * x * u64::from(self.fpu_field_bits)
     }
 
     /// Static code size, in bits, of a kernel of `instructions`
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn custom_fields() {
-        let e = InstructionEncoding { memory_field_bits: 24, fpu_field_bits: 40 };
+        let e = InstructionEncoding {
+            memory_field_bits: 24,
+            fpu_field_bits: 40,
+        };
         assert_eq!(e.word_bits(&cfg(1, 1)), 24 + 80);
     }
 }

@@ -36,8 +36,12 @@ pub enum CycleModel {
 
 impl CycleModel {
     /// All models, in increasing pipeline-depth order.
-    pub const ALL: [CycleModel; 4] =
-        [CycleModel::Cycles1, CycleModel::Cycles2, CycleModel::Cycles3, CycleModel::Cycles4];
+    pub const ALL: [CycleModel; 4] = [
+        CycleModel::Cycles1,
+        CycleModel::Cycles2,
+        CycleModel::Cycles3,
+        CycleModel::Cycles4,
+    ];
 
     /// The baseline model used for the ILP-limit studies (§3).
     pub const BASELINE: CycleModel = CycleModel::Cycles4;
@@ -95,11 +99,7 @@ impl CycleModel {
             OpKind::Store => 1,
             OpKind::FDiv => div,
             OpKind::FSqrt => sqrt,
-            OpKind::Load
-            | OpKind::FAdd
-            | OpKind::FSub
-            | OpKind::FMul
-            | OpKind::FCopy => pipelined,
+            OpKind::Load | OpKind::FAdd | OpKind::FSub | OpKind::FMul | OpKind::FCopy => pipelined,
         }
     }
 
@@ -157,14 +157,32 @@ mod tests {
     fn paper_examples_of_model_selection() {
         // §5.2: 2w4(32:1) with Tc = 1.85 → 3-cycles; 2w4(128:1) with
         // Tc = 2.09 → 2-cycles; 2w4(128:2) with Tc = 1.80 → 3-cycles.
-        assert_eq!(CycleModel::for_relative_cycle_time(1.85), CycleModel::Cycles3);
-        assert_eq!(CycleModel::for_relative_cycle_time(2.09), CycleModel::Cycles2);
-        assert_eq!(CycleModel::for_relative_cycle_time(1.80), CycleModel::Cycles3);
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(1.85),
+            CycleModel::Cycles3
+        );
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(2.09),
+            CycleModel::Cycles2
+        );
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(1.80),
+            CycleModel::Cycles3
+        );
         // Baseline.
-        assert_eq!(CycleModel::for_relative_cycle_time(1.0), CycleModel::Cycles4);
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(1.0),
+            CycleModel::Cycles4
+        );
         // Extremes clamp.
-        assert_eq!(CycleModel::for_relative_cycle_time(9.0), CycleModel::Cycles1);
-        assert_eq!(CycleModel::for_relative_cycle_time(0.5), CycleModel::Cycles4);
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(9.0),
+            CycleModel::Cycles1
+        );
+        assert_eq!(
+            CycleModel::for_relative_cycle_time(0.5),
+            CycleModel::Cycles4
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl PortPartition {
         let copies = bus_of
             .iter()
             .zip(&fpu_of)
-            .map(|(&b, &f)| PortCounts { reads: b + 2 * f, writes })
+            .map(|(&b, &f)| PortCounts {
+                reads: b + 2 * f,
+                writes,
+            })
             .collect();
         PortPartition { copies }
     }
@@ -117,11 +120,23 @@ mod tests {
         // each (4 buses + 8 FPUs read each copy, all 24 writers write
         // both).
         let p = PortPartition::split(8, 16, 1);
-        assert_eq!(p.widest_copy(), PortCounts { reads: 40, writes: 24 });
+        assert_eq!(
+            p.widest_copy(),
+            PortCounts {
+                reads: 40,
+                writes: 24
+            }
+        );
         let p = PortPartition::split(8, 16, 2);
         assert_eq!(p.copies().len(), 2);
         for c in p.copies() {
-            assert_eq!(*c, PortCounts { reads: 20, writes: 24 });
+            assert_eq!(
+                *c,
+                PortCounts {
+                    reads: 20,
+                    writes: 24
+                }
+            );
         }
     }
 
@@ -130,7 +145,13 @@ mod tests {
         // Each copy: 1 bus + 2 FPUs → 5R + 24W.
         let p = PortPartition::split(8, 16, 8);
         for c in p.copies() {
-            assert_eq!(*c, PortCounts { reads: 5, writes: 24 });
+            assert_eq!(
+                *c,
+                PortCounts {
+                    reads: 5,
+                    writes: 24
+                }
+            );
         }
     }
 
@@ -150,7 +171,13 @@ mod tests {
     fn one_copy_is_identity() {
         let p = PortPartition::split(4, 8, 1);
         assert_eq!(p.len(), 1);
-        assert_eq!(p.copies()[0], PortCounts { reads: 20, writes: 12 });
+        assert_eq!(
+            p.copies()[0],
+            PortCounts {
+                reads: 20,
+                writes: 12
+            }
+        );
     }
 
     #[test]
@@ -161,7 +188,14 @@ mod tests {
 
     #[test]
     fn display_port_counts() {
-        assert_eq!(PortCounts { reads: 5, writes: 3 }.to_string(), "5R+3W");
+        assert_eq!(
+            PortCounts {
+                reads: 5,
+                writes: 3
+            }
+            .to_string(),
+            "5R+3W"
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct RegisterAllocation {
     max_lives: u32,
     kernel_unroll: u32,
     assignment: Vec<(u32, u32)>,
+    /// Dense location table: `locations[lifetime · K + instance]` is the
+    /// register holding instance `instance` of `lifetime`.
+    locations: Vec<u32>,
 }
 
 impl RegisterAllocation {
@@ -41,8 +44,12 @@ impl RegisterAllocation {
         self.max_lives
     }
 
-    /// Modulo-variable-expansion degree `K` (kernel copies needed so no
-    /// value overwrites a live predecessor instance).
+    /// Modulo-variable-expansion degree `K`: kernel copies needed so no
+    /// value overwrites a live predecessor instance, rounded up to a
+    /// power of two so every per-value rotation period (itself a power
+    /// of two, Lam's scheme) divides the expansion — which makes the
+    /// uniform `instance = iteration mod K` location rule sound for all
+    /// packings.
     #[must_use]
     pub fn kernel_unroll(&self) -> u32 {
         self.kernel_unroll
@@ -59,6 +66,21 @@ impl RegisterAllocation {
     #[must_use]
     pub fn overhead(&self) -> u32 {
         self.registers_used - self.max_lives
+    }
+
+    /// The register holding instance `instance` of `lifetime` — the
+    /// location table a simulator needs to find a value. The instance of
+    /// the definition issued in kernel iteration `b` is `b mod K` (see
+    /// [`Self::kernel_unroll`]).
+    ///
+    /// Returns `None` for an out-of-range lifetime or instance.
+    #[must_use]
+    pub fn register_of(&self, lifetime: u32, instance: u32) -> Option<u32> {
+        if instance >= self.kernel_unroll {
+            return None;
+        }
+        let idx = lifetime as usize * self.kernel_unroll as usize + instance as usize;
+        self.locations.get(idx).copied()
     }
 }
 
@@ -115,7 +137,8 @@ pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
         .map(|lt| lt.concurrent_instances(ii))
         .max()
         .unwrap_or(1)
-        .max(1);
+        .max(1)
+        .next_power_of_two();
     let c = u64::from(k) * u64::from(ii);
 
     // Expand each lifetime into K arcs (one per kernel copy) and sort by
@@ -126,7 +149,12 @@ pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
         let len = u64::from(lt.len()).min(c);
         for j in 0..k {
             let start = (u64::from(lt.start) + u64::from(j) * u64::from(ii)) % c;
-            arcs.push(Arc { lifetime: i as u32, instance: j, start, len });
+            arcs.push(Arc {
+                lifetime: i as u32,
+                instance: j,
+                start,
+                len,
+            });
         }
     }
     arcs.sort_by_key(|a| (a.start, std::cmp::Reverse(a.len), a.lifetime, a.instance));
@@ -151,9 +179,24 @@ pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
             best = alt;
         }
     }
-    let (registers_used, assignment) = best;
+    let (registers_used, triples) = best;
 
-    RegisterAllocation { registers_used, max_lives: ml, kernel_unroll: k, assignment }
+    // Derive the legacy arc-order assignment and the dense location
+    // table from the winning packing.
+    let assignment: Vec<(u32, u32)> = triples.iter().map(|&(lt, _, r)| (lt, r)).collect();
+    let mut locations = vec![u32::MAX; lifetimes.len() * k as usize];
+    for &(lt, instance, r) in &triples {
+        locations[lt as usize * k as usize + instance as usize] = r;
+    }
+    debug_assert!(lifetimes.is_empty() || locations.iter().all(|&r| r != u32::MAX));
+
+    RegisterAllocation {
+        registers_used,
+        max_lives: ml,
+        kernel_unroll: k,
+        assignment,
+        locations,
+    }
 }
 
 /// Lam's modulo-variable-expansion allocation: value `v` rotates through
@@ -165,13 +208,13 @@ fn pack_private_cyclic(
     lifetimes: &[Lifetime],
     ii: u32,
     kernel_unroll: u32,
-) -> (u32, Vec<(u32, u32)>) {
+) -> (u32, Vec<(u32, u32, u32)>) {
     let mut base = 0u32;
     let mut assignment = Vec::with_capacity(lifetimes.len() * kernel_unroll as usize);
     for (i, lt) in lifetimes.iter().enumerate() {
         let k = lt.concurrent_instances(ii).max(1).next_power_of_two();
         for j in 0..kernel_unroll {
-            assignment.push((i as u32, base + (j % k)));
+            assignment.push((i as u32, j, base + (j % k)));
         }
         base += k;
     }
@@ -180,7 +223,7 @@ fn pack_private_cyclic(
 
 /// First-fit: each arc goes to the lowest-indexed register with no
 /// overlap.
-fn pack_first_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
+fn pack_first_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
     let mut registers: Vec<Vec<Arc>> = Vec::new();
     let mut assignment = Vec::with_capacity(arcs.len());
     for arc in arcs {
@@ -195,14 +238,14 @@ fn pack_first_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
             }
         };
         registers[r].push(*arc);
-        assignment.push((arc.lifetime, r as u32));
+        assignment.push((arc.lifetime, arc.instance, r as u32));
     }
     (registers.len() as u32, assignment)
 }
 
 /// End-fit: each arc goes to the fitting register whose nearest
 /// preceding end leaves the smallest gap.
-fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
+fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
     let mut registers: Vec<Vec<Arc>> = Vec::new();
     let mut assignment = Vec::with_capacity(arcs.len());
     for arc in arcs {
@@ -221,7 +264,7 @@ fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
                 })
                 .min()
                 .unwrap_or(0);
-            if best.map_or(true, |(g, _)| gap < g) {
+            if best.is_none_or(|(g, _)| gap < g) {
                 best = Some((gap, r));
             }
         }
@@ -233,7 +276,7 @@ fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
             }
         };
         registers[r].push(*arc);
-        assignment.push((arc.lifetime, r as u32));
+        assignment.push((arc.lifetime, arc.instance, r as u32));
     }
     (registers.len() as u32, assignment)
 }
@@ -241,7 +284,7 @@ fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
 /// Min-density cut: cut the cylinder where the fewest arcs cross, give
 /// each crossing arc a private register, and colour the remaining
 /// intervals greedily by left endpoint (optimal for interval graphs).
-fn pack_cut_interval(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
+fn pack_cut_interval(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
     // Density change-points are arc starts; evaluate density there.
     let cut = (0..c)
         .filter(|p| arcs.iter().any(|a| a.start == *p) || *p == 0)
@@ -252,16 +295,25 @@ fn pack_cut_interval(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
     // Linearised coordinate: distance clockwise from the cut.
     let lin = |p: u64| (p + c - cut) % c;
     let mut order: Vec<&Arc> = arcs.iter().collect();
-    order.sort_by_key(|a| (lin(a.start), std::cmp::Reverse(a.len), a.lifetime, a.instance));
+    order.sort_by_key(|a| {
+        (
+            lin(a.start),
+            std::cmp::Reverse(a.len),
+            a.lifetime,
+            a.instance,
+        )
+    });
     for arc in order {
         let (s, e) = (lin(arc.start), lin(arc.start) + arc.len.min(c));
         // An arc crossing the cut occupies [s, c) and wraps to [0, e-c).
-        let new_segs: &[(u64, u64)] =
-            if e > c { &[(s, c), (0, e - c)] } else { &[(s, e)] };
+        let new_segs: &[(u64, u64)] = if e > c {
+            &[(s, c), (0, e - c)]
+        } else {
+            &[(s, e)]
+        };
         let fits = |segs: &Vec<(u64, u64)>| {
-            segs.iter().all(|&(f, t)| {
-                new_segs.iter().all(|&(ns, ne)| ne <= f || ns >= t)
-            })
+            segs.iter()
+                .all(|&(f, t)| new_segs.iter().all(|&(ns, ne)| ne <= f || ns >= t))
         };
         let r = match registers.iter().position(fits) {
             Some(r) => r,
@@ -271,7 +323,7 @@ fn pack_cut_interval(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32)>) {
             }
         };
         registers[r].extend_from_slice(new_segs);
-        assignment.push((arc.lifetime, r as u32));
+        assignment.push((arc.lifetime, arc.instance, r as u32));
     }
     (registers.len() as u32, assignment)
 }
@@ -282,7 +334,11 @@ mod tests {
     use widening_ir::NodeId;
 
     fn lt(id: u32, start: u32, end: u32) -> Lifetime {
-        Lifetime { def: NodeId(id), start, end }
+        Lifetime {
+            def: NodeId(id),
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -315,7 +371,11 @@ mod tests {
         // the same cycles: rows 0..2 and 2..4.
         let a = allocate(&[lt(0, 0, 2), lt(1, 2, 4)], 4);
         assert_eq!(a.max_lives(), 1);
-        assert_eq!(a.registers_used(), 1, "end-fit should chain them in one register");
+        assert_eq!(
+            a.registers_used(),
+            1,
+            "end-fit should chain them in one register"
+        );
     }
 
     #[test]
@@ -374,8 +434,7 @@ mod tests {
         // stages, each living 6 of 12 cycles: MaxLives = 3 and the
         // allocator must hit it exactly.
         let ii = 12;
-        let lts: Vec<Lifetime> =
-            (0..3).map(|i| lt(i, i * ii, i * ii + 6)).collect();
+        let lts: Vec<Lifetime> = (0..3).map(|i| lt(i, i * ii, i * ii + 6)).collect();
         let a = allocate(&lts, ii);
         assert_eq!(a.max_lives(), 3);
         assert_eq!(a.registers_used(), 3);
@@ -408,9 +467,24 @@ mod tests {
     #[test]
     fn arc_overlap_wraparound() {
         let c = 10;
-        let a = Arc { lifetime: 0, instance: 0, start: 8, len: 4 }; // 8,9,0,1
-        let b = Arc { lifetime: 1, instance: 0, start: 0, len: 2 }; // 0,1
-        let d = Arc { lifetime: 2, instance: 0, start: 2, len: 3 }; // 2,3,4
+        let a = Arc {
+            lifetime: 0,
+            instance: 0,
+            start: 8,
+            len: 4,
+        }; // 8,9,0,1
+        let b = Arc {
+            lifetime: 1,
+            instance: 0,
+            start: 0,
+            len: 2,
+        }; // 0,1
+        let d = Arc {
+            lifetime: 2,
+            instance: 0,
+            start: 2,
+            len: 3,
+        }; // 2,3,4
         assert!(a.overlaps(&b, c));
         assert!(!a.overlaps(&d, c));
         assert!(!b.overlaps(&d, c));

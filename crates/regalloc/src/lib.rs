@@ -54,5 +54,5 @@ mod spill;
 pub use allocator::{allocate, RegisterAllocation};
 pub use lifetime::{lifetimes, max_lives, Lifetime};
 pub use spill::{
-    schedule_with_registers, PressureResult, RegallocError, SpillOptions, SpillPolicy,
+    schedule_with_registers, PressureResult, RegallocError, SpillOptions, SpillPolicy, SpillRecord,
 };

@@ -129,7 +129,10 @@ mod tests {
         let g = b.build().unwrap();
         let s = sched(&g, 5, vec![0, 4]);
         let lts = lifetimes(&g, &s, M4);
-        let dead = lts.iter().find(|l| l.def == widening_ir::NodeId(1)).unwrap();
+        let dead = lts
+            .iter()
+            .find(|l| l.def == widening_ir::NodeId(1))
+            .unwrap();
         assert_eq!((dead.start, dead.end), (4, 8)); // + fadd latency
     }
 
@@ -162,8 +165,11 @@ mod tests {
     #[test]
     fn max_lives_counts_overlapping_instances() {
         // One value of length 8 at II=2: 4 concurrent instances.
-        let lts =
-            vec![Lifetime { def: NodeId(0), start: 0, end: 8 }];
+        let lts = vec![Lifetime {
+            def: NodeId(0),
+            start: 0,
+            end: 8,
+        }];
         assert_eq!(max_lives(&lts, 2), 4);
         assert_eq!(lts[0].concurrent_instances(2), 4);
         // Same value at II=8: a single instance.
@@ -176,8 +182,16 @@ mod tests {
     fn max_lives_of_disjoint_rows() {
         // Two unit lifetimes in different kernel rows never overlap.
         let lts = vec![
-            Lifetime { def: NodeId(0), start: 0, end: 1 },
-            Lifetime { def: NodeId(1), start: 1, end: 2 },
+            Lifetime {
+                def: NodeId(0),
+                start: 0,
+                end: 1,
+            },
+            Lifetime {
+                def: NodeId(1),
+                start: 1,
+                end: 2,
+            },
         ];
         assert_eq!(max_lives(&lts, 2), 1);
         // At II=1 they share the only row.
@@ -189,10 +203,21 @@ mod tests {
         // The paper's §3.2 premise: reducing II increases register
         // requirements for the same dependence structure.
         let lts = vec![
-            Lifetime { def: NodeId(0), start: 0, end: 12 },
-            Lifetime { def: NodeId(1), start: 2, end: 10 },
+            Lifetime {
+                def: NodeId(0),
+                start: 0,
+                end: 12,
+            },
+            Lifetime {
+                def: NodeId(1),
+                start: 2,
+                end: 10,
+            },
         ];
-        let p: Vec<u32> = [1u32, 2, 4, 12].iter().map(|&ii| max_lives(&lts, ii)).collect();
+        let p: Vec<u32> = [1u32, 2, 4, 12]
+            .iter()
+            .map(|&ii| max_lives(&lts, ii))
+            .collect();
         assert_eq!(p, vec![20, 10, 5, 2]);
     }
 }

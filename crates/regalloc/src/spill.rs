@@ -52,8 +52,28 @@ pub struct SpillOptions {
 
 impl Default for SpillOptions {
     fn default() -> Self {
-        SpillOptions { policy: SpillPolicy::Adaptive, max_rounds: 48, max_spills_per_round: 4 }
+        SpillOptions {
+            policy: SpillPolicy::Adaptive,
+            max_rounds: 48,
+            max_spills_per_round: 4,
+        }
     }
+}
+
+/// One spilled value: where its store went and which reloads serve its
+/// former consumers. This is the spill location table the simulator uses
+/// to route values through memory instead of registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRecord {
+    /// The value-producing node whose register was spilled.
+    pub victim: NodeId,
+    /// The inserted spill store (writes the victim's value each
+    /// iteration).
+    pub store: NodeId,
+    /// One reload per distinct consumer distance: `(distance, reload)` —
+    /// the reload issued in iteration `b` returns the victim's value
+    /// from iteration `b − distance`.
+    pub reloads: Vec<(u32, NodeId)>,
 }
 
 /// A register-feasible scheduling result.
@@ -65,6 +85,13 @@ pub struct PressureResult {
     pub allocation: RegisterAllocation,
     /// The final dependence graph, including inserted spill code.
     pub ddg: Ddg,
+    /// The value lifetimes the allocation was computed from, in
+    /// allocation order (lifetime index `i` here is lifetime `i` in
+    /// [`RegisterAllocation::register_of`]).
+    pub lifetimes: Vec<Lifetime>,
+    /// Every spilled value across all rounds, with its store/reload
+    /// nodes.
+    pub spills: Vec<SpillRecord>,
     /// Spill stores inserted across all rounds.
     pub spill_stores: u32,
     /// Spill reloads inserted across all rounds.
@@ -97,7 +124,10 @@ impl fmt::Display for RegallocError {
         match self {
             RegallocError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             RegallocError::Pressure { needed, available } => {
-                write!(f, "register pressure {needed} exceeds {available} available registers")
+                write!(
+                    f,
+                    "register pressure {needed} exceeds {available} available registers"
+                )
             }
             RegallocError::Rewrite(e) => write!(f, "spill rewrite produced invalid graph: {e}"),
         }
@@ -145,7 +175,10 @@ pub fn schedule_with_registers(
             cfg,
             model,
             sched_opts,
-            &SpillOptions { policy: SpillPolicy::SpillFirst, ..*spill_opts },
+            &SpillOptions {
+                policy: SpillPolicy::SpillFirst,
+                ..*spill_opts
+            },
         );
         if matches!(&spill, Ok(r) if r.rounds == 1) {
             return spill;
@@ -155,10 +188,17 @@ pub fn schedule_with_registers(
             cfg,
             model,
             sched_opts,
-            &SpillOptions { policy: SpillPolicy::IncreaseIiOnly, ..*spill_opts },
+            &SpillOptions {
+                policy: SpillPolicy::IncreaseIiOnly,
+                ..*spill_opts
+            },
         );
         return match (spill, stretch) {
-            (Ok(a), Ok(b)) => Ok(if a.schedule.ii() <= b.schedule.ii() { a } else { b }),
+            (Ok(a), Ok(b)) => Ok(if a.schedule.ii() <= b.schedule.ii() {
+                a
+            } else {
+                b
+            }),
             (Ok(a), Err(_)) => Ok(a),
             (Err(_), Ok(b)) => Ok(b),
             (Err(a), Err(_)) => Err(a),
@@ -169,6 +209,7 @@ pub fn schedule_with_registers(
     let mut graph = ddg.clone();
     let mut spill_loads = 0u32;
     let mut spill_stores = 0u32;
+    let mut spill_records: Vec<SpillRecord> = Vec::new();
     let mut spill_made: Vec<bool> = vec![false; ddg.num_nodes()];
     let mut min_ii = 1u32;
     let mut best_needed = u32::MAX;
@@ -184,6 +225,8 @@ pub fn schedule_with_registers(
                 schedule,
                 allocation: alloc,
                 ddg: graph,
+                lifetimes: lts,
+                spills: spill_records,
                 spill_stores,
                 spill_loads,
                 rounds: round,
@@ -208,19 +251,22 @@ pub fn schedule_with_registers(
             if picked.is_empty() {
                 false
             } else {
-                let (g, s, l) =
+                let (g, records) =
                     insert_spills(&graph, &picked).map_err(RegallocError::Rewrite)?;
                 spill_made.resize(g.num_nodes(), false);
                 for v in &picked {
                     spill_made[v.index()] = true;
                 }
                 // Newly added spill ops must never be spilled themselves.
-                for i in graph.num_nodes()..g.num_nodes() {
-                    spill_made[i] = true;
+                for made in &mut spill_made[graph.num_nodes()..g.num_nodes()] {
+                    *made = true;
                 }
                 graph = g;
-                spill_stores += s;
-                spill_loads += l;
+                for r in &records {
+                    spill_stores += 1;
+                    spill_loads += r.reloads.len() as u32;
+                }
+                spill_records.extend(records);
                 true
             }
         } else {
@@ -231,7 +277,10 @@ pub fn schedule_with_registers(
             min_ii = schedule.ii() + 1;
         }
     }
-    Err(RegallocError::Pressure { needed: best_needed, available })
+    Err(RegallocError::Pressure {
+        needed: best_needed,
+        available,
+    })
 }
 
 /// Chooses which values to spill this round: highest length/traffic
@@ -268,8 +317,11 @@ fn pick_spill_candidates(
             continue;
         }
         // Distinct carried distances = number of reloads we would insert.
-        let mut distances: Vec<u32> =
-            ddg.out_edges(v).filter(|e| e.kind.is_flow()).map(|e| e.distance).collect();
+        let mut distances: Vec<u32> = ddg
+            .out_edges(v)
+            .filter(|e| e.kind.is_flow())
+            .map(|e| e.distance)
+            .collect();
         distances.sort_unstable();
         distances.dedup();
         let reloads = distances.len() as u32;
@@ -320,12 +372,11 @@ fn pick_spill_candidates(
 
 /// Rewrites `ddg`, spilling each value in `victims`: the definition
 /// gains a spill store, and each distinct consumer distance gains one
-/// reload that takes over those consumers' flow edges.
-fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, u32, u32), GraphError> {
+/// reload that takes over those consumers' flow edges. Returns the new
+/// graph plus one [`SpillRecord`] per victim.
+fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, Vec<SpillRecord>), GraphError> {
     let mut ops: Vec<Op> = ddg.ops().to_vec();
     let mut edges: Vec<Edge> = Vec::with_capacity(ddg.num_edges() + victims.len() * 3);
-    let mut stores = 0u32;
-    let mut loads = 0u32;
 
     // Map (victim, distance) -> reload node id, created on demand.
     let mut reload_of: HashMap<(NodeId, u32), NodeId> = HashMap::new();
@@ -333,9 +384,13 @@ fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, u32, u32), Graph
     for &v in victims {
         let store = NodeId(ops.len() as u32);
         ops.push(Op::memory(OpKind::Store, 1).never_compactable());
-        stores += 1;
         store_of.insert(v, store);
-        edges.push(Edge { src: v, dst: store, kind: EdgeKind::Flow, distance: 0 });
+        edges.push(Edge {
+            src: v,
+            dst: store,
+            kind: EdgeKind::Flow,
+            distance: 0,
+        });
     }
     for e in ddg.edges() {
         let spilled = e.kind.is_flow() && store_of.contains_key(&e.src);
@@ -346,7 +401,6 @@ fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, u32, u32), Graph
         let reload = *reload_of.entry((e.src, e.distance)).or_insert_with(|| {
             let id = NodeId(ops.len() as u32);
             ops.push(Op::memory(OpKind::Load, 1).never_compactable());
-            loads += 1;
             // The reload reads the spill slot written `distance`
             // iterations earlier.
             edges.push(Edge {
@@ -357,9 +411,30 @@ fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, u32, u32), Graph
             });
             id
         });
-        edges.push(Edge { src: reload, dst: e.dst, kind: EdgeKind::Flow, distance: 0 });
+        edges.push(Edge {
+            src: reload,
+            dst: e.dst,
+            kind: EdgeKind::Flow,
+            distance: 0,
+        });
     }
-    Ok((Ddg::from_parts(ops, edges)?, stores, loads))
+    let records = victims
+        .iter()
+        .map(|&v| {
+            let mut reloads: Vec<(u32, NodeId)> = reload_of
+                .iter()
+                .filter(|((victim, _), _)| *victim == v)
+                .map(|(&(_, d), &id)| (d, id))
+                .collect();
+            reloads.sort_unstable();
+            SpillRecord {
+                victim: v,
+                store: store_of[&v],
+                reloads,
+            }
+        })
+        .collect();
+    Ok((Ddg::from_parts(ops, edges)?, records))
 }
 
 #[cfg(test)]
@@ -436,7 +511,10 @@ mod tests {
             &cfg(4, 8),
             M4,
             &SchedulerOptions::default(),
-            &SpillOptions { policy: SpillPolicy::IncreaseIiOnly, ..Default::default() },
+            &SpillOptions {
+                policy: SpillPolicy::IncreaseIiOnly,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(r.spill_stores + r.spill_loads, 0);
@@ -457,7 +535,10 @@ mod tests {
             &cfg(4, 2),
             M4,
             &SchedulerOptions::default(),
-            &SpillOptions { max_rounds: 6, ..Default::default() },
+            &SpillOptions {
+                max_rounds: 6,
+                ..Default::default()
+            },
         );
         match r {
             Err(RegallocError::Pressure { needed, available }) => {
@@ -483,9 +564,12 @@ mod tests {
         b.flow(v, a0);
         b.carried_flow(v, a2, 2);
         let g = b.build().unwrap();
-        let (g2, stores, loads) = insert_spills(&g, &[v]).unwrap();
-        assert_eq!(stores, 1);
-        assert_eq!(loads, 2); // one per distinct distance
+        let (g2, records) = insert_spills(&g, &[v]).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].victim, v);
+        assert_eq!(records[0].reloads.len(), 2); // one per distinct distance
+        assert_eq!(records[0].reloads[0].0, 0);
+        assert_eq!(records[0].reloads[1].0, 2);
         assert_eq!(g2.num_nodes(), g.num_nodes() + 3);
         // v no longer feeds the adds directly.
         assert!(g2
@@ -510,9 +594,21 @@ mod tests {
         b.flow(use1, acc);
         let g = b.build().unwrap();
         let lts = vec![
-            Lifetime { def: acc, start: 0, end: 40 },
-            Lifetime { def: ld, start: 0, end: 40 },
-            Lifetime { def: use1, start: 0, end: 4 },
+            Lifetime {
+                def: acc,
+                start: 0,
+                end: 40,
+            },
+            Lifetime {
+                def: ld,
+                start: 0,
+                end: 40,
+            },
+            Lifetime {
+                def: use1,
+                start: 0,
+                end: 4,
+            },
         ];
         let spill_made = vec![false, true, false];
         let picked = pick_spill_candidates(&g, &lts, 2, M4, &spill_made, 10, 4);
@@ -525,7 +621,10 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = RegallocError::Pressure { needed: 40, available: 32 };
+        let e = RegallocError::Pressure {
+            needed: 40,
+            available: 32,
+        };
         assert!(e.to_string().contains("40"));
         assert!(Error::source(&e).is_none());
         let e = RegallocError::Schedule(ScheduleError::ZeroIi);

@@ -8,8 +8,11 @@ use widening_sched::SchedulerOptions;
 use widening_workload::corpus::{generate, CorpusSpec};
 
 fn arb_lifetimes() -> impl Strategy<Value = (Vec<Lifetime>, u32)> {
-    (1u32..24, proptest::collection::vec((0u32..60, 1u32..40), 1..40)).prop_map(
-        |(ii, raw)| {
+    (
+        1u32..24,
+        proptest::collection::vec((0u32..60, 1u32..40), 1..40),
+    )
+        .prop_map(|(ii, raw)| {
             let lts = raw
                 .into_iter()
                 .enumerate()
@@ -20,8 +23,7 @@ fn arb_lifetimes() -> impl Strategy<Value = (Vec<Lifetime>, u32)> {
                 })
                 .collect();
             (lts, ii)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -51,7 +51,12 @@ impl TimeAnalysis {
         if !relax(ddg, model, iil, &mut alap, true) {
             return None;
         }
-        Some(TimeAnalysis { ii, asap, alap, span })
+        Some(TimeAnalysis {
+            ii,
+            asap,
+            alap,
+            span,
+        })
     }
 
     /// The `II` the analysis was computed for.
@@ -154,7 +159,7 @@ mod tests {
         assert_eq!(ta.asap(m), 4);
         assert_eq!(ta.asap(s), 8);
         assert_eq!(ta.span(), 9); // store issues at 8, takes 1 cycle
-        // Chain is critical: zero mobility everywhere.
+                                  // Chain is critical: zero mobility everywhere.
         for v in g.node_ids() {
             assert_eq!(ta.mobility(v), 0, "{v}");
         }

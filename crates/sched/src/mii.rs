@@ -42,7 +42,11 @@ impl MiiBounds {
     pub fn compute(ddg: &Ddg, cfg: &Configuration, model: CycleModel) -> Self {
         let res_mii = res_mii(ddg, cfg, model);
         let (rec_mii, recurrences) = rec_mii(ddg, model);
-        MiiBounds { res_mii, rec_mii, recurrences }
+        MiiBounds {
+            res_mii,
+            rec_mii,
+            recurrences,
+        }
     }
 
     /// The resource-constrained bound.
@@ -103,13 +107,15 @@ fn rec_mii(ddg: &Ddg, model: CycleModel) -> (u32, Vec<RecurrenceInfo>) {
     let sccs = StronglyConnectedComponents::compute(ddg);
     let mut infos = Vec::new();
     for comp in sccs.components() {
-        let is_recurrence = comp.len() > 1
-            || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
+        let is_recurrence = comp.len() > 1 || ddg.out_edges(comp[0]).any(|e| e.dst == comp[0]);
         if !is_recurrence {
             continue;
         }
         let rec = scc_rec_mii(ddg, model, comp);
-        infos.push(RecurrenceInfo { nodes: comp.clone(), rec_mii: rec });
+        infos.push(RecurrenceInfo {
+            nodes: comp.clone(),
+            rec_mii: rec,
+        });
     }
     infos.sort_by(|a, b| {
         b.rec_mii

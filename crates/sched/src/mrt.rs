@@ -46,7 +46,11 @@ const FREE: u32 = 0;
 
 impl Grid {
     fn new(units: u32, rows: u32) -> Self {
-        Grid { units, rows, cells: vec![FREE; (units * rows) as usize] }
+        Grid {
+            units,
+            rows,
+            cells: vec![FREE; (units * rows) as usize],
+        }
     }
 
     fn cell(&self, unit: u32, row: u32) -> u32 {
@@ -83,8 +87,14 @@ impl Mrt {
     #[must_use]
     pub fn new(ii: u32, bus_units: u32, fpu_units: u32) -> Self {
         assert!(ii >= 1, "II must be at least 1");
-        assert!(bus_units >= 1 && fpu_units >= 1, "unit counts must be at least 1");
-        Mrt { ii, grids: [Grid::new(bus_units, ii), Grid::new(fpu_units, ii)] }
+        assert!(
+            bus_units >= 1 && fpu_units >= 1,
+            "unit counts must be at least 1"
+        );
+        Mrt {
+            ii,
+            grids: [Grid::new(bus_units, ii), Grid::new(fpu_units, ii)],
+        }
     }
 
     /// The initiation interval this table models.
@@ -127,14 +137,11 @@ impl Mrt {
                 full_units.push(u);
                 continue;
             }
-            if partial_len > 0 && partial_unit.is_none() && grid.run_is_free(u, row, partial_len)
-            {
+            if partial_len > 0 && partial_unit.is_none() && grid.run_is_free(u, row, partial_len) {
                 partial_unit = Some(u);
             }
         }
-        if (full_units.len() as u32) < full_needed
-            || (partial_len > 0 && partial_unit.is_none())
-        {
+        if (full_units.len() as u32) < full_needed || (partial_len > 0 && partial_unit.is_none()) {
             return None;
         }
         let tag = node + 1;
@@ -150,7 +157,11 @@ impl Mrt {
             }
             (u, row, partial_len)
         });
-        Some(Placement { class, full_units, partial })
+        Some(Placement {
+            class,
+            full_units,
+            partial,
+        })
     }
 
     /// Node ids whose reservations overlap the slots that placing an
@@ -219,7 +230,11 @@ impl Mrt {
     /// Number of occupied slots in a class (for utilization statistics).
     #[must_use]
     pub fn occupied_slots(&self, class: ResourceClass) -> u32 {
-        self.grids[class_index(class)].cells.iter().filter(|&&c| c != FREE).count() as u32
+        self.grids[class_index(class)]
+            .cells
+            .iter()
+            .filter(|&&c| c != FREE)
+            .count() as u32
     }
 
     /// Total slots in a class: `units × II`.
@@ -275,7 +290,9 @@ mod tests {
         assert!(p.partial.is_none());
         // The second column still has all four rows.
         for t in 0..4 {
-            assert!(mrt.try_place(10 + t, ResourceClass::Fpu, i64::from(t), 1).is_some());
+            assert!(mrt
+                .try_place(10 + t, ResourceClass::Fpu, i64::from(t), 1)
+                .is_some());
         }
     }
 

@@ -47,8 +47,7 @@ impl Schedule {
         }
         for e in ddg.edges() {
             let lhs = i64::from(times[e.dst.index()]);
-            let rhs = i64::from(times[e.src.index()])
-                + edge_delay(model, ddg.op(e.src).kind(), e)
+            let rhs = i64::from(times[e.src.index()]) + edge_delay(model, ddg.op(e.src).kind(), e)
                 - i64::from(ii) * i64::from(e.distance);
             if lhs < rhs {
                 return Err(ScheduleError::DependenceViolated {
@@ -58,15 +57,17 @@ impl Schedule {
                 });
             }
         }
-        let mut mrt = Mrt::new(ii, cfg.units(ResourceClass::Bus), cfg.units(ResourceClass::Fpu));
+        let mut mrt = Mrt::new(
+            ii,
+            cfg.units(ResourceClass::Bus),
+            cfg.units(ResourceClass::Fpu),
+        );
         // Unpipelined operations reserve unit columns, so the greedy
         // re-verification is order-sensitive; first-fit-decreasing
         // (largest occupancy first) avoids fragmenting units under the
         // long reservations.
         let mut order: Vec<_> = ddg.node_ids().collect();
-        order.sort_by_key(|&v| {
-            (std::cmp::Reverse(model.occupancy(ddg.op(v).kind())), v.0)
-        });
+        order.sort_by_key(|&v| (std::cmp::Reverse(model.occupancy(ddg.op(v).kind())), v.0));
         for v in order {
             let op = ddg.op(v);
             let occ = model.occupancy(op.kind());
@@ -120,6 +121,43 @@ impl Schedule {
         self.times[v.index()] / self.ii
     }
 
+    /// Latest issue cycle in the flat schedule (`max t`); the pipeline
+    /// needs `max_time + 1` cycles to run a single iteration.
+    #[must_use]
+    pub fn max_time(&self) -> u32 {
+        *self.times.iter().max().expect("schedules are non-empty")
+    }
+
+    /// Absolute issue cycle of node `v` in kernel iteration `block`
+    /// (0-based): `t(v) + II·block`. This is the simulator's issue-cycle
+    /// table.
+    #[must_use]
+    pub fn issue_cycle(&self, v: NodeId, block: u64) -> u64 {
+        u64::from(self.times[v.index()]) + u64::from(self.ii) * block
+    }
+
+    /// Exact dynamic cycles to issue `blocks` kernel iterations of the
+    /// software pipeline, prologue and epilogue included: the last
+    /// operation of the last iteration issues at `max_time + II·(blocks−1)`.
+    /// Zero blocks take zero cycles.
+    #[must_use]
+    pub fn dynamic_cycles(&self, blocks: u64) -> u64 {
+        match blocks {
+            0 => 0,
+            b => u64::from(self.ii) * (b - 1) + u64::from(self.max_time()) + 1,
+        }
+    }
+
+    /// The fill/drain overhead the steady-state accounting `II·blocks`
+    /// omits: `dynamic_cycles(b) − II·b = max_time + 1 − II` (independent
+    /// of `b ≥ 1`). Short loops pay this once; the paper's §5 accounting
+    /// amortises it away. Negative when the whole pipeline fits inside
+    /// one initiation interval (the last iteration drains early).
+    #[must_use]
+    pub fn transient_cycles(&self) -> i64 {
+        i64::from(self.max_time()) + 1 - i64::from(self.ii)
+    }
+
     /// Total cycles to run `iterations` iterations, counting kernel
     /// iterations only (the paper's accounting: `II × iterations`,
     /// §5 footnote).
@@ -146,7 +184,13 @@ impl Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "II={} stages={} ops={}", self.ii, self.stages, self.times.len())
+        write!(
+            f,
+            "II={} stages={} ops={}",
+            self.ii,
+            self.stages,
+            self.times.len()
+        )
     }
 }
 
@@ -246,7 +290,10 @@ mod tests {
     fn rejects_dependence_violation() {
         let g = chain();
         let err = Schedule::new(&g, &cfg1(), M4, 2, vec![0, 3, 8]).unwrap_err();
-        assert!(matches!(err, ScheduleError::DependenceViolated { src: 0, dst: 1, .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::DependenceViolated { src: 0, dst: 1, .. }
+        ));
     }
 
     #[test]
@@ -267,7 +314,10 @@ mod tests {
         let g = chain();
         assert!(matches!(
             Schedule::new(&g, &cfg1(), M4, 2, vec![0, 4]),
-            Err(ScheduleError::WrongLength { got: 2, expected: 3 })
+            Err(ScheduleError::WrongLength {
+                got: 2,
+                expected: 3
+            })
         ));
         assert!(matches!(
             Schedule::new(&g, &cfg1(), M4, 0, vec![0, 4, 8]),

@@ -93,7 +93,11 @@ impl ModuloScheduler {
     /// A scheduler with default options (HRMS strategy).
     #[must_use]
     pub fn new(cfg: Configuration, model: CycleModel) -> Self {
-        ModuloScheduler { cfg, model, opts: SchedulerOptions::default() }
+        ModuloScheduler {
+            cfg,
+            model,
+            opts: SchedulerOptions::default(),
+        }
     }
 
     /// A scheduler with explicit options.
@@ -191,7 +195,9 @@ impl ModuloScheduler {
                 }
             }
         }
-        Err(ScheduleError::NoSchedule { max_ii_tried: limit })
+        Err(ScheduleError::NoSchedule {
+            max_ii_tried: limit,
+        })
     }
 
     // ----- shared placement helpers -------------------------------------
@@ -267,14 +273,9 @@ impl ModuloScheduler {
             let e = self.estart(ddg, v, ii, &time);
             let l = self.lstart(ddg, v, ii, &time);
             let ok = match (e, l) {
-                (Some(e), None) => self.place_in_window(
-                    ddg,
-                    v,
-                    e..e + iil,
-                    &mut mrt,
-                    &mut time,
-                    &mut placements,
-                ),
+                (Some(e), None) => {
+                    self.place_in_window(ddg, v, e..e + iil, &mut mrt, &mut time, &mut placements)
+                }
                 (None, Some(l)) => self.place_in_window(
                     ddg,
                     v,
@@ -303,7 +304,11 @@ impl ModuloScheduler {
                 return None;
             }
         }
-        Some(time.into_iter().map(|t| t.expect("all nodes placed")).collect())
+        Some(
+            time.into_iter()
+                .map(|t| t.expect("all nodes placed"))
+                .collect(),
+        )
     }
 
     // ----- IMS -----------------------------------------------------------
@@ -341,7 +346,8 @@ impl ModuloScheduler {
             let occ = self.model.occupancy(op.kind());
             let estart = self.estart(ddg, v, ii, &time).unwrap_or_else(|| ta.asap(v));
             let found = (estart..estart + iil).find_map(|t| {
-                mrt.try_place(v.0, op.resource_class(), t, occ).map(|p| (t, p))
+                mrt.try_place(v.0, op.resource_class(), t, occ)
+                    .map(|p| (t, p))
             });
             let (t, placement) = match found {
                 Some(hit) => hit,
@@ -439,7 +445,11 @@ impl ModuloScheduler {
                 return None;
             }
         }
-        Some(time.into_iter().map(|t| t.expect("all nodes placed")).collect())
+        Some(
+            time.into_iter()
+                .map(|t| t.expect("all nodes placed"))
+                .collect(),
+        )
     }
 }
 
@@ -540,8 +550,7 @@ fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
                     direction_top_down = !direction_top_down;
                     frontier = flipped;
                 } else {
-                    frontier =
-                        frontier_of(ddg, &order, &in_set, &ordered, direction_top_down);
+                    frontier = frontier_of(ddg, &order, &in_set, &ordered, direction_top_down);
                 }
                 if frontier.is_empty() {
                     let seed = set
@@ -563,8 +572,11 @@ fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
                 .iter()
                 .enumerate()
                 .max_by_key(|&(i, &v)| {
-                    let primary =
-                        if direction_top_down { ta.height(v) } else { ta.depth(v) };
+                    let primary = if direction_top_down {
+                        ta.height(v)
+                    } else {
+                        ta.depth(v)
+                    };
                     (primary, -ta.mobility(v), std::cmp::Reverse(i))
                 })
                 .map(|(_, &v)| v)
@@ -703,7 +715,10 @@ mod tests {
             let s = ModuloScheduler::with_options(
                 cfg(1),
                 M4,
-                SchedulerOptions { strategy: strat, ..Default::default() },
+                SchedulerOptions {
+                    strategy: strat,
+                    ..Default::default()
+                },
             )
             .schedule(&g)
             .unwrap_or_else(|e| panic!("{}: {e}", strat.label()));
@@ -812,7 +827,10 @@ mod tests {
         let s = ModuloScheduler::with_options(
             cfg(1),
             M4,
-            SchedulerOptions { strategy: Strategy::Ims, ..Default::default() },
+            SchedulerOptions {
+                strategy: Strategy::Ims,
+                ..Default::default()
+            },
         )
         .schedule(&g)
         .unwrap();

@@ -15,10 +15,8 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
     ];
     (2usize..16, proptest::collection::vec(kinds, 16))
         .prop_flat_map(|(n, kinds)| {
-            let edges = proptest::collection::vec(
-                (0usize..n, 0usize..n, 0u32..3, any::<bool>()),
-                0..2 * n,
-            );
+            let edges =
+                proptest::collection::vec((0usize..n, 0usize..n, 0u32..3, any::<bool>()), 0..2 * n);
             (Just(n), Just(kinds), edges)
         })
         .prop_map(|(n, kinds, edges)| {

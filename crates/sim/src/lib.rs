@@ -1,0 +1,333 @@
+//! **widening-sim** — a cycle-accurate wide-datapath simulator with
+//! differential validation, for the *Widening Resources* (MICRO 1998)
+//! reproduction.
+//!
+//! Every number the analytic pipeline produces is of the form
+//! `II · ⌈trip/Y⌉ · weight`: no schedule is ever executed, so the
+//! widening transform, the HRMS schedule, the register allocation and
+//! the spill code are only checked *structurally*. This crate actually
+//! runs them:
+//!
+//! * [`reference::run_reference`] executes the original scalar loop
+//!   sequentially over concrete [`memory::Memory`] — the ground truth;
+//! * [`machine::WideMachine`] executes the verified wide schedule
+//!   cycle-accurately — prologue, kernel, epilogue, a real wide register
+//!   file laid out by the allocator's location table, and spill slots —
+//!   flagging register clobbers and premature reads as hard errors;
+//! * [`simulate_loop`] runs the whole widen → schedule → allocate →
+//!   spill → simulate pipeline for one loop and compares final memory
+//!   and per-operation value checksums bitwise ([`SimReport`]).
+//!
+//! Because both interpreters share one executable semantics
+//! ([`widening_ir::semantics`]) and fold operands in the same order,
+//! a correct pipeline matches the reference **bitwise**; any packing,
+//! lane-routing, dependence-distance, allocation or spill bug shows up
+//! as a [`Divergence`] or a [`SimError`].
+//!
+//! The simulator also reports *dynamic* cycles, quantifying the
+//! fill/drain transient that the paper's steady-state accounting
+//! `II · ⌈trip/Y⌉` amortises away (see the `transients` experiment in
+//! the core crate).
+//!
+//! # Example
+//!
+//! ```
+//! use widening_machine::{Configuration, CycleModel};
+//! use widening_sim::simulate_loop;
+//! use widening_workload::kernels;
+//!
+//! let cfg: Configuration = "2w2(64:1)".parse()?;
+//! let report = simulate_loop(
+//!     &kernels::daxpy(),
+//!     &cfg,
+//!     CycleModel::Cycles4,
+//!     &Default::default(),
+//!     &Default::default(),
+//! )?;
+//! assert!(report.is_validated());
+//! // Dynamic cycles = steady state + fill/drain transient.
+//! assert_eq!(
+//!     report.stats.cycles as i64,
+//!     report.stats.steady_state_cycles as i64 + report.stats.transient_cycles()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod memory;
+pub mod reference;
+mod report;
+
+pub use machine::{WideMachine, WideRun};
+pub use memory::Memory;
+pub use reference::{run_reference, ReferenceRun};
+pub use report::{Divergence, SimError, SimFailure, SimReport, SimStats};
+
+use widening_ir::{Ddg, Loop, NodeId, OpKind};
+use widening_machine::{Configuration, CycleModel};
+use widening_regalloc::{schedule_with_registers, PressureResult, SpillOptions};
+use widening_sched::SchedulerOptions;
+use widening_transform::{widen, WideningOutcome};
+
+/// Cap on reported per-cell divergences (checksums still cover every
+/// node).
+const MAX_REPORTED_CELLS: usize = 8;
+
+/// Runs the full pipeline — widen, schedule with registers, simulate,
+/// differentially validate — for `trip` iterations of `ddg` on `cfg`.
+///
+/// # Errors
+///
+/// * [`SimFailure::Pipeline`] if scheduling/allocation fails (e.g. the
+///   paper's unresolvable-pressure cases);
+/// * [`SimFailure::Execution`] if the wide machine hits a hard state
+///   violation (register clobber, premature read, empty spill slot).
+pub fn simulate_ddg(
+    ddg: &Ddg,
+    trip: u64,
+    cfg: &Configuration,
+    model: CycleModel,
+    sched_opts: &SchedulerOptions,
+    spill_opts: &SpillOptions,
+) -> Result<SimReport, SimFailure> {
+    let outcome = widen(ddg, cfg.widening());
+    let result = schedule_with_registers(outcome.ddg(), cfg, model, sched_opts, spill_opts)?;
+    simulate_scheduled(ddg, &outcome, &result, model, trip)
+}
+
+/// [`simulate_ddg`] for a named [`Loop`], using its own trip count.
+///
+/// # Errors
+///
+/// See [`simulate_ddg`].
+pub fn simulate_loop(
+    l: &Loop,
+    cfg: &Configuration,
+    model: CycleModel,
+    sched_opts: &SchedulerOptions,
+    spill_opts: &SpillOptions,
+) -> Result<SimReport, SimFailure> {
+    simulate_ddg(l.ddg(), l.trip_count(), cfg, model, sched_opts, spill_opts)
+}
+
+/// Simulates an already-scheduled loop and validates it against the
+/// scalar reference. Use this form to simulate one schedule at many
+/// trip counts without re-scheduling.
+///
+/// # Errors
+///
+/// See [`simulate_ddg`].
+pub fn simulate_scheduled(
+    original: &Ddg,
+    outcome: &WideningOutcome,
+    result: &PressureResult,
+    model: CycleModel,
+    trip: u64,
+) -> Result<SimReport, SimFailure> {
+    let wide = WideMachine::new(original, outcome, result, model, trip).run()?;
+    let reference = reference::run_reference(original, trip);
+    let divergences = compare(original, &reference, &wide);
+    Ok(SimReport {
+        stats: wide.stats,
+        divergences,
+        ii: result.schedule.ii(),
+        spill_ops: result.spill_stores + result.spill_loads,
+    })
+}
+
+/// Bitwise comparison of the two executions: store regions cell by cell,
+/// then whole-trip value checksums for every value-producing operation.
+fn compare(original: &Ddg, reference: &ReferenceRun, wide: &WideRun) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let mut cells = 0usize;
+    for v in original.node_ids() {
+        if original.op(v).kind() != OpKind::Store {
+            continue;
+        }
+        let want = reference.memory.region(v);
+        let got = wide.memory.region(v);
+        for (i, (w, g)) in want.iter().zip(got).enumerate() {
+            if w.to_bits() != g.to_bits() && cells < MAX_REPORTED_CELLS {
+                cells += 1;
+                out.push(Divergence::StoreCell {
+                    node: v,
+                    iteration: i as u64,
+                    expected: *w,
+                    got: *g,
+                });
+            }
+        }
+    }
+    for v in original.node_ids() {
+        if reference.checksums[v.index()] != wide.checksums[v.index()] {
+            out.push(Divergence::Checksum { node: v });
+        }
+    }
+    out
+}
+
+/// Convenience for tests and experiments: the node ids of every store
+/// in `ddg`, in id order.
+#[must_use]
+pub fn store_nodes(ddg: &Ddg) -> Vec<NodeId> {
+    ddg.node_ids()
+        .filter(|&v| ddg.op(v).kind() == OpKind::Store)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::DdgBuilder;
+    use widening_workload::kernels;
+
+    const M4: CycleModel = CycleModel::Cycles4;
+
+    fn sim(l: &Loop, spec: &str) -> SimReport {
+        let cfg: Configuration = spec.parse().unwrap();
+        simulate_loop(l, &cfg, M4, &Default::default(), &Default::default())
+            .unwrap_or_else(|e| panic!("{} on {spec}: {e}", l.name()))
+    }
+
+    #[test]
+    fn daxpy_validates_at_all_widths() {
+        let daxpy = kernels::daxpy();
+        for (spec, y) in [
+            ("1w1(64:1)", 1),
+            ("1w2(64:1)", 2),
+            ("1w4(64:1)", 4),
+            ("2w2(64:1)", 2),
+        ] {
+            let r = sim(&daxpy, spec);
+            assert!(r.is_validated(), "{spec}: {:?}", r.divergences);
+            assert_eq!(r.stats.blocks, daxpy.trip_count().div_ceil(y), "{spec}");
+        }
+    }
+
+    #[test]
+    fn every_kernel_validates_on_small_machines() {
+        for kernel in kernels::all() {
+            for spec in [
+                "1w1(64:1)",
+                "2w1(64:1)",
+                "1w2(64:1)",
+                "2w2(128:1)",
+                "4w2(128:1)",
+            ] {
+                let cfg: Configuration = spec.parse().unwrap();
+                let r = simulate_loop(&kernel, &cfg, M4, &Default::default(), &Default::default())
+                    .unwrap_or_else(|e| panic!("{} on {spec}: {e}", kernel.name()));
+                assert!(
+                    r.is_validated(),
+                    "{} on {spec}: {:?}",
+                    kernel.name(),
+                    r.divergences
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_cycles_are_steady_state_plus_transient() {
+        let fir = kernels::fir5();
+        for spec in ["1w1(64:1)", "2w2(64:1)"] {
+            let r = sim(&fir, spec);
+            assert_eq!(
+                r.stats.cycles as i64,
+                r.stats.steady_state_cycles as i64 + r.stats.transient_cycles(),
+                "{spec}"
+            );
+            // fir5 is deep enough that the transient is positive.
+            assert!(r.stats.cycles >= r.stats.steady_state_cycles, "{spec}");
+        }
+    }
+
+    #[test]
+    fn short_trips_exercise_prologue_epilogue_only() {
+        // Trip < stage count: the pipeline never reaches steady state.
+        let mut b = DdgBuilder::new();
+        let x = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let s = b.store(1);
+        b.flow(x, m);
+        b.flow(m, s);
+        let g = b.build().unwrap();
+        let cfg: Configuration = "2w2(64:1)".parse().unwrap();
+        for trip in 1..=9 {
+            let r =
+                simulate_ddg(&g, trip, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+            assert!(r.is_validated(), "trip {trip}: {:?}", r.divergences);
+        }
+    }
+
+    #[test]
+    fn masked_lanes_counted_for_ragged_trips() {
+        let daxpy = kernels::daxpy();
+        let cfg: Configuration = "1w4(64:1)".parse().unwrap();
+        let r = simulate_ddg(
+            daxpy.ddg(),
+            10,
+            &cfg,
+            M4,
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
+        assert!(r.is_validated(), "{:?}", r.divergences);
+        assert_eq!(r.stats.blocks, 3);
+        // 12 lanes in 3 blocks, 10 live iterations, 5 packed ops → 2·5
+        // masked lanes.
+        assert_eq!(r.stats.masked_lanes, 2 * 5);
+    }
+
+    #[test]
+    fn spilled_loops_still_validate() {
+        // A register-starved machine forces spill code; the simulation
+        // must route values through the spill slots and still match.
+        let fir = kernels::fir5();
+        let cfg: Configuration = "4w1(32:1)".parse().unwrap();
+        let r = simulate_loop(&fir, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+        assert!(r.is_validated(), "{:?}", r.divergences);
+    }
+
+    #[test]
+    fn recurrences_validate_where_lanes_serialize() {
+        let dot = kernels::dot_product();
+        for spec in ["1w4(64:1)", "2w2(64:1)"] {
+            let r = sim(&dot, spec);
+            assert!(r.is_validated(), "{spec}: {:?}", r.divergences);
+        }
+    }
+
+    #[test]
+    fn lane_crossing_recurrence_uses_forwarding_and_validates() {
+        // acc[i] = acc[i-5] + x[i] at width 4: distance 5 ≥ 4 packs the
+        // add, but 5 mod 4 ≠ 0 means lane 0 of each block needs the
+        // instance one block older than the widened edge records — the
+        // one read the register file cannot serve.
+        let mut b = DdgBuilder::new();
+        let x = b.load(1);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1);
+        b.flow(x, a);
+        b.carried_flow(a, a, 5);
+        b.flow(a, s);
+        let g = b.build().unwrap();
+        let cfg: Configuration = "1w4(64:1)".parse().unwrap();
+        let r = simulate_ddg(&g, 40, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+        assert!(r.is_validated(), "{:?}", r.divergences);
+        assert!(
+            r.stats.cross_block_reads > 0,
+            "the d % Y ≠ 0 recurrence must exercise the forwarding path"
+        );
+    }
+
+    #[test]
+    fn store_nodes_helper_finds_stores() {
+        let daxpy = kernels::daxpy();
+        assert_eq!(store_nodes(daxpy.ddg()).len(), 1);
+    }
+}

@@ -1,0 +1,680 @@
+//! The cycle-accurate wide-datapath machine.
+//!
+//! [`WideMachine`] executes a verified modulo schedule of the *widened*
+//! (and possibly spill-rewritten) loop over concrete state: a register
+//! file of `64·Y`-bit wide registers laid out by the allocator's
+//! location table, spill slots, and the shared [`Memory`]. Kernel
+//! iteration `b` issues node `w` at absolute cycle `t(w) + II·b`, which
+//! reproduces prologue, steady state and epilogue exactly.
+//!
+//! Execution is *register-accurate*: a consumer finds each operand by
+//! looking up the register assigned to the producing instance
+//! (`register_of(lifetime, block mod K)`) and checking that the register
+//! still holds that instance and that its writeback has completed.
+//! Violations surface as [`SimError::RegisterClobbered`] /
+//! [`SimError::ReadBeforeReady`] — catching allocation and schedule bugs
+//! directly — while wrong packing, lane routing or spill distances
+//! produce wrong *values* and are caught by the differential comparison
+//! against the scalar reference.
+//!
+//! One modelled forwarding path exists: a wide-to-wide dependence whose
+//! original distance is not a multiple of `Y` needs, for its oldest
+//! lanes, the producer instance one block older than the widened edge
+//! records. The paper's dependence model only keeps the youngest ("binding")
+//! instance's register alive, so the machine serves those lanes from a
+//! bounded value-forwarding buffer and counts them
+//! ([`SimStats::cross_block_reads`]) instead of failing — the register
+//! file is still checked for every binding read.
+
+use widening_ir::{semantics, Ddg, NodeId, OpKind};
+use widening_machine::CycleModel;
+use widening_regalloc::PressureResult;
+use widening_transform::{NodeMapping, WideningOutcome};
+
+use crate::memory::Memory;
+use crate::reference::checksum_step;
+use crate::report::{SimError, SimStats};
+
+/// What a final-graph node does when it issues.
+#[derive(Debug, Clone)]
+enum Role {
+    /// An instance of original operation `original` — all `Y` lanes for
+    /// a packed node (`lane: None`), one lane otherwise.
+    Compute { original: NodeId, lane: Option<u32> },
+    /// Writes `victim`'s register to this store's spill slot.
+    SpillStore { victim: NodeId },
+    /// Returns `victim`'s value from `distance` blocks ago out of
+    /// `store`'s slot ring.
+    SpillReload {
+        victim: NodeId,
+        store: NodeId,
+        distance: u32,
+    },
+}
+
+/// A wide register / forwarding entry: which instance it holds and when
+/// the writeback lands.
+#[derive(Debug, Clone)]
+struct RegEntry {
+    node: u32,
+    block: u64,
+    ready_at: u64,
+    data: Vec<f64>,
+}
+
+/// Ring buffer of recent per-block values, for forwarding and spill
+/// slots.
+#[derive(Debug, Clone)]
+struct Ring {
+    entries: Vec<Option<(u64, Vec<f64>)>>,
+}
+
+impl Ring {
+    fn new(depth: usize) -> Self {
+        Ring {
+            entries: vec![None; depth.max(1)],
+        }
+    }
+
+    fn put(&mut self, block: u64, data: Vec<f64>) {
+        let d = self.entries.len() as u64;
+        self.entries[(block % d) as usize] = Some((block, data));
+    }
+
+    fn get(&self, block: u64) -> Option<&Vec<f64>> {
+        let d = self.entries.len() as u64;
+        match &self.entries[(block % d) as usize] {
+            Some((b, data)) if *b == block => Some(data),
+            _ => None,
+        }
+    }
+}
+
+/// Deferred state change: all reads of a cycle happen before any write
+/// of the same cycle commits.
+enum Commit {
+    Reg {
+        node: u32,
+        block: u64,
+        ready_at: u64,
+        data: Vec<f64>,
+    },
+    Hist {
+        node: u32,
+        block: u64,
+        data: Vec<f64>,
+    },
+    Mem {
+        store: NodeId,
+        iteration: u64,
+        value: f64,
+    },
+    Slot {
+        store: u32,
+        block: u64,
+        data: Vec<f64>,
+    },
+}
+
+/// The result of one wide execution.
+#[derive(Debug, Clone)]
+pub struct WideRun {
+    /// Final memory state (same layout as the reference's).
+    pub memory: Memory,
+    /// Per **original** node checksums, comparable to
+    /// [`crate::reference::ReferenceRun::checksums`].
+    pub checksums: Vec<u64>,
+    /// Dynamic counters.
+    pub stats: SimStats,
+}
+
+/// A configured wide-datapath simulation over one scheduled loop.
+#[derive(Debug, Clone, Copy)]
+pub struct WideMachine<'a> {
+    original: &'a Ddg,
+    outcome: &'a WideningOutcome,
+    result: &'a PressureResult,
+    model: CycleModel,
+    trip: u64,
+}
+
+impl<'a> WideMachine<'a> {
+    /// Prepares a simulation of `trip` original iterations.
+    ///
+    /// `outcome` must be the widening of `original` that `result` was
+    /// scheduled from (`result.ddg` is `outcome.ddg()` plus any spill
+    /// code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip` is zero or the inputs are structurally
+    /// inconsistent in ways cheap to detect up front.
+    #[must_use]
+    pub fn new(
+        original: &'a Ddg,
+        outcome: &'a WideningOutcome,
+        result: &'a PressureResult,
+        model: CycleModel,
+        trip: u64,
+    ) -> Self {
+        assert!(trip > 0, "trip count must be positive");
+        assert!(
+            result.ddg.num_nodes() >= outcome.ddg().num_nodes(),
+            "result graph must extend the widened graph"
+        );
+        WideMachine {
+            original,
+            outcome,
+            result,
+            model,
+            trip,
+        }
+    }
+
+    /// Executes prologue → kernel → epilogue for the whole trip count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first machine-state violation encountered; see
+    /// [`SimError`].
+    pub fn run(&self) -> Result<WideRun, SimError> {
+        let y = u64::from(self.outcome.width());
+        let sched = &self.result.schedule;
+        let alloc = &self.result.allocation;
+        let ii = u64::from(sched.ii());
+        let k = u64::from(alloc.kernel_unroll());
+        let blocks = self.trip.div_ceil(y);
+        let final_ddg = &self.result.ddg;
+        let n = final_ddg.num_nodes();
+
+        // Node roles: widened part from the origin table, spill part
+        // from the spill records.
+        let mut roles: Vec<Option<Role>> = self
+            .outcome
+            .origin_table()
+            .into_iter()
+            .map(|o| {
+                Some(Role::Compute {
+                    original: o.original,
+                    lane: o.lane,
+                })
+            })
+            .collect();
+        roles.resize(n, None);
+        for rec in &self.result.spills {
+            roles[rec.store.index()] = Some(Role::SpillStore { victim: rec.victim });
+            for &(distance, reload) in &rec.reloads {
+                roles[reload.index()] = Some(Role::SpillReload {
+                    victim: rec.victim,
+                    store: rec.store,
+                    distance,
+                });
+            }
+        }
+        let roles: Vec<Role> = roles
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.ok_or_else(|| SimError::Internal(format!("node n{i} has no role"))))
+            .collect::<Result<_, _>>()?;
+
+        // Location table: final node -> lifetime index.
+        let mut lifetime_of: Vec<Option<u32>> = vec![None; n];
+        for (i, lt) in self.result.lifetimes.iter().enumerate() {
+            lifetime_of[lt.def.index()] = Some(i as u32);
+        }
+
+        // Spill lookup: victim -> record index; store -> slot ring.
+        let mut spilled_rec: Vec<Option<u32>> = vec![None; n];
+        for (i, rec) in self.result.spills.iter().enumerate() {
+            spilled_rec[rec.victim.index()] = Some(i as u32);
+        }
+
+        // Issue table: local row -> nodes.
+        let max_t = sched.max_time();
+        let mut nodes_at_time: Vec<Vec<u32>> = vec![Vec::new(); max_t as usize + 1];
+        for v in final_ddg.node_ids() {
+            nodes_at_time[sched.time(v) as usize].push(v.0);
+        }
+
+        // A ring entry for block β must survive until the last consumer
+        // of β issues. Consumers lag producers by at most the pipeline
+        // depth (stages) in blocks, plus the largest dependence
+        // distance.
+        let ring_depth = sched.stages() as usize
+            + final_ddg
+                .edges()
+                .iter()
+                .map(|e| e.distance)
+                .max()
+                .unwrap_or(0) as usize
+            + 2;
+
+        // Only two reader classes ever hit the forwarding buffer: wide
+        // producers feeding wide consumers at a distance that is not a
+        // multiple of Y (older-lane reads), and spilled victims whose
+        // reload set misses a lane's distance. Everything else skips the
+        // Hist commit entirely — one fewer allocation per issued op.
+        let mut needs_hist = vec![false; n];
+        for e in self.original.edges() {
+            if e.kind.is_flow()
+                && u64::from(e.distance) % y != 0
+                && matches!(self.outcome.mapping()[e.dst.index()], NodeMapping::Wide(_))
+            {
+                if let NodeMapping::Wide(p) = self.outcome.mapping()[e.src.index()] {
+                    needs_hist[p.index()] = true;
+                }
+            }
+        }
+        for rec in &self.result.spills {
+            needs_hist[rec.victim.index()] = true;
+        }
+
+        let mut state = MachineState {
+            original: self.original,
+            outcome: self.outcome,
+            result: self.result,
+            model: self.model,
+            trip: self.trip,
+            y,
+            k,
+            roles,
+            lifetime_of,
+            spilled_rec,
+            needs_hist,
+            regs: vec![None; alloc.registers_used() as usize],
+            hist: vec![Ring::new(ring_depth); n],
+            slots: vec![Ring::new(ring_depth); n],
+            memory: Memory::for_loop(self.original, self.trip),
+            checksums: vec![0u64; self.original.num_nodes()],
+            stats: SimStats {
+                blocks,
+                steady_state_cycles: ii * blocks,
+                ..SimStats::default()
+            },
+        };
+
+        let total_cycles = sched.dynamic_cycles(blocks);
+        let mut commits: Vec<Commit> = Vec::new();
+        for t in 0..total_cycles {
+            let b_hi = (t / ii).min(blocks - 1);
+            let b_lo = t.saturating_sub(u64::from(max_t)).div_ceil(ii);
+            // Phase 1: issue every (node, block) of this cycle, reading
+            // registers/slots/memory and computing values.
+            commits.clear();
+            for b in b_lo..=b_hi {
+                let row = (t - ii * b) as usize;
+                for &w in &nodes_at_time[row] {
+                    state.issue(NodeId(w), b, t, &mut commits)?;
+                    state.stats.issued_ops += 1;
+                }
+            }
+            // Phase 2: commit all writes of the cycle.
+            for c in commits.drain(..) {
+                match c {
+                    Commit::Reg {
+                        node,
+                        block,
+                        ready_at,
+                        data,
+                    } => {
+                        let lt =
+                            state.lifetime_of[node as usize].ok_or_else(|| no_lifetime(node))?;
+                        let reg = state
+                            .result
+                            .allocation
+                            .register_of(lt, (block % k) as u32)
+                            .ok_or_else(|| {
+                                SimError::Internal(format!("no register for n{node}"))
+                            })?;
+                        state.regs[reg as usize] = Some(RegEntry {
+                            node,
+                            block,
+                            ready_at,
+                            data,
+                        });
+                    }
+                    Commit::Hist { node, block, data } => {
+                        state.hist[node as usize].put(block, data);
+                    }
+                    Commit::Mem {
+                        store,
+                        iteration,
+                        value,
+                    } => {
+                        state.memory.write(store, iteration, value);
+                    }
+                    Commit::Slot { store, block, data } => {
+                        state.slots[store as usize].put(block, data);
+                        state.stats.spill_slot_accesses += 1;
+                    }
+                }
+            }
+        }
+        state.stats.cycles = total_cycles;
+
+        Ok(WideRun {
+            memory: state.memory,
+            checksums: state.checksums,
+            stats: state.stats,
+        })
+    }
+}
+
+fn no_lifetime(node: u32) -> SimError {
+    SimError::Internal(format!("node n{node} produces a value but has no lifetime"))
+}
+
+/// All mutable machine state, split from [`WideMachine`] so issue logic
+/// can borrow freely.
+struct MachineState<'a> {
+    original: &'a Ddg,
+    outcome: &'a WideningOutcome,
+    result: &'a PressureResult,
+    model: CycleModel,
+    trip: u64,
+    y: u64,
+    k: u64,
+    roles: Vec<Role>,
+    lifetime_of: Vec<Option<u32>>,
+    spilled_rec: Vec<Option<u32>>,
+    needs_hist: Vec<bool>,
+    regs: Vec<Option<RegEntry>>,
+    hist: Vec<Ring>,
+    slots: Vec<Ring>,
+    memory: Memory,
+    checksums: Vec<u64>,
+    stats: SimStats,
+}
+
+impl MachineState<'_> {
+    /// Issues node `w` of kernel iteration `block` at cycle `t`.
+    fn issue(
+        &mut self,
+        w: NodeId,
+        block: u64,
+        t: u64,
+        commits: &mut Vec<Commit>,
+    ) -> Result<(), SimError> {
+        match self.roles[w.index()].clone() {
+            Role::SpillStore { victim } => {
+                let data = self.read_register(victim, block, w, block, t)?.to_vec();
+                commits.push(Commit::Slot {
+                    store: w.0,
+                    block,
+                    data,
+                });
+            }
+            Role::SpillReload {
+                victim,
+                store,
+                distance,
+            } => {
+                let needed = block as i64 - i64::from(distance);
+                let data = if needed < 0 {
+                    self.virtual_value(victim, needed)
+                } else {
+                    self.stats.spill_slot_accesses += 1;
+                    self.slots[store.index()]
+                        .get(needed as u64)
+                        .ok_or(SimError::SpillSlotEmpty { reload: w, block })?
+                        .clone()
+                };
+                // Reloads are only ever read through their register
+                // (distance-0 edges), never through the forwarding
+                // buffer, so no Hist commit is needed.
+                let ready_at = t + u64::from(self.model.latency(OpKind::Load));
+                commits.push(Commit::Reg {
+                    node: w.0,
+                    block,
+                    ready_at,
+                    data,
+                });
+            }
+            Role::Compute { original, lane } => {
+                self.issue_compute(w, original, lane, block, t, commits)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues a (possibly wide) instance of `original`.
+    fn issue_compute(
+        &mut self,
+        w: NodeId,
+        original: NodeId,
+        lane: Option<u32>,
+        block: u64,
+        t: u64,
+        commits: &mut Vec<Commit>,
+    ) -> Result<(), SimError> {
+        // Detach the graph reference so the in-edge iterator below can
+        // coexist with `&mut self` calls.
+        let graph = self.original;
+        let op = graph.op(original);
+        let kind = op.kind();
+        let (first_lane, lane_count) = match lane {
+            Some(j) => (j, 1u32),
+            None => (0, self.y as u32),
+        };
+        let mut data = vec![0.0f64; lane_count as usize];
+        let mut inputs: Vec<f64> = Vec::new();
+        for (slot, out) in data.iter_mut().enumerate() {
+            let j = first_lane + slot as u32;
+            let i = self.y * block + u64::from(j);
+            if i >= self.trip {
+                self.stats.masked_lanes += 1;
+                continue;
+            }
+            inputs.clear();
+            // Operands in original in-edge order — the fold order the
+            // reference interpreter uses.
+            for e in graph.in_edges(original).filter(|e| e.kind.is_flow()) {
+                let past = i as i64 - i64::from(e.distance);
+                inputs.push(if past < 0 {
+                    semantics::source_value(e.src.0, past)
+                } else {
+                    self.read_operand_lane(
+                        e.src,
+                        past as u64,
+                        e.distance,
+                        lane.is_none(),
+                        w,
+                        block,
+                        t,
+                    )?
+                });
+            }
+            let value = match kind {
+                OpKind::Load => {
+                    let cell = self.memory.read(original, i);
+                    semantics::squash(cell + inputs.iter().sum::<f64>())
+                }
+                OpKind::Store => {
+                    let value = semantics::eval_op(OpKind::Store, &inputs, original.0, i as i64);
+                    commits.push(Commit::Mem {
+                        store: original,
+                        iteration: i,
+                        value,
+                    });
+                    value
+                }
+                k => semantics::eval_op(k, &inputs, original.0, i as i64),
+            };
+            self.checksums[original.index()] ^= checksum_step(i, value);
+            *out = value;
+        }
+        if op.produces_value() {
+            let ready_at = t + u64::from(self.model.latency(kind));
+            if self.needs_hist[w.index()] {
+                commits.push(Commit::Hist {
+                    node: w.0,
+                    block,
+                    data: data.clone(),
+                });
+            }
+            commits.push(Commit::Reg {
+                node: w.0,
+                block,
+                ready_at,
+                data,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the lane of original producer `src` holding iteration
+    /// `past`, from the widened machine's registers (spill-aware).
+    #[allow(clippy::too_many_arguments)]
+    fn read_operand_lane(
+        &mut self,
+        src: NodeId,
+        past: u64,
+        distance: u32,
+        consumer_is_wide: bool,
+        reader: NodeId,
+        block: u64,
+        t: u64,
+    ) -> Result<f64, SimError> {
+        // Locate the widened instance holding iteration `past`.
+        let (producer, lane, beta, producer_is_wide) = match &self.outcome.mapping()[src.index()] {
+            NodeMapping::Wide(p) => (*p, (past % self.y) as usize, past / self.y, true),
+            NodeMapping::Lanes(ids) => (ids[(past % self.y) as usize], 0, past / self.y, false),
+        };
+        // The widened dependence edge records the youngest lane's block
+        // distance ⌊d/Y⌋; older lanes of a wide→wide dependence are the
+        // one case the register file does not cover.
+        let binding = !(consumer_is_wide && producer_is_wide)
+            || (block - beta) == u64::from(distance) / self.y;
+
+        if let Some(rec) = self.spilled_rec[producer.index()] {
+            let rec = &self.result.spills[rec as usize];
+            let d = block - beta;
+            if let Some(&(_, reload)) = rec.reloads.iter().find(|&&(dist, _)| u64::from(dist) == d)
+            {
+                // The reload of this block carries the victim's value
+                // from `d` blocks ago.
+                let data = self.read_register(reload, block, reader, block, t)?;
+                return Ok(data[lane]);
+            }
+            // Older-lane read of a spilled value: no reload exists at
+            // this distance; forward.
+            self.stats.cross_block_reads += 1;
+            return self.forwarded(producer, beta, lane);
+        }
+
+        match self.try_read_register(producer, beta, t) {
+            Ok(data) => Ok(data[lane]),
+            Err(ReadFailure::NotReady { ready_at }) => Err(SimError::ReadBeforeReady {
+                reader,
+                block,
+                cycle: t,
+                ready_at,
+            }),
+            Err(ReadFailure::WrongInstance { register: _ }) if !binding => {
+                self.stats.cross_block_reads += 1;
+                self.forwarded(producer, beta, lane)
+            }
+            Err(ReadFailure::WrongInstance { register }) => Err(SimError::RegisterClobbered {
+                reader,
+                block,
+                register,
+                expected: producer,
+                expected_block: beta,
+            }),
+        }
+    }
+
+    /// Strict register read: the instance must be present and written
+    /// back.
+    fn read_register(
+        &self,
+        producer: NodeId,
+        needed_block: u64,
+        reader: NodeId,
+        reader_block: u64,
+        t: u64,
+    ) -> Result<&[f64], SimError> {
+        match self.try_read_register(producer, needed_block, t) {
+            Ok(data) => Ok(data),
+            Err(ReadFailure::NotReady { ready_at }) => Err(SimError::ReadBeforeReady {
+                reader,
+                block: reader_block,
+                cycle: t,
+                ready_at,
+            }),
+            Err(ReadFailure::WrongInstance { register }) => Err(SimError::RegisterClobbered {
+                reader,
+                block: reader_block,
+                register,
+                expected: producer,
+                expected_block: needed_block,
+            }),
+        }
+    }
+
+    fn try_read_register(
+        &self,
+        producer: NodeId,
+        needed_block: u64,
+        t: u64,
+    ) -> Result<&[f64], ReadFailure> {
+        let lt = self.lifetime_of[producer.index()].expect("flow producers always have a lifetime");
+        let reg = self
+            .result
+            .allocation
+            .register_of(lt, (needed_block % self.k) as u32)
+            .expect("location table covers every instance");
+        match &self.regs[reg as usize] {
+            Some(e) if e.node == producer.0 && e.block == needed_block => {
+                if t < e.ready_at {
+                    Err(ReadFailure::NotReady {
+                        ready_at: e.ready_at,
+                    })
+                } else {
+                    Ok(&e.data)
+                }
+            }
+            _ => Err(ReadFailure::WrongInstance { register: reg }),
+        }
+    }
+
+    /// Value-forwarding buffer lookup for non-binding lane reads.
+    fn forwarded(&self, producer: NodeId, beta: u64, lane: usize) -> Result<f64, SimError> {
+        self.hist[producer.index()]
+            .get(beta)
+            .map(|data| data[lane])
+            .ok_or_else(|| {
+                SimError::Internal(format!("forwarding buffer missed {producer} block {beta}"))
+            })
+    }
+
+    /// The lanes a widened node "defined" before the loop began
+    /// (negative block): the shared live-in stream.
+    fn virtual_value(&self, node: NodeId, block: i64) -> Vec<f64> {
+        match self.roles[node.index()] {
+            Role::Compute {
+                original,
+                lane: None,
+            } => (0..self.y as i64)
+                .map(|j| semantics::source_value(original.0, self.y as i64 * block + j))
+                .collect(),
+            Role::Compute {
+                original,
+                lane: Some(j),
+            } => {
+                vec![semantics::source_value(
+                    original.0,
+                    self.y as i64 * block + i64::from(j),
+                )]
+            }
+            _ => unreachable!("spill victims are always compute nodes"),
+        }
+    }
+}
+
+/// Why a register read failed (internal; mapped to [`SimError`] by
+/// callers that know whether the read was binding).
+enum ReadFailure {
+    WrongInstance { register: u32 },
+    NotReady { ready_at: u64 },
+}

@@ -1,0 +1,143 @@
+//! The concrete memory both interpreters execute against.
+//!
+//! Every memory operation of the **original** loop body owns a private
+//! region of `trip` cells; the cell for iteration `i` is `base + i`.
+//! Load regions are initialised with the deterministic
+//! [`widening_ir::semantics::initial_memory_value`] stream; store
+//! regions start zeroed and collect one value per iteration, which makes
+//! the final store regions a complete, bitwise-comparable trace of the
+//! loop's observable output.
+//!
+//! Regions are deliberately disjoint: the IR's memory edges are ordering
+//! constraints (may-alias), not dataflow, so cross-operation aliasing
+//! would make the overlapped wide execution legitimately diverge from
+//! the sequential reference wherever the front end merely *failed to
+//! prove* independence. Spill traffic does not live here at all — the
+//! simulator gives each spill store a private slot ring indexed by
+//! iteration.
+
+use widening_ir::{semantics, Ddg, NodeId};
+
+/// Flat memory with one region per original memory operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    data: Vec<f64>,
+    /// Region base per original node; `None` for non-memory ops.
+    base: Vec<Option<usize>>,
+    trip: u64,
+}
+
+impl Memory {
+    /// Lays out and initialises memory for `trip` iterations of the
+    /// original loop `ddg`.
+    #[must_use]
+    pub fn for_loop(ddg: &Ddg, trip: u64) -> Self {
+        let trip_len = usize::try_from(trip).expect("trip count fits usize");
+        let mut base = vec![None; ddg.num_nodes()];
+        let mut data = Vec::new();
+        for v in ddg.node_ids() {
+            let op = ddg.op(v);
+            if !op.kind().is_memory() {
+                continue;
+            }
+            base[v.index()] = Some(data.len());
+            if op.kind() == widening_ir::OpKind::Load {
+                data.extend((0..trip_len).map(|i| semantics::initial_memory_value(v.0, i as i64)));
+            } else {
+                data.extend(std::iter::repeat_n(0.0, trip_len));
+            }
+        }
+        Memory { data, base, trip }
+    }
+
+    /// Number of iterations each region covers.
+    #[must_use]
+    pub fn trip(&self) -> u64 {
+        self.trip
+    }
+
+    /// Reads the cell of memory op `v` for iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a memory operation or `i` is out of range.
+    #[must_use]
+    pub fn read(&self, v: NodeId, i: u64) -> f64 {
+        self.data[self.index(v, i)]
+    }
+
+    /// Writes the cell of memory op `v` for iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a memory operation or `i` is out of range.
+    pub fn write(&mut self, v: NodeId, i: u64, value: f64) {
+        let idx = self.index(v, i);
+        self.data[idx] = value;
+    }
+
+    /// The region of memory op `v`, one cell per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a memory operation.
+    #[must_use]
+    pub fn region(&self, v: NodeId) -> &[f64] {
+        let b = self.base[v.index()].expect("memory operation");
+        &self.data[b..b + self.trip as usize]
+    }
+
+    fn index(&self, v: NodeId, i: u64) -> usize {
+        assert!(
+            i < self.trip,
+            "iteration {i} out of range (trip {})",
+            self.trip
+        );
+        self.base[v.index()].expect("memory operation") + i as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::{DdgBuilder, OpKind};
+
+    fn ld_st() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let l = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let s = b.store(1);
+        b.flow(l, m);
+        b.flow(m, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loads_initialised_stores_zeroed() {
+        let g = ld_st();
+        let m = Memory::for_loop(&g, 8);
+        let ld = NodeId(0);
+        let st = NodeId(2);
+        assert_eq!(m.read(ld, 3), semantics::initial_memory_value(0, 3));
+        assert!(m.region(st).iter().all(|&x| x == 0.0));
+        assert_eq!(m.region(ld).len(), 8);
+    }
+
+    #[test]
+    fn writes_land_in_the_right_cell() {
+        let g = ld_st();
+        let mut m = Memory::for_loop(&g, 4);
+        let st = NodeId(2);
+        m.write(st, 2, 7.5);
+        assert_eq!(m.region(st), &[0.0, 0.0, 7.5, 0.0]);
+        assert_eq!(m.read(st, 2), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let g = ld_st();
+        let m = Memory::for_loop(&g, 4);
+        let _ = m.read(NodeId(0), 4);
+    }
+}

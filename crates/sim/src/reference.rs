@@ -1,0 +1,156 @@
+//! The scalar reference interpreter: executes the **original**,
+//! un-widened loop body one iteration at a time, in dependence order,
+//! with no registers, schedule or spills involved. Its final memory and
+//! per-node value checksums are the ground truth the wide simulator is
+//! differentially checked against.
+
+use widening_ir::{semantics, Ddg, NodeId, OpKind};
+
+use crate::memory::Memory;
+
+/// Order-independent accumulation of one `(iteration, value)` sample
+/// into a node's checksum. XOR of mixed samples, so the wide simulator
+/// may compute scalar lanes in any issue order.
+#[must_use]
+pub fn checksum_step(iteration: u64, value: f64) -> u64 {
+    let mut h = value.to_bits() ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 29)
+}
+
+/// Ground truth for one `(loop, trip count)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceRun {
+    /// Final memory (store regions hold one value per iteration).
+    pub memory: Memory,
+    /// Per original node: XOR-accumulated [`checksum_step`] over all
+    /// executed iterations (zero for nodes producing no value).
+    pub checksums: Vec<u64>,
+}
+
+/// Executes `trip` iterations of `ddg` sequentially.
+///
+/// Operand folding is defined once for both interpreters: a node's
+/// register inputs are its flow in-edges in edge order; an input from
+/// iteration `i − d < 0` is the live-in
+/// [`semantics::source_value`]`(src, i − d)`.
+#[must_use]
+pub fn run_reference(ddg: &Ddg, trip: u64) -> ReferenceRun {
+    let mut memory = Memory::for_loop(ddg, trip);
+    let n = ddg.num_nodes();
+    let mut checksums = vec![0u64; n];
+
+    // Ring-buffered value history deep enough for the largest carried
+    // distance.
+    let depth = ddg.edges().iter().map(|e| e.distance).max().unwrap_or(0) as usize + 1;
+    let mut history = vec![vec![0.0f64; depth]; n];
+
+    let order = ddg.zero_distance_topological_order();
+    let mut inputs: Vec<f64> = Vec::new();
+    for i in 0..trip {
+        for &v in &order {
+            let op = ddg.op(v);
+            inputs.clear();
+            for e in ddg.in_edges(v) {
+                if !e.kind.is_flow() {
+                    continue;
+                }
+                let past = i as i64 - i64::from(e.distance);
+                inputs.push(if past < 0 {
+                    semantics::source_value(e.src.0, past)
+                } else {
+                    history[e.src.index()][(past as u64 % depth as u64) as usize]
+                });
+            }
+            let value = match op.kind() {
+                OpKind::Load => {
+                    let cell = memory.read(v, i);
+                    semantics::squash(cell + inputs.iter().sum::<f64>())
+                }
+                OpKind::Store => {
+                    let value = semantics::eval_op(OpKind::Store, &inputs, v.0, i as i64);
+                    memory.write(v, i, value);
+                    value
+                }
+                kind => semantics::eval_op(kind, &inputs, v.0, i as i64),
+            };
+            history[v.index()][(i % depth as u64) as usize] = value;
+            checksums[v.index()] ^= checksum_step(i, value);
+        }
+    }
+    ReferenceRun { memory, checksums }
+}
+
+/// The value a producer "defined" before the loop began (iteration
+/// `< 0`), shared by both interpreters for loop live-ins.
+#[must_use]
+pub fn live_in(src: NodeId, iteration: i64) -> f64 {
+    debug_assert!(iteration < 0);
+    semantics::source_value(src.0, iteration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_ir::DdgBuilder;
+
+    /// y[i] = x[i] * x[i] + acc, acc carried at distance 1.
+    fn reduction() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let x = b.load(1);
+        let m = b.op(OpKind::FMul);
+        let a = b.op(OpKind::FAdd);
+        let s = b.store(1);
+        b.flow(x, m);
+        b.flow(x, m);
+        b.flow(m, a);
+        b.carried_flow(a, a, 1);
+        b.flow(a, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        let g = reduction();
+        let a = run_reference(&g, 17);
+        let b = run_reference(&g, 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn store_region_matches_hand_execution() {
+        let g = reduction();
+        let r = run_reference(&g, 3);
+        let x = |i: u64| semantics::initial_memory_value(0, i as i64);
+        // acc(-1) is the live-in source value.
+        let mut acc = semantics::source_value(2, -1);
+        for i in 0..3u64 {
+            let m = semantics::squash(x(i) * x(i));
+            acc = semantics::squash(m + acc);
+            assert_eq!(
+                r.memory.read(NodeId(3), i).to_bits(),
+                acc.to_bits(),
+                "iteration {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_flag_any_perturbation() {
+        let g = reduction();
+        let a = run_reference(&g, 9);
+        let b = run_reference(&g, 10);
+        // One extra iteration must change every live checksum.
+        assert_ne!(a.checksums[2], b.checksums[2]);
+    }
+
+    #[test]
+    fn checksum_step_is_order_independent_by_xor() {
+        let s1 = checksum_step(0, 1.5) ^ checksum_step(1, 2.5);
+        let s2 = checksum_step(1, 2.5) ^ checksum_step(0, 1.5);
+        assert_eq!(s1, s2);
+        assert_ne!(checksum_step(0, 1.5), checksum_step(1, 1.5));
+        assert_ne!(checksum_step(0, 1.5), checksum_step(0, 2.5));
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulation outcomes: dynamic statistics, hard execution errors and
+//! differential divergences.
+
+use std::error::Error;
+use std::fmt;
+
+use widening_ir::NodeId;
+use widening_regalloc::RegallocError;
+
+/// Dynamic counters from one wide-datapath simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Exact dynamic cycles: prologue + kernel + epilogue.
+    pub cycles: u64,
+    /// Widened kernel iterations executed (`⌈trip / Y⌉`).
+    pub blocks: u64,
+    /// The paper's steady-state accounting for the same run:
+    /// `II · blocks`.
+    pub steady_state_cycles: u64,
+    /// Operations issued (wide or scalar instruction slots consumed).
+    pub issued_ops: u64,
+    /// Lanes skipped because the trip count is not a multiple of `Y`
+    /// (the final partial block).
+    pub masked_lanes: u64,
+    /// Operand lanes that needed an instance one block older than the
+    /// widened dependence edge records (wide-to-wide edges whose
+    /// original distance is not a multiple of `Y`); served by the
+    /// forwarding network, not the register file.
+    pub cross_block_reads: u64,
+    /// Wide values written to / read from spill slots.
+    pub spill_slot_accesses: u64,
+}
+
+impl SimStats {
+    /// Dynamic minus steady-state cycles: the fill/drain transient the
+    /// analytic model omits (negative when the pipeline drains inside
+    /// the last initiation interval).
+    #[must_use]
+    pub fn transient_cycles(&self) -> i64 {
+        self.cycles as i64 - self.steady_state_cycles as i64
+    }
+}
+
+/// A hard error while executing the schedule: the machine state the
+/// schedule + allocation promised was violated. Each variant points at
+/// the first offending access.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A consumer read a register whose current content is not the
+    /// instance the location table says should be live — a register
+    /// allocation (lifetime overlap) bug.
+    RegisterClobbered {
+        /// The reading node (final-graph id).
+        reader: NodeId,
+        /// Kernel iteration of the read.
+        block: u64,
+        /// Register that was read.
+        register: u32,
+        /// The producing node whose instance was expected.
+        expected: NodeId,
+        /// The expected instance's kernel iteration.
+        expected_block: u64,
+    },
+    /// A consumer issued before its operand's writeback completed — a
+    /// dependence/latency bug in the schedule.
+    ReadBeforeReady {
+        /// The reading node (final-graph id).
+        reader: NodeId,
+        /// Kernel iteration of the read.
+        block: u64,
+        /// Cycle of the read.
+        cycle: u64,
+        /// Cycle the operand becomes available.
+        ready_at: u64,
+    },
+    /// A spill reload found no value in its slot — a spill distance bug.
+    SpillSlotEmpty {
+        /// The reload node.
+        reload: NodeId,
+        /// Kernel iteration of the reload.
+        block: u64,
+    },
+    /// The simulator's own bookkeeping failed; always a bug in the
+    /// simulator, never in the schedule under test.
+    Internal(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RegisterClobbered {
+                reader,
+                block,
+                register,
+                expected,
+                expected_block,
+            } => {
+                write!(
+                    f,
+                    "register r{register} clobbered: {reader} (iteration {block}) expected \
+                     {expected} of iteration {expected_block}"
+                )
+            }
+            SimError::ReadBeforeReady {
+                reader,
+                block,
+                cycle,
+                ready_at,
+            } => write!(
+                f,
+                "{reader} (iteration {block}) read at cycle {cycle} before writeback at \
+                 {ready_at}"
+            ),
+            SimError::SpillSlotEmpty { reload, block } => {
+                write!(
+                    f,
+                    "spill reload {reload} found no value at iteration {block}"
+                )
+            }
+            SimError::Internal(what) => write!(f, "simulator invariant violated: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A difference between the wide execution and the scalar reference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Divergence {
+    /// A store wrote a different value than the reference for some
+    /// iteration.
+    StoreCell {
+        /// The original store node.
+        node: NodeId,
+        /// The diverging iteration.
+        iteration: u64,
+        /// Reference value.
+        expected: f64,
+        /// Simulated value.
+        got: f64,
+    },
+    /// A value-producing operation's whole-trip checksum differs —
+    /// catches divergences that never reach memory (e.g. dead
+    /// recurrences).
+    Checksum {
+        /// The original node whose value stream diverged.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::StoreCell {
+                node,
+                iteration,
+                expected,
+                got,
+            } => write!(
+                f,
+                "store {node} iteration {iteration}: reference {expected}, simulated {got}"
+            ),
+            Divergence::Checksum { node } => {
+                write!(f, "value stream of {node} diverged from the reference")
+            }
+        }
+    }
+}
+
+/// The full outcome of simulating and differentially validating one
+/// loop on one configuration.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Dynamic execution counters.
+    pub stats: SimStats,
+    /// Differences against the scalar reference (empty = validated).
+    pub divergences: Vec<Divergence>,
+    /// Initiation interval of the simulated schedule.
+    pub ii: u32,
+    /// Spill operations in the simulated code.
+    pub spill_ops: u32,
+}
+
+impl SimReport {
+    /// Whether the wide execution matched the scalar reference exactly.
+    #[must_use]
+    pub fn is_validated(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Why a loop could not be simulated (scheduling failed) or failed
+/// during execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimFailure {
+    /// The schedule/allocate/spill pipeline failed; nothing to simulate.
+    Pipeline(RegallocError),
+    /// The machine state diverged from what the schedule promised.
+    Execution(SimError),
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFailure::Pipeline(e) => write!(f, "pipeline failed: {e}"),
+            SimFailure::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimFailure::Pipeline(e) => Some(e),
+            SimFailure::Execution(e) => Some(e),
+        }
+    }
+}
+
+impl From<RegallocError> for SimFailure {
+    fn from(e: RegallocError) -> Self {
+        SimFailure::Pipeline(e)
+    }
+}
+
+impl From<SimError> for SimFailure {
+    fn from(e: SimError) -> Self {
+        SimFailure::Execution(e)
+    }
+}

@@ -51,4 +51,4 @@ mod compact;
 mod transform;
 
 pub use compact::{compactable_nodes, CompactReason};
-pub use transform::{widen, NodeMapping, WideningOutcome};
+pub use transform::{widen, NodeMapping, WideOrigin, WideningOutcome};

@@ -89,6 +89,53 @@ impl WideningOutcome {
     pub fn packed_fraction(&self) -> f64 {
         self.packed_original_ops() as f64 / self.mapping.len() as f64
     }
+
+    /// The inverse of [`Self::mapping`]: for every widened node, which
+    /// original node it instantiates and — for scalar lane expansions —
+    /// which lane. A wide node of a block at width `Y` covers original
+    /// iterations `Y·block + 0 … Y·block + Y−1`; a lane node covers only
+    /// `Y·block + lane`. This is the origin table the simulator uses to
+    /// give widened operations their executable semantics.
+    #[must_use]
+    pub fn origin_table(&self) -> Vec<WideOrigin> {
+        let mut out = vec![
+            WideOrigin {
+                original: NodeId(0),
+                lane: None
+            };
+            self.ddg.num_nodes()
+        ];
+        for (orig, m) in self.mapping.iter().enumerate() {
+            match m {
+                NodeMapping::Wide(id) => {
+                    out[id.index()] = WideOrigin {
+                        original: NodeId(orig as u32),
+                        lane: None,
+                    };
+                }
+                NodeMapping::Lanes(ids) => {
+                    for (lane, id) in ids.iter().enumerate() {
+                        out[id.index()] = WideOrigin {
+                            original: NodeId(orig as u32),
+                            lane: Some(lane as u32),
+                        };
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One row of [`WideningOutcome::origin_table`]: where a widened node
+/// came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideOrigin {
+    /// The original operation this widened node instantiates.
+    pub original: NodeId,
+    /// `None` for a packed wide node (all `Y` lanes); `Some(j)` for the
+    /// scalar expansion of lane `j`.
+    pub lane: Option<u32>,
 }
 
 /// Builds the width-`Y` dependence graph of `ddg`.
@@ -121,7 +168,12 @@ pub fn widen(ddg: &Ddg, width: u32) -> WideningOutcome {
     loop {
         match build(ddg, width, &packed) {
             Ok((graph, mapping)) => {
-                return WideningOutcome { ddg: graph, width, mapping, reasons };
+                return WideningOutcome {
+                    ddg: graph,
+                    width,
+                    mapping,
+                    reasons,
+                };
             }
             Err(unpack) => {
                 debug_assert!(packed[unpack.index()], "repair must unpack a packed node");
@@ -134,11 +186,7 @@ pub fn widen(ddg: &Ddg, width: u32) -> WideningOutcome {
 /// Attempts the construction with the given packing; on a distance-0
 /// cycle, returns the original node to un-pack.
 #[allow(clippy::type_complexity)]
-fn build(
-    ddg: &Ddg,
-    width: u32,
-    packed: &[bool],
-) -> Result<(Ddg, Vec<NodeMapping>), NodeId> {
+fn build(ddg: &Ddg, width: u32, packed: &[bool]) -> Result<(Ddg, Vec<NodeMapping>), NodeId> {
     let y = width;
     let mut ops: Vec<Op> = Vec::new();
     let mut origin: Vec<NodeId> = Vec::new(); // widened node -> original
@@ -406,7 +454,9 @@ mod tests {
             b2.build().unwrap()
         };
         let w = widen(&g, 4);
-        let NodeMapping::Wide(cw) = &w.mapping()[c.index()] else { panic!() };
+        let NodeMapping::Wide(cw) = &w.mapping()[c.index()] else {
+            panic!()
+        };
         let mut dists: Vec<u32> = w.ddg().in_edges(*cw).map(|e| e.distance).collect();
         dists.sort_unstable();
         assert_eq!(dists, vec![0, 0, 1, 1]);

@@ -10,7 +10,9 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
         // FPU ops, a store, and a few carried edges.
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
         let mut b = DdgBuilder::new();
@@ -18,10 +20,12 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
             .map(|i| match i % 5 {
                 0 => b.load(if next() % 3 == 0 { 2 } else { 1 }),
                 4 => b.store(1),
-                1 if next() % 7 == 0 => {
-                    b.add_op(Op::new(OpKind::FMul).never_compactable())
-                }
-                _ => b.op(if next() % 2 == 0 { OpKind::FAdd } else { OpKind::FMul }),
+                1 if next() % 7 == 0 => b.add_op(Op::new(OpKind::FMul).never_compactable()),
+                _ => b.op(if next() % 2 == 0 {
+                    OpKind::FAdd
+                } else {
+                    OpKind::FMul
+                }),
             })
             .collect();
         for i in 1..n {

@@ -68,7 +68,11 @@ impl CorpusSpec {
     /// loops.
     #[must_use]
     pub fn small(loops: usize, seed: u64) -> Self {
-        CorpusSpec { loops, seed, ..CorpusSpec::default() }
+        CorpusSpec {
+            loops,
+            seed,
+            ..CorpusSpec::default()
+        }
     }
 }
 
@@ -93,7 +97,10 @@ pub fn generate(spec: &CorpusSpec) -> Vec<Loop> {
                 3 => format!("recur_{i:04}"),
                 _ => format!("divsqrt_{i:04}"),
             };
-            let g = LoopGen { rng: &mut rng, spec };
+            let g = LoopGen {
+                rng: &mut rng,
+                spec,
+            };
             let ddg = match class {
                 0 => g.vector_loop(false),
                 1 => g.vector_loop(true),
@@ -103,7 +110,10 @@ pub fn generate(spec: &CorpusSpec) -> Vec<Loop> {
             };
             let trip = trip_count(&mut rng);
             let weight = loop_weight(&mut rng);
-            LoopBuilder::new(name, ddg).trip_count(trip).weight(weight).build()
+            LoopBuilder::new(name, ddg)
+                .trip_count(trip)
+                .weight(weight)
+                .build()
         })
         .collect()
 }
@@ -142,7 +152,9 @@ impl LoopGen<'_> {
     /// A vectorizable expression-tree loop: loads feed a random
     /// fan-in-2 DAG of adds/multiplies ending in one or two stores.
     fn vector_loop(mut self, strided: bool) -> widening_ir::Ddg {
-        let fpu_ops = self.rng.skewed(self.spec.fpu_ops_range.0, self.spec.fpu_ops_range.1);
+        let fpu_ops = self
+            .rng
+            .skewed(self.spec.fpu_ops_range.0, self.spec.fpu_ops_range.1);
         let loads = (fpu_ops / 2 + 1).clamp(1, 32);
         let mut b = DdgBuilder::new();
         let mut values: Vec<NodeId> = (0..loads)
@@ -157,14 +169,17 @@ impl LoopGen<'_> {
         if self.rng.chance(0.15) {
             for _ in 0..self.rng.range(1, 2) {
                 let idx = *values.first().expect("at least one load");
-                let gather = b
-                    .add_op(widening_ir::Op::memory(OpKind::Load, 1).never_compactable());
+                let gather = b.add_op(widening_ir::Op::memory(OpKind::Load, 1).never_compactable());
                 b.flow(idx, gather);
                 values.push(gather);
             }
         }
         for _ in 0..fpu_ops {
-            let kind = if self.rng.chance(0.55) { OpKind::FMul } else { OpKind::FAdd };
+            let kind = if self.rng.chance(0.55) {
+                OpKind::FMul
+            } else {
+                OpKind::FAdd
+            };
             let v = b.op(kind);
             // Operand locality: numerical expressions chain recent
             // values (a*x+b style), keeping the dataflow narrow; only
@@ -193,12 +208,18 @@ impl LoopGen<'_> {
     /// A reduction: a vectorizable stream feeding one (sometimes two)
     /// accumulators with distance-1 (occasionally higher) recurrences.
     fn reduction_loop(self) -> widening_ir::Ddg {
-        let fpu_ops = self.rng.skewed(self.spec.fpu_ops_range.0, self.spec.fpu_ops_range.1 / 2);
+        let fpu_ops = self
+            .rng
+            .skewed(self.spec.fpu_ops_range.0, self.spec.fpu_ops_range.1 / 2);
         let loads = (fpu_ops / 2 + 1).clamp(1, 16);
         let mut b = DdgBuilder::new();
         let mut values: Vec<NodeId> = (0..loads).map(|_| b.load(1)).collect();
         for _ in 0..fpu_ops {
-            let kind = if self.rng.chance(0.6) { OpKind::FMul } else { OpKind::FAdd };
+            let kind = if self.rng.chance(0.6) {
+                OpKind::FMul
+            } else {
+                OpKind::FAdd
+            };
             let v = b.op(kind);
             let n = values.len() as u64;
             let recent = n - 1 - self.rng.below(4.min(n));
@@ -214,7 +235,9 @@ impl LoopGen<'_> {
             let acc = b.op(OpKind::FAdd);
             b.flow(values[values.len() - 1 - self.rng.below(2) as usize], acc);
             // Partial-sum interleaving shows up as distance > 1.
-            let dist = *[1u32, 1, 2, 4].get(self.rng.below(4) as usize).expect("in range");
+            let dist = *[1u32, 1, 2, 4]
+                .get(self.rng.below(4) as usize)
+                .expect("in range");
             b.carried_flow(acc, acc, dist);
         }
         b.build().expect("generated reduction loop is valid")
@@ -231,7 +254,11 @@ impl LoopGen<'_> {
         b.flow(c, first);
         let mut prev = first;
         for _ in 1..chain_len {
-            let kind = if self.rng.chance(0.5) { OpKind::FAdd } else { OpKind::FMul };
+            let kind = if self.rng.chance(0.5) {
+                OpKind::FAdd
+            } else {
+                OpKind::FMul
+            };
             let v = b.op(kind);
             b.flow(prev, v);
             prev = v;
@@ -333,8 +360,14 @@ mod tests {
         let frac_rec = with_rec as f64 / 400.0;
         let frac_div = with_div as f64 / 400.0;
         // reduction + recurrence weights ≈ 0.20 of the corpus.
-        assert!((0.12..0.32).contains(&frac_rec), "recurrence fraction {frac_rec}");
-        assert!((0.04..0.20).contains(&frac_div), "div/sqrt fraction {frac_div}");
+        assert!(
+            (0.12..0.32).contains(&frac_rec),
+            "recurrence fraction {frac_rec}"
+        );
+        assert!(
+            (0.04..0.20).contains(&frac_div),
+            "div/sqrt fraction {frac_div}"
+        );
     }
 
     #[test]
@@ -352,11 +385,15 @@ mod tests {
     #[test]
     fn strided_class_has_non_unit_strides() {
         let loops = generate(&CorpusSpec::small(300, 5));
-        let strided: Vec<_> =
-            loops.iter().filter(|l| l.name().starts_with("strided_")).collect();
+        let strided: Vec<_> = loops
+            .iter()
+            .filter(|l| l.name().starts_with("strided_"))
+            .collect();
         assert!(!strided.is_empty());
         let any_non_unit = strided.iter().any(|l| {
-            DdgStats::of(l.ddg()).unit_stride_fraction().is_some_and(|f| f < 1.0)
+            DdgStats::of(l.ddg())
+                .unit_stride_fraction()
+                .is_some_and(|f| f < 1.0)
         });
         assert!(any_non_unit);
     }

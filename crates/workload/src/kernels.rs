@@ -20,7 +20,9 @@ pub fn daxpy() -> Loop {
     b.flow(m, a);
     b.flow(y, a);
     b.flow(a, s);
-    LoopBuilder::new("daxpy", b.build().expect("valid")).trip_count(512).build()
+    LoopBuilder::new("daxpy", b.build().expect("valid"))
+        .trip_count(512)
+        .build()
 }
 
 /// `s += x[i] * y[i]` — dot product: a multiply stream feeding a
@@ -36,7 +38,9 @@ pub fn dot_product() -> Loop {
     b.flow(y, m);
     b.flow(m, acc);
     b.carried_flow(acc, acc, 1);
-    LoopBuilder::new("dot_product", b.build().expect("valid")).trip_count(1024).build()
+    LoopBuilder::new("dot_product", b.build().expect("valid"))
+        .trip_count(1024)
+        .build()
 }
 
 /// `y[i] = a*x[i] + b*z[i] + c` — STREAM-triad-like, fully compactable.
@@ -56,7 +60,9 @@ pub fn triad() -> Loop {
     b.flow(m2, a1);
     b.flow(a1, a2);
     b.flow(a2, s);
-    LoopBuilder::new("triad", b.build().expect("valid")).trip_count(512).build()
+    LoopBuilder::new("triad", b.build().expect("valid"))
+        .trip_count(512)
+        .build()
 }
 
 /// `y[i] = (x[i-1] + x[i] + x[i+1]) / 3` — 3-point stencil: three
@@ -78,7 +84,9 @@ pub fn stencil3() -> Loop {
     b.flow(xp, a2);
     b.flow(a2, m);
     b.flow(m, s);
-    LoopBuilder::new("stencil3", b.build().expect("valid")).trip_count(400).build()
+    LoopBuilder::new("stencil3", b.build().expect("valid"))
+        .trip_count(400)
+        .build()
 }
 
 /// Inner loop of column-major matrix–vector product:
@@ -95,7 +103,9 @@ pub fn matvec_column(row_stride: i64) -> Loop {
     b.flow(xj, m);
     b.flow(m, acc);
     b.carried_flow(acc, acc, 1);
-    LoopBuilder::new("matvec_column", b.build().expect("valid")).trip_count(256).build()
+    LoopBuilder::new("matvec_column", b.build().expect("valid"))
+        .trip_count(256)
+        .build()
 }
 
 /// `x[i] = a[i] / b[i]` — a divide stream; unpipelined units dominate.
@@ -109,7 +119,9 @@ pub fn vector_divide() -> Loop {
     b.flow(a, q);
     b.flow(d, q);
     b.flow(q, s);
-    LoopBuilder::new("vector_divide", b.build().expect("valid")).trip_count(128).build()
+    LoopBuilder::new("vector_divide", b.build().expect("valid"))
+        .trip_count(128)
+        .build()
 }
 
 /// `n[i] = sqrt(x[i]² + y[i]²)` — 2-D vector norm with a square root.
@@ -130,7 +142,9 @@ pub fn norm2() -> Loop {
     b.flow(my, a);
     b.flow(a, r);
     b.flow(r, s);
-    LoopBuilder::new("norm2", b.build().expect("valid")).trip_count(200).build()
+    LoopBuilder::new("norm2", b.build().expect("valid"))
+        .trip_count(200)
+        .build()
 }
 
 /// `x[i] = a*x[i-1] + b` — first-order linear recurrence: the
@@ -160,7 +174,9 @@ pub fn horner() -> Loop {
     b.flow(m, a);
     b.flow(c, a);
     b.carried_flow(a, m, 1);
-    LoopBuilder::new("horner", b.build().expect("valid")).trip_count(64).build()
+    LoopBuilder::new("horner", b.build().expect("valid"))
+        .trip_count(64)
+        .build()
 }
 
 /// Complex multiply-accumulate on split arrays:
@@ -197,7 +213,9 @@ pub fn complex_mac() -> Loop {
     b.flow(im, acci);
     b.carried_flow(accr, accr, 1);
     b.carried_flow(acci, acci, 1);
-    LoopBuilder::new("complex_mac", b.build().expect("valid")).trip_count(256).build()
+    LoopBuilder::new("complex_mac", b.build().expect("valid"))
+        .trip_count(256)
+        .build()
 }
 
 /// Five-tap FIR filter `y[i] = Σ c_k · x[i+k]` — load-heavy,
@@ -222,7 +240,9 @@ pub fn fir5() -> Loop {
     }
     let s = b.store(1);
     b.flow(acc.expect("nonempty"), s);
-    LoopBuilder::new("fir5", b.build().expect("valid")).trip_count(480).build()
+    LoopBuilder::new("fir5", b.build().expect("valid"))
+        .trip_count(480)
+        .build()
 }
 
 /// Gather-style indirection `y[i] = x[idx[i]]` modeled as a unit-stride
@@ -237,7 +257,9 @@ pub fn gather_scale() -> Loop {
     b.flow(idx, x);
     b.flow(x, m);
     b.flow(m, s);
-    LoopBuilder::new("gather_scale", b.build().expect("valid")).trip_count(150).build()
+    LoopBuilder::new("gather_scale", b.build().expect("valid"))
+        .trip_count(150)
+        .build()
 }
 
 /// All named kernels, in a stable order.

@@ -1,0 +1,58 @@
+//! Sweep-engine throughput: evaluating the `{1w1, 2w2, 4w2}` design
+//! points across register-file sizes as independent per-config runs
+//! (fresh evaluator per configuration — no shared state, the seed's
+//! behaviour) versus one shared-cache `sweep` batch. The batch shares
+//! widened DDGs across the `Y = 2` points, shares the register-file-
+//! independent base schedule across each `XwY`'s file sizes, and packs
+//! all `(loop × config)` units onto one dynamic worker queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use widening::machine::{Configuration, CycleModel};
+use widening::workload::corpus::{generate, CorpusSpec};
+use widening::{EvalOptions, Evaluator};
+
+const SWEEP: [&str; 9] = [
+    "1w1(64:1)",
+    "1w1(128:1)",
+    "1w1(256:1)",
+    "2w2(64:1)",
+    "2w2(128:1)",
+    "2w2(256:1)",
+    "4w2(64:1)",
+    "4w2(128:1)",
+    "4w2(256:1)",
+];
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let loops = generate(&CorpusSpec::small(60, 7));
+    let cfgs: Vec<Configuration> = SWEEP.iter().map(|s| s.parse().unwrap()).collect();
+
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.sample_size(10);
+    g.bench_function("independent_per_config", |b| {
+        b.iter(|| {
+            // One evaluator per configuration: nothing shared, every
+            // point re-widens the corpus from scratch.
+            let mut total = 0.0;
+            for cfg in &cfgs {
+                let ev = Evaluator::new(loops.clone());
+                total += ev
+                    .scheduled(cfg, CycleModel::Cycles4, &EvalOptions::default())
+                    .total_cycles;
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("shared_cache_sweep", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(loops.clone());
+            let results = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+            black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

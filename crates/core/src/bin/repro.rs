@@ -2,13 +2,16 @@
 //! (MICRO 1998).
 //!
 //! ```text
-//! repro [--quick[=N]] [--csv] [--seed S] [--simulate] <experiment>... | all | list
+//! repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate]
+//!       <experiment>... | all | list
 //! ```
 //!
 //! * `--quick[=N]` — run on an `N`-loop corpus (default 120) instead of
 //!   the paper-scale 1180 loops; useful for smoke tests.
 //! * `--csv` — emit CSV instead of aligned tables.
 //! * `--seed S` — alternative corpus seed (sensitivity checks).
+//! * `--threads N` — worker threads for corpus fan-out (default: one
+//!   per core, capped at 16).
 //! * `--simulate` — run the cycle-accurate simulator over the corpus
 //!   (differential validation + transient analysis) in addition to any
 //!   named experiments.
@@ -23,6 +26,7 @@ fn main() -> ExitCode {
     let mut quick: Option<usize> = None;
     let mut csv = false;
     let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -37,6 +41,10 @@ fn main() -> ExitCode {
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => return usage("--seed needs an integer"),
+            },
+            "--threads" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => return usage("--threads needs a positive integer"),
             },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
@@ -60,11 +68,12 @@ fn main() -> ExitCode {
     let mut seen = std::collections::HashSet::new();
     names.retain(|n| seen.insert(n.clone()));
 
-    let ctx = build_context(quick, seed);
+    let ctx = build_context(quick, seed, threads);
     eprintln!(
-        "corpus: {} loops (seed {})",
+        "corpus: {} loops (seed {}), {} worker threads",
         ctx.eval.loops().len(),
-        seed.unwrap_or_else(|| CorpusSpec::default().seed)
+        seed.unwrap_or_else(|| CorpusSpec::default().seed),
+        ctx.eval.threads()
     );
     for name in &names {
         match experiments::run(name, &ctx) {
@@ -83,7 +92,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn build_context(quick: Option<usize>, seed: Option<u64>) -> Context {
+fn build_context(quick: Option<usize>, seed: Option<u64>, threads: Option<usize>) -> Context {
     let mut spec = CorpusSpec::default();
     if let Some(n) = quick {
         spec.loops = n;
@@ -91,15 +100,18 @@ fn build_context(quick: Option<usize>, seed: Option<u64>) -> Context {
     if let Some(s) = seed {
         spec.seed = s;
     }
-    Context {
-        eval: Evaluator::new(generate(&spec)),
+    let mut eval = Evaluator::new(generate(&spec));
+    if let Some(n) = threads {
+        eval = eval.with_threads(n);
     }
+    Context { eval }
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: repro [--quick[=N]] [--csv] [--seed S] [--simulate] <experiment>... | all | list"
+        "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
+         <experiment>... | all | list"
     );
     eprintln!("experiments: {}", experiments::ALL.join(" "));
     ExitCode::FAILURE

@@ -1,14 +1,23 @@
-//! The evaluation pipeline: widen → schedule → allocate → spill →
-//! aggregate, with caching and a thread pool.
+//! Corpus evaluation on the staged compilation pipeline.
 //!
 //! All of the paper's performance numbers are corpus aggregates of
 //! `cycles(loop) = II · ⌈trip / Y⌉ · weight`. Two evaluation modes
 //! exist:
 //!
 //! * **peak** (§3.1, Figure 2): perfect scheduling and an infinite
-//!   register file — `II = MII` by definition, no scheduler run;
+//!   register file — `II = MII` by definition, the pipeline stops after
+//!   its MII stage;
 //! * **scheduled** (§3.2 onward): the full HRMS + wands-only allocation
 //!   + spill pipeline against a finite register file.
+//!
+//! The widen → MII → schedule → allocate → spill chain itself lives in
+//! [`widening_pipeline`]; this module only aggregates its per-loop
+//! artifacts. Memoization is two-level: the pipeline caches every stage
+//! per `(loop, key)` — so design points share widened DDGs and MII
+//! bounds — and the evaluator keeps a thin corpus-aggregate memo on top
+//! so repeated queries return the identical `Arc`. Multi-configuration
+//! sweeps should use [`Evaluator::sweep`], which compiles all
+//! `(loop × config)` work units on one dynamic worker queue.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -16,27 +25,9 @@ use std::sync::{Arc, Mutex};
 use widening_cost::CostModel;
 use widening_ir::Loop;
 use widening_machine::{Configuration, CycleModel};
-use widening_regalloc::{schedule_with_registers, RegallocError, SpillOptions};
-use widening_sched::{MiiBounds, SchedulerOptions, Strategy};
-use widening_transform::widen;
+use widening_pipeline::{pool, CompiledLoop, FailureCause, Pipeline, PointSpec};
 
-/// How a corpus evaluation should be run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EvalOptions {
-    /// Scheduler strategy (HRMS unless ablating).
-    pub strategy: Strategy,
-    /// Spill engine options.
-    pub spill: SpillOptions,
-}
-
-impl Default for EvalOptions {
-    fn default() -> Self {
-        EvalOptions {
-            strategy: Strategy::Hrms,
-            spill: SpillOptions::default(),
-        }
-    }
-}
+pub use widening_pipeline::CompileOptions as EvalOptions;
 
 /// Outcome for a single loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +43,13 @@ pub enum LoopEval {
         /// Spill operations inserted (stores + reloads).
         spill_ops: u32,
     },
-    /// Register pressure could not be resolved (the paper's `8w1(32-RF)`
-    /// case).
-    Failed,
+    /// The pipeline could not compile the loop; the cause says why
+    /// (register pressure is the paper's `8w1(32-RF)` case, a rewrite
+    /// cause is always a compiler bug — reported, never a panic).
+    Failed {
+        /// Structured failure classification from the pipeline.
+        cause: FailureCause,
+    },
 }
 
 /// Aggregated corpus results for one (configuration, cycle-model) pair.
@@ -71,6 +66,11 @@ pub struct CorpusEval {
     pub total_static_words: f64,
     /// Loops whose pressure was unresolvable.
     pub failed: usize,
+    /// Failures whose cause was a spill-rewrite defect — always a
+    /// compiler bug, never an expected analytic outcome. Counted
+    /// separately (and reported loudly during aggregation) so a rewrite
+    /// regression cannot masquerade as ordinary register pressure.
+    pub rewrite_failures: usize,
     /// Loops scheduled exactly at their MII.
     pub at_mii: usize,
     /// Total spill operations inserted.
@@ -91,52 +91,56 @@ impl CorpusEval {
     }
 }
 
-/// Cache key: everything that changes a corpus evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct EvalKey {
-    replication: u32,
-    width: u32,
-    /// `None` = infinite register file (peak mode).
-    registers: Option<u32>,
-    model: CycleModel,
-    strategy: Strategy,
-    spill_policy: widening_regalloc::SpillPolicy,
-}
+/// Aggregate-memo key: a whole design point.
+type EvalKey = PointSpec;
 
-/// Corpus evaluator with memoisation; cheap to clone (shared cache).
+/// Corpus evaluator with two-level memoisation; cheap to clone (shared
+/// pipeline and caches).
 #[derive(Debug, Clone)]
 pub struct Evaluator {
-    loops: Arc<Vec<Loop>>,
+    pipeline: Arc<Pipeline>,
     cost: Arc<CostModel>,
-    cache: Arc<Mutex<HashMap<EvalKey, Arc<CorpusEval>>>>,
+    aggregates: Arc<Mutex<HashMap<EvalKey, Arc<CorpusEval>>>>,
     threads: usize,
 }
 
 impl Evaluator {
-    /// Creates an evaluator over `loops` with the paper's cost models.
+    /// Creates an evaluator over `loops` with the paper's cost models
+    /// and the default worker count.
     #[must_use]
     pub fn new(loops: Vec<Loop>) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(16);
         Evaluator {
-            loops: Arc::new(loops),
+            pipeline: Arc::new(Pipeline::new(loops)),
             cost: Arc::new(CostModel::paper()),
-            cache: Arc::new(Mutex::new(HashMap::new())),
-            threads,
+            aggregates: Arc::new(Mutex::new(HashMap::new())),
+            threads: pool::default_threads(),
         }
+    }
+
+    /// Sets the worker-thread count used for corpus fan-out (evaluation,
+    /// simulation and sweeps). Clamped to at least 1.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The corpus being evaluated.
     #[must_use]
     pub fn loops(&self) -> &[Loop] {
-        &self.loops
+        self.pipeline.loops()
     }
 
     /// The shared cost model.
     #[must_use]
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The staged compilation pipeline (shared stage caches).
+    #[must_use]
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
     /// Worker threads the evaluator fans corpus work out to (shared by
@@ -150,17 +154,7 @@ impl Evaluator {
     /// `II = MII` per widened loop.
     #[must_use]
     pub fn peak(&self, replication: u32, width: u32, model: CycleModel) -> Arc<CorpusEval> {
-        let key = EvalKey {
-            replication,
-            width,
-            registers: None,
-            model,
-            strategy: Strategy::Hrms,
-            spill_policy: widening_regalloc::SpillPolicy::SpillFirst,
-        };
-        self.cached(key, || {
-            self.run(replication, width, None, model, &EvalOptions::default())
-        })
+        self.evaluate(&PointSpec::peak(replication, width, model))
     }
 
     /// Full scheduled evaluation against `cfg.registers()` registers
@@ -172,23 +166,7 @@ impl Evaluator {
         model: CycleModel,
         opts: &EvalOptions,
     ) -> Arc<CorpusEval> {
-        let key = EvalKey {
-            replication: cfg.replication(),
-            width: cfg.widening(),
-            registers: Some(cfg.registers()),
-            model,
-            strategy: opts.strategy,
-            spill_policy: opts.spill.policy,
-        };
-        self.cached(key, || {
-            self.run(
-                cfg.replication(),
-                cfg.widening(),
-                Some(cfg.registers()),
-                model,
-                opts,
-            )
-        })
+        self.evaluate(&PointSpec::scheduled(cfg, model, *opts))
     }
 
     /// The §3 baseline: `1w1` with a 256-register file, 4-cycle model.
@@ -205,143 +183,177 @@ impl Evaluator {
         self.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default())
     }
 
-    fn cached(&self, key: EvalKey, f: impl FnOnce() -> CorpusEval) -> Arc<CorpusEval> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+    /// Evaluates many design points as one batch: all `(loop × config)`
+    /// work units are compiled on one dynamic worker queue with shared
+    /// stage caches (a `1w2/2w2/4w2` sweep widens each loop once).
+    /// Returns one aggregate per configuration, in input order.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        cfgs: &[Configuration],
+        model: CycleModel,
+        opts: &EvalOptions,
+    ) -> Vec<Arc<CorpusEval>> {
+        let points: Vec<(Configuration, CycleModel)> =
+            cfgs.iter().map(|cfg| (*cfg, model)).collect();
+        self.sweep_points(&points, opts)
+    }
+
+    /// [`Evaluator::sweep`] with a cycle model per configuration (the
+    /// Figure 8/9 shape, where each design point's clock sets its
+    /// latency model).
+    #[must_use]
+    pub fn sweep_points(
+        &self,
+        points: &[(Configuration, CycleModel)],
+        opts: &EvalOptions,
+    ) -> Vec<Arc<CorpusEval>> {
+        let specs: Vec<PointSpec> = points
+            .iter()
+            .map(|(cfg, model)| PointSpec::scheduled(cfg, *model, *opts))
+            .collect();
+        self.sweep_specs(&specs)
+    }
+
+    /// Peak-mode batch: one aggregate per `(replication, width)` pair.
+    #[must_use]
+    pub fn sweep_peak(&self, pairs: &[(u32, u32)], model: CycleModel) -> Vec<Arc<CorpusEval>> {
+        let specs: Vec<PointSpec> = pairs
+            .iter()
+            .map(|&(x, y)| PointSpec::peak(x, y, model))
+            .collect();
+        self.sweep_specs(&specs)
+    }
+
+    fn sweep_specs(&self, specs: &[PointSpec]) -> Vec<Arc<CorpusEval>> {
+        // Only compile points whose aggregate is not already memoized
+        // (each distinct point once); the batch warms the stage caches
+        // in parallel, then each aggregate is folded in deterministic
+        // corpus order.
+        let missing: Vec<PointSpec> = {
+            let memo = self.aggregates.lock().expect("aggregate lock");
+            let mut seen = std::collections::HashSet::new();
+            specs
+                .iter()
+                .filter(|s| !memo.contains_key(*s) && seen.insert(**s))
+                .copied()
+                .collect()
+        };
+        let compiled = self.pipeline.sweep(&missing, self.threads);
+        for (spec, artifacts) in missing.iter().zip(compiled) {
+            let evaluated: Vec<(LoopEval, f64, f64, f64)> = artifacts
+                .iter()
+                .zip(self.loops())
+                .map(|(outcome, l)| score_loop(l, spec.width, outcome))
+                .collect();
+            let agg = Arc::new(aggregate(evaluated));
+            self.aggregates
+                .lock()
+                .expect("aggregate lock")
+                .entry(*spec)
+                .or_insert(agg);
+        }
+        specs.iter().map(|s| self.evaluate(s)).collect()
+    }
+
+    /// One design point: aggregate memo, else compile the corpus in
+    /// parallel through the stage caches.
+    fn evaluate(&self, spec: &PointSpec) -> Arc<CorpusEval> {
+        if let Some(hit) = self.aggregates.lock().expect("aggregate lock").get(spec) {
             return Arc::clone(hit);
         }
-        let value = Arc::new(f());
-        self.cache
+        let loops = self.loops();
+        let results = pool::par_map(loops.len(), self.threads, |li| {
+            score_loop(&loops[li], spec.width, &self.pipeline.compile(li, spec))
+        });
+        let value = Arc::new(aggregate(results));
+        self.aggregates
             .lock()
-            .expect("cache lock")
-            .entry(key)
+            .expect("aggregate lock")
+            .entry(*spec)
             .or_insert(value)
             .clone()
     }
-
-    /// Evaluates every loop on `threads` workers.
-    fn run(
-        &self,
-        replication: u32,
-        width: u32,
-        registers: Option<u32>,
-        model: CycleModel,
-        opts: &EvalOptions,
-    ) -> CorpusEval {
-        let n = self.loops.len();
-        let results: Vec<(LoopEval, f64, f64, f64)> = {
-            let mut out = vec![(LoopEval::Failed, 0.0, 0.0, 0.0); n];
-            let chunk = n.div_ceil(self.threads.max(1));
-            std::thread::scope(|scope| {
-                for (slot, loops) in out.chunks_mut(chunk).zip(self.loops.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (s, l) in slot.iter_mut().zip(loops) {
-                            *s = evaluate_loop(l, replication, width, registers, model, opts);
-                        }
-                    });
-                }
-            });
-            out
-        };
-        let mut eval = CorpusEval {
-            per_loop: Vec::with_capacity(n),
-            total_cycles: 0.0,
-            total_kernel_words: 0.0,
-            total_static_words: 0.0,
-            failed: 0,
-            at_mii: 0,
-            spill_ops: 0,
-        };
-        for (le, cycles, words, static_words) in results {
-            match le {
-                LoopEval::Ok {
-                    ii, mii, spill_ops, ..
-                } => {
-                    eval.total_cycles += cycles;
-                    eval.total_kernel_words += words;
-                    eval.total_static_words += static_words;
-                    if ii == mii {
-                        eval.at_mii += 1;
-                    }
-                    eval.spill_ops += u64::from(spill_ops);
-                }
-                LoopEval::Failed => eval.failed += 1,
-            }
-            eval.per_loop.push(le);
-        }
-        eval
-    }
 }
 
-/// Evaluates one loop; returns the outcome plus its weighted cycle and
+/// Scores one compiled loop: the outcome plus its weighted cycle and
 /// kernel-word contributions.
-fn evaluate_loop(
+fn score_loop(
     l: &Loop,
-    replication: u32,
     width: u32,
-    registers: Option<u32>,
-    model: CycleModel,
-    opts: &EvalOptions,
+    outcome: &Result<CompiledLoop, widening_pipeline::PipelineError>,
 ) -> (LoopEval, f64, f64, f64) {
-    let cfg_regs = registers.unwrap_or(256);
-    let cfg = Configuration::monolithic(replication, width, cfg_regs)
-        .expect("evaluator configurations are powers of two");
-    let wide = widen(l.ddg(), width);
-    let block_iterations = l.trip_count().div_ceil(u64::from(width));
-    let weight = l.weight();
-
-    let (ii, mii, regs, spills) = match registers {
-        None => {
-            // Peak mode: II = MII exactly.
-            let bounds = MiiBounds::compute(wide.ddg(), &cfg, model);
-            (bounds.mii(), bounds.mii(), 0, 0)
-        }
-        Some(_) => {
-            let sched_opts = SchedulerOptions {
-                strategy: opts.strategy,
-                ..Default::default()
-            };
-            match schedule_with_registers(wide.ddg(), &cfg, model, &sched_opts, &opts.spill) {
-                Ok(r) => {
-                    // Judge the scheduler against the graph it actually
-                    // scheduled (including spill code): `ii == mii` then
-                    // measures ordering quality, not spill pressure.
-                    let mii = MiiBounds::compute(&r.ddg, &cfg, model).mii();
-                    (
-                        r.schedule.ii(),
-                        mii,
-                        r.allocation.registers_used(),
-                        r.spill_stores + r.spill_loads,
-                    )
-                }
-                Err(RegallocError::Pressure { .. }) => {
-                    return (LoopEval::Failed, 0.0, 0.0, 0.0);
-                }
-                Err(RegallocError::Schedule(_)) => {
-                    // Only the naive ASAP baseline can starve itself out
-                    // of a schedule; count it as a failure so the
-                    // ablation surfaces the weakness.
-                    return (LoopEval::Failed, 0.0, 0.0, 0.0);
-                }
-                Err(e) => {
-                    // Graph rewriting must never fail; surface loudly.
-                    panic!("spill rewrite failed on {}: {e}", l.name());
-                }
+    let compiled = match outcome {
+        Ok(c) => c,
+        Err(e) => {
+            if e.cause() == FailureCause::Rewrite {
+                // The seed panicked here; report loudly — with the loop
+                // name and the full graph-error detail the panic used to
+                // carry — so the rest of the corpus still evaluates but
+                // a rewrite bug can never pass as register pressure.
+                eprintln!(
+                    "warning: spill rewrite failed on {}: {e} — compiler defect, \
+                     not register pressure",
+                    l.name()
+                );
             }
+            return (LoopEval::Failed { cause: e.cause() }, 0.0, 0.0, 0.0);
         }
     };
-    let cycles = weight * f64::from(ii) * block_iterations as f64;
-    let words = weight * f64::from(ii);
+    let ii = compiled.ii();
+    let block_iterations = l.trip_count().div_ceil(u64::from(width));
+    let cycles = l.weight() * f64::from(ii) * block_iterations as f64;
+    let words = l.weight() * f64::from(ii);
     (
         LoopEval::Ok {
             ii,
-            mii,
-            registers: regs,
-            spill_ops: spills,
+            mii: compiled.mii(),
+            registers: compiled.registers_used(),
+            spill_ops: compiled.spill_ops(),
         },
         cycles,
         words,
         f64::from(ii),
     )
+}
+
+/// Folds per-loop scores into a [`CorpusEval`], in corpus order.
+fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
+    let mut eval = CorpusEval {
+        per_loop: Vec::with_capacity(results.len()),
+        total_cycles: 0.0,
+        total_kernel_words: 0.0,
+        total_static_words: 0.0,
+        failed: 0,
+        rewrite_failures: 0,
+        at_mii: 0,
+        spill_ops: 0,
+    };
+    for (le, cycles, words, static_words) in results {
+        match le {
+            LoopEval::Ok {
+                ii, mii, spill_ops, ..
+            } => {
+                eval.total_cycles += cycles;
+                eval.total_kernel_words += words;
+                eval.total_static_words += static_words;
+                if ii == mii {
+                    eval.at_mii += 1;
+                }
+                eval.spill_ops += u64::from(spill_ops);
+            }
+            LoopEval::Failed { cause } => {
+                eval.failed += 1;
+                // score_loop already warned with the loop name and full
+                // error; the aggregate keeps the count queryable.
+                if cause == FailureCause::Rewrite {
+                    eval.rewrite_failures += 1;
+                }
+            }
+        }
+        eval.per_loop.push(le);
+    }
+    eval
 }
 
 #[cfg(test)]
@@ -444,5 +456,70 @@ mod tests {
         let b32 = ev.baseline_32();
         assert!(b256.is_complete());
         assert!(b32.total_cycles >= b256.total_cycles);
+    }
+
+    #[test]
+    fn sweep_matches_single_point_evaluation() {
+        let loops = corpus::generate(&corpus::CorpusSpec::small(25, 3));
+        let cfgs: Vec<Configuration> = ["1w1(64:1)", "2w2(64:1)", "4w2(64:1)"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+
+        let swept = Evaluator::new(loops.clone());
+        let batch = swept.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+
+        let single = Evaluator::new(loops);
+        for (cfg, got) in cfgs.iter().zip(&batch) {
+            let want = single.scheduled(cfg, CycleModel::Cycles4, &EvalOptions::default());
+            assert_eq!(got.total_cycles.to_bits(), want.total_cycles.to_bits());
+            assert_eq!(got.failed, want.failed);
+            assert_eq!(got.at_mii, want.at_mii);
+            assert_eq!(got.spill_ops, want.spill_ops);
+        }
+        // The batch shares widening across the Y = 2 points.
+        let counts = swept.pipeline().stage_counts();
+        assert_eq!(counts.widen_runs, 2 * 25);
+        // Sweep results are memoized: re-reading is pure cache.
+        let again = swept.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+        for (a, b) in batch.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let loops = corpus::generate(&corpus::CorpusSpec::small(18, 21));
+        let cfg = Configuration::monolithic(4, 2, 64).unwrap();
+        let a = Evaluator::new(loops.clone()).with_threads(1).scheduled(
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+        );
+        let b = Evaluator::new(loops).with_threads(7).scheduled(
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+        );
+        assert_eq!(a.total_cycles.to_bits(), b.total_cycles.to_bits());
+        assert_eq!(a.per_loop, b.per_loop);
+    }
+
+    #[test]
+    fn failures_carry_structured_causes() {
+        // The paper's unresolvable-pressure case: 8w1 on a 32-RF. Any
+        // failed loop must say why instead of panicking the corpus run.
+        let ev = small_eval();
+        let cfg = Configuration::monolithic(8, 1, 32).unwrap();
+        let r = ev.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default());
+        for le in &r.per_loop {
+            if let LoopEval::Failed { cause } = le {
+                assert!(
+                    matches!(cause, FailureCause::Pressure { .. }),
+                    "unexpected cause {cause}"
+                );
+            }
+        }
+        assert!(r.failed > 0, "8w1(32-RF) should fail some loops");
     }
 }

@@ -7,12 +7,14 @@
 
 mod ablation;
 mod figures;
+mod sweeps;
 mod tables;
 mod tradeoffs;
 mod transients;
 
 pub use ablation::{ablate_latency, ablate_sched, ablate_spill};
 pub use figures::{fig2, fig3, fig4, fig6, fig7};
+pub use sweeps::sweep;
 pub use tables::{table1, table2, table3, table4, table5, table6};
 pub use tradeoffs::{fig8a, fig8b, fig8c, fig8d, fig9};
 pub use transients::{simulate, transients};
@@ -49,7 +51,7 @@ impl Context {
 }
 
 /// All experiment names, in paper order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -69,6 +71,7 @@ pub const ALL: [&str; 19] = [
     "ablate",
     "simulate",
     "transients",
+    "sweep",
 ];
 
 /// Runs the experiment with the given name; `None` for an unknown name.
@@ -100,6 +103,7 @@ pub fn run(name: &str, ctx: &Context) -> Option<Vec<Report>> {
         ]),
         "simulate" => one(simulate(ctx)),
         "transients" => one(transients(ctx)),
+        "sweep" => one(sweep(ctx)),
         _ => None,
     }
 }

@@ -1,0 +1,115 @@
+//! The multi-configuration sweep demonstration (`repro sweep`): the
+//! issue's canonical `1w1 / 2w2 / 4w2` design points over two
+//! register-file sizes, evaluated as one batch of `(loop × config)`
+//! work units with shared stage caches — and the stage counters that
+//! prove the reuse.
+
+use widening_machine::{Configuration, CycleModel};
+
+use super::Context;
+use crate::report::{f2, Report};
+
+/// The sweep's design points, `XwY` by register-file size.
+const SWEEP_CONFIGS: [&str; 6] = [
+    "1w1(64:1)",
+    "2w2(64:1)",
+    "4w2(64:1)",
+    "1w1(128:1)",
+    "2w2(128:1)",
+    "4w2(128:1)",
+];
+
+/// Batch-evaluates the sweep grid and reports speed-ups plus the
+/// pipeline's stage-execution counters.
+///
+/// # Panics
+///
+/// Panics if the batch fails to share widening work across design
+/// points with equal `Y` — the sweep engine's core contract.
+#[must_use]
+pub fn sweep(ctx: &Context) -> Report {
+    let cfgs: Vec<Configuration> = SWEEP_CONFIGS
+        .iter()
+        .map(|s| s.parse().expect("static configuration"))
+        .collect();
+    let n = ctx.eval.loops().len() as u64;
+    let before = ctx.eval.pipeline().stage_counts();
+    let results = ctx
+        .eval
+        .sweep(&cfgs, CycleModel::Cycles4, &Default::default());
+    let after = ctx.eval.pipeline().stage_counts();
+
+    let mut r = Report::new("Sweep — shared-cache batch over 1w1/2w2/4w2 × {64, 128}-RF")
+        .with_columns([
+            "config",
+            "speed-up vs 1w1(64)",
+            "at-MII rate",
+            "failed",
+            "spill ops",
+        ]);
+    let base = results[0].total_cycles;
+    for (spec, e) in SWEEP_CONFIGS.iter().zip(&results) {
+        r.push_row([
+            (*spec).to_string(),
+            if e.is_complete() {
+                f2(base / e.total_cycles)
+            } else {
+                format!("- ({} fail)", e.failed)
+            },
+            f2(e.mii_rate()),
+            e.failed.to_string(),
+            e.spill_ops.to_string(),
+        ]);
+    }
+
+    let widen_delta = after.widen_runs - before.widen_runs;
+    let sched_delta = after.schedule_runs - before.schedule_runs;
+    // Six design points, two distinct widths: stage sharing must hold.
+    assert!(
+        widen_delta <= 2 * n,
+        "sweep re-widened loops: {widen_delta} runs for {n} loops x 2 widths"
+    );
+    r.push_note(format!(
+        "stage executions this sweep: widen {widen_delta} (≤ {} = loops × distinct Y), \
+         schedule {sched_delta} of {} requested units",
+        2 * n,
+        6 * n
+    ));
+    r.push_note(format!(
+        "cumulative stage-cache hits: {} (runs {} / requests {})",
+        after.hits(),
+        after.widen_runs + after.mii_runs + after.base_schedule_runs + after.schedule_runs,
+        after.widen_requests
+            + after.mii_requests
+            + after.base_schedule_requests
+            + after.schedule_requests
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_report_shape_and_sharing() {
+        let ctx = Context::quick(10);
+        let r = sweep(&ctx);
+        assert_eq!(r.rows.len(), 6);
+        // The 1w1(64) anchor is 1.00 by construction.
+        let anchor: f64 = r.rows[0][1].parse().unwrap();
+        assert!((anchor - 1.0).abs() < 1e-9);
+        // More registers never hurt: 128-RF rows at least match their
+        // 64-RF siblings (within rounding).
+        for i in 0..3 {
+            let small: f64 = r.rows[i][1].parse().unwrap_or(0.0);
+            let big: f64 = r.rows[i + 3][1].parse().unwrap_or(f64::MAX);
+            assert!(
+                big >= small - 0.02,
+                "{:?} vs {:?}",
+                r.rows[i],
+                r.rows[i + 3]
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use widening_cost::{CostModel, Technology};
 use widening_machine::Configuration;
 
-use super::figures::cost_aware_speedup;
+use super::figures::{cost_aware_speedup, prewarm_cost_aware};
 use super::Context;
 use crate::report::{f2, mega, Report};
 
@@ -17,8 +17,12 @@ fn fig8_panel(ctx: &Context, title: &str, configs: &[&str], paper_note: &str) ->
         "cycle time",
         "latency model",
     ]);
-    for s in configs {
-        let cfg: Configuration = s.parse().expect("valid config literal");
+    let parsed: Vec<Configuration> = configs
+        .iter()
+        .map(|s| s.parse().expect("valid config literal"))
+        .collect();
+    prewarm_cost_aware(ctx, &cost, &parsed);
+    for (s, &cfg) in configs.iter().zip(&parsed) {
         let p = cost.design_point(&cfg);
         match cost_aware_speedup(ctx, &cost, &cfg) {
             Some(speedup) => r.push_row([
@@ -97,6 +101,14 @@ pub fn fig9(ctx: &Context) -> Report {
         "speed-up",
         "die %",
     ]);
+    // One shared-cache batch over every implementable configuration of
+    // every generation (the lists overlap heavily across technologies).
+    let all_cfgs: Vec<Configuration> = Technology::ALL
+        .iter()
+        .flat_map(|t| cost.implementable_configurations(t, 16))
+        .map(|p| p.config)
+        .collect();
+    prewarm_cost_aware(ctx, &cost, &all_cfgs);
     for tech in &Technology::ALL {
         let mut scored: Vec<(f64, Configuration)> = Vec::new();
         for p in cost.implementable_configurations(tech, 16) {

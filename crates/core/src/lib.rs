@@ -16,12 +16,16 @@
 //! * `widening-transform` — the widening (unroll-and-pack) transform;
 //! * `widening-sched` — HRMS-lineage modulo scheduling (+ IMS/ASAP);
 //! * `widening-regalloc` — lifetimes, end-fit allocation, spill code;
+//! * `widening-pipeline` — the staged widen → MII → schedule →
+//!   allocate → spill chain, memoized per stage, with the multi-config
+//!   sweep engine (the single implementation of the compilation chain);
 //! * `widening-cost` — register-cell/area/timing models, SIA roadmap;
 //! * `widening-workload` — the Perfect-Club-surrogate corpus;
 //! * `widening-sim` — cycle-accurate wide-datapath simulator with
 //!   differential validation against a scalar reference;
 //! * [`experiments`] — one runnable entry per paper table and figure,
-//!   plus the simulation experiments (`simulate`, `transients`).
+//!   plus the simulation experiments (`simulate`, `transients`) and the
+//!   shared-cache `sweep` demonstration.
 //!
 //! # Quick start
 //!
@@ -58,6 +62,7 @@ pub use simulate::{simulate_corpus, SimCorpusEval, SimLoopEval};
 pub use widening_cost as cost;
 pub use widening_ir as ir;
 pub use widening_machine as machine;
+pub use widening_pipeline as pipeline;
 pub use widening_regalloc as regalloc;
 pub use widening_sched as sched;
 pub use widening_sim as sim;
@@ -72,6 +77,9 @@ pub mod prelude {
     pub use widening_cost::{CostModel, Technology};
     pub use widening_ir::{Ddg, DdgBuilder, Loop, OpKind};
     pub use widening_machine::{Configuration, CycleModel};
+    pub use widening_pipeline::{
+        compile_ddg, CompileOptions, CompiledLoop, FailureCause, Pipeline, PipelineError, PointSpec,
+    };
     pub use widening_regalloc::{schedule_with_registers, SpillOptions};
     pub use widening_sched::{MiiBounds, ModuloScheduler, Schedule, Strategy};
     pub use widening_sim::{simulate_loop, SimReport};

@@ -1,16 +1,21 @@
 //! Corpus-scale simulation: every loop is widened, scheduled, executed
 //! cycle-accurately and differentially validated against its scalar
-//! reference, in parallel on the evaluator's thread pool.
+//! reference, in parallel on the evaluator's worker pool.
 //!
 //! Where [`crate::Evaluator::scheduled`] *counts* `II · ⌈trip/Y⌉`
 //! analytically, [`simulate_corpus`] *runs* the schedule and reports
 //! both numbers side by side — so experiments can quantify the
 //! fill/drain transient and assert functional correctness of the whole
 //! widen → schedule → allocate → spill pipeline on real corpus loops.
+//!
+//! Compilation goes through the evaluator's shared [`widening_pipeline`]
+//! stage caches: simulating a configuration that was already evaluated
+//! analytically (or at another trip count) replays the memoized
+//! schedule instead of recompiling it.
 
 use widening_machine::{Configuration, CycleModel};
-use widening_sched::SchedulerOptions;
-use widening_sim::{simulate_ddg, SimStats};
+use widening_pipeline::{pool, PointSpec};
+use widening_sim::{simulate_scheduled, SimStats};
 
 use crate::evaluate::{EvalOptions, Evaluator};
 
@@ -90,21 +95,36 @@ pub fn simulate_corpus(
     trip_override: Option<u64>,
 ) -> SimCorpusEval {
     let loops = eval.loops();
-    let n = loops.len();
-    let mut out: Vec<SimLoopEval> = vec![SimLoopEval::Failed { why: String::new() }; n];
-    let chunk = n.div_ceil(eval.threads().max(1)).max(1);
-    std::thread::scope(|scope| {
-        for (slot, ls) in out.chunks_mut(chunk).zip(loops.chunks(chunk)) {
-            scope.spawn(move || {
-                for (s, l) in slot.iter_mut().zip(ls) {
-                    *s = simulate_one(l, cfg, model, opts, trip_override);
+    let spec = PointSpec::scheduled(cfg, model, *opts);
+    let pipeline = eval.pipeline();
+    let out = pool::par_map(loops.len(), eval.threads(), |li| {
+        let l = &loops[li];
+        let compiled = match pipeline.compile(li, &spec) {
+            Ok(c) => c,
+            Err(e) => {
+                return SimLoopEval::Failed {
+                    why: format!("pipeline failed: {e}"),
                 }
-            });
+            }
+        };
+        let stage = compiled
+            .scheduled()
+            .expect("scheduled design points always carry a schedule stage");
+        let trip = trip_override.unwrap_or_else(|| l.trip_count());
+        match simulate_scheduled(l.ddg(), compiled.wide(), &stage.result, model, trip) {
+            Ok(report) if report.is_validated() => SimLoopEval::Validated {
+                ii: report.ii,
+                stats: report.stats,
+            },
+            Ok(report) => SimLoopEval::Divergent {
+                divergences: report.divergences.len(),
+            },
+            Err(e) => SimLoopEval::Failed { why: e.to_string() },
         }
     });
 
     let mut agg = SimCorpusEval {
-        per_loop: Vec::with_capacity(n),
+        per_loop: Vec::with_capacity(loops.len()),
         validated: 0,
         divergent: 0,
         failed: 0,
@@ -128,30 +148,6 @@ pub fn simulate_corpus(
         agg.per_loop.push(le);
     }
     agg
-}
-
-fn simulate_one(
-    l: &widening_ir::Loop,
-    cfg: &Configuration,
-    model: CycleModel,
-    opts: &EvalOptions,
-    trip_override: Option<u64>,
-) -> SimLoopEval {
-    let trip = trip_override.unwrap_or_else(|| l.trip_count());
-    let sched_opts = SchedulerOptions {
-        strategy: opts.strategy,
-        ..Default::default()
-    };
-    match simulate_ddg(l.ddg(), trip, cfg, model, &sched_opts, &opts.spill) {
-        Ok(report) if report.is_validated() => SimLoopEval::Validated {
-            ii: report.ii,
-            stats: report.stats,
-        },
-        Ok(report) => SimLoopEval::Divergent {
-            divergences: report.divergences.len(),
-        },
-        Err(e) => SimLoopEval::Failed { why: e.to_string() },
-    }
 }
 
 #[cfg(test)]
@@ -214,5 +210,10 @@ mod tests {
         assert!(short.dynamic_cycles < long.dynamic_cycles);
         // Short trips amplify the transient share.
         assert!(short.transient_ratio() >= long.transient_ratio());
+        // Both trip counts replayed one memoized schedule per loop.
+        assert_eq!(
+            ev.pipeline().stage_counts().schedule_runs,
+            kernels::all().len() as u64
+        );
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! This crate simply re-exports [`widening`], which itself federates the
 //! component crates (IR, machine model, scheduler, register allocator,
-//! widening transform, cost models, workload) and hosts the experiment
+//! widening transform, the staged `widening-pipeline` compilation
+//! driver, cost models, workload, simulator) and hosts the experiment
 //! harness. See the repository README for the architecture overview and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology and
 //! results.

@@ -1,17 +1,13 @@
-//! Cross-crate integration: the full widen → schedule → allocate →
-//! spill pipeline on the named kernels, checked against hand-derived
-//! expectations.
+//! Cross-crate integration: the staged widen → MII → schedule →
+//! allocate → spill pipeline (`widening-pipeline`) on the named
+//! kernels, checked against hand-derived expectations.
 
 use widening_resources::prelude::*;
 
-fn run(l: &widening::ir::Loop, cfg: &Configuration) -> widening::regalloc::PressureResult {
-    let wide = widen(l.ddg(), cfg.widening());
-    schedule_with_registers(
-        wide.ddg(),
-        cfg,
-        CycleModel::Cycles4,
-        &Default::default(),
-        &SpillOptions::default(),
+fn run(l: &widening::ir::Loop, cfg: &Configuration) -> CompiledLoop {
+    compile_ddg(
+        l.ddg(),
+        &PointSpec::scheduled(cfg, CycleModel::Cycles4, CompileOptions::default()),
     )
     .unwrap_or_else(|e| panic!("{} on {cfg}: {e}", l.name()))
 }
@@ -20,20 +16,20 @@ fn run(l: &widening::ir::Loop, cfg: &Configuration) -> widening::regalloc::Press
 fn daxpy_on_the_baseline_machine() {
     // 3 memory ops on 1 bus → II = 3; trivial register needs.
     let out = run(&kernels::daxpy(), &"1w1(32:1)".parse().unwrap());
-    assert_eq!(out.schedule.ii(), 3);
-    assert_eq!(out.spill_stores + out.spill_loads, 0);
-    assert!(out.allocation.registers_used() <= 8);
+    assert_eq!(out.ii(), 3);
+    assert_eq!(out.spill_ops(), 0);
+    assert!(out.registers_used() <= 8);
 }
 
 #[test]
 fn daxpy_speeds_up_with_replication_and_widening() {
     let daxpy = kernels::daxpy();
-    let base = run(&daxpy, &"1w1(64:1)".parse().unwrap()).schedule.ii() as f64;
+    let base = run(&daxpy, &"1w1(64:1)".parse().unwrap()).ii() as f64;
     // 2w1: 3 mem / 2 buses → II 2.
-    let repl = run(&daxpy, &"2w1(64:1)".parse().unwrap()).schedule.ii() as f64;
+    let repl = run(&daxpy, &"2w1(64:1)".parse().unwrap()).ii() as f64;
     assert_eq!(repl, 2.0);
     // 1w2: II 3 per 2 iterations → 1.5 cycles/iteration.
-    let wide = run(&daxpy, &"1w2(64:1)".parse().unwrap()).schedule.ii() as f64 / 2.0;
+    let wide = run(&daxpy, &"1w2(64:1)".parse().unwrap()).ii() as f64 / 2.0;
     assert_eq!(wide, 1.5);
     assert!(repl < base && wide < base);
 }
@@ -45,7 +41,8 @@ fn dot_product_is_recurrence_bound() {
     let dot = kernels::dot_product();
     for spec in ["4w1(64:1)", "8w1(64:1)"] {
         let out = run(&dot, &spec.parse().unwrap());
-        assert_eq!(out.schedule.ii(), 4, "{spec}");
+        assert_eq!(out.ii(), 4, "{spec}");
+        assert!(out.bounds().is_recurrence_bound(), "{spec}");
     }
 }
 
@@ -55,7 +52,7 @@ fn dot_product_widens_past_its_recurrence() {
     // (4 adds × 4 cycles = 16 per 4 iterations): still 4 cycles/iter.
     let dot = kernels::dot_product();
     let out = run(&dot, &"1w4(64:1)".parse().unwrap());
-    assert_eq!(out.schedule.ii(), 16);
+    assert_eq!(out.ii(), 16);
 }
 
 #[test]
@@ -63,8 +60,8 @@ fn strided_matvec_resists_widening() {
     // The column walk cannot ride a wide bus: its widened loop keeps one
     // scalar access per lane, so cycles/iteration stay near 1w1's.
     let mv = kernels::matvec_column(64);
-    let narrow = run(&mv, &"1w1(64:1)".parse().unwrap()).schedule.ii() as f64;
-    let wide = run(&mv, &"1w4(64:1)".parse().unwrap()).schedule.ii() as f64 / 4.0;
+    let narrow = run(&mv, &"1w1(64:1)".parse().unwrap()).ii() as f64;
+    let wide = run(&mv, &"1w4(64:1)".parse().unwrap()).ii() as f64 / 4.0;
     assert!(
         wide > 0.8 * narrow,
         "widening should barely help a strided walk: {narrow} vs {wide}"
@@ -75,7 +72,7 @@ fn strided_matvec_resists_widening() {
 fn division_kernel_is_bounded_by_unpipelined_units() {
     // One divide per iteration, occupancy 19, two FPUs → II = 10.
     let out = run(&kernels::vector_divide(), &"1w1(64:1)".parse().unwrap());
-    assert_eq!(out.schedule.ii(), 10);
+    assert_eq!(out.ii(), 10);
 }
 
 #[test]
@@ -90,15 +87,16 @@ fn every_kernel_schedules_on_every_small_machine() {
         ] {
             let cfg: Configuration = spec.parse().unwrap();
             let out = run(&kernel, &cfg);
-            assert!(out.allocation.registers_used() <= cfg.registers());
-            let wide = widen(kernel.ddg(), cfg.widening());
-            let mii = MiiBounds::compute(wide.ddg(), &cfg, CycleModel::Cycles4).mii();
-            assert!(out.schedule.ii() >= mii);
+            assert!(out.registers_used() <= cfg.registers());
+            // The artifact carries its own MII stage: no separate
+            // widen + bound recomputation needed.
+            let mii = out.bounds().mii();
+            assert!(out.ii() >= mii);
             assert!(
-                out.schedule.ii() <= mii.max(2) * 3,
+                out.ii() <= mii.max(2) * 3,
                 "{} on {spec}: II {} vs MII {mii}",
                 kernel.name(),
-                out.schedule.ii()
+                out.ii()
             );
         }
     }
@@ -110,17 +108,13 @@ fn spill_appears_exactly_when_the_file_shrinks() {
     // 4-register file → spill or failure, never silent overflow.
     let fir = kernels::fir5();
     let big = run(&fir, &"4w1(256:1)".parse().unwrap());
-    assert_eq!(big.spill_stores + big.spill_loads, 0);
-    let wide = widen(fir.ddg(), 1);
+    assert_eq!(big.spill_ops(), 0);
     let tiny: Configuration = "4w1(32:1)".parse().unwrap();
-    match schedule_with_registers(
-        wide.ddg(),
-        &tiny,
-        CycleModel::Cycles4,
-        &Default::default(),
-        &SpillOptions::default(),
+    match compile_ddg(
+        fir.ddg(),
+        &PointSpec::scheduled(&tiny, CycleModel::Cycles4, CompileOptions::default()),
     ) {
-        Ok(out) => assert!(out.allocation.registers_used() <= 32),
+        Ok(out) => assert!(out.registers_used() <= 32),
         Err(e) => panic!("fir5 must fit 32 registers with spilling: {e}"),
     }
 }

@@ -1,0 +1,99 @@
+//! Sharded, exactly-once stage caches and their instrumentation.
+//!
+//! Each stage memoizes under a content key. Concurrency contract: when
+//! two sweep workers request the same key at the same time, exactly one
+//! computes it and the other blocks on the entry's [`OnceLock`] — the
+//! run counters therefore count *stage executions*, which is what the
+//! stage-reuse tests assert on.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Lock shards per cache: enough to keep a ~16-thread sweep off each
+/// other's locks, small enough to cost nothing.
+const SHARDS: usize = 16;
+
+/// A concurrent memo table: `get_or_compute` runs `f` at most once per
+/// key, ever, across all threads.
+#[derive(Debug)]
+pub(crate) struct StageCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+    hasher: RandomState,
+    requests: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> StageCache<K, V> {
+    pub(crate) fn new() -> Self {
+        StageCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            requests: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let shard = (self.hasher.hash_one(&key) as usize) % SHARDS;
+        let cell = {
+            let mut map = self.shards[shard].lock().expect("stage cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // Outside the shard lock: a slow stage (scheduling) must not
+        // serialize unrelated keys. `get_or_init` blocks same-key racers
+        // until the winner's value is ready.
+        cell.get_or_init(|| {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            f()
+        })
+        .clone()
+    }
+
+    pub(crate) fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+/// Cumulative stage-execution counters of a [`crate::Pipeline`].
+///
+/// `*_runs` counts actual stage executions; `*_requests` counts lookups.
+/// A multi-configuration sweep that shares stages shows
+/// `runs ≪ requests`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Widening transforms executed (one per distinct `(loop, Y)`).
+    pub widen_runs: u64,
+    /// Widening stage lookups.
+    pub widen_requests: u64,
+    /// MII bound computations executed.
+    pub mii_runs: u64,
+    /// MII stage lookups.
+    pub mii_requests: u64,
+    /// Register-file-independent base schedules executed (one per
+    /// `(loop, resources, model, strategy)` across a whole RF sweep).
+    pub base_schedule_runs: u64,
+    /// Base-schedule stage lookups.
+    pub base_schedule_requests: u64,
+    /// Schedule/allocate/spill stage executions.
+    pub schedule_runs: u64,
+    /// Schedule stage lookups.
+    pub schedule_requests: u64,
+}
+
+impl StageCounts {
+    /// Total stage executions avoided by memoization.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        (self.widen_requests - self.widen_runs)
+            + (self.mii_requests - self.mii_runs)
+            + (self.base_schedule_requests - self.base_schedule_runs)
+            + (self.schedule_requests - self.schedule_runs)
+    }
+}

@@ -1,0 +1,267 @@
+//! The memoized [`Pipeline`] driver and the multi-config sweep engine.
+
+use std::sync::Arc;
+
+use widening_ir::Loop;
+use widening_machine::CycleModel;
+use widening_regalloc::SpillOptions;
+use widening_sched::{MiiBounds, Strategy};
+use widening_transform::WideningOutcome;
+
+use crate::cache::{StageCache, StageCounts};
+use crate::error::PipelineError;
+use crate::pool::par_map;
+use crate::stage::{
+    stage_base_schedule, stage_mii, stage_schedule, stage_widen, BaseSchedule, CompiledLoop,
+    PointSpec, ScheduledStage,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WideKey {
+    li: u32,
+    width: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MiiKey {
+    li: u32,
+    width: u32,
+    replication: u32,
+    model: CycleModel,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BaseKey {
+    li: u32,
+    width: u32,
+    replication: u32,
+    model: CycleModel,
+    strategy: Strategy,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SchedKey {
+    li: u32,
+    width: u32,
+    replication: u32,
+    registers: u32,
+    model: CycleModel,
+    strategy: Strategy,
+    spill: SpillOptions,
+}
+
+/// The staged compilation driver for one corpus.
+///
+/// Every stage is memoized under a content key:
+///
+/// * **widening** on `(loop, Y)` — a `1w2 / 2w2 / 4w2` sweep widens each
+///   loop once;
+/// * **MII bounds** on `(wide DDG, resources, cycle model)` — shared by
+///   peak evaluation across register-file sizes;
+/// * **base schedule** (the register-file-independent round 1 of the
+///   spill engine) on `(wide DDG, resources, cycle model, strategy)` —
+///   a `32/64/128/256`-RF sweep schedules each loop once and re-enters
+///   the spill engine only where the requirement exceeds the file;
+/// * **schedule/allocate/spill** additionally on registers, strategy and
+///   spill options.
+///
+/// The driver is `Sync`; corpus evaluation, simulation and
+/// [`Pipeline::sweep`] all hit the same caches from the worker pool.
+#[derive(Debug)]
+pub struct Pipeline {
+    loops: Arc<Vec<Loop>>,
+    widened: StageCache<WideKey, Arc<WideningOutcome>>,
+    bounds: StageCache<MiiKey, Arc<MiiBounds>>,
+    base: StageCache<BaseKey, Result<Arc<BaseSchedule>, PipelineError>>,
+    scheduled: StageCache<SchedKey, Result<Arc<ScheduledStage>, PipelineError>>,
+}
+
+impl Pipeline {
+    /// A pipeline over `loops` with empty stage caches.
+    #[must_use]
+    pub fn new(loops: Vec<Loop>) -> Self {
+        Pipeline::over(Arc::new(loops))
+    }
+
+    /// A pipeline sharing an already-`Arc`ed corpus.
+    #[must_use]
+    pub fn over(loops: Arc<Vec<Loop>>) -> Self {
+        Pipeline {
+            loops,
+            widened: StageCache::new(),
+            bounds: StageCache::new(),
+            base: StageCache::new(),
+            scheduled: StageCache::new(),
+        }
+    }
+
+    /// The corpus being compiled.
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Shared handle to the corpus.
+    #[must_use]
+    pub fn loops_arc(&self) -> Arc<Vec<Loop>> {
+        Arc::clone(&self.loops)
+    }
+
+    /// Cumulative stage execution/lookup counters.
+    #[must_use]
+    pub fn stage_counts(&self) -> StageCounts {
+        StageCounts {
+            widen_runs: self.widened.runs(),
+            widen_requests: self.widened.requests(),
+            mii_runs: self.bounds.runs(),
+            mii_requests: self.bounds.requests(),
+            base_schedule_runs: self.base.runs(),
+            base_schedule_requests: self.base.requests(),
+            schedule_runs: self.scheduled.runs(),
+            schedule_requests: self.scheduled.requests(),
+        }
+    }
+
+    /// Stage 1, memoized: the widened DDG (+ origin metadata) of loop
+    /// `li` at degree `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li` is out of corpus bounds.
+    #[must_use]
+    pub fn widened(&self, li: usize, width: u32) -> Arc<WideningOutcome> {
+        let key = WideKey {
+            li: li as u32,
+            width,
+        };
+        self.widened
+            .get_or_compute(key, || Arc::new(stage_widen(self.loops[li].ddg(), width)))
+    }
+
+    /// Stage 2, memoized: MII bounds of loop `li`'s wide graph on
+    /// `replication` buses/FPUs under `model`.
+    #[must_use]
+    pub fn mii_bounds(
+        &self,
+        li: usize,
+        replication: u32,
+        width: u32,
+        model: CycleModel,
+    ) -> Arc<MiiBounds> {
+        let key = MiiKey {
+            li: li as u32,
+            width,
+            replication,
+            model,
+        };
+        self.bounds.get_or_compute(key, || {
+            let wide = self.widened(li, width);
+            let spec = PointSpec::peak(replication, width, model);
+            Arc::new(stage_mii(wide.ddg(), &spec.machine(), model))
+        })
+    }
+
+    /// Stage 3a, memoized: the register-file-independent round-1
+    /// schedule + allocation of loop `li`'s wide graph.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Schedule`] when the modulo scheduler fails (the
+    /// error is memoized).
+    pub fn base_schedule(
+        &self,
+        li: usize,
+        spec: &PointSpec,
+    ) -> Result<Arc<BaseSchedule>, PipelineError> {
+        let key = BaseKey {
+            li: li as u32,
+            width: spec.width,
+            replication: spec.replication,
+            model: spec.model,
+            strategy: spec.opts.strategy,
+        };
+        self.base.get_or_compute(key, || {
+            let wide = self.widened(li, spec.width);
+            let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
+            stage_base_schedule(wide.ddg(), &spec.machine(), spec.model, &spec.opts, &bounds)
+                .map(Arc::new)
+        })
+    }
+
+    /// Runs (or replays) the staged chain for loop `li` at design point
+    /// `spec`, stopping after MII when `spec.registers` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] when the schedule/allocate/spill stage fails —
+    /// the error is memoized too, so a failing design point is diagnosed
+    /// once, not once per caller.
+    pub fn compile(&self, li: usize, spec: &PointSpec) -> Result<CompiledLoop, PipelineError> {
+        let wide = self.widened(li, spec.width);
+        let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
+        let scheduled = match spec.registers {
+            None => None,
+            Some(registers) => {
+                let key = SchedKey {
+                    li: li as u32,
+                    width: spec.width,
+                    replication: spec.replication,
+                    registers,
+                    model: spec.model,
+                    strategy: spec.opts.strategy,
+                    spill: spec.opts.spill,
+                };
+                let stage = self.scheduled.get_or_compute(key, || {
+                    let base = self.base_schedule(li, spec)?;
+                    if base.needed <= registers {
+                        // Fits round 1: every such Z shares one
+                        // materialized stage (no per-Z deep copies).
+                        Ok(base.fit_stage(wide.ddg(), &bounds))
+                    } else {
+                        stage_schedule(
+                            wide.ddg(),
+                            &spec.machine(),
+                            spec.model,
+                            &spec.opts,
+                            Some(&base),
+                        )
+                        .map(Arc::new)
+                    }
+                })?;
+                Some(stage)
+            }
+        };
+        Ok(CompiledLoop::new(spec.width, wide, bounds, scheduled))
+    }
+
+    /// Compiles every `(loop × design point)` work unit in parallel on
+    /// `threads` workers with shared stage caches, returning one
+    /// corpus-ordered artifact vector per design point.
+    ///
+    /// Units are scheduled point-major off one dynamic queue: widened
+    /// DDGs and MII bounds computed for the first point are cache hits
+    /// for every later point that shares them, and no worker idles while
+    /// another point still has units left.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        points: &[PointSpec],
+        threads: usize,
+    ) -> Vec<Vec<Result<CompiledLoop, PipelineError>>> {
+        let n = self.loops.len();
+        let flat = par_map(points.len() * n, threads, |unit| {
+            self.compile(unit % n, &points[unit / n])
+        });
+        let mut flat = flat.into_iter();
+        points
+            .iter()
+            .map(|_| flat.by_ref().take(n).collect())
+            .collect()
+    }
+}
+
+impl From<Vec<Loop>> for Pipeline {
+    fn from(loops: Vec<Loop>) -> Self {
+        Pipeline::new(loops)
+    }
+}

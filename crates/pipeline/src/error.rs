@@ -1,0 +1,118 @@
+//! Structured pipeline failures.
+//!
+//! Corpus runs must never abort on a single loop: a loop that cannot be
+//! compiled is an analytic *outcome* (the paper's `8w1(32-RF)` case),
+//! not a crash. [`PipelineError`] carries the full detail; its
+//! [`FailureCause`] projection is a small `Copy` classification that
+//! per-loop evaluation records can embed.
+
+use std::error::Error;
+use std::fmt;
+
+use widening_ir::GraphError;
+use widening_regalloc::RegallocError;
+use widening_sched::ScheduleError;
+
+/// Compact, copyable classification of why a loop failed to compile.
+///
+/// This is what corpus-level results carry per loop (see the evaluator's
+/// `LoopEval::Failed` in the `widening` crate); the originating
+/// [`PipelineError`] holds the detailed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// Register pressure could not be brought under the file size.
+    Pressure {
+        /// Best register requirement achieved.
+        needed: u32,
+        /// Registers available.
+        available: u32,
+    },
+    /// The modulo scheduler failed outright (only the naive ASAP
+    /// baseline can starve itself out of a schedule).
+    Schedule,
+    /// Spill rewriting produced an invalid graph — always a compiler
+    /// bug, surfaced as data instead of a panic so a corpus run reports
+    /// it alongside every other loop.
+    Rewrite,
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Pressure { needed, available } => {
+                write!(f, "register pressure ({needed} > {available})")
+            }
+            FailureCause::Schedule => write!(f, "scheduling failed"),
+            FailureCause::Rewrite => write!(f, "spill rewrite bug"),
+        }
+    }
+}
+
+/// Why the staged compilation of one loop failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Register pressure could not be resolved within the spill engine's
+    /// round budget.
+    Pressure {
+        /// Best register requirement achieved.
+        needed: u32,
+        /// Registers available.
+        available: u32,
+    },
+    /// The modulo scheduler failed.
+    Schedule(ScheduleError),
+    /// Spill rewriting produced an invalid graph (indicates a bug).
+    Rewrite(GraphError),
+}
+
+impl PipelineError {
+    /// The copyable classification of this failure.
+    #[must_use]
+    pub fn cause(&self) -> FailureCause {
+        match self {
+            PipelineError::Pressure { needed, available } => FailureCause::Pressure {
+                needed: *needed,
+                available: *available,
+            },
+            PipelineError::Schedule(_) => FailureCause::Schedule,
+            PipelineError::Rewrite(_) => FailureCause::Rewrite,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Pressure { needed, available } => {
+                write!(
+                    f,
+                    "register pressure {needed} exceeds {available} available registers"
+                )
+            }
+            PipelineError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            PipelineError::Rewrite(e) => write!(f, "spill rewrite produced invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Schedule(e) => Some(e),
+            PipelineError::Rewrite(e) => Some(e),
+            PipelineError::Pressure { .. } => None,
+        }
+    }
+}
+
+impl From<RegallocError> for PipelineError {
+    fn from(e: RegallocError) -> Self {
+        match e {
+            RegallocError::Pressure { needed, available } => {
+                PipelineError::Pressure { needed, available }
+            }
+            RegallocError::Schedule(e) => PipelineError::Schedule(e),
+            RegallocError::Rewrite(e) => PipelineError::Rewrite(e),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The shared corpus worker pool.
+//!
+//! One dynamic work queue serves every corpus-scale consumer (analytic
+//! evaluation, simulation, multi-config sweeps): an atomic cursor hands
+//! out item indices so late stragglers (loops that need many spill
+//! rounds) do not idle a whole chunk's worth of workers, and results
+//! land in their slot so downstream aggregation stays in deterministic
+//! corpus order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `0..total` on `threads` scoped workers, returning the
+/// results in index order. `f` sees each index exactly once. With
+/// `threads <= 1` (or a single item) the map runs inline.
+pub fn par_map<T, F>(total: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(total);
+    if threads <= 1 {
+        return (0..total).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let value = f(i);
+                let prev = slots[i].lock().expect("slot lock").replace(value);
+                assert!(prev.is_none(), "index handed out twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// The default worker count: one per available core, capped — corpus
+/// items are CPU-bound and short, so oversubscription only adds
+/// scheduling noise.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_and_exactly_once() {
+        let hits: Vec<_> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        let out = par_map(97, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_single_thread() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+}

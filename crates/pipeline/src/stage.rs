@@ -1,0 +1,360 @@
+//! The pipeline stages and the staged [`CompiledLoop`] artifact.
+//!
+//! The chain is
+//!
+//! ```text
+//! widen (Y) ──► MII bounds ──► schedule ──► allocate ──► spill rewrite
+//! ```
+//!
+//! and every stage function here is the *only* implementation of that
+//! step in the workspace: the analytic evaluator, the corpus simulator
+//! and every experiment consume these stages (directly through
+//! [`compile_ddg`] or memoized through [`crate::Pipeline`]), so a change
+//! to the chain lands everywhere at once.
+
+use std::sync::Arc;
+
+use widening_ir::Ddg;
+use widening_machine::{Configuration, CycleModel};
+use widening_regalloc::{
+    allocate, lifetimes, schedule_with_registers_seeded, FirstRound, Lifetime, PressureResult,
+    RegisterAllocation, SpillOptions,
+};
+use widening_sched::{MiiBounds, ModuloScheduler, Schedule, SchedulerOptions, Strategy};
+use widening_transform::{widen, WideningOutcome};
+
+use crate::error::PipelineError;
+
+/// Options for the schedule → allocate → spill stage.
+///
+/// The `widening` crate re-exports this as `EvalOptions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompileOptions {
+    /// Scheduler strategy (HRMS unless ablating).
+    pub strategy: Strategy,
+    /// Spill engine options.
+    pub spill: SpillOptions,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: Strategy::Hrms,
+            spill: SpillOptions::default(),
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The scheduler options this stage configuration implies.
+    #[must_use]
+    pub fn scheduler_options(&self) -> SchedulerOptions {
+        SchedulerOptions {
+            strategy: self.strategy,
+            ..SchedulerOptions::default()
+        }
+    }
+}
+
+/// One design point of a sweep: everything that changes how a loop is
+/// compiled. `registers: None` means an infinite register file — the
+/// pipeline stops after the MII stage (the paper's *peak* mode, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointSpec {
+    /// Bus/FPU replication factor `X`.
+    pub replication: u32,
+    /// Widening degree `Y`.
+    pub width: u32,
+    /// Register-file size `Z`; `None` = infinite (peak mode).
+    pub registers: Option<u32>,
+    /// FPU latency model.
+    pub model: CycleModel,
+    /// Schedule/allocate/spill options.
+    pub opts: CompileOptions,
+}
+
+impl PointSpec {
+    /// Peak-mode point: perfect scheduling, infinite registers — the
+    /// pipeline stops after MII bounds.
+    #[must_use]
+    pub fn peak(replication: u32, width: u32, model: CycleModel) -> Self {
+        PointSpec {
+            replication,
+            width,
+            registers: None,
+            model,
+            opts: CompileOptions::default(),
+        }
+    }
+
+    /// Full scheduled point for a machine configuration. Only the
+    /// resource mix `(X, Y, Z)` matters to compilation; register-file
+    /// partitioning affects the cost models, not the schedule.
+    #[must_use]
+    pub fn scheduled(cfg: &Configuration, model: CycleModel, opts: CompileOptions) -> Self {
+        PointSpec {
+            replication: cfg.replication(),
+            width: cfg.widening(),
+            registers: Some(cfg.registers()),
+            model,
+            opts,
+        }
+    }
+
+    /// The monolithic machine the stages compile for. Peak mode
+    /// schedules against a notional 256-register file (registers are
+    /// never consulted before the allocation stage).
+    #[must_use]
+    pub fn machine(&self) -> Configuration {
+        Configuration::monolithic(self.replication, self.width, self.registers.unwrap_or(256))
+            .expect("pipeline design points are powers of two")
+    }
+}
+
+/// The schedule/allocate/spill stage product: a register-feasible
+/// schedule plus the MII of the graph it actually scheduled.
+#[derive(Debug, Clone)]
+pub struct ScheduledStage {
+    /// Schedule, allocation, final DDG (including spill code), lifetimes
+    /// and spill records.
+    pub result: PressureResult,
+    /// MII of the *final* graph (with spill code): `ii == final_mii`
+    /// measures ordering quality, not spill pressure.
+    pub final_mii: u32,
+}
+
+/// The staged compilation artifact for one loop at one design point.
+///
+/// Stages are `Arc`-shared: a multi-configuration sweep holds one
+/// widened DDG per `(loop, Y)` and one schedule per scheduling key no
+/// matter how many design points reference them.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    width: u32,
+    wide: Arc<WideningOutcome>,
+    bounds: Arc<MiiBounds>,
+    scheduled: Option<Arc<ScheduledStage>>,
+}
+
+impl CompiledLoop {
+    pub(crate) fn new(
+        width: u32,
+        wide: Arc<WideningOutcome>,
+        bounds: Arc<MiiBounds>,
+        scheduled: Option<Arc<ScheduledStage>>,
+    ) -> Self {
+        CompiledLoop {
+            width,
+            wide,
+            bounds,
+            scheduled,
+        }
+    }
+
+    /// Widening degree this loop was compiled at.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The widening stage: wide DDG plus packing metadata (origin
+    /// table).
+    #[must_use]
+    pub fn wide(&self) -> &WideningOutcome {
+        &self.wide
+    }
+
+    /// Shared handle to the widening stage (for cache-identity tests and
+    /// cheap cross-artifact reuse).
+    #[must_use]
+    pub fn wide_arc(&self) -> Arc<WideningOutcome> {
+        Arc::clone(&self.wide)
+    }
+
+    /// The MII stage: lower bounds on the wide (pre-spill) graph.
+    #[must_use]
+    pub fn bounds(&self) -> &MiiBounds {
+        &self.bounds
+    }
+
+    /// The schedule/allocate/spill stage; `None` when the pipeline
+    /// stopped after MII (peak mode).
+    #[must_use]
+    pub fn scheduled(&self) -> Option<&ScheduledStage> {
+        self.scheduled.as_deref()
+    }
+
+    /// Achieved initiation interval — the scheduled II, or the MII bound
+    /// itself in peak mode (perfect scheduling by definition).
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        match &self.scheduled {
+            Some(s) => s.result.schedule.ii(),
+            None => self.bounds.mii(),
+        }
+    }
+
+    /// The MII the achieved II is judged against: the final-graph MII
+    /// when scheduled, the wide-graph MII in peak mode.
+    #[must_use]
+    pub fn mii(&self) -> u32 {
+        match &self.scheduled {
+            Some(s) => s.final_mii,
+            None => self.bounds.mii(),
+        }
+    }
+
+    /// Registers used by the allocation (0 in peak mode).
+    #[must_use]
+    pub fn registers_used(&self) -> u32 {
+        self.scheduled
+            .as_ref()
+            .map_or(0, |s| s.result.allocation.registers_used())
+    }
+
+    /// Spill operations inserted (stores + reloads; 0 in peak mode).
+    #[must_use]
+    pub fn spill_ops(&self) -> u32 {
+        self.scheduled
+            .as_ref()
+            .map_or(0, |s| s.result.spill_stores + s.result.spill_loads)
+    }
+}
+
+/// Stage 1 — the widening transform for degree `width`.
+pub(crate) fn stage_widen(ddg: &Ddg, width: u32) -> WideningOutcome {
+    widen(ddg, width)
+}
+
+/// Stage 2 — MII lower bounds of the wide graph on the point's machine.
+pub(crate) fn stage_mii(wide: &Ddg, machine: &Configuration, model: CycleModel) -> MiiBounds {
+    MiiBounds::compute(wide, machine, model)
+}
+
+/// Stage 3a product — the *pressure-free* schedule and allocation of
+/// the wide graph: round 1 of the spill engine, which never consults
+/// the register-file size. One base schedule therefore serves every
+/// `Z` of a register-file sweep; only points whose requirement exceeds
+/// their file re-enter the full spill engine.
+#[derive(Debug)]
+pub struct BaseSchedule {
+    /// The unconstrained modulo schedule (II = achieved II at round 1).
+    pub schedule: Schedule,
+    /// End-fit allocation of the unconstrained schedule's lifetimes.
+    pub allocation: RegisterAllocation,
+    /// The lifetimes the allocation was computed from.
+    pub lifetimes: Vec<Lifetime>,
+    /// Registers the allocation needs (`MaxLives`-adjacent bound).
+    pub needed: u32,
+    /// Lazily materialized round-1 stage for file sizes the requirement
+    /// fits: one shared artifact for *every* such `Z`, not a deep copy
+    /// per register-file size.
+    fit: std::sync::OnceLock<Arc<ScheduledStage>>,
+}
+
+impl BaseSchedule {
+    /// The round-1 [`ScheduledStage`] this base implies when `needed`
+    /// fits the register file — materialized once and shared by every
+    /// fitting file size. The caller guarantees `wide`/`bounds` are the
+    /// graph and stage-2 bounds this base was scheduled from.
+    pub(crate) fn fit_stage(&self, wide: &Ddg, bounds: &MiiBounds) -> Arc<ScheduledStage> {
+        Arc::clone(self.fit.get_or_init(|| {
+            Arc::new(ScheduledStage {
+                result: PressureResult {
+                    schedule: self.schedule.clone(),
+                    allocation: self.allocation.clone(),
+                    ddg: wide.clone(),
+                    lifetimes: self.lifetimes.clone(),
+                    spills: Vec::new(),
+                    spill_stores: 0,
+                    spill_loads: 0,
+                    rounds: 1,
+                },
+                // The final graph is the wide graph itself, so the
+                // stage-2 bounds double as the final MII.
+                final_mii: bounds.mii(),
+            })
+        }))
+    }
+}
+
+/// Stage 3a — schedule + allocate once, ignoring the register file.
+pub(crate) fn stage_base_schedule(
+    wide: &Ddg,
+    machine: &Configuration,
+    model: CycleModel,
+    opts: &CompileOptions,
+    bounds: &MiiBounds,
+) -> Result<BaseSchedule, PipelineError> {
+    let scheduler = ModuloScheduler::with_options(*machine, model, opts.scheduler_options());
+    let schedule = scheduler
+        .schedule_with_bounds(wide, bounds)
+        .map_err(PipelineError::Schedule)?;
+    let lts = lifetimes(wide, &schedule, model);
+    let allocation = allocate(&lts, schedule.ii());
+    let needed = allocation.registers_used();
+    Ok(BaseSchedule {
+        schedule,
+        allocation,
+        lifetimes: lts,
+        needed,
+        fit: std::sync::OnceLock::new(),
+    })
+}
+
+/// Stage 3 — schedule, allocate and spill-rewrite against a finite
+/// register file, then bound the final graph.
+///
+/// A memoized [`BaseSchedule`] may be supplied to seed the spill
+/// engine's first round (the driver handles the fits-the-file case
+/// separately through [`BaseSchedule::fit_stage`], which shares one
+/// artifact across every fitting `Z`). Callers without a base — the
+/// one-shot [`compile_ddg`] — run the full engine.
+pub(crate) fn stage_schedule(
+    wide: &Ddg,
+    machine: &Configuration,
+    model: CycleModel,
+    opts: &CompileOptions,
+    base: Option<&BaseSchedule>,
+) -> Result<ScheduledStage, PipelineError> {
+    let first = base.map(|b| FirstRound {
+        schedule: &b.schedule,
+        lifetimes: &b.lifetimes,
+        allocation: &b.allocation,
+    });
+    let result = schedule_with_registers_seeded(
+        wide,
+        machine,
+        model,
+        &opts.scheduler_options(),
+        &opts.spill,
+        first,
+    )?;
+    let final_mii = stage_mii(&result.ddg, machine, model).mii();
+    Ok(ScheduledStage { result, final_mii })
+}
+
+/// Runs the whole chain once, uncached, for a free-standing DDG — the
+/// one-shot form of the pipeline (the memoized corpus form is
+/// [`crate::Pipeline`]).
+///
+/// # Errors
+///
+/// [`PipelineError`] if the schedule/allocate/spill stage fails; the
+/// widening and MII stages are total.
+pub fn compile_ddg(ddg: &Ddg, spec: &PointSpec) -> Result<CompiledLoop, PipelineError> {
+    let machine = spec.machine();
+    let wide = Arc::new(stage_widen(ddg, spec.width));
+    let bounds = Arc::new(stage_mii(wide.ddg(), &machine, spec.model));
+    let scheduled = match spec.registers {
+        None => None,
+        Some(_) => Some(Arc::new(stage_schedule(
+            wide.ddg(),
+            &machine,
+            spec.model,
+            &spec.opts,
+            None,
+        )?)),
+    };
+    Ok(CompiledLoop::new(spec.width, wide, bounds, scheduled))
+}

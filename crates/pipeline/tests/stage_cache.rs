@@ -1,0 +1,86 @@
+//! Stage-reuse contract of the memoized pipeline: a multi-configuration
+//! sweep must run the widening transform exactly once per `(loop, Y)`,
+//! no matter how many design points, threads or repeat sweeps hit it.
+
+use widening_machine::{Configuration, CycleModel};
+use widening_pipeline::{CompileOptions, Pipeline, PointSpec};
+use widening_workload::corpus::{generate, CorpusSpec};
+
+fn points(specs: &[&str]) -> Vec<PointSpec> {
+    specs
+        .iter()
+        .map(|s| {
+            let cfg: Configuration = s.parse().expect("valid literal");
+            PointSpec::scheduled(&cfg, CycleModel::Cycles4, CompileOptions::default())
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_widens_each_loop_once_per_width() {
+    let loops = generate(&CorpusSpec::small(24, 11));
+    let n = loops.len() as u64;
+    let pipeline = Pipeline::new(loops);
+
+    // The issue's canonical sweep: 1w1 / 2w2 / 4w2 — two distinct
+    // widths (1 and 2) across three design points.
+    let pts = points(&["1w1(64:1)", "2w2(64:1)", "4w2(64:1)"]);
+    let results = pipeline.sweep(&pts, 8);
+    assert_eq!(results.len(), 3);
+    assert!(results
+        .iter()
+        .all(|per_point| per_point.len() == n as usize));
+
+    let counts = pipeline.stage_counts();
+    assert_eq!(
+        counts.widen_runs,
+        2 * n,
+        "widening must run once per (loop, Y): {counts:?}"
+    );
+    // Three points requested widening once per loop each.
+    assert!(counts.widen_requests >= 3 * n, "{counts:?}");
+    // Distinct (X, Y, model) per point: MII computed once per unit.
+    assert_eq!(counts.schedule_runs, 3 * n, "{counts:?}");
+
+    // A second identical sweep is pure cache replay: zero new stage
+    // executions at any stage.
+    let again = pipeline.sweep(&pts, 8);
+    let counts2 = pipeline.stage_counts();
+    assert_eq!(counts2.widen_runs, counts.widen_runs);
+    assert_eq!(counts2.mii_runs, counts.mii_runs);
+    assert_eq!(counts2.schedule_runs, counts.schedule_runs);
+    assert!(counts2.hits() > counts.hits());
+
+    // And it replays the very same shared artifacts.
+    for (a, b) in results.iter().flatten().zip(again.iter().flatten()) {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert!(std::sync::Arc::ptr_eq(&a.wide_arc(), &b.wide_arc()));
+                assert_eq!(a.ii(), b.ii());
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("replay changed outcome: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn register_file_sweep_reuses_widening_and_mii() {
+    let loops = generate(&CorpusSpec::small(12, 5));
+    let n = loops.len() as u64;
+    let pipeline = Pipeline::new(loops);
+
+    // Same (X, Y, model), four register-file sizes: widening AND MII
+    // bounds are computed once per loop; only scheduling re-runs.
+    let pts = points(&["4w2(32:1)", "4w2(64:1)", "4w2(128:1)", "4w2(256:1)"]);
+    let _ = pipeline.sweep(&pts, 8);
+    let counts = pipeline.stage_counts();
+    assert_eq!(counts.widen_runs, n, "{counts:?}");
+    assert_eq!(counts.mii_runs, n, "{counts:?}");
+    // Round 1 of the spill engine is register-file independent: one
+    // base schedule per loop serves all four file sizes...
+    assert_eq!(counts.base_schedule_runs, n, "{counts:?}");
+    // ...while the per-Z stage still materializes each point (cheaply,
+    // for every loop whose requirement fits the file).
+    assert_eq!(counts.schedule_runs, 4 * n, "{counts:?}");
+}

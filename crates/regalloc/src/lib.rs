@@ -54,5 +54,6 @@ mod spill;
 pub use allocator::{allocate, RegisterAllocation};
 pub use lifetime::{lifetimes, max_lives, Lifetime};
 pub use spill::{
-    schedule_with_registers, PressureResult, RegallocError, SpillOptions, SpillPolicy, SpillRecord,
+    schedule_with_registers, schedule_with_registers_seeded, FirstRound, PressureResult,
+    RegallocError, SpillOptions, SpillPolicy, SpillRecord,
 };

@@ -40,7 +40,7 @@ pub enum SpillPolicy {
 }
 
 /// Options for [`schedule_with_registers`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpillOptions {
     /// Pressure-relief policy.
     pub policy: SpillPolicy,
@@ -102,7 +102,6 @@ pub struct PressureResult {
 
 /// Errors from the register-pressure driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
 pub enum RegallocError {
     /// The scheduler itself failed.
     Schedule(ScheduleError),
@@ -150,6 +149,24 @@ impl From<ScheduleError> for RegallocError {
     }
 }
 
+/// A precomputed pressure-free first round: the schedule of the
+/// **unmodified** graph at `min_ii = 1` under the same scheduler
+/// options and cycle model, plus its lifetimes and end-fit allocation.
+///
+/// Round 1 never consults the register-file size, so one first round
+/// serves every `Z` of a register-file sweep; the staged pipeline
+/// memoizes it and passes it to [`schedule_with_registers_seeded`] to
+/// skip the duplicate scheduler run.
+#[derive(Debug, Clone, Copy)]
+pub struct FirstRound<'a> {
+    /// Schedule of the unmodified graph at the unconstrained II.
+    pub schedule: &'a Schedule,
+    /// Lifetimes of that schedule.
+    pub lifetimes: &'a [Lifetime],
+    /// End-fit allocation of those lifetimes.
+    pub allocation: &'a RegisterAllocation,
+}
+
 /// Schedules `ddg` on `cfg`, inserting spill code and/or raising the II
 /// until the register requirement fits `cfg.registers()`.
 ///
@@ -165,12 +182,32 @@ pub fn schedule_with_registers(
     sched_opts: &SchedulerOptions,
     spill_opts: &SpillOptions,
 ) -> Result<PressureResult, RegallocError> {
+    schedule_with_registers_seeded(ddg, cfg, model, sched_opts, spill_opts, None)
+}
+
+/// [`schedule_with_registers`] with an optional precomputed
+/// [`FirstRound`]. The caller guarantees `first` was produced from this
+/// exact `(ddg, resources, model, scheduler options)` — the engine then
+/// starts from it instead of re-running round 1, which is the hot path
+/// of multi-`Z` sweeps.
+///
+/// # Errors
+///
+/// See [`schedule_with_registers`].
+pub fn schedule_with_registers_seeded(
+    ddg: &Ddg,
+    cfg: &Configuration,
+    model: CycleModel,
+    sched_opts: &SchedulerOptions,
+    spill_opts: &SpillOptions,
+    first: Option<FirstRound<'_>>,
+) -> Result<PressureResult, RegallocError> {
     if spill_opts.policy == SpillPolicy::Adaptive {
         // Run the spill-first engine; if it needed pressure relief (or
         // failed), also try pure II increase and keep the better result.
         // Memory-bound machines often prefer the II increase: spill
         // traffic competes for the very buses that set the II.
-        let spill = schedule_with_registers(
+        let spill = schedule_with_registers_seeded(
             ddg,
             cfg,
             model,
@@ -179,11 +216,12 @@ pub fn schedule_with_registers(
                 policy: SpillPolicy::SpillFirst,
                 ..*spill_opts
             },
+            first,
         );
         if matches!(&spill, Ok(r) if r.rounds == 1) {
             return spill;
         }
-        let stretch = schedule_with_registers(
+        let stretch = schedule_with_registers_seeded(
             ddg,
             cfg,
             model,
@@ -192,6 +230,7 @@ pub fn schedule_with_registers(
                 policy: SpillPolicy::IncreaseIiOnly,
                 ..*spill_opts
             },
+            first,
         );
         return match (spill, stretch) {
             (Ok(a), Ok(b)) => Ok(if a.schedule.ii() <= b.schedule.ii() {
@@ -213,11 +252,24 @@ pub fn schedule_with_registers(
     let mut spill_made: Vec<bool> = vec![false; ddg.num_nodes()];
     let mut min_ii = 1u32;
     let mut best_needed = u32::MAX;
+    // Consumed at round 1 only: later rounds see a modified graph or a
+    // raised min_ii, for which the seed is no longer valid.
+    let mut seeded = first;
 
     for round in 1..=spill_opts.max_rounds {
-        let schedule = scheduler.schedule_with_min_ii(&graph, min_ii)?;
-        let lts = lifetimes(&graph, &schedule, model);
-        let alloc = allocate(&lts, schedule.ii());
+        let (schedule, lts, alloc) = match seeded.take() {
+            Some(f) => (
+                f.schedule.clone(),
+                f.lifetimes.to_vec(),
+                f.allocation.clone(),
+            ),
+            None => {
+                let schedule = scheduler.schedule_with_min_ii(&graph, min_ii)?;
+                let lts = lifetimes(&graph, &schedule, model);
+                let alloc = allocate(&lts, schedule.ii());
+                (schedule, lts, alloc)
+            }
+        };
         let needed = alloc.registers_used();
         best_needed = best_needed.min(needed);
         if needed <= available {

@@ -42,7 +42,6 @@
 //!     &cfg,
 //!     CycleModel::Cycles4,
 //!     &Default::default(),
-//!     &Default::default(),
 //! )?;
 //! assert!(report.is_validated());
 //! // Dynamic cycles = steady state + fill/drain transient.
@@ -68,21 +67,22 @@ pub use report::{Divergence, SimError, SimFailure, SimReport, SimStats};
 
 use widening_ir::{Ddg, Loop, NodeId, OpKind};
 use widening_machine::{Configuration, CycleModel};
-use widening_regalloc::{schedule_with_registers, PressureResult, SpillOptions};
-use widening_sched::SchedulerOptions;
-use widening_transform::{widen, WideningOutcome};
+use widening_pipeline::{compile_ddg, CompileOptions, PointSpec};
+use widening_regalloc::PressureResult;
+use widening_transform::WideningOutcome;
 
 /// Cap on reported per-cell divergences (checksums still cover every
 /// node).
 const MAX_REPORTED_CELLS: usize = 8;
 
-/// Runs the full pipeline — widen, schedule with registers, simulate,
-/// differentially validate — for `trip` iterations of `ddg` on `cfg`.
+/// Runs the full staged pipeline — widen, schedule with registers
+/// (via [`widening_pipeline::compile_ddg`]), simulate, differentially
+/// validate — for `trip` iterations of `ddg` on `cfg`.
 ///
 /// # Errors
 ///
-/// * [`SimFailure::Pipeline`] if scheduling/allocation fails (e.g. the
-///   paper's unresolvable-pressure cases);
+/// * [`SimFailure::Pipeline`] if the compilation pipeline fails (e.g.
+///   the paper's unresolvable-pressure cases);
 /// * [`SimFailure::Execution`] if the wide machine hits a hard state
 ///   violation (register clobber, premature read, empty spill slot).
 pub fn simulate_ddg(
@@ -90,12 +90,13 @@ pub fn simulate_ddg(
     trip: u64,
     cfg: &Configuration,
     model: CycleModel,
-    sched_opts: &SchedulerOptions,
-    spill_opts: &SpillOptions,
+    opts: &CompileOptions,
 ) -> Result<SimReport, SimFailure> {
-    let outcome = widen(ddg, cfg.widening());
-    let result = schedule_with_registers(outcome.ddg(), cfg, model, sched_opts, spill_opts)?;
-    simulate_scheduled(ddg, &outcome, &result, model, trip)
+    let compiled = compile_ddg(ddg, &PointSpec::scheduled(cfg, model, *opts))?;
+    let stage = compiled
+        .scheduled()
+        .expect("finite register file implies a schedule stage");
+    simulate_scheduled(ddg, compiled.wide(), &stage.result, model, trip)
 }
 
 /// [`simulate_ddg`] for a named [`Loop`], using its own trip count.
@@ -107,10 +108,9 @@ pub fn simulate_loop(
     l: &Loop,
     cfg: &Configuration,
     model: CycleModel,
-    sched_opts: &SchedulerOptions,
-    spill_opts: &SpillOptions,
+    opts: &CompileOptions,
 ) -> Result<SimReport, SimFailure> {
-    simulate_ddg(l.ddg(), l.trip_count(), cfg, model, sched_opts, spill_opts)
+    simulate_ddg(l.ddg(), l.trip_count(), cfg, model, opts)
 }
 
 /// Simulates an already-scheduled loop and validates it against the
@@ -188,7 +188,7 @@ mod tests {
 
     fn sim(l: &Loop, spec: &str) -> SimReport {
         let cfg: Configuration = spec.parse().unwrap();
-        simulate_loop(l, &cfg, M4, &Default::default(), &Default::default())
+        simulate_loop(l, &cfg, M4, &Default::default())
             .unwrap_or_else(|e| panic!("{} on {spec}: {e}", l.name()))
     }
 
@@ -218,7 +218,7 @@ mod tests {
                 "4w2(128:1)",
             ] {
                 let cfg: Configuration = spec.parse().unwrap();
-                let r = simulate_loop(&kernel, &cfg, M4, &Default::default(), &Default::default())
+                let r = simulate_loop(&kernel, &cfg, M4, &Default::default())
                     .unwrap_or_else(|e| panic!("{} on {spec}: {e}", kernel.name()));
                 assert!(
                     r.is_validated(),
@@ -257,8 +257,7 @@ mod tests {
         let g = b.build().unwrap();
         let cfg: Configuration = "2w2(64:1)".parse().unwrap();
         for trip in 1..=9 {
-            let r =
-                simulate_ddg(&g, trip, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+            let r = simulate_ddg(&g, trip, &cfg, M4, &Default::default()).unwrap();
             assert!(r.is_validated(), "trip {trip}: {:?}", r.divergences);
         }
     }
@@ -267,15 +266,7 @@ mod tests {
     fn masked_lanes_counted_for_ragged_trips() {
         let daxpy = kernels::daxpy();
         let cfg: Configuration = "1w4(64:1)".parse().unwrap();
-        let r = simulate_ddg(
-            daxpy.ddg(),
-            10,
-            &cfg,
-            M4,
-            &Default::default(),
-            &Default::default(),
-        )
-        .unwrap();
+        let r = simulate_ddg(daxpy.ddg(), 10, &cfg, M4, &Default::default()).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
         assert_eq!(r.stats.blocks, 3);
         // 12 lanes in 3 blocks, 10 live iterations, 5 packed ops → 2·5
@@ -289,7 +280,7 @@ mod tests {
         // must route values through the spill slots and still match.
         let fir = kernels::fir5();
         let cfg: Configuration = "4w1(32:1)".parse().unwrap();
-        let r = simulate_loop(&fir, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+        let r = simulate_loop(&fir, &cfg, M4, &Default::default()).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
     }
 
@@ -317,7 +308,7 @@ mod tests {
         b.flow(a, s);
         let g = b.build().unwrap();
         let cfg: Configuration = "1w4(64:1)".parse().unwrap();
-        let r = simulate_ddg(&g, 40, &cfg, M4, &Default::default(), &Default::default()).unwrap();
+        let r = simulate_ddg(&g, 40, &cfg, M4, &Default::default()).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
         assert!(
             r.stats.cross_block_reads > 0,

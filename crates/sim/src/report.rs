@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use widening_ir::NodeId;
-use widening_regalloc::RegallocError;
+use widening_pipeline::PipelineError;
 
 /// Dynamic counters from one wide-datapath simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -196,8 +196,8 @@ impl SimReport {
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimFailure {
-    /// The schedule/allocate/spill pipeline failed; nothing to simulate.
-    Pipeline(RegallocError),
+    /// The staged compilation pipeline failed; nothing to simulate.
+    Pipeline(PipelineError),
     /// The machine state diverged from what the schedule promised.
     Execution(SimError),
 }
@@ -220,8 +220,8 @@ impl Error for SimFailure {
     }
 }
 
-impl From<RegallocError> for SimFailure {
-    fn from(e: RegallocError) -> Self {
+impl From<PipelineError> for SimFailure {
+    fn from(e: PipelineError) -> Self {
         SimFailure::Pipeline(e)
     }
 }

@@ -1,14 +1,18 @@
 //! Sweep-engine throughput: evaluating the `{1w1, 2w2, 4w2}` design
 //! points across register-file sizes as independent per-config runs
 //! (fresh evaluator per configuration — no shared state, the seed's
-//! behaviour) versus one shared-cache `sweep` batch. The batch shares
-//! widened DDGs across the `Y = 2` points, shares the register-file-
-//! independent base schedule across each `XwY`'s file sizes, and packs
-//! all `(loop × config)` units onto one dynamic worker queue.
+//! behaviour) versus one shared-cache `sweep` batch — and, for the
+//! two-tier artifact store, a **cold-vs-warm disk** comparison: the
+//! cold case compiles every stage and persists it into a fresh cache
+//! directory; the warm case starts a fresh evaluator (empty in-memory
+//! tier, a new process as far as the store is concerned) and decodes
+//! every artifact from the populated directory instead of compiling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use widening::machine::{Configuration, CycleModel};
+use widening::pipeline::StoreConfig;
 use widening::workload::corpus::{generate, CorpusSpec};
 use widening::{EvalOptions, Evaluator};
 
@@ -23,6 +27,15 @@ const SWEEP: [&str; 9] = [
     "4w2(128:1)",
     "4w2(256:1)",
 ];
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "widening-bench-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 fn bench_sweep_throughput(c: &mut Criterion) {
     let loops = generate(&CorpusSpec::small(60, 7));
@@ -51,6 +64,39 @@ fn bench_sweep_throughput(c: &mut Criterion) {
             black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
         })
     });
+    // Used cold directories are torn down after the measurement: the
+    // cold figure must price compile + persist, not fs teardown.
+    let cold_dirs = std::cell::RefCell::new(Vec::new());
+    g.bench_function("cold_disk_sweep", |b| {
+        // Compile everything AND persist it into a fresh directory:
+        // the write-side overhead of the disk tier.
+        b.iter(|| {
+            let dir = unique_dir("cold");
+            let ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&dir));
+            let results = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+            cold_dirs.borrow_mut().push(dir);
+            black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
+        })
+    });
+    for dir in cold_dirs.into_inner() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    // Populate one directory, then measure pure warm starts against it.
+    let warm_dir = unique_dir("warm");
+    {
+        let ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&warm_dir));
+        let _ = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+    }
+    g.bench_function("warm_disk_sweep", |b| {
+        b.iter(|| {
+            // Fresh evaluator = empty memory tier: every stage decodes
+            // from the populated store instead of compiling.
+            let ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&warm_dir));
+            let results = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+            black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
+        })
+    });
+    let _ = std::fs::remove_dir_all(warm_dir);
     g.finish();
 }
 

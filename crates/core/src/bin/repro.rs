@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate]
+//!       [--cache-dir DIR] [--cache-budget BYTES] [--extend N]
 //!       <experiment>... | all | list
 //! ```
 //!
@@ -15,11 +16,24 @@
 //! * `--simulate` — run the cycle-accurate simulator over the corpus
 //!   (differential validation + transient analysis) in addition to any
 //!   named experiments.
+//! * `--cache-dir DIR` — persist stage artifacts in a content-addressed
+//!   on-disk store under `DIR`; a second run over the same corpus
+//!   decodes every stage instead of recompiling it. Prints a final
+//!   `cache:` summary line with the stage counters.
+//! * `--cache-budget BYTES` — bound the in-memory schedule-stage tier
+//!   (accepts `K`/`M`/`G` suffixes, e.g. `--cache-budget 64M`); folded
+//!   design points are LRU-evicted past the budget.
+//! * `--extend N` — route the **last `N` loops of the corpus** through
+//!   the incremental ingestion path (`Evaluator::extend` →
+//!   `Pipeline::extend`) instead of baking them in up front. The corpus
+//!   contents — and therefore every analytic result — are identical
+//!   with or without the flag; only the ingestion path differs.
 
 use std::process::ExitCode;
 
 use widening::experiments::{self, Context};
 use widening::Evaluator;
+use widening_pipeline::StoreConfig;
 use widening_workload::corpus::{generate, CorpusSpec};
 
 fn main() -> ExitCode {
@@ -27,6 +41,9 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_budget: Option<usize> = None;
+    let mut extend: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -46,9 +63,34 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => threads = Some(n),
                 _ => return usage("--threads needs a positive integer"),
             },
+            "--cache-dir" => match args.next() {
+                Some(dir) if !dir.starts_with('-') => cache_dir = Some(dir),
+                _ => return usage("--cache-dir needs a path"),
+            },
+            "--cache-budget" => match args.next().as_deref().and_then(parse_bytes) {
+                Some(b) => cache_budget = Some(b),
+                None => return usage("--cache-budget needs a byte count (K/M/G ok)"),
+            },
+            "--extend" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => extend = Some(n),
+                None => return usage("--extend needs a loop count"),
+            },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
                 Err(_) => return usage("--quick=N needs an integer"),
+            },
+            a if a.starts_with("--cache-dir=") => {
+                cache_dir = Some(a["--cache-dir=".len()..].to_string());
+            }
+            a if a.starts_with("--cache-budget=") => {
+                match parse_bytes(&a["--cache-budget=".len()..]) {
+                    Some(b) => cache_budget = Some(b),
+                    None => return usage("--cache-budget=BYTES needs a byte count (K/M/G ok)"),
+                }
+            }
+            a if a.starts_with("--extend=") => match a["--extend=".len()..].parse() {
+                Ok(n) => extend = Some(n),
+                Err(_) => return usage("--extend=N needs an integer"),
             },
             "list" => {
                 for n in experiments::ALL {
@@ -68,7 +110,8 @@ fn main() -> ExitCode {
     let mut seen = std::collections::HashSet::new();
     names.retain(|n| seen.insert(n.clone()));
 
-    let ctx = build_context(quick, seed, threads);
+    let caching = cache_dir.is_some() || cache_budget.is_some();
+    let ctx = build_context(quick, seed, threads, cache_dir, cache_budget, extend);
     eprintln!(
         "corpus: {} loops (seed {}), {} worker threads",
         ctx.eval.loops().len(),
@@ -89,10 +132,32 @@ fn main() -> ExitCode {
             None => return usage(&format!("unknown experiment {name:?}")),
         }
     }
+    if caching {
+        // Machine-greppable store summary (the warm-cache CI job asserts
+        // `live-runs=0` on the second run over a shared --cache-dir).
+        let c = ctx.eval.pipeline().stage_counts();
+        println!(
+            "cache: live-runs={} disk-hits={} memo-hits={} evictions={} resident-bytes={} \
+             disk-errors={}",
+            c.live_runs(),
+            c.disk_hits(),
+            c.hits() - c.disk_hits(),
+            c.schedule_evictions,
+            c.schedule_resident_bytes,
+            ctx.eval.pipeline().disk_errors(),
+        );
+    }
     ExitCode::SUCCESS
 }
 
-fn build_context(quick: Option<usize>, seed: Option<u64>, threads: Option<usize>) -> Context {
+fn build_context(
+    quick: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    cache_dir: Option<String>,
+    cache_budget: Option<usize>,
+    extend: Option<usize>,
+) -> Context {
     let mut spec = CorpusSpec::default();
     if let Some(n) = quick {
         spec.loops = n;
@@ -100,17 +165,48 @@ fn build_context(quick: Option<usize>, seed: Option<u64>, threads: Option<usize>
     if let Some(s) = seed {
         spec.seed = s;
     }
-    let mut eval = Evaluator::new(generate(&spec));
+    // `--extend N` holds N loops back and feeds them through the
+    // incremental ingestion path below.
+    let held_back = extend.unwrap_or(0).min(spec.loops.saturating_sub(1));
+    let full = generate(&spec);
+    let (initial, appended) = full.split_at(full.len() - held_back.min(full.len()));
+    let mut eval = Evaluator::new(initial.to_vec());
     if let Some(n) = threads {
         eval = eval.with_threads(n);
     }
+    if cache_dir.is_some() || cache_budget.is_some() {
+        eval = eval.with_store(StoreConfig {
+            cache_dir: cache_dir.map(Into::into),
+            memory_budget: cache_budget,
+        });
+    }
+    eval.extend(appended.to_vec());
     Context { eval }
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, unit) = match s.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        Some((i, _)) => s.split_at(i),
+        None => (s, ""),
+    };
+    let n: usize = digits.parse().ok()?;
+    let factor = match unit.to_ascii_uppercase().as_str() {
+        "" | "B" => 1,
+        "K" | "KB" => 1 << 10,
+        "M" | "MB" => 1 << 20,
+        "G" | "GB" => 1 << 30,
+        _ => return None,
+    };
+    n.checked_mul(factor)
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
+         [--cache-dir DIR] [--cache-budget BYTES] [--extend N] \
          <experiment>... | all | list"
     );
     eprintln!("experiments: {}", experiments::ALL.join(" "));

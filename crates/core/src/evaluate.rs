@@ -12,12 +12,19 @@
 //!
 //! The widen → MII → schedule → allocate → spill chain itself lives in
 //! [`widening_pipeline`]; this module only aggregates its per-loop
-//! artifacts. Memoization is two-level: the pipeline caches every stage
-//! per `(loop, key)` — so design points share widened DDGs and MII
-//! bounds — and the evaluator keeps a thin corpus-aggregate memo on top
-//! so repeated queries return the identical `Arc`. Multi-configuration
-//! sweeps should use [`Evaluator::sweep`], which compiles all
-//! `(loop × config)` work units on one dynamic worker queue.
+//! artifacts. Memoization is two-level: the pipeline's two-tier
+//! artifact store caches every stage per `(loop, key)` — so design
+//! points share widened DDGs and MII bounds, and with a
+//! [`StoreConfig`] ([`Evaluator::with_store`]) artifacts persist to
+//! disk and/or live under an in-memory byte budget — and the evaluator
+//! keeps a thin corpus-aggregate memo on top so repeated queries return
+//! the identical `Arc`. Once a point's aggregate is folded the
+//! evaluator *seals* its schedule-stage entries, releasing them for LRU
+//! eviction. Multi-configuration sweeps should use [`Evaluator::sweep`]
+//! (or [`Evaluator::sweep_specs`] for per-point compile options), which
+//! compiles all `(loop × config)` work units on one dynamic worker
+//! queue; [`Evaluator::extend`] grows the corpus incrementally, folding
+//! only the new units into memoized aggregates.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -25,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use widening_cost::CostModel;
 use widening_ir::Loop;
 use widening_machine::{Configuration, CycleModel};
-use widening_pipeline::{pool, CompiledLoop, FailureCause, Pipeline, PointSpec};
+use widening_pipeline::{pool, CompiledLoop, FailureCause, Pipeline, PointSpec, StoreConfig};
 
 pub use widening_pipeline::CompileOptions as EvalOptions;
 
@@ -101,6 +108,10 @@ pub struct Evaluator {
     pipeline: Arc<Pipeline>,
     cost: Arc<CostModel>,
     aggregates: Arc<Mutex<HashMap<EvalKey, Arc<CorpusEval>>>>,
+    /// Serializes [`Evaluator::extend`] calls: concurrent extensions
+    /// would interleave their incremental folds and scramble per-loop
+    /// order. Held only by `extend`; queries never take it.
+    extending: Arc<Mutex<()>>,
     threads: usize,
 }
 
@@ -113,6 +124,7 @@ impl Evaluator {
             pipeline: Arc::new(Pipeline::new(loops)),
             cost: Arc::new(CostModel::paper()),
             aggregates: Arc::new(Mutex::new(HashMap::new())),
+            extending: Arc::new(Mutex::new(())),
             threads: pool::default_threads(),
         }
     }
@@ -125,9 +137,61 @@ impl Evaluator {
         self
     }
 
-    /// The corpus being evaluated.
+    /// Rebuilds the pipeline with an explicit artifact-store
+    /// configuration (disk persistence and/or an in-memory byte budget).
+    /// Call before the first evaluation: the stage stores and the
+    /// aggregate memo start empty.
     #[must_use]
-    pub fn loops(&self) -> &[Loop] {
+    pub fn with_store(mut self, config: StoreConfig) -> Self {
+        let loops = self.pipeline.loops();
+        self.pipeline = Arc::new(Pipeline::with_config(loops, config));
+        self.aggregates = Arc::new(Mutex::new(HashMap::new()));
+        self
+    }
+
+    /// Appends `more` loops to the corpus through the pipeline's
+    /// incremental ingestion path, then brings every already-memoized
+    /// corpus aggregate up to date by compiling and folding **only the
+    /// new `(loop × design point)` units** — existing stage entries are
+    /// untouched and replay from the store. Aggregates returned before
+    /// the extension keep describing the old corpus (they are immutable
+    /// snapshots); re-query to observe the grown one.
+    pub fn extend(&self, more: Vec<Loop>) {
+        let _one_extension_at_a_time = self.extending.lock().expect("extend lock");
+        let range = self.pipeline.extend(more);
+        if range.is_empty() {
+            return;
+        }
+        let loops = self.loops();
+        let specs: Vec<PointSpec> = {
+            let memo = self.aggregates.lock().expect("aggregate lock");
+            memo.keys().copied().collect()
+        };
+        let added = range.len();
+        // Spec-major over the new units only, on the shared worker pool.
+        let flat = pool::par_map(specs.len() * added, self.threads, |unit| {
+            let spec = &specs[unit / added];
+            let li = range.start + unit % added;
+            score_loop(&loops[li], spec.width, &self.pipeline.compile(li, spec))
+        });
+        let mut flat = flat.into_iter();
+        for spec in &specs {
+            let scores: Vec<_> = flat.by_ref().take(added).collect();
+            let mut memo = self.aggregates.lock().expect("aggregate lock");
+            if let Some(agg) = memo.get_mut(spec) {
+                let mut grown = (**agg).clone();
+                fold_scores(&mut grown, scores);
+                *agg = Arc::new(grown);
+            }
+            drop(memo);
+            self.pipeline.seal_point(spec);
+        }
+    }
+
+    /// A snapshot of the corpus being evaluated (loop indices are
+    /// stable; [`Evaluator::extend`] only appends).
+    #[must_use]
+    pub fn loops(&self) -> Arc<Vec<Loop>> {
         self.pipeline.loops()
     }
 
@@ -225,7 +289,13 @@ impl Evaluator {
         self.sweep_specs(&specs)
     }
 
-    fn sweep_specs(&self, specs: &[PointSpec]) -> Vec<Arc<CorpusEval>> {
+    /// The fully general batch entry point: one aggregate per
+    /// [`PointSpec`], in input order, with **per-point compile options**
+    /// — a mixed-strategy or mixed-spill-policy sweep (the scheduler
+    /// ablation's HRMS/IMS/ASAP pass) runs as one worker-queue batch,
+    /// sharing the widening and MII stages across strategies.
+    #[must_use]
+    pub fn sweep_specs(&self, specs: &[PointSpec]) -> Vec<Arc<CorpusEval>> {
         // Only compile points whose aggregate is not already memoized
         // (each distinct point once); the batch warms the stage caches
         // in parallel, then each aggregate is folded in deterministic
@@ -243,15 +313,14 @@ impl Evaluator {
         for (spec, artifacts) in missing.iter().zip(compiled) {
             let evaluated: Vec<(LoopEval, f64, f64, f64)> = artifacts
                 .iter()
-                .zip(self.loops())
+                .zip(self.loops().iter())
                 .map(|(outcome, l)| score_loop(l, spec.width, outcome))
                 .collect();
             let agg = Arc::new(aggregate(evaluated));
-            self.aggregates
-                .lock()
-                .expect("aggregate lock")
-                .entry(*spec)
-                .or_insert(agg);
+            self.memoize(spec, agg);
+            // The aggregate is folded: the point's schedule-stage
+            // entries may now be evicted under memory pressure.
+            self.pipeline.seal_point(spec);
         }
         specs.iter().map(|s| self.evaluate(s)).collect()
     }
@@ -267,12 +336,27 @@ impl Evaluator {
             score_loop(&loops[li], spec.width, &self.pipeline.compile(li, spec))
         });
         let value = Arc::new(aggregate(results));
-        self.aggregates
-            .lock()
-            .expect("aggregate lock")
-            .entry(*spec)
-            .or_insert(value)
-            .clone()
+        let value = self.memoize(spec, value);
+        self.pipeline.seal_point(spec);
+        value
+    }
+
+    /// Memoizes `agg` for `spec` — unless the corpus grew while it was
+    /// being computed ([`Evaluator::extend`] racing this query), in
+    /// which case the partial aggregate is returned to this caller as a
+    /// snapshot but NOT cached: caching it would permanently
+    /// under-report the grown corpus, since `extend`'s incremental
+    /// refold only covers specs that were memoized when it scanned. The
+    /// length check and the insert share the memo lock, and `extend`
+    /// grows the corpus *before* scanning, so every interleaving either
+    /// refolds the entry or rejects it here.
+    fn memoize(&self, spec: &PointSpec, agg: Arc<CorpusEval>) -> Arc<CorpusEval> {
+        let mut memo = self.aggregates.lock().expect("aggregate lock");
+        if agg.per_loop.len() == self.loops().len() {
+            memo.entry(*spec).or_insert(agg).clone()
+        } else {
+            agg
+        }
     }
 }
 
@@ -317,7 +401,7 @@ fn score_loop(
     )
 }
 
-/// Folds per-loop scores into a [`CorpusEval`], in corpus order.
+/// Folds per-loop scores into a fresh [`CorpusEval`], in corpus order.
 fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
     let mut eval = CorpusEval {
         per_loop: Vec::with_capacity(results.len()),
@@ -329,6 +413,16 @@ fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
         at_mii: 0,
         spill_ops: 0,
     };
+    fold_scores(&mut eval, results);
+    eval
+}
+
+/// Folds additional per-loop scores into an existing aggregate — the
+/// incremental half of [`Evaluator::extend`]. Left-to-right folding
+/// keeps the f64 association identical to a full recompute over the
+/// grown corpus, so incremental and from-scratch aggregates are bitwise
+/// equal.
+fn fold_scores(eval: &mut CorpusEval, results: Vec<(LoopEval, f64, f64, f64)>) {
     for (le, cycles, words, static_words) in results {
         match le {
             LoopEval::Ok {
@@ -353,7 +447,6 @@ fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
         }
         eval.per_loop.push(le);
     }
-    eval
 }
 
 #[cfg(test)]

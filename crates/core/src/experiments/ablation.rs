@@ -4,6 +4,7 @@
 
 use widening_cost::CostModel;
 use widening_machine::{Configuration, CycleModel};
+use widening_pipeline::PointSpec;
 use widening_regalloc::{SpillOptions, SpillPolicy};
 use widening_sched::Strategy;
 
@@ -13,7 +14,10 @@ use crate::evaluate::EvalOptions;
 use crate::report::{f2, f3, Report};
 
 /// Scheduler ablation: HRMS-lineage ordering vs IMS vs naive ASAP, on a
-/// mid-range machine.
+/// mid-range machine — evaluated as **one** mixed-strategy batch
+/// ([`crate::Evaluator::sweep_specs`]): all three strategies' work units
+/// share a single dynamic worker queue, and the widening and MII stages
+/// (strategy-independent) are computed once, not once per strategy.
 #[must_use]
 pub fn ablate_sched(ctx: &Context) -> Report {
     let mut r = Report::new("Ablation — scheduler ordering strategy (4w1, 64-RF)").with_columns([
@@ -24,23 +28,29 @@ pub fn ablate_sched(ctx: &Context) -> Report {
         "failures",
     ]);
     let cfg = Configuration::monolithic(4, 1, 64).expect("valid");
-    let mut base: Option<f64> = None;
-    for strat in Strategy::ALL {
-        let opts = EvalOptions {
-            strategy: strat,
-            ..Default::default()
-        };
-        let e = ctx.eval.scheduled(&cfg, CycleModel::Cycles4, &opts);
-        let b = *base.get_or_insert(e.total_cycles);
+    let specs: Vec<PointSpec> = Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let opts = EvalOptions {
+                strategy,
+                ..Default::default()
+            };
+            PointSpec::scheduled(&cfg, CycleModel::Cycles4, opts)
+        })
+        .collect();
+    let evals = ctx.eval.sweep_specs(&specs);
+    let base = evals[0].total_cycles;
+    for (strat, e) in Strategy::ALL.iter().zip(&evals) {
         r.push_row([
             strat.label().to_string(),
-            f3(e.total_cycles / b),
+            f3(e.total_cycles / base),
             f3(e.mii_rate()),
             e.spill_ops.to_string(),
             e.failed.to_string(),
         ]);
     }
     r.push_note("HRMS-lineage ordering is the reference (1.000)");
+    r.push_note("all strategies evaluated in one mixed-opts worker-queue pass");
     r
 }
 
@@ -65,22 +75,30 @@ pub fn ablate_spill(ctx: &Context) -> Report {
         ..Default::default()
     };
     const POINTS: [(u32, u32, u32); 4] = [(4, 1, 32), (4, 2, 32), (4, 2, 64), (8, 1, 64)];
-    // One shared-cache batch per policy — the three policies reuse each
-    // other's widened DDGs and MII bounds — and the rows consume the
-    // batches' input-ordered aggregates directly.
+    // One mixed-opts batch for all three policies × four machines: every
+    // `(loop × config)` unit rides a single worker queue, and the
+    // policies reuse each other's widened DDGs, MII bounds and base
+    // schedules.
     let cfgs: Vec<Configuration> = POINTS
         .iter()
         .map(|&(x, y, z)| Configuration::monolithic(x, y, z).expect("valid"))
         .collect();
-    let [spill, incr, adaptive] = [
+    const POLICIES: [SpillPolicy; 3] = [
         SpillPolicy::SpillFirst,
         SpillPolicy::IncreaseIiOnly,
         SpillPolicy::Adaptive,
-    ]
-    .map(|policy| {
-        ctx.eval
-            .sweep(&cfgs, CycleModel::Cycles4, &with_policy(policy))
-    });
+    ];
+    let specs: Vec<PointSpec> = POLICIES
+        .iter()
+        .flat_map(|&policy| {
+            let opts = with_policy(policy);
+            cfgs.iter()
+                .map(move |cfg| PointSpec::scheduled(cfg, CycleModel::Cycles4, opts))
+        })
+        .collect();
+    let evals = ctx.eval.sweep_specs(&specs);
+    let per_policy = |i: usize| evals[i * POINTS.len()..(i + 1) * POINTS.len()].to_vec();
+    let (spill, incr, adaptive) = (per_policy(0), per_policy(1), per_policy(2));
     for (i, (x, y, z)) in POINTS.into_iter().enumerate() {
         let cell = |e: &crate::evaluate::CorpusEval| {
             if e.is_complete() {

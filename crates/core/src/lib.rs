@@ -17,8 +17,10 @@
 //! * `widening-sched` — HRMS-lineage modulo scheduling (+ IMS/ASAP);
 //! * `widening-regalloc` — lifetimes, end-fit allocation, spill code;
 //! * `widening-pipeline` — the staged widen → MII → schedule →
-//!   allocate → spill chain, memoized per stage, with the multi-config
-//!   sweep engine (the single implementation of the compilation chain);
+//!   allocate → spill chain over a two-tier artifact store (LRU-bounded
+//!   memory + content-addressed disk persistence), with incremental
+//!   corpora and the multi-config sweep engine (the single
+//!   implementation of the compilation chain);
 //! * `widening-cost` — register-cell/area/timing models, SIA roadmap;
 //! * `widening-workload` — the Perfect-Club-surrogate corpus;
 //! * `widening-sim` — cycle-accurate wide-datapath simulator with
@@ -78,7 +80,8 @@ pub mod prelude {
     pub use widening_ir::{Ddg, DdgBuilder, Loop, OpKind};
     pub use widening_machine::{Configuration, CycleModel};
     pub use widening_pipeline::{
-        compile_ddg, CompileOptions, CompiledLoop, FailureCause, Pipeline, PipelineError, PointSpec,
+        compile_ddg, CompileOptions, CompiledLoop, FailureCause, Pipeline, PipelineError,
+        PointSpec, StageCounts, StoreConfig,
     };
     pub use widening_regalloc::{schedule_with_registers, SpillOptions};
     pub use widening_sched::{MiiBounds, ModuloScheduler, Schedule, Strategy};

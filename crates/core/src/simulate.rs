@@ -133,7 +133,7 @@ pub fn simulate_corpus(
         masked_lanes: 0,
         cross_block_reads: 0,
     };
-    for (le, l) in out.into_iter().zip(loops) {
+    for (le, l) in out.into_iter().zip(loops.iter()) {
         match &le {
             SimLoopEval::Validated { stats, .. } => {
                 agg.validated += 1;

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use widening::{CorpusEval, EvalOptions, Evaluator};
 use widening_machine::{Configuration, CycleModel};
+use widening_pipeline::StoreConfig;
 use widening_workload::{corpus, kernels};
 
 /// `(tag, total_cycles, total_kernel_words, total_static_words, failed,
@@ -143,6 +144,67 @@ fn evaluator_reproduces_seed_aggregates_bitwise() {
         "kernels-2w2-64",
         &kv.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default()),
     );
+}
+
+#[test]
+fn disk_tier_reproduces_seed_aggregates_bitwise() {
+    // Artifacts decoded from the persistent store must land on the very
+    // same golden bits as live compilation — cold (populating the cache)
+    // and warm (a fresh evaluator decoding every stage from disk) alike.
+    let dir = std::env::temp_dir().join(format!("widening-golden-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let loops = corpus::generate(&corpus::CorpusSpec::small(40, 9));
+    let run = |tag: &str| {
+        let ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&dir));
+        check("peak-2w2", &ev.peak(2, 2, CycleModel::Cycles4));
+        let cfg = Configuration::monolithic(4, 2, 64).unwrap();
+        check(
+            "sched-4w2-64",
+            &ev.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default()),
+        );
+        let cfg = Configuration::monolithic(4, 1, 32).unwrap();
+        check(
+            "sched-4w1-32",
+            &ev.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default()),
+        );
+        (tag.to_string(), ev.pipeline().stage_counts())
+    };
+    let (_, cold) = run("cold");
+    assert!(cold.live_runs() > 0);
+    let (_, warm) = run("warm");
+    assert_eq!(warm.live_runs(), 0, "warm golden run recompiled: {warm:?}");
+    assert!(warm.disk_hits() > 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn incremental_extend_matches_from_scratch_bitwise() {
+    // Growing the corpus through `Evaluator::extend` must fold the new
+    // loops into every memoized aggregate with bitwise the same result
+    // as evaluating the full corpus from scratch — including with a
+    // byte-budgeted in-memory tier evicting behind the fold.
+    let full = corpus::generate(&corpus::CorpusSpec::small(40, 9));
+    let (head, tail) = full.split_at(28);
+
+    let grown = Evaluator::new(head.to_vec()).with_store(StoreConfig {
+        cache_dir: None,
+        memory_budget: Some(128 * 1024),
+    });
+    let cfg = Configuration::monolithic(4, 2, 64).unwrap();
+    // Memoize aggregates over the head corpus first…
+    let partial = grown.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default());
+    assert_eq!(partial.per_loop.len(), 28);
+    let _ = grown.peak(2, 2, CycleModel::Cycles4);
+    // …then ingest the rest incrementally.
+    grown.extend(tail.to_vec());
+    check(
+        "sched-4w2-64",
+        &grown.scheduled(&cfg, CycleModel::Cycles4, &EvalOptions::default()),
+    );
+    check("peak-2w2", &grown.peak(2, 2, CycleModel::Cycles4));
+    // Only the 12 appended loops were widened again at Y = 2.
+    let counts = grown.pipeline().stage_counts();
+    assert_eq!(counts.widen_runs, 40, "{counts:?}");
 }
 
 #[test]

@@ -91,7 +91,8 @@ fn quick_and_paper_contexts_share_structure() {
     // The reduced corpus must preserve the class mix (same generator,
     // same seed stream) so quick runs are predictive.
     let quick = Context::quick(60);
-    let names: Vec<&str> = quick.eval.loops().iter().map(|l| l.name()).collect();
+    let loops = quick.eval.loops();
+    let names: Vec<&str> = loops.iter().map(|l| l.name()).collect();
     assert!(names.iter().any(|n| n.starts_with("vec_")));
     assert!(names.iter().any(|n| n.starts_with("reduce_")));
     assert!(names.iter().any(|n| n.starts_with("divsqrt_")));

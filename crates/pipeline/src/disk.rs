@@ -1,0 +1,219 @@
+//! The on-disk, content-addressed tier of the two-tier artifact store.
+//!
+//! Layout: `<root>/v<FORMAT_VERSION>/<stage>/<hh>/<32-hex-key>.bin`,
+//! where `<hh>` is a two-hex-digit fan-out directory and the key is the
+//! 128-bit FNV-1a hash of the entry's full logical key material (loop
+//! content fingerprint + every design-point field the stage depends
+//! on). Each file carries a small container header:
+//!
+//! ```text
+//! magic "WART" · u16 format version · u64 FNV-1a checksum(key+payload)
+//! · u32 key length · key bytes · u32 payload length · payload bytes
+//! ```
+//!
+//! The key material is echoed verbatim and compared on load, so a hash
+//! collision (or a file renamed by hand) reads as a miss, not as a wrong
+//! artifact; the checksum demotes torn or corrupt files to misses too.
+//! Writes go through a uniquely-named temp file in the same directory
+//! followed by an atomic rename, so concurrent writers (threads or
+//! whole processes racing on a shared cache directory) can only ever
+//! publish complete files.
+//!
+//! The tier is strictly best-effort: every I/O failure is swallowed
+//! (counted, for the curious) and the pipeline falls back to computing
+//! live. A cache directory on a dead disk costs performance, never
+//! correctness.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::fnv64;
+
+/// Bump when any codec encoding changes shape: old cache directories
+/// then read as misses (their `v<N>` subtree is simply ignored).
+pub(crate) const FORMAT_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"WART";
+
+/// Stage names double as directory names.
+pub(crate) const STAGE_WIDEN: &str = "widen";
+pub(crate) const STAGE_MII: &str = "mii";
+pub(crate) const STAGE_BASE: &str = "base";
+pub(crate) const STAGE_SCHED: &str = "sched";
+
+#[derive(Debug)]
+pub(crate) struct DiskTier {
+    root: PathBuf,
+    /// Monotonic suffix for temp-file names within this process.
+    tmp_seq: AtomicU64,
+    /// Swallowed I/O or format failures (useful when debugging a cache
+    /// directory that mysteriously never warms up).
+    errors: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a cache directory. Returns `None` when
+    /// the directory cannot be created — the caller then runs without a
+    /// disk tier.
+    pub(crate) fn open(root: &Path) -> Option<Self> {
+        let root = root.join(format!("v{FORMAT_VERSION}"));
+        fs::create_dir_all(&root).ok()?;
+        Some(DiskTier {
+            root,
+            tmp_seq: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    fn path_of(&self, stage: &str, key_hash: u128) -> PathBuf {
+        let hex = format!("{key_hash:032x}");
+        self.root.join(stage).join(&hex[..2]).join(hex + ".bin")
+    }
+
+    /// Loads the payload stored under `(stage, key_hash)`, verifying the
+    /// container checksum and that the echoed key material equals
+    /// `key_bytes`. Any mismatch or I/O failure is a miss.
+    pub(crate) fn load(&self, stage: &str, key_hash: u128, key_bytes: &[u8]) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_of(stage, key_hash)).ok()?;
+        let parsed = parse_container(&bytes, key_bytes);
+        if parsed.is_none() && !bytes.is_empty() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        parsed
+    }
+
+    /// Persists `payload` under `(stage, key_hash)`. Best-effort: errors
+    /// are counted and swallowed.
+    pub(crate) fn store(&self, stage: &str, key_hash: u128, key_bytes: &[u8], payload: &[u8]) {
+        if self
+            .try_store(stage, key_hash, key_bytes, payload)
+            .is_none()
+        {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_store(
+        &self,
+        stage: &str,
+        key_hash: u128,
+        key_bytes: &[u8],
+        payload: &[u8],
+    ) -> Option<()> {
+        let path = self.path_of(stage, key_hash);
+        let dir = path.parent()?;
+        fs::create_dir_all(dir).ok()?;
+
+        let mut checked = Vec::with_capacity(8 + key_bytes.len() + payload.len());
+        checked.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+        checked.extend_from_slice(key_bytes);
+        checked.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        checked.extend_from_slice(payload);
+
+        let mut file = Vec::with_capacity(checked.len() + 14);
+        file.extend_from_slice(&MAGIC);
+        file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.extend_from_slice(&fnv64(&checked).to_le_bytes());
+        file.extend_from_slice(&checked);
+
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut out = fs::File::create(&tmp).ok()?;
+        let written = out.write_all(&file).and_then(|()| out.flush());
+        drop(out);
+        if written.is_err() || fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return None;
+        }
+        Some(())
+    }
+
+    /// Swallowed I/O/format failures so far.
+    pub(crate) fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+fn parse_container(bytes: &[u8], expected_key: &[u8]) -> Option<Vec<u8>> {
+    let rest = bytes.strip_prefix(&MAGIC)?;
+    let (version, rest) = rest.split_first_chunk::<2>()?;
+    if u16::from_le_bytes(*version) != FORMAT_VERSION {
+        return None;
+    }
+    let (checksum, checked) = rest.split_first_chunk::<8>()?;
+    if u64::from_le_bytes(*checksum) != fnv64(checked) {
+        return None;
+    }
+    let (key_len, rest) = checked.split_first_chunk::<4>()?;
+    let key_len = u32::from_le_bytes(*key_len) as usize;
+    if rest.len() < key_len {
+        return None;
+    }
+    let (key, rest) = rest.split_at(key_len);
+    if key != expected_key {
+        return None;
+    }
+    let (payload_len, payload) = rest.split_first_chunk::<4>()?;
+    if u32::from_le_bytes(*payload_len) as usize != payload.len() {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier() -> (PathBuf, DiskTier) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "widening-disk-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let t = DiskTier::open(&dir).expect("temp dir creatable");
+        (dir, t)
+    }
+
+    #[test]
+    fn round_trips_payload_under_key() {
+        let (dir, t) = tier();
+        t.store(STAGE_WIDEN, 42, b"key-material", b"payload");
+        assert_eq!(
+            t.load(STAGE_WIDEN, 42, b"key-material").as_deref(),
+            Some(&b"payload"[..])
+        );
+        // Missing entries and foreign stages miss.
+        assert_eq!(t.load(STAGE_WIDEN, 43, b"key-material"), None);
+        assert_eq!(t.load(STAGE_MII, 42, b"key-material"), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_a_miss() {
+        let (dir, t) = tier();
+        t.store(STAGE_SCHED, 7, b"the-real-key", b"artifact");
+        assert_eq!(t.load(STAGE_SCHED, 7, b"an-impostor!"), None);
+        assert!(t.errors() >= 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corruption_is_a_miss() {
+        let (dir, t) = tier();
+        t.store(STAGE_BASE, 9, b"k", b"payload-bytes");
+        let path = t.path_of(STAGE_BASE, 9);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        assert_eq!(t.load(STAGE_BASE, 9, b"k"), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,20 +1,25 @@
-//! The memoized [`Pipeline`] driver and the multi-config sweep engine.
+//! The memoized [`Pipeline`] driver: the two-tier stage store, the
+//! incremental corpus, and the multi-config sweep engine.
 
-use std::sync::Arc;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
 
-use widening_ir::Loop;
+use widening_ir::{Ddg, Loop};
 use widening_machine::CycleModel;
 use widening_regalloc::SpillOptions;
 use widening_sched::{MiiBounds, Strategy};
 use widening_transform::WideningOutcome;
 
-use crate::cache::{StageCache, StageCounts};
+use crate::codec;
+use crate::disk::{DiskTier, STAGE_BASE, STAGE_MII, STAGE_SCHED, STAGE_WIDEN};
 use crate::error::PipelineError;
 use crate::pool::par_map;
 use crate::stage::{
     stage_base_schedule, stage_mii, stage_schedule, stage_widen, BaseSchedule, CompiledLoop,
     PointSpec, ScheduledStage,
 };
+use crate::store::{Fetch, StageCounts, StageStore};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct WideKey {
@@ -50,9 +55,44 @@ struct SchedKey {
     spill: SpillOptions,
 }
 
-/// The staged compilation driver for one corpus.
+/// Configuration of a [`Pipeline`]'s artifact store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Root of the on-disk content-addressed tier. `None` (the default)
+    /// disables persistence: stage artifacts live only in memory, as in
+    /// the original per-process caches.
+    pub cache_dir: Option<PathBuf>,
+    /// Approximate byte budget for the in-memory schedule-stage tier.
+    /// `None` (the default) pins every entry for the pipeline's
+    /// lifetime; `Some(budget)` LRU-evicts schedule/alloc/spill entries
+    /// whose corpus aggregates have been folded (widening, MII-bound and
+    /// base-schedule entries are small and always pinned). The budget is
+    /// enforced against a conservative per-entry size estimate.
+    pub memory_budget: Option<usize>,
+}
+
+impl StoreConfig {
+    /// Store configuration persisting artifacts under `cache_dir`.
+    #[must_use]
+    pub fn persistent(cache_dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            cache_dir: Some(cache_dir.into()),
+            memory_budget: None,
+        }
+    }
+
+    /// Sets the in-memory schedule-tier byte budget.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+}
+
+/// The staged compilation driver for one (growable) corpus.
 ///
-/// Every stage is memoized under a content key:
+/// Every stage is memoized in a two-tier `StageStore` under a content
+/// key:
 ///
 /// * **widening** on `(loop, Y)` — a `1w2 / 2w2 / 4w2` sweep widens each
 ///   loop once;
@@ -65,19 +105,35 @@ struct SchedKey {
 /// * **schedule/allocate/spill** additionally on registers, strategy and
 ///   spill options.
 ///
+/// With a [`StoreConfig::cache_dir`], every artifact (including memoized
+/// failures) is additionally persisted on disk under its *content* key —
+/// the loop's graph fingerprint plus the design-point fields — so a
+/// second process over the same corpus decodes every stage instead of
+/// executing it. With a [`StoreConfig::memory_budget`], schedule-stage
+/// entries are LRU-evicted once sealed (see [`Pipeline::seal_point`]).
+///
 /// The driver is `Sync`; corpus evaluation, simulation and
-/// [`Pipeline::sweep`] all hit the same caches from the worker pool.
+/// [`Pipeline::sweep`] all hit the same stores from the worker pool.
+/// [`Pipeline::extend`] appends loops without touching any existing
+/// stage entry.
 #[derive(Debug)]
 pub struct Pipeline {
-    loops: Arc<Vec<Loop>>,
-    widened: StageCache<WideKey, Arc<WideningOutcome>>,
-    bounds: StageCache<MiiKey, Arc<MiiBounds>>,
-    base: StageCache<BaseKey, Result<Arc<BaseSchedule>, PipelineError>>,
-    scheduled: StageCache<SchedKey, Result<Arc<ScheduledStage>, PipelineError>>,
+    /// Append-only corpus: `extend` swaps in a longer vector, existing
+    /// indices never move, and callers work on cheap `Arc` snapshots.
+    loops: RwLock<Arc<Vec<Loop>>>,
+    /// Per-loop content fingerprints, parallel to `loops` (the disk
+    /// tier's half of every stage key).
+    fingerprints: RwLock<Arc<Vec<u128>>>,
+    disk: Option<DiskTier>,
+    widened: StageStore<WideKey, Arc<WideningOutcome>>,
+    bounds: StageStore<MiiKey, Arc<MiiBounds>>,
+    base: StageStore<BaseKey, Result<Arc<BaseSchedule>, PipelineError>>,
+    scheduled: StageStore<SchedKey, Result<Arc<ScheduledStage>, PipelineError>>,
 }
 
 impl Pipeline {
-    /// A pipeline over `loops` with empty stage caches.
+    /// A pipeline over `loops` with empty stage stores and the default
+    /// (memory-only, unbounded) configuration.
     #[must_use]
     pub fn new(loops: Vec<Loop>) -> Self {
         Pipeline::over(Arc::new(loops))
@@ -86,40 +142,123 @@ impl Pipeline {
     /// A pipeline sharing an already-`Arc`ed corpus.
     #[must_use]
     pub fn over(loops: Arc<Vec<Loop>>) -> Self {
+        Pipeline::with_config(loops, StoreConfig::default())
+    }
+
+    /// A pipeline with an explicit store configuration. An unusable
+    /// `cache_dir` (not creatable) degrades to the memory-only store.
+    #[must_use]
+    pub fn with_config(loops: Arc<Vec<Loop>>, config: StoreConfig) -> Self {
+        let disk = config.cache_dir.as_deref().and_then(DiskTier::open);
+        // Fingerprints only feed disk keys: without a disk tier the
+        // table stays empty so the default path never pays the
+        // full-corpus encode + hash.
+        let fingerprints: Vec<u128> = if disk.is_some() {
+            loops
+                .iter()
+                .map(|l| codec::ddg_fingerprint(l.ddg()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Pipeline {
-            loops,
-            widened: StageCache::new(),
-            bounds: StageCache::new(),
-            base: StageCache::new(),
-            scheduled: StageCache::new(),
+            loops: RwLock::new(loops),
+            fingerprints: RwLock::new(Arc::new(fingerprints)),
+            disk,
+            widened: StageStore::pinned(),
+            bounds: StageStore::pinned(),
+            base: StageStore::pinned(),
+            scheduled: StageStore::bounded(config.memory_budget),
         }
     }
 
-    /// The corpus being compiled.
+    /// A snapshot of the corpus being compiled. Loop indices are stable:
+    /// [`Pipeline::extend`] only ever appends.
     #[must_use]
-    pub fn loops(&self) -> &[Loop] {
-        &self.loops
+    pub fn loops(&self) -> Arc<Vec<Loop>> {
+        Arc::clone(&self.loops.read().expect("corpus lock"))
     }
 
-    /// Shared handle to the corpus.
-    #[must_use]
-    pub fn loops_arc(&self) -> Arc<Vec<Loop>> {
-        Arc::clone(&self.loops)
+    /// Appends `more` loops to the corpus without invalidating a single
+    /// existing stage entry, returning the index range the new loops
+    /// occupy. Only the new `(loop × config)` units ever enter a
+    /// subsequent sweep's work queue as live work — every existing unit
+    /// replays from the store.
+    pub fn extend(&self, more: Vec<Loop>) -> Range<usize> {
+        if more.is_empty() {
+            let n = self.loops().len();
+            return n..n;
+        }
+        let mut loops = self.loops.write().expect("corpus lock");
+        let mut fps = self.fingerprints.write().expect("fingerprint lock");
+        let start = loops.len();
+        let mut grown = Vec::with_capacity(start + more.len());
+        grown.extend(loops.iter().cloned());
+        let mut fp_grown = Vec::with_capacity(start + more.len());
+        fp_grown.extend(fps.iter().copied());
+        if self.disk.is_some() {
+            for l in &more {
+                fp_grown.push(codec::ddg_fingerprint(l.ddg()));
+            }
+        }
+        grown.extend(more);
+        let end = grown.len();
+        *loops = Arc::new(grown);
+        *fps = Arc::new(fp_grown);
+        start..end
     }
 
-    /// Cumulative stage execution/lookup counters.
+    fn fingerprint(&self, li: usize) -> u128 {
+        self.fingerprints.read().expect("fingerprint lock")[li]
+    }
+
+    /// Cumulative stage execution/lookup/disk counters.
     #[must_use]
     pub fn stage_counts(&self) -> StageCounts {
         StageCounts {
             widen_runs: self.widened.runs(),
             widen_requests: self.widened.requests(),
+            widen_disk_hits: self.widened.disk_hits(),
             mii_runs: self.bounds.runs(),
             mii_requests: self.bounds.requests(),
+            mii_disk_hits: self.bounds.disk_hits(),
             base_schedule_runs: self.base.runs(),
             base_schedule_requests: self.base.requests(),
+            base_schedule_disk_hits: self.base.disk_hits(),
             schedule_runs: self.scheduled.runs(),
             schedule_requests: self.scheduled.requests(),
+            schedule_disk_hits: self.scheduled.disk_hits(),
+            schedule_evictions: self.scheduled.evictions(),
+            schedule_resident_bytes: self.scheduled.resident_bytes() as u64,
         }
+    }
+
+    /// Swallowed disk-tier I/O or format failures (0 without a
+    /// `cache_dir`). A warm start that stubbornly recomputes usually
+    /// shows up here first.
+    #[must_use]
+    pub fn disk_errors(&self) -> u64 {
+        self.disk.as_ref().map_or(0, DiskTier::errors)
+    }
+
+    /// Seals every schedule-stage entry of design point `spec`: its
+    /// corpus aggregate has been folded, so the in-memory tier may evict
+    /// those entries (LRU) whenever the byte budget demands it. Sealing
+    /// is purely a residency release — artifacts stay reachable through
+    /// the disk tier or by recomputation. No-op for peak-mode specs and
+    /// without a memory budget.
+    pub fn seal_point(&self, spec: &PointSpec) {
+        let Some(registers) = spec.registers else {
+            return;
+        };
+        self.scheduled.seal_if(|k| {
+            k.width == spec.width
+                && k.replication == spec.replication
+                && k.registers == registers
+                && k.model == spec.model
+                && k.strategy == spec.opts.strategy
+                && k.spill == spec.opts.spill
+        });
     }
 
     /// Stage 1, memoized: the widened DDG (+ origin metadata) of loop
@@ -134,8 +273,23 @@ impl Pipeline {
             li: li as u32,
             width,
         };
-        self.widened
-            .get_or_compute(key, || Arc::new(stage_widen(self.loops[li].ddg(), width)))
+        self.widened.get_or_fetch(
+            key,
+            |_| 0,
+            || {
+                let loops = self.loops();
+                let ddg = loops[li].ddg();
+                let key_bytes = || self.widen_key_bytes(li, width);
+                if let Some(out) = self.disk_load(STAGE_WIDEN, key_bytes, |bytes| {
+                    codec::decode_widen(bytes, ddg.num_nodes(), width)
+                }) {
+                    return (Arc::new(out), Fetch::Disk);
+                }
+                let out = stage_widen(ddg, width);
+                self.disk_store(STAGE_WIDEN, key_bytes, || codec::encode_widen(&out));
+                (Arc::new(out), Fetch::Computed)
+            },
+        )
     }
 
     /// Stage 2, memoized: MII bounds of loop `li`'s wide graph on
@@ -154,11 +308,23 @@ impl Pipeline {
             replication,
             model,
         };
-        self.bounds.get_or_compute(key, || {
-            let wide = self.widened(li, width);
-            let spec = PointSpec::peak(replication, width, model);
-            Arc::new(stage_mii(wide.ddg(), &spec.machine(), model))
-        })
+        self.bounds.get_or_fetch(
+            key,
+            |_| 0,
+            || {
+                let wide = self.widened(li, width);
+                let key_bytes = || self.mii_key_bytes(li, replication, width, model);
+                if let Some(bounds) = self.disk_load(STAGE_MII, key_bytes, |bytes| {
+                    codec::decode_mii(bytes, wide.ddg().num_nodes())
+                }) {
+                    return (Arc::new(bounds), Fetch::Disk);
+                }
+                let spec = PointSpec::peak(replication, width, model);
+                let bounds = stage_mii(wide.ddg(), &spec.machine(), model);
+                self.disk_store(STAGE_MII, key_bytes, || codec::encode_mii(&bounds));
+                (Arc::new(bounds), Fetch::Computed)
+            },
+        )
     }
 
     /// Stage 3a, memoized: the register-file-independent round-1
@@ -167,7 +333,7 @@ impl Pipeline {
     /// # Errors
     ///
     /// [`PipelineError::Schedule`] when the modulo scheduler fails (the
-    /// error is memoized).
+    /// error is memoized — and persisted — too).
     pub fn base_schedule(
         &self,
         li: usize,
@@ -180,12 +346,30 @@ impl Pipeline {
             model: spec.model,
             strategy: spec.opts.strategy,
         };
-        self.base.get_or_compute(key, || {
-            let wide = self.widened(li, spec.width);
-            let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
-            stage_base_schedule(wide.ddg(), &spec.machine(), spec.model, &spec.opts, &bounds)
-                .map(Arc::new)
-        })
+        self.base.get_or_fetch(
+            key,
+            |_| 0,
+            || {
+                let wide = self.widened(li, spec.width);
+                let key_bytes = || self.base_key_bytes(li, spec);
+                if let Some(result) = self.disk_load(STAGE_BASE, key_bytes, |bytes| {
+                    codec::decode_base(bytes, wide.ddg(), &spec.machine(), spec.model)
+                }) {
+                    return (result, Fetch::Disk);
+                }
+                let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
+                let result = stage_base_schedule(
+                    wide.ddg(),
+                    &spec.machine(),
+                    spec.model,
+                    &spec.opts,
+                    &bounds,
+                )
+                .map(Arc::new);
+                self.disk_store(STAGE_BASE, key_bytes, || codec::encode_base(&result));
+                (result, Fetch::Computed)
+            },
+        )
     }
 
     /// Runs (or replays) the staged chain for loop `li` at design point
@@ -194,8 +378,8 @@ impl Pipeline {
     /// # Errors
     ///
     /// [`PipelineError`] when the schedule/allocate/spill stage fails —
-    /// the error is memoized too, so a failing design point is diagnosed
-    /// once, not once per caller.
+    /// the error is memoized (and persisted) too, so a failing design
+    /// point is diagnosed once, not once per caller or per process.
     pub fn compile(&self, li: usize, spec: &PointSpec) -> Result<CompiledLoop, PipelineError> {
         let wide = self.widened(li, spec.width);
         let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
@@ -211,22 +395,55 @@ impl Pipeline {
                     strategy: spec.opts.strategy,
                     spill: spec.opts.spill,
                 };
-                let stage = self.scheduled.get_or_compute(key, || {
-                    let base = self.base_schedule(li, spec)?;
-                    if base.needed <= registers {
-                        // Fits round 1: every such Z shares one
-                        // materialized stage (no per-Z deep copies).
-                        Ok(base.fit_stage(wide.ddg(), &bounds))
-                    } else {
-                        stage_schedule(
-                            wide.ddg(),
-                            &spec.machine(),
-                            spec.model,
-                            &spec.opts,
-                            Some(&base),
-                        )
-                        .map(Arc::new)
+                let stage = self.scheduled.get_or_fetch(key, stage_bytes, || {
+                    let key_bytes = || self.sched_key_bytes(li, spec, registers);
+                    match self.disk_load(STAGE_SCHED, key_bytes, |bytes| {
+                        codec::decode_sched(bytes, &spec.machine(), spec.model)
+                    }) {
+                        Some(codec::SchedPayload::Full(result)) => return (result, Fetch::Disk),
+                        // Fit marker: rebuild the stage shared by every
+                        // fitting Z from the (single) persisted base.
+                        // A stale marker — base missing or no longer
+                        // fitting — falls through to live compute.
+                        Some(codec::SchedPayload::FitOfBase) => {
+                            if let Ok(base) = self.base_schedule(li, spec) {
+                                if base.needed <= registers {
+                                    let stage = base.fit_stage(wide.ddg(), &bounds);
+                                    return (Ok(stage), Fetch::Disk);
+                                }
+                            }
+                        }
+                        None => {}
                     }
+                    let mut fits_base = false;
+                    let result = self.base_schedule(li, spec).and_then(|base| {
+                        if base.needed <= registers {
+                            // Fits round 1: every such Z shares one
+                            // materialized stage (no per-Z deep copies).
+                            fits_base = true;
+                            Ok(base.fit_stage(wide.ddg(), &bounds))
+                        } else {
+                            stage_schedule(
+                                wide.ddg(),
+                                &spec.machine(),
+                                spec.model,
+                                &spec.opts,
+                                Some(&base),
+                            )
+                            .map(Arc::new)
+                        }
+                    });
+                    self.disk_store(STAGE_SCHED, key_bytes, || {
+                        // Persist fit stages as a marker, not a copy per
+                        // register-file size: the base stage carries the
+                        // bytes exactly once.
+                        if fits_base {
+                            codec::encode_sched_fit()
+                        } else {
+                            codec::encode_sched(&result)
+                        }
+                    });
+                    (result, Fetch::Computed)
                 })?;
                 Some(stage)
             }
@@ -235,7 +452,7 @@ impl Pipeline {
     }
 
     /// Compiles every `(loop × design point)` work unit in parallel on
-    /// `threads` workers with shared stage caches, returning one
+    /// `threads` workers with shared stage stores, returning one
     /// corpus-ordered artifact vector per design point.
     ///
     /// Units are scheduled point-major off one dynamic queue: widened
@@ -248,7 +465,7 @@ impl Pipeline {
         points: &[PointSpec],
         threads: usize,
     ) -> Vec<Vec<Result<CompiledLoop, PipelineError>>> {
-        let n = self.loops.len();
+        let n = self.loops().len();
         let flat = par_map(points.len() * n, threads, |unit| {
             self.compile(unit % n, &points[unit / n])
         });
@@ -258,6 +475,108 @@ impl Pipeline {
             .map(|_| flat.by_ref().take(n).collect())
             .collect()
     }
+
+    // -- disk plumbing -------------------------------------------------
+
+    /// `key` is a closure so the (fingerprint-based) key material is
+    /// only ever built when a disk tier is actually attached — the
+    /// fingerprint table is empty otherwise.
+    fn disk_load<T>(
+        &self,
+        stage: &str,
+        key: impl FnOnce() -> Vec<u8>,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let disk = self.disk.as_ref()?;
+        let key_bytes = key();
+        let payload = disk.load(stage, codec::fnv128(&key_bytes), &key_bytes)?;
+        decode(&payload)
+    }
+
+    fn disk_store(
+        &self,
+        stage: &str,
+        key: impl FnOnce() -> Vec<u8>,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) {
+        if let Some(disk) = &self.disk {
+            let key_bytes = key();
+            disk.store(stage, codec::fnv128(&key_bytes), &key_bytes, &encode());
+        }
+    }
+
+    fn widen_key_bytes(&self, li: usize, width: u32) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        let fp = self.fingerprint(li);
+        w.u64(fp as u64);
+        w.u64((fp >> 64) as u64);
+        w.u32(width);
+        w.into_bytes()
+    }
+
+    fn mii_key_bytes(&self, li: usize, replication: u32, width: u32, model: CycleModel) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        let fp = self.fingerprint(li);
+        w.u64(fp as u64);
+        w.u64((fp >> 64) as u64);
+        w.u32(width);
+        w.u32(replication);
+        w.u8(codec::cycle_model_tag(model));
+        w.into_bytes()
+    }
+
+    fn base_key_bytes(&self, li: usize, spec: &PointSpec) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        let fp = self.fingerprint(li);
+        w.u64(fp as u64);
+        w.u64((fp >> 64) as u64);
+        w.u32(spec.width);
+        w.u32(spec.replication);
+        w.u8(codec::cycle_model_tag(spec.model));
+        w.u8(codec::strategy_tag(spec.opts.strategy));
+        w.into_bytes()
+    }
+
+    fn sched_key_bytes(&self, li: usize, spec: &PointSpec, registers: u32) -> Vec<u8> {
+        let mut w = codec::Writer::new();
+        let fp = self.fingerprint(li);
+        w.u64(fp as u64);
+        w.u64((fp >> 64) as u64);
+        w.u32(spec.width);
+        w.u32(spec.replication);
+        w.u32(registers);
+        w.u8(codec::cycle_model_tag(spec.model));
+        w.u8(codec::strategy_tag(spec.opts.strategy));
+        codec::encode_spill_options(&mut w, &spec.opts.spill);
+        w.into_bytes()
+    }
+}
+
+/// Conservative resident-size estimate of a schedule-stage entry for
+/// the in-memory byte budget. Fit-mode stages shared across several
+/// register-file sizes are priced once per referencing entry, so the
+/// estimate over-counts sharing — the budget errs towards evicting.
+fn stage_bytes(result: &Result<Arc<ScheduledStage>, PipelineError>) -> usize {
+    match result {
+        Ok(stage) => {
+            let p = &stage.result;
+            192 + ddg_bytes(&p.ddg)
+                + p.schedule.times().len() * 4
+                + p.lifetimes.len() * 16
+                + p.allocation.assignment().len() * 8
+                + p.allocation.locations().len() * 4
+                + p.spills
+                    .iter()
+                    .map(|s| 48 + s.reloads.len() * 8)
+                    .sum::<usize>()
+        }
+        Err(_) => 64,
+    }
+}
+
+fn ddg_bytes(ddg: &Ddg) -> usize {
+    // Ops (kind + stride + hint), edges, and both adjacency lists.
+    ddg.num_nodes() * 56 + ddg.num_edges() * 28
 }
 
 impl From<Vec<Loop>> for Pipeline {

@@ -22,6 +22,32 @@
 //!   ([`pool::par_map`]) with shared stage caches, so a `1w2/2w2/4w2`
 //!   sweep widens each loop exactly once.
 //!
+//! # The two-tier artifact store
+//!
+//! Each stage memo is a `StageStore` with two tiers, configured through
+//! [`StoreConfig`]:
+//!
+//! * an **in-memory tier** — sharded, exactly-once maps as before.
+//!   Widening, MII-bound and base-schedule entries are pinned; the
+//!   schedule/allocate/spill tier optionally carries a byte budget
+//!   ([`StoreConfig::memory_budget`]) and LRU-evicts entries whose
+//!   corpus aggregates have been folded (released through
+//!   [`Pipeline::seal_point`]);
+//! * an optional **on-disk, content-addressed tier**
+//!   ([`StoreConfig::cache_dir`]) — every artifact, memoized failures
+//!   included, is persisted under its content key (the loop graph's
+//!   128-bit fingerprint plus the design-point fields) with a
+//!   hand-rolled versioned binary codec. A second process over the same
+//!   corpus decodes every stage instead of executing it; decoded
+//!   schedules are re-verified against their graph and machine, so a
+//!   corrupt or stale file degrades to a cache miss, never a wrong
+//!   result.
+//!
+//! The corpus itself is growable: [`Pipeline::extend`] appends loops
+//! without invalidating any existing stage entry (indices are stable,
+//! disk keys are content-addressed), so only the new `(loop × config)`
+//! units of a subsequent sweep run as live work.
+//!
 //! Failures are data, not panics: a loop whose register pressure cannot
 //! be resolved (the paper's `8w1(32-RF)` case) yields a structured
 //! [`PipelineError`], whose [`FailureCause`] projection corpus results
@@ -56,18 +82,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
+mod codec;
+mod disk;
 mod driver;
 mod error;
 pub mod pool;
 mod stage;
+mod store;
 
-pub use cache::StageCounts;
-pub use driver::Pipeline;
+pub use driver::{Pipeline, StoreConfig};
 pub use error::{FailureCause, PipelineError};
 pub use stage::{
     compile_ddg, BaseSchedule, CompileOptions, CompiledLoop, PointSpec, ScheduledStage,
 };
+pub use store::StageCounts;
 
 #[cfg(test)]
 mod tests {

@@ -253,6 +253,24 @@ pub struct BaseSchedule {
 }
 
 impl BaseSchedule {
+    /// Reassembles a base schedule from decoded parts (the disk tier's
+    /// codec is the only caller); the `fit` stage rematerializes lazily
+    /// exactly as it does for a freshly computed base.
+    pub(crate) fn from_parts(
+        schedule: Schedule,
+        allocation: RegisterAllocation,
+        lifetimes: Vec<Lifetime>,
+        needed: u32,
+    ) -> Self {
+        BaseSchedule {
+            schedule,
+            allocation,
+            lifetimes,
+            needed,
+            fit: std::sync::OnceLock::new(),
+        }
+    }
+
     /// The round-1 [`ScheduledStage`] this base implies when `needed`
     /// fits the register file — materialized once and shared by every
     /// fitting file size. The caller guarantees `wide`/`bounds` are the

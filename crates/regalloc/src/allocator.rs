@@ -32,6 +32,48 @@ pub struct RegisterAllocation {
 }
 
 impl RegisterAllocation {
+    /// Reassembles an allocation from its parts — the decode half of an
+    /// artifact codec (the encode half reads [`Self::registers_used`],
+    /// [`Self::max_lives`], [`Self::kernel_unroll`],
+    /// [`Self::assignment`] and [`Self::locations`]).
+    ///
+    /// Performs the consistency checks a cache decoder cannot do itself:
+    /// the expansion degree must be a positive power of two, the
+    /// location table must hold exactly `kernel_unroll` instances per
+    /// lifetime, and every recorded register must fall below
+    /// `registers_used`. Returns `None` for inconsistent (corrupt or
+    /// stale) parts, never panics.
+    #[must_use]
+    pub fn from_parts(
+        registers_used: u32,
+        max_lives: u32,
+        kernel_unroll: u32,
+        assignment: Vec<(u32, u32)>,
+        locations: Vec<u32>,
+    ) -> Option<Self> {
+        if kernel_unroll == 0 || !kernel_unroll.is_power_of_two() {
+            return None;
+        }
+        if !locations.len().is_multiple_of(kernel_unroll as usize) {
+            return None;
+        }
+        if max_lives > registers_used {
+            return None;
+        }
+        if locations.iter().any(|&r| r >= registers_used)
+            || assignment.iter().any(|&(_, r)| r >= registers_used)
+        {
+            return None;
+        }
+        Some(RegisterAllocation {
+            registers_used,
+            max_lives,
+            kernel_unroll,
+            assignment,
+            locations,
+        })
+    }
+
     /// Registers the allocator actually used.
     #[must_use]
     pub fn registers_used(&self) -> u32 {
@@ -60,6 +102,14 @@ impl RegisterAllocation {
     #[must_use]
     pub fn assignment(&self) -> &[(u32, u32)] {
         &self.assignment
+    }
+
+    /// The dense location table backing [`Self::register_of`], flattened
+    /// as `lifetime · kernel_unroll + instance`. Exposed for artifact
+    /// codecs (see [`Self::from_parts`]).
+    #[must_use]
+    pub fn locations(&self) -> &[u32] {
+        &self.locations
     }
 
     /// Allocation overhead above the lower bound.

@@ -49,6 +49,28 @@ impl MiiBounds {
         }
     }
 
+    /// Reassembles bounds from their parts — the decode half of an
+    /// artifact codec (the encode half reads [`Self::res_mii`],
+    /// [`Self::rec_mii`] and [`Self::recurrences`]). The caller is
+    /// trusted to supply parts produced by [`MiiBounds::compute`] for
+    /// the same graph and machine; the recurrence list is re-sorted into
+    /// the deterministic criticality order [`Self::recurrences`]
+    /// documents so a reordered artifact cannot perturb scheduling.
+    #[must_use]
+    pub fn from_parts(res_mii: u32, rec_mii: u32, mut recurrences: Vec<RecurrenceInfo>) -> Self {
+        recurrences.sort_by(|a, b| {
+            b.rec_mii
+                .cmp(&a.rec_mii)
+                .then(b.nodes.len().cmp(&a.nodes.len()))
+                .then(a.nodes.cmp(&b.nodes))
+        });
+        MiiBounds {
+            res_mii,
+            rec_mii,
+            recurrences,
+        }
+    }
+
     /// The resource-constrained bound.
     #[must_use]
     pub fn res_mii(&self) -> u32 {

@@ -39,6 +39,43 @@ pub struct WideningOutcome {
 }
 
 impl WideningOutcome {
+    /// Reassembles an outcome from its parts — the decode half of an
+    /// artifact codec (the encode half reads [`Self::ddg`],
+    /// [`Self::width`], [`Self::mapping`] and [`Self::reasons`]).
+    ///
+    /// Performs the structural checks a cache decoder cannot do itself:
+    /// `mapping` and `reasons` must classify the same number of original
+    /// operations, and every mapped node id must exist in `ddg`. Returns
+    /// `None` when the parts are inconsistent (a corrupt or stale
+    /// artifact), never panics.
+    #[must_use]
+    pub fn from_parts(
+        ddg: Ddg,
+        width: u32,
+        mapping: Vec<NodeMapping>,
+        reasons: Vec<CompactReason>,
+    ) -> Option<Self> {
+        if width == 0 || mapping.len() != reasons.len() || mapping.is_empty() {
+            return None;
+        }
+        let n = ddg.num_nodes();
+        for m in &mapping {
+            let lane_count = match m {
+                NodeMapping::Wide(_) => 1,
+                NodeMapping::Lanes(ids) => ids.len(),
+            };
+            if lane_count == 0 || m.nodes().any(|id| id.index() >= n) {
+                return None;
+            }
+        }
+        Some(WideningOutcome {
+            ddg,
+            width,
+            mapping,
+            reasons,
+        })
+    }
+
     /// The widened dependence graph (one iteration = `width` original
     /// iterations).
     #[must_use]

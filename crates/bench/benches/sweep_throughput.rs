@@ -7,12 +7,21 @@
 //! directory; the warm case starts a fresh evaluator (empty in-memory
 //! tier, a new process as far as the store is concerned) and decodes
 //! every artifact from the populated directory instead of compiling.
+//!
+//! The `single_process_1thread` / `sharded_2workers` pair measures the
+//! distributed engine's scaling claim on the 60-loop × 9-config grid:
+//! one evaluator on one thread versus a coordinator plus two sharded
+//! workers (each with its own pipeline, one thread apiece) exchanging
+//! artifacts through a cold shared store. With ≥ 2 CPUs the sharded
+//! run wins despite paying the store's publish overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use widening::distrib::Launcher;
+use widening::distributed::{sweep_distributed, DistributedOptions};
 use widening::machine::{Configuration, CycleModel};
-use widening::pipeline::StoreConfig;
+use widening::pipeline::{PointSpec, StoreConfig};
 use widening::workload::corpus::{generate, CorpusSpec};
 use widening::{EvalOptions, Evaluator};
 
@@ -97,6 +106,40 @@ fn bench_sweep_throughput(c: &mut Criterion) {
         })
     });
     let _ = std::fs::remove_dir_all(warm_dir);
+
+    // --- distributed sharding vs a single-threaded single process ----
+    let specs: Vec<PointSpec> = cfgs
+        .iter()
+        .map(|c| PointSpec::scheduled(c, CycleModel::Cycles4, EvalOptions::default()))
+        .collect();
+    g.bench_function("single_process_1thread", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(loops.clone()).with_threads(1);
+            let results = ev.sweep_specs(&specs);
+            black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
+        })
+    });
+    let shard_dirs = std::cell::RefCell::new(Vec::new());
+    g.bench_function("sharded_2workers", |b| {
+        b.iter(|| {
+            // Cold shared store each iteration: the sharded figure pays
+            // manifest + queue + publish costs, honestly.
+            let dir = unique_dir("shard");
+            let ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&dir));
+            let swept = sweep_distributed(
+                &ev,
+                &specs,
+                &DistributedOptions::new(2),
+                &Launcher::InProcess,
+            )
+            .expect("sharded sweep completes");
+            shard_dirs.borrow_mut().push(dir);
+            black_box(swept.aggregates.iter().map(|e| e.total_cycles).sum::<f64>())
+        })
+    });
+    for dir in shard_dirs.into_inner() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     g.finish();
 }
 

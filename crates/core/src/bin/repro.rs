@@ -4,7 +4,11 @@
 //! ```text
 //! repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate]
 //!       [--cache-dir DIR] [--cache-budget BYTES] [--extend N]
-//!       <experiment>... | all | list
+//!       [--shards N] <experiment>... | all | list
+//! repro worker --queue DIR --cache-dir DIR [--threads N]
+//!       [--lease-ttl-ms MS] [--no-requeue]
+//! repro cache stat --cache-dir DIR
+//! repro cache gc --keep-generations N --cache-dir DIR
 //! ```
 //!
 //! * `--quick[=N]` — run on an `N`-loop corpus (default 120) instead of
@@ -15,11 +19,14 @@
 //!   per core, capped at 16).
 //! * `--simulate` — run the cycle-accurate simulator over the corpus
 //!   (differential validation + transient analysis) in addition to any
-//!   named experiments.
+//!   named experiments. With `--cache-dir`, validated per-loop
+//!   summaries persist too, so a second `--simulate` run warm-starts
+//!   from the disk tier.
 //! * `--cache-dir DIR` — persist stage artifacts in a content-addressed
 //!   on-disk store under `DIR`; a second run over the same corpus
 //!   decodes every stage instead of recompiling it. Prints a final
-//!   `cache:` summary line with the stage counters.
+//!   `cache:` summary line with the stage counters, and stamps a new
+//!   store *generation* (see `repro cache`).
 //! * `--cache-budget BYTES` — bound the in-memory schedule-stage tier
 //!   (accepts `K`/`M`/`G` suffixes, e.g. `--cache-budget 64M`); folded
 //!   design points are LRU-evicted past the budget.
@@ -28,15 +35,36 @@
 //!   `Pipeline::extend`) instead of baking them in up front. The corpus
 //!   contents — and therefore every analytic result — are identical
 //!   with or without the flag; only the ingestion path differs.
+//! * `--shards N` — run the `sweep` experiment through the distributed
+//!   engine: the coordinator partitions the `(loop × config)` grid into
+//!   priority-ordered shards and auto-spawns `N` local worker processes
+//!   (`repro worker …`) over the shared `--cache-dir`. Merged
+//!   aggregates are bitwise-equal to the in-process sweep; a killed
+//!   worker's shard is requeued on lease expiry.
+//! * `repro worker` — standalone worker mode: claim shards from
+//!   `--queue`, publish per-unit results into `--cache-dir`, exit when
+//!   the queue completes. Point several of these (on one machine or on
+//!   hosts sharing a filesystem) at one queue to scale a sweep out.
+//! * `repro cache stat` — per-kind file/byte usage and the generation
+//!   history of a cache directory.
+//! * `repro cache gc` — prune artifacts untouched for the last
+//!   `--keep-generations N` runs.
 
 use std::process::ExitCode;
 
 use widening::experiments::{self, Context};
 use widening::Evaluator;
-use widening_pipeline::StoreConfig;
+use widening_pipeline::{maint, StoreConfig};
 use widening_workload::corpus::{generate, CorpusSpec};
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("worker") => return worker_main(&argv[1..]),
+        Some("cache") => return cache_main(&argv[1..]),
+        _ => {}
+    }
+
     let mut quick: Option<usize> = None;
     let mut csv = false;
     let mut seed: Option<u64> = None;
@@ -44,9 +72,10 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut cache_budget: Option<usize> = None;
     let mut extend: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1).peekable();
+    let mut args = argv.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => csv = true,
@@ -75,6 +104,10 @@ fn main() -> ExitCode {
                 Some(n) => extend = Some(n),
                 None => return usage("--extend needs a loop count"),
             },
+            "--shards" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => shards = Some(n),
+                _ => return usage("--shards needs a positive worker count"),
+            },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
                 Err(_) => return usage("--quick=N needs an integer"),
@@ -92,6 +125,10 @@ fn main() -> ExitCode {
                 Ok(n) => extend = Some(n),
                 Err(_) => return usage("--extend=N needs an integer"),
             },
+            a if a.starts_with("--shards=") => match a["--shards=".len()..].parse() {
+                Ok(n) if n >= 1 => shards = Some(n),
+                _ => return usage("--shards=N needs a positive worker count"),
+            },
             "list" => {
                 for n in experiments::ALL {
                     println!("{n}");
@@ -106,11 +143,23 @@ fn main() -> ExitCode {
     if names.is_empty() {
         return usage("no experiment given");
     }
+    if shards.is_some() && cache_dir.is_none() {
+        return usage("--shards needs --cache-dir (the workers' shared artifact exchange)");
+    }
+    if shards.is_some() && names.iter().any(|n| n != "sweep") {
+        // Refuse rather than silently running the rest single-process.
+        return usage("--shards only applies to the `sweep` experiment; drop the flag or the other experiment names");
+    }
     // `--simulate all` would otherwise queue simulate/transients twice.
     let mut seen = std::collections::HashSet::new();
     names.retain(|n| seen.insert(n.clone()));
 
     let caching = cache_dir.is_some() || cache_budget.is_some();
+    if let Some(dir) = &cache_dir {
+        // One generation stamp per cache-consuming run (workers a
+        // distributed sweep spawns belong to this run, not their own).
+        let _ = maint::record_run(std::path::Path::new(dir));
+    }
     let ctx = build_context(quick, seed, threads, cache_dir, cache_budget, extend);
     eprintln!(
         "corpus: {} loops (seed {}), {} worker threads",
@@ -118,8 +167,26 @@ fn main() -> ExitCode {
         seed.unwrap_or_else(|| CorpusSpec::default().seed),
         ctx.eval.threads()
     );
+    // Stage work done outside this process (distributed sweep workers),
+    // folded into the final `cache:` summary.
+    let mut fleet_counts = widening_pipeline::StageCounts::zero();
     for name in &names {
-        match experiments::run(name, &ctx) {
+        let reports = match (name.as_str(), shards) {
+            ("sweep", Some(workers)) => {
+                match experiments::sweep_distributed_reports(&ctx, workers) {
+                    Ok((reports, worker_counts)) => {
+                        fleet_counts = fleet_counts.plus(&worker_counts);
+                        Some(reports)
+                    }
+                    Err(why) => {
+                        eprintln!("error: distributed sweep failed: {why}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => experiments::run(name, &ctx),
+        };
+        match reports {
             Some(reports) => {
                 for r in reports {
                     if csv {
@@ -133,9 +200,10 @@ fn main() -> ExitCode {
         }
     }
     if caching {
-        // Machine-greppable store summary (the warm-cache CI job asserts
+        // Machine-greppable store summary (the warm-cache CI jobs assert
         // `live-runs=0` on the second run over a shared --cache-dir).
-        let c = ctx.eval.pipeline().stage_counts();
+        // Distributed runs fold the worker fleet's counters in.
+        let c = ctx.eval.pipeline().stage_counts().plus(&fleet_counts);
         println!(
             "cache: live-runs={} disk-hits={} memo-hits={} evictions={} resident-bytes={} \
              disk-errors={}",
@@ -148,6 +216,117 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `repro worker` — standalone distributed-sweep worker.
+fn worker_main(args: &[String]) -> ExitCode {
+    let mut queue: Option<String> = None;
+    let mut cache: Option<String> = None;
+    let mut threads: usize = 1;
+    let mut lease_ttl_ms: u64 = 30_000;
+    let mut requeue_foreign = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queue" => queue = it.next().cloned(),
+            "--cache-dir" => cache = it.next().cloned(),
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => return usage("worker --threads needs a positive integer"),
+            },
+            "--lease-ttl-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => lease_ttl_ms = ms,
+                None => return usage("worker --lease-ttl-ms needs milliseconds"),
+            },
+            // Coordinator-spawned workers leave lease supervision to the
+            // coordinator so its requeue counter stays exact; standalone
+            // fleets keep the default self-healing behaviour.
+            "--no-requeue" => requeue_foreign = false,
+            a => return usage(&format!("unknown worker flag {a}")),
+        }
+    }
+    let (Some(queue), Some(cache)) = (queue, cache) else {
+        return usage("worker needs --queue DIR and --cache-dir DIR");
+    };
+    let mut cfg = widening::distrib::WorkerConfig::new(queue, cache);
+    cfg.threads = threads;
+    cfg.lease_ttl = std::time::Duration::from_millis(lease_ttl_ms.max(1));
+    cfg.requeue_foreign = requeue_foreign;
+    match widening::distrib::run_worker(&cfg) {
+        Ok(summary) => {
+            eprintln!(
+                "worker: {} shard(s), {} unit(s), {} result hit(s), {} live stage run(s)",
+                summary.shards_completed,
+                summary.units,
+                summary.result_hits,
+                summary.counts.live_runs(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro cache stat|gc` — store lifecycle over a cache directory.
+fn cache_main(args: &[String]) -> ExitCode {
+    let sub = args.first().map(String::as_str);
+    let mut cache: Option<String> = None;
+    let mut keep: Option<u64> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => cache = it.next().cloned(),
+            "--keep-generations" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => keep = Some(n),
+                _ => return usage("cache gc --keep-generations needs a positive integer"),
+            },
+            a => return usage(&format!("unknown cache flag {a}")),
+        }
+    }
+    let Some(cache) = cache else {
+        return usage("cache commands need --cache-dir DIR");
+    };
+    let root = std::path::Path::new(&cache);
+    match sub {
+        Some("stat") => {
+            let Some(stat) = maint::stat(root) else {
+                eprintln!("error: no store under {cache}");
+                return ExitCode::FAILURE;
+            };
+            let mut r = widening::report::Report::new(format!("Cache store — {cache}"))
+                .with_columns(["kind", "files", "bytes"]);
+            for k in &stat.kinds {
+                r.push_row([k.kind.clone(), k.files.to_string(), k.bytes.to_string()]);
+            }
+            r.push_note(format!(
+                "generation {} ({} run(s) recorded) · total {} file(s), {} byte(s)",
+                stat.generation,
+                stat.runs_recorded,
+                stat.total_files(),
+                stat.total_bytes()
+            ));
+            println!("{r}");
+            ExitCode::SUCCESS
+        }
+        Some("gc") => {
+            let Some(keep) = keep else {
+                return usage("cache gc needs --keep-generations N");
+            };
+            let Some(outcome) = maint::gc(root, keep) else {
+                eprintln!("error: no store under {cache}");
+                return ExitCode::FAILURE;
+            };
+            println!(
+                "cache-gc: examined={} pruned={} pruned-bytes={} cutoff-generation={}",
+                outcome.examined, outcome.pruned, outcome.pruned_bytes, outcome.cutoff_generation
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage("cache needs a subcommand: stat | gc"),
+    }
 }
 
 fn build_context(
@@ -206,9 +385,12 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
-         [--cache-dir DIR] [--cache-budget BYTES] [--extend N] \
+         [--cache-dir DIR] [--cache-budget BYTES] [--extend N] [--shards N] \
          <experiment>... | all | list"
     );
+    eprintln!("       repro worker --queue DIR --cache-dir DIR [--threads N] [--lease-ttl-ms MS]");
+    eprintln!("       repro cache stat --cache-dir DIR");
+    eprintln!("       repro cache gc --keep-generations N --cache-dir DIR");
     eprintln!("experiments: {}", experiments::ALL.join(" "));
     ExitCode::FAILURE
 }

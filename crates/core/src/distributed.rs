@@ -1,0 +1,261 @@
+//! The evaluator's distributed sweep path: shard the `(loop × config)`
+//! grid across worker processes, then merge their published results
+//! into corpus aggregates **bitwise-equal** to [`Evaluator::sweep`].
+//!
+//! The heavy lifting — manifests, the filesystem job queue with
+//! lease-expiry requeue, worker supervision — lives in
+//! [`widening_distrib`]; this module supplies what only the evaluator
+//! can: the merge. Workers publish one [`UnitOutcome`] per unit into
+//! the shared store's result tier; [`sweep_distributed`] reads them
+//! back **in corpus order per design point** and folds them with the
+//! exact scoring arithmetic of the in-process evaluator
+//! (`score_eval` + left-to-right `fold_scores`), so the f64 association
+//! order — and therefore every bit of every aggregate — matches a
+//! single-process sweep over the same grid. Units whose result record
+//! is missing (a worker's best-effort publish was swallowed by a dying
+//! disk) are recompiled locally through the evaluator's own pipeline,
+//! so the merge is total.
+//!
+//! Merged aggregates are installed into the evaluator's aggregate memo:
+//! after a distributed sweep, `eval.scheduled(...)` for a swept point
+//! is a pure cache hit.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use widening_distrib::{
+    run_sweep, CoordinatorConfig, DistribError, Launcher, SpawnContext, SweepManifest, SweepRun,
+};
+use widening_pipeline::codec::ddg_fingerprint;
+use widening_pipeline::exchange::{decode_unit_outcome, unit_result_key, RESULT_KIND};
+use widening_pipeline::{Exchange, FailureCause, PointSpec, UnitOutcome};
+
+use crate::evaluate::{aggregate, score_eval, CorpusEval, Evaluator, LoopEval};
+
+/// Tuning for a distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistributedOptions {
+    /// Local workers the coordinator spawns.
+    pub workers: usize,
+    /// Threads per worker for intra-shard fan-out.
+    pub worker_threads: usize,
+    /// Shards per worker (finer = less work lost per killed worker).
+    pub shards_per_worker: usize,
+    /// Lease TTL before a silent worker's shard is requeued.
+    pub lease_ttl: Duration,
+}
+
+impl DistributedOptions {
+    /// Defaults for `workers` local workers: one thread each, 4 shards
+    /// per worker, 30 s lease TTL.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        DistributedOptions {
+            workers: workers.max(1),
+            worker_threads: 1,
+            shards_per_worker: 4,
+            lease_ttl: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A merged distributed sweep.
+#[derive(Debug)]
+pub struct DistributedSweep {
+    /// One aggregate per requested design point, in input order —
+    /// bitwise-equal to what [`Evaluator::sweep_specs`] computes for
+    /// the same grid.
+    pub aggregates: Vec<Arc<CorpusEval>>,
+    /// The coordinator-side run record (shard reports, fleet counters,
+    /// requeues, respawns).
+    pub run: SweepRun,
+    /// Units merged by local recompute because their published result
+    /// was missing or unreadable (0 on a healthy filesystem).
+    pub fallback_units: usize,
+}
+
+/// Why a distributed sweep could not run.
+#[derive(Debug)]
+pub enum DistributedSweepError {
+    /// The evaluator has no persistent cache directory — there is no
+    /// shared medium for workers to exchange results through.
+    NoCacheDir,
+    /// The distributed runtime failed (queue I/O, worker spawn, fleet
+    /// exhaustion).
+    Distrib(DistribError),
+}
+
+impl fmt::Display for DistributedSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributedSweepError::NoCacheDir => write!(
+                f,
+                "distributed sweeps need a persistent store: rebuild the evaluator with \
+                 a StoreConfig cache_dir (repro: pass --cache-dir)"
+            ),
+            DistributedSweepError::Distrib(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedSweepError {}
+
+impl From<DistribError> for DistributedSweepError {
+    fn from(e: DistribError) -> Self {
+        DistributedSweepError::Distrib(e)
+    }
+}
+
+/// A [`Launcher`]-compatible command builder that re-invokes the
+/// current executable as `worker --queue … --cache-dir … --threads N`.
+/// Correct for binaries with a `repro`-style worker subcommand; tests
+/// and benches should prefer [`Launcher::InProcess`].
+pub fn worker_command(exe: PathBuf) -> impl Fn(&SpawnContext) -> Command {
+    move |sc: &SpawnContext| {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--queue")
+            .arg(&sc.queue_dir)
+            .arg("--cache-dir")
+            .arg(&sc.cache_dir)
+            .arg("--threads")
+            .arg(sc.threads.to_string())
+            .arg("--lease-ttl-ms")
+            .arg(sc.lease_ttl.as_millis().to_string())
+            // The spawning coordinator supervises leases; see the
+            // in-process launcher for the same choice.
+            .arg("--no-requeue");
+        cmd
+    }
+}
+
+/// Runs `specs` over the evaluator's corpus as a sharded multi-process
+/// (or multi-thread, per `launcher`) sweep and merges the published
+/// results. See the module docs for the bitwise-equality contract.
+///
+/// # Errors
+///
+/// [`DistributedSweepError::NoCacheDir`] without a persistent store;
+/// [`DistributedSweepError::Distrib`] when the runtime fails.
+pub fn sweep_distributed(
+    eval: &Evaluator,
+    specs: &[PointSpec],
+    opts: &DistributedOptions,
+    launcher: &Launcher<'_>,
+) -> Result<DistributedSweep, DistributedSweepError> {
+    let cache_dir = eval
+        .pipeline()
+        .store_config()
+        .cache_dir
+        .clone()
+        .ok_or(DistributedSweepError::NoCacheDir)?;
+    let loops = eval.loops();
+
+    let mut cfg = CoordinatorConfig::new(&cache_dir, opts.workers);
+    cfg.worker_threads = opts.worker_threads.max(1);
+    cfg.shards_per_worker = opts.shards_per_worker.max(1);
+    cfg.lease_ttl = opts.lease_ttl;
+    let shard_count = cfg.shard_count(loops.len() * specs.len());
+    let manifest = SweepManifest::partition((*loops).clone(), specs.to_vec(), shard_count);
+    let run = run_sweep(&manifest, &cfg, launcher)?;
+
+    let (aggregates, fallback_units) = merge_published(eval, specs);
+    Ok(DistributedSweep {
+        aggregates,
+        run,
+        fallback_units,
+    })
+}
+
+/// Merges published unit results for `specs` into corpus aggregates
+/// (recompiling any missing unit locally), installing each into the
+/// evaluator's aggregate memo. Returns the aggregates in spec order
+/// plus the local-fallback unit count.
+///
+/// Exposed separately so fault-injection tests can drive a queue by
+/// hand and still use the production merge.
+#[must_use]
+pub fn merge_published(eval: &Evaluator, specs: &[PointSpec]) -> (Vec<Arc<CorpusEval>>, usize) {
+    let loops = eval.loops();
+    let exchange = eval
+        .pipeline()
+        .store_config()
+        .cache_dir
+        .as_deref()
+        .and_then(Exchange::open);
+    // Reuse the pipeline's fingerprint table where it exists (always,
+    // for the persistent stores every distributed sweep runs over).
+    let fingerprints: Vec<u128> = loops
+        .iter()
+        .enumerate()
+        .map(|(li, l)| {
+            eval.pipeline()
+                .content_fingerprint(li)
+                .unwrap_or_else(|| ddg_fingerprint(l.ddg()))
+        })
+        .collect();
+
+    let mut aggregates = Vec::with_capacity(specs.len());
+    let fallbacks = std::sync::atomic::AtomicUsize::new(0);
+    for spec in specs {
+        // Fetch in parallel — tens of thousands of open/verify round
+        // trips at paper scale, each paying network latency on a shared
+        // filesystem — then fold strictly sequentially in corpus order
+        // (the fold order, not the fetch order, is what the bitwise
+        // contract constrains).
+        let outcomes = widening_pipeline::pool::par_map(loops.len(), eval.threads(), |li| {
+            let published = exchange
+                .as_ref()
+                .and_then(|ex| ex.get(RESULT_KIND, &unit_result_key(fingerprints[li], spec)))
+                .and_then(|bytes| decode_unit_outcome(&bytes));
+            published.unwrap_or_else(|| {
+                // Best-effort publishes can vanish; the merge stays
+                // total by compiling the hole locally (warm in practice
+                // — the stage artifacts usually made it to disk even
+                // when the result record did not).
+                fallbacks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                UnitOutcome::of(&eval.pipeline().compile(li, spec))
+            })
+        });
+        let mut scores = Vec::with_capacity(loops.len());
+        for (l, outcome) in loops.iter().zip(outcomes) {
+            let le = loop_eval_of(outcome);
+            if let LoopEval::Failed {
+                cause: FailureCause::Rewrite,
+            } = le
+            {
+                eprintln!(
+                    "warning: spill rewrite failed on {} (distributed worker) — compiler \
+                     defect, not register pressure",
+                    l.name()
+                );
+            }
+            scores.push(score_eval(l, spec.width, le));
+        }
+        let agg = eval.memoize(spec, Arc::new(aggregate(scores)));
+        eval.pipeline().seal_point(spec);
+        aggregates.push(agg);
+    }
+    (aggregates, fallbacks.into_inner())
+}
+
+/// The evaluator-side projection of a published unit result.
+fn loop_eval_of(outcome: UnitOutcome) -> LoopEval {
+    match outcome {
+        UnitOutcome::Ok {
+            ii,
+            mii,
+            registers,
+            spill_ops,
+        } => LoopEval::Ok {
+            ii,
+            mii,
+            registers,
+            spill_ops,
+        },
+        UnitOutcome::Failed { cause } => LoopEval::Failed { cause },
+    }
+}

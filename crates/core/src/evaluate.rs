@@ -350,7 +350,7 @@ impl Evaluator {
     /// length check and the insert share the memo lock, and `extend`
     /// grows the corpus *before* scanning, so every interleaving either
     /// refolds the entry or rejects it here.
-    fn memoize(&self, spec: &PointSpec, agg: Arc<CorpusEval>) -> Arc<CorpusEval> {
+    pub(crate) fn memoize(&self, spec: &PointSpec, agg: Arc<CorpusEval>) -> Arc<CorpusEval> {
         let mut memo = self.aggregates.lock().expect("aggregate lock");
         if agg.per_loop.len() == self.loops().len() {
             memo.entry(*spec).or_insert(agg).clone()
@@ -384,25 +384,37 @@ fn score_loop(
             return (LoopEval::Failed { cause: e.cause() }, 0.0, 0.0, 0.0);
         }
     };
-    let ii = compiled.ii();
-    let block_iterations = l.trip_count().div_ceil(u64::from(width));
-    let cycles = l.weight() * f64::from(ii) * block_iterations as f64;
-    let words = l.weight() * f64::from(ii);
-    (
+    score_eval(
+        l,
+        width,
         LoopEval::Ok {
-            ii,
+            ii: compiled.ii(),
             mii: compiled.mii(),
             registers: compiled.registers_used(),
             spill_ops: compiled.spill_ops(),
         },
-        cycles,
-        words,
-        f64::from(ii),
     )
 }
 
+/// Scores a per-loop outcome: the exact arithmetic of the analytic
+/// model, shared by the in-process path ([`score_loop`]) and the
+/// distributed merge (which reconstructs `LoopEval`s from published
+/// unit results). Keeping the two on one function is what makes a
+/// merged distributed sweep **bitwise-equal** to a single-process one.
+pub(crate) fn score_eval(l: &Loop, width: u32, le: LoopEval) -> (LoopEval, f64, f64, f64) {
+    match le {
+        LoopEval::Ok { ii, .. } => {
+            let block_iterations = l.trip_count().div_ceil(u64::from(width));
+            let cycles = l.weight() * f64::from(ii) * block_iterations as f64;
+            let words = l.weight() * f64::from(ii);
+            (le, cycles, words, f64::from(ii))
+        }
+        LoopEval::Failed { .. } => (le, 0.0, 0.0, 0.0),
+    }
+}
+
 /// Folds per-loop scores into a fresh [`CorpusEval`], in corpus order.
-fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
+pub(crate) fn aggregate(results: Vec<(LoopEval, f64, f64, f64)>) -> CorpusEval {
     let mut eval = CorpusEval {
         per_loop: Vec::with_capacity(results.len()),
         total_cycles: 0.0,

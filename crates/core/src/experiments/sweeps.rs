@@ -2,12 +2,21 @@
 //! issue's canonical `1w1 / 2w2 / 4w2` design points over two
 //! register-file sizes, evaluated as one batch of `(loop × config)`
 //! work units with shared stage caches — and the stage counters that
-//! prove the reuse.
+//! prove the reuse. `repro sweep --shards N` runs the same grid
+//! through the distributed engine (N local worker processes over the
+//! shared cache directory) and reports per-shard progress alongside
+//! the fleet-summed stage counters; its aggregates are bitwise-equal
+//! to the in-process batch.
 
+use std::sync::Arc;
+
+use widening_distrib::{Launcher, SweepRun};
 use widening_machine::{Configuration, CycleModel};
-use widening_pipeline::StageCounts;
+use widening_pipeline::{PointSpec, StageCounts};
 
 use super::Context;
+use crate::distributed::{sweep_distributed, worker_command, DistributedOptions};
+use crate::evaluate::CorpusEval;
 use crate::report::{f2, Report};
 
 /// The sweep's design points, `XwY` by register-file size.
@@ -19,6 +28,49 @@ const SWEEP_CONFIGS: [&str; 6] = [
     "2w2(128:1)",
     "4w2(128:1)",
 ];
+
+/// The sweep grid as full design points (what the distributed path
+/// ships to workers in its manifest).
+pub(crate) fn sweep_grid_specs() -> Vec<PointSpec> {
+    SWEEP_CONFIGS
+        .iter()
+        .map(|s| {
+            PointSpec::scheduled(
+                &s.parse().expect("static configuration"),
+                CycleModel::Cycles4,
+                crate::EvalOptions::default(),
+            )
+        })
+        .collect()
+}
+
+/// The sweep result table: one row per grid configuration. Shared by
+/// the in-process and distributed paths, so bitwise-equal aggregates
+/// render byte-identical rows.
+fn sweep_table(title: &str, results: &[Arc<CorpusEval>]) -> Report {
+    let mut r = Report::new(title).with_columns([
+        "config",
+        "speed-up vs 1w1(64)",
+        "at-MII rate",
+        "failed",
+        "spill ops",
+    ]);
+    let base = results[0].total_cycles;
+    for (spec, e) in SWEEP_CONFIGS.iter().zip(results) {
+        r.push_row([
+            (*spec).to_string(),
+            if e.is_complete() {
+                f2(base / e.total_cycles)
+            } else {
+                format!("- ({} fail)", e.failed)
+            },
+            f2(e.mii_rate()),
+            e.failed.to_string(),
+            e.spill_ops.to_string(),
+        ]);
+    }
+    r
+}
 
 /// Batch-evaluates the sweep grid and reports speed-ups plus the
 /// pipeline's stage-execution counters.
@@ -40,28 +92,10 @@ pub fn sweep(ctx: &Context) -> Report {
         .sweep(&cfgs, CycleModel::Cycles4, &Default::default());
     let after = ctx.eval.pipeline().stage_counts();
 
-    let mut r = Report::new("Sweep — shared-cache batch over 1w1/2w2/4w2 × {64, 128}-RF")
-        .with_columns([
-            "config",
-            "speed-up vs 1w1(64)",
-            "at-MII rate",
-            "failed",
-            "spill ops",
-        ]);
-    let base = results[0].total_cycles;
-    for (spec, e) in SWEEP_CONFIGS.iter().zip(&results) {
-        r.push_row([
-            (*spec).to_string(),
-            if e.is_complete() {
-                f2(base / e.total_cycles)
-            } else {
-                format!("- ({} fail)", e.failed)
-            },
-            f2(e.mii_rate()),
-            e.failed.to_string(),
-            e.spill_ops.to_string(),
-        ]);
-    }
+    let mut r = sweep_table(
+        "Sweep — shared-cache batch over 1w1/2w2/4w2 × {64, 128}-RF",
+        &results,
+    );
 
     let widen_delta = after.widen_runs - before.widen_runs;
     let sched_delta = after.schedule_runs - before.schedule_runs;
@@ -84,6 +118,98 @@ pub fn sweep(ctx: &Context) -> Report {
             + after.mii_requests
             + after.base_schedule_requests
             + after.schedule_requests
+    ));
+    r
+}
+
+/// Runs the sweep grid through the distributed engine: `workers` local
+/// worker processes (the current executable's `worker` subcommand) over
+/// the evaluator's shared cache directory, merged bitwise-equal to the
+/// in-process batch. Returns the reports (sweep table, per-shard
+/// progress, fleet-summed stage counters) plus the fleet's summed
+/// counters so the caller can fold them into its own `cache:` summary.
+///
+/// # Errors
+///
+/// A human-readable message when the evaluator has no cache directory,
+/// the worker executable cannot be resolved, or the fleet fails.
+pub fn sweep_distributed_reports(
+    ctx: &Context,
+    workers: usize,
+) -> Result<(Vec<Report>, StageCounts), String> {
+    let specs = sweep_grid_specs();
+    let mut opts = DistributedOptions::new(workers);
+    // Split the local thread budget across the fleet.
+    opts.worker_threads = (ctx.eval.threads() / opts.workers).max(1);
+    let exe = std::env::current_exe().map_err(|e| format!("cannot resolve worker binary: {e}"))?;
+    let launch = worker_command(exe);
+    let result = sweep_distributed(&ctx.eval, &specs, &opts, &Launcher::Spawn(&launch))
+        .map_err(|e| e.to_string())?;
+
+    let mut table = sweep_table(
+        "Sweep — distributed shards over 1w1/2w2/4w2 × {64, 128}-RF",
+        &result.aggregates,
+    );
+    table.push_note(format!(
+        "merged from {} workers × {} shard(s); bitwise-equal to the in-process batch",
+        opts.workers,
+        result.run.shard_reports.len(),
+    ));
+    if result.fallback_units > 0 {
+        table.push_note(format!(
+            "{} unit(s) merged by local recompute (result records missing)",
+            result.fallback_units
+        ));
+    }
+    let shards = shard_table(&result.run);
+    let total = result
+        .run
+        .worker_counts
+        .plus(&ctx.eval.pipeline().stage_counts());
+    let mut counters = stage_counter_table(&total);
+    counters.push_note(format!(
+        "fleet-summed: {} worker shard report(s) + the coordinator's own pipeline",
+        result.run.shard_reports.iter().flatten().count()
+    ));
+    Ok((vec![table, shards, counters], result.run.worker_counts))
+}
+
+/// Per-shard progress of a distributed sweep: the counters each worker
+/// reported through its shard completion marker, folded into the same
+/// shape as the stage-counter table.
+#[must_use]
+pub fn shard_table(run: &SweepRun) -> Report {
+    let mut r = Report::new("Distributed sweep — per-shard progress").with_columns([
+        "shard",
+        "units",
+        "result hits",
+        "live runs",
+        "disk hits",
+        "schedule runs",
+    ]);
+    for (i, report) in run.shard_reports.iter().enumerate() {
+        match report {
+            Some(s) => r.push_row([
+                i.to_string(),
+                s.units.to_string(),
+                s.result_hits.to_string(),
+                s.counts.live_runs().to_string(),
+                s.counts.disk_hits().to_string(),
+                s.counts.schedule_runs.to_string(),
+            ]),
+            None => r.push_row([
+                i.to_string(),
+                "?".into(),
+                "?".into(),
+                "?".into(),
+                "?".into(),
+                "?".into(),
+            ]),
+        }
+    }
+    r.push_note(format!(
+        "units {} · result hits {} · lease requeues {} · worker respawns {}",
+        run.units, run.result_hits, run.requeues, run.respawns
     ));
     r
 }

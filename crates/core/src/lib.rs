@@ -21,6 +21,11 @@
 //!   memory + content-addressed disk persistence), with incremental
 //!   corpora and the multi-config sweep engine (the single
 //!   implementation of the compilation chain);
+//! * `widening-distrib` — the distributed sweep engine: priority-
+//!   ordered sharding of the `(loop × config)` grid, a filesystem job
+//!   queue with lease-expiry requeue, and coordinator/worker processes
+//!   exchanging artifacts through a shared cache directory (the merge
+//!   path lives in [`distributed`]);
 //! * `widening-cost` — register-cell/area/timing models, SIA roadmap;
 //! * `widening-workload` — the Perfect-Club-surrogate corpus;
 //! * `widening-sim` — cycle-accurate wide-datapath simulator with
@@ -52,16 +57,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 mod evaluate;
 pub mod experiments;
 pub mod report;
 mod simulate;
 
+pub use distributed::{sweep_distributed, DistributedOptions, DistributedSweep};
 pub use evaluate::{CorpusEval, EvalOptions, Evaluator, LoopEval};
 pub use simulate::{simulate_corpus, SimCorpusEval, SimLoopEval};
 
 // Re-export the component crates under short names.
 pub use widening_cost as cost;
+pub use widening_distrib as distrib;
 pub use widening_ir as ir;
 pub use widening_machine as machine;
 pub use widening_pipeline as pipeline;

@@ -12,12 +12,65 @@
 //! stage caches: simulating a configuration that was already evaluated
 //! analytically (or at another trip count) replays the memoized
 //! schedule instead of recompiling it.
+//!
+//! With a persistent store ([`widening_pipeline::StoreConfig`]
+//! `cache_dir`), validated per-loop simulation summaries are
+//! additionally persisted in the store's exchange tier under the same
+//! content-key scheme as compiled artifacts (graph fingerprint +
+//! design point + trip count): a second `--simulate` run **warm-starts
+//! from disk**, replaying every summary instead of re-executing the
+//! simulator — the decode-table rebuild included. Only *validated*
+//! runs persist; a divergence or hard failure (both always bugs) is
+//! re-derived every run so it can never hide in a stale cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use widening_machine::{Configuration, CycleModel};
-use widening_pipeline::{pool, PointSpec};
+use widening_pipeline::codec::{Reader, Writer};
+use widening_pipeline::exchange::{sim_summary_key, SIM_SUMMARY_KIND};
+use widening_pipeline::{pool, Exchange, PointSpec};
 use widening_sim::{simulate_scheduled, SimStats};
 
 use crate::evaluate::{EvalOptions, Evaluator};
+
+/// Version of the persisted simulation-summary record.
+const SIM_SUMMARY_VERSION: u32 = 1;
+
+fn encode_sim_summary(ii: u32, stats: &SimStats) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(SIM_SUMMARY_VERSION);
+    w.u32(ii);
+    for v in [
+        stats.cycles,
+        stats.blocks,
+        stats.steady_state_cycles,
+        stats.issued_ops,
+        stats.masked_lanes,
+        stats.cross_block_reads,
+        stats.spill_slot_accesses,
+    ] {
+        w.u64(v);
+    }
+    w.into_bytes()
+}
+
+fn decode_sim_summary(bytes: &[u8]) -> Option<(u32, SimStats)> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != SIM_SUMMARY_VERSION {
+        return None;
+    }
+    let ii = r.u32()?;
+    let stats = SimStats {
+        cycles: r.u64()?,
+        blocks: r.u64()?,
+        steady_state_cycles: r.u64()?,
+        issued_ops: r.u64()?,
+        masked_lanes: r.u64()?,
+        cross_block_reads: r.u64()?,
+        spill_slot_accesses: r.u64()?,
+    };
+    r.exhausted().then_some((ii, stats))
+}
 
 /// Outcome of simulating one loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +115,9 @@ pub struct SimCorpusEval {
     pub masked_lanes: u64,
     /// Total forwarding-served cross-block lane reads.
     pub cross_block_reads: u64,
+    /// Loops replayed from persisted simulation summaries instead of
+    /// being executed (0 without a persistent store).
+    pub warm_hits: usize,
 }
 
 impl SimCorpusEval {
@@ -97,8 +153,31 @@ pub fn simulate_corpus(
     let loops = eval.loops();
     let spec = PointSpec::scheduled(cfg, model, *opts);
     let pipeline = eval.pipeline();
+    // The warm-start tier: present only with a persistent store.
+    let exchange = pipeline
+        .store_config()
+        .cache_dir
+        .as_deref()
+        .and_then(Exchange::open);
+    let warm = AtomicUsize::new(0);
     let out = pool::par_map(loops.len(), eval.threads(), |li| {
         let l = &loops[li];
+        let trip = trip_override.unwrap_or_else(|| l.trip_count());
+        let key = exchange
+            .as_ref()
+            .zip(pipeline.content_fingerprint(li))
+            .map(|(_, fp)| sim_summary_key(fp, &spec, trip));
+        if let (Some(ex), Some(key)) = (&exchange, &key) {
+            if let Some((ii, stats)) = ex
+                .get(SIM_SUMMARY_KIND, key)
+                .and_then(|b| decode_sim_summary(&b))
+            {
+                // A summary is only ever persisted for a validated run,
+                // and its integers replay the execution exactly.
+                warm.fetch_add(1, Ordering::Relaxed);
+                return SimLoopEval::Validated { ii, stats };
+            }
+        }
         let compiled = match pipeline.compile(li, &spec) {
             Ok(c) => c,
             Err(e) => {
@@ -110,12 +189,20 @@ pub fn simulate_corpus(
         let stage = compiled
             .scheduled()
             .expect("scheduled design points always carry a schedule stage");
-        let trip = trip_override.unwrap_or_else(|| l.trip_count());
         match simulate_scheduled(l.ddg(), compiled.wide(), &stage.result, model, trip) {
-            Ok(report) if report.is_validated() => SimLoopEval::Validated {
-                ii: report.ii,
-                stats: report.stats,
-            },
+            Ok(report) if report.is_validated() => {
+                if let (Some(ex), Some(key)) = (&exchange, &key) {
+                    ex.put(
+                        SIM_SUMMARY_KIND,
+                        key,
+                        &encode_sim_summary(report.ii, &report.stats),
+                    );
+                }
+                SimLoopEval::Validated {
+                    ii: report.ii,
+                    stats: report.stats,
+                }
+            }
             Ok(report) => SimLoopEval::Divergent {
                 divergences: report.divergences.len(),
             },
@@ -132,6 +219,7 @@ pub fn simulate_corpus(
         steady_cycles: 0.0,
         masked_lanes: 0,
         cross_block_reads: 0,
+        warm_hits: warm.into_inner(),
     };
     for (le, l) in out.into_iter().zip(loops.iter()) {
         match &le {
@@ -187,6 +275,47 @@ mod tests {
             );
             assert!(r.all_validated(), "{spec}: {} divergent", r.divergent);
         }
+    }
+
+    #[test]
+    fn simulation_warm_starts_from_persisted_summaries() {
+        use widening_pipeline::StoreConfig;
+        let dir = std::env::temp_dir().join(format!("widening-simsum-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let loops = corpus::generate(&corpus::CorpusSpec::small(10, 5));
+        let cfg = Configuration::monolithic(2, 2, 128).unwrap();
+
+        let cold_ev = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&dir));
+        let cold = simulate_corpus(
+            &cold_ev,
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+            None,
+        );
+        assert!(cold.all_validated());
+        assert_eq!(cold.warm_hits, 0, "cold run must execute");
+
+        // A fresh evaluator (new process, as far as the store can
+        // tell): every validated loop replays from its summary, and the
+        // aggregates are bitwise identical.
+        let warm_ev = Evaluator::new(loops).with_store(StoreConfig::persistent(&dir));
+        let warm = simulate_corpus(
+            &warm_ev,
+            &cfg,
+            CycleModel::Cycles4,
+            &EvalOptions::default(),
+            None,
+        );
+        assert_eq!(warm.warm_hits, warm.validated);
+        assert_eq!(warm.validated, cold.validated);
+        assert_eq!(warm.per_loop, cold.per_loop);
+        assert_eq!(warm.dynamic_cycles.to_bits(), cold.dynamic_cycles.to_bits());
+        assert_eq!(warm.steady_cycles.to_bits(), cold.steady_cycles.to_bits());
+        // The simulator itself never ran: no schedule stage was even
+        // requested live (everything the warm path needs is the summary).
+        assert_eq!(warm_ev.pipeline().stage_counts().live_runs(), 0);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

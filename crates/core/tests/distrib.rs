@@ -1,0 +1,216 @@
+//! Distributed-sweep integration: bitwise equality of merged
+//! aggregates against the in-process sweep, fault injection (a worker
+//! killed mid-shard / a dropped lease), and the real `repro worker`
+//! process driven over a shared cache directory.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use widening::distrib::{run_on_queue, CoordinatorConfig, JobQueue, Launcher, SweepManifest};
+use widening::distributed::{merge_published, sweep_distributed, DistributedOptions};
+use widening::{CorpusEval, EvalOptions, Evaluator};
+use widening_machine::{Configuration, CycleModel};
+use widening_pipeline::{PointSpec, StoreConfig};
+use widening_workload::corpus::{generate, CorpusSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "widening-core-distrib-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The test grid: includes a pressure-failing point (8w1 on a 32-RF)
+/// so failure records cross the wire too.
+fn specs() -> Vec<PointSpec> {
+    ["1w1(64:1)", "2w2(64:1)", "4w2(128:1)", "8w1(32:1)"]
+        .iter()
+        .map(|s| {
+            PointSpec::scheduled(
+                &s.parse::<Configuration>().unwrap(),
+                CycleModel::Cycles4,
+                EvalOptions::default(),
+            )
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal(distributed: &CorpusEval, single: &CorpusEval, tag: &str) {
+    assert_eq!(
+        distributed.total_cycles.to_bits(),
+        single.total_cycles.to_bits(),
+        "{tag}: total_cycles"
+    );
+    assert_eq!(
+        distributed.total_kernel_words.to_bits(),
+        single.total_kernel_words.to_bits(),
+        "{tag}: total_kernel_words"
+    );
+    assert_eq!(
+        distributed.total_static_words.to_bits(),
+        single.total_static_words.to_bits(),
+        "{tag}: total_static_words"
+    );
+    assert_eq!(distributed.per_loop, single.per_loop, "{tag}: per_loop");
+    assert_eq!(distributed.failed, single.failed, "{tag}: failed");
+    assert_eq!(distributed.at_mii, single.at_mii, "{tag}: at_mii");
+    assert_eq!(distributed.spill_ops, single.spill_ops, "{tag}: spill_ops");
+}
+
+#[test]
+fn distributed_sweep_is_bitwise_equal_to_single_process() {
+    let cache = temp_dir("bitwise");
+    let loops = generate(&CorpusSpec::small(18, 9));
+    let specs = specs();
+
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let distributed = sweep_distributed(
+        &eval,
+        &specs,
+        &DistributedOptions::new(2),
+        &Launcher::InProcess,
+    )
+    .expect("distributed sweep completes");
+    assert_eq!(distributed.fallback_units, 0);
+
+    // An entirely separate evaluator (no cache at all) computes the
+    // reference in-process.
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in distributed.aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    // The 8w1(32:1) point really exercised the failure path.
+    assert!(distributed.aggregates[3].failed > 0);
+
+    // Merged aggregates were installed in the evaluator's memo: a
+    // subsequent query is a pure cache hit (same Arc).
+    let again = eval.sweep_specs(&specs);
+    for (d, a) in distributed.aggregates.iter().zip(&again) {
+        assert!(Arc::ptr_eq(d, a), "merge must prime the aggregate memo");
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn killed_worker_is_requeued_and_the_merge_stays_bitwise_equal() {
+    // Fault injection per the protocol's own failure model: a worker
+    // claims a shard and dies without renewing its lease (exactly what
+    // a SIGKILL mid-shard leaves behind). The coordinator must requeue
+    // it and the merged sweep must still match single-process bitwise.
+    let cache = temp_dir("fault");
+    let loops = generate(&CorpusSpec::small(15, 21));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 5);
+    let queue_dir = cache.join("queue").join("fault-injection");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+    let victim = queue.claim_next("victim-worker").expect("claims a shard");
+
+    let mut cfg = CoordinatorConfig::new(&cache, 2);
+    cfg.lease_ttl = Duration::from_millis(120);
+    let run = run_on_queue(&queue, &cfg, &Launcher::InProcess).expect("fleet survives the kill");
+    assert!(
+        run.requeues >= 1,
+        "the victim's expired lease must be requeued"
+    );
+    assert!(queue.is_done(victim), "the victim's shard was reassigned");
+    assert!(queue.all_done());
+
+    let (aggregates, fallback) = merge_published(&eval, &specs);
+    assert_eq!(fallback, 0, "every unit was published despite the kill");
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn real_worker_process_survives_sigkill_via_requeue() {
+    // The process-level version: spawn the actual `repro worker`
+    // binary, kill it hard as soon as it has claimed work, then let a
+    // fresh fleet (plus coordinator requeue) finish the queue.
+    let cache = temp_dir("sigkill");
+    let loops = generate(&CorpusSpec::small(12, 33));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 4);
+    let queue_dir = cache.join("queue").join("sigkill");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("worker")
+        .arg("--queue")
+        .arg(&queue_dir)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .arg("--threads")
+        .arg("1")
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawns repro worker");
+    // Kill as soon as the worker holds a claim — mid-shard with high
+    // probability; even a fully processed shard leaves the test sound
+    // (the claim outlives the kill either way, since a killed worker
+    // never writes its completion marker for an unfinished shard).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while queue.remaining() == manifest.shards.len()
+        && (0..queue.shard_count()).all(|s| !queue_dir.join(format!("shard-{s}.claim")).exists())
+    {
+        assert!(std::time::Instant::now() < deadline, "worker never claimed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    let mut cfg = CoordinatorConfig::new(&cache, 2);
+    cfg.lease_ttl = Duration::from_millis(150);
+    let run = run_on_queue(&queue, &cfg, &Launcher::InProcess).expect("queue drains");
+    assert!(queue.all_done());
+    // The kill either left an expired claim (requeued) or a completed
+    // shard; both must end in a total, bitwise-equal merge.
+    let (aggregates, _fallback) = merge_published(&eval, &specs);
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    drop(run);
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn distributed_rerun_replays_published_results() {
+    let cache = temp_dir("rerun");
+    let loops = generate(&CorpusSpec::small(10, 4));
+    let specs = specs();
+    let eval = Evaluator::new(loops).with_store(StoreConfig::persistent(&cache));
+    let cold = sweep_distributed(
+        &eval,
+        &specs,
+        &DistributedOptions::new(2),
+        &Launcher::InProcess,
+    )
+    .expect("cold");
+    assert!(cold.run.worker_counts.live_runs() > 0);
+    let warm = sweep_distributed(
+        &eval,
+        &specs,
+        &DistributedOptions::new(2),
+        &Launcher::InProcess,
+    )
+    .expect("warm");
+    assert_eq!(warm.run.result_hits, warm.run.units);
+    assert_eq!(warm.run.worker_counts.live_runs(), 0);
+    for (c, w) in cold.aggregates.iter().zip(&warm.aggregates) {
+        assert!(Arc::ptr_eq(c, w), "memoized merge replays the same Arc");
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}

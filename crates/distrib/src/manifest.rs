@@ -1,0 +1,272 @@
+//! The sweep manifest: the frozen inputs of one distributed parameter
+//! study, plus its priority-ordered sharding of the unit grid.
+
+use widening_cost::sweep_priority;
+use widening_ir::{Loop, LoopBuilder};
+use widening_pipeline::codec::{self, Reader, Writer};
+use widening_pipeline::exchange::{decode_point_spec, encode_point_spec};
+use widening_pipeline::PointSpec;
+
+/// Bump on any change to the manifest encoding: stale queues then read
+/// as unreadable instead of mis-decoding.
+const MANIFEST_VERSION: u32 = 1;
+const MAGIC: [u8; 4] = *b"WSWP";
+
+/// Everything a worker needs to run its share of a sweep: the corpus,
+/// the design points, and which `(loop × design point)` units each
+/// shard owns. Workers are launched with nothing but a queue directory
+/// — the manifest makes them self-contained, so a worker on another
+/// host needs no corpus flags, only the shared filesystem.
+///
+/// A **unit** is `spec_index * loops.len() + loop_index`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepManifest {
+    /// The corpus, in evaluation order (the merge folds results in this
+    /// order, which is what makes distributed aggregates bitwise-equal
+    /// to a single-process sweep).
+    pub loops: Vec<Loop>,
+    /// The design points, in caller order.
+    pub specs: Vec<PointSpec>,
+    /// Unit ids per shard. Every unit appears in exactly one shard.
+    pub shards: Vec<Vec<u32>>,
+}
+
+impl SweepManifest {
+    /// Builds a manifest partitioning the `loops × specs` grid into
+    /// `shard_count` shards, two-axis:
+    ///
+    /// * **loop-major sharding** — a loop's entire design-point column
+    ///   lands in one shard (loops dealt round-robin), so its widened
+    ///   graphs, MII bounds and base schedules are computed by exactly
+    ///   one worker instead of being raced by all of them through the
+    ///   disk tier;
+    /// * **priority-ordered units** — within each shard, units run
+    ///   heaviest design point first ([`sweep_priority`]: pressure- and
+    ///   width-heavy points lead, peak points trail), the
+    ///   longest-processing-time ordering that cuts tail latency. Ties
+    ///   keep corpus order.
+    #[must_use]
+    pub fn partition(loops: Vec<Loop>, specs: Vec<PointSpec>, shard_count: usize) -> Self {
+        let n = loops.len() as u32;
+        // Design points, heaviest first (stable: ties keep input order).
+        let mut spec_order: Vec<u32> = (0..specs.len() as u32).collect();
+        spec_order.sort_by_key(|&si| {
+            let spec = &specs[si as usize];
+            std::cmp::Reverse(sweep_priority(spec.replication, spec.width, spec.registers))
+        });
+        let shard_count = shard_count.max(1).min(loops.len().max(1));
+        let mut shards = vec![Vec::new(); shard_count];
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for &si in &spec_order {
+                for li in (s as u32..n).step_by(shard_count) {
+                    shard.push(si * n + li);
+                }
+            }
+        }
+        SweepManifest {
+            loops,
+            specs,
+            shards,
+        }
+    }
+
+    /// Total units in the grid.
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.loops.len() * self.specs.len()
+    }
+
+    /// The corpus index of a unit.
+    #[must_use]
+    pub fn loop_of(&self, unit: u32) -> usize {
+        unit as usize % self.loops.len()
+    }
+
+    /// The design-point index of a unit.
+    #[must_use]
+    pub fn spec_of(&self, unit: u32) -> usize {
+        unit as usize / self.loops.len()
+    }
+
+    /// Content fingerprint of the whole manifest (used to name queue
+    /// directories so unrelated sweeps never collide).
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        codec::fnv128(&self.encode())
+    }
+
+    /// Encodes the manifest as a self-versioned record.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(MANIFEST_VERSION);
+        w.len(self.loops.len());
+        for l in &self.loops {
+            let name = l.name().as_bytes();
+            w.len(name.len());
+            w.bytes(name);
+            w.u64(l.trip_count());
+            w.u64(l.weight().to_bits());
+            codec::encode_ddg(&mut w, l.ddg());
+        }
+        w.len(self.specs.len());
+        for spec in &self.specs {
+            encode_point_spec(&mut w, spec);
+        }
+        w.len(self.shards.len());
+        for shard in &self.shards {
+            w.len(shard.len());
+            for &u in shard {
+                w.u32(u);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes and validates a manifest: every graph re-runs full
+    /// validation, loop statistics must be sane (decoding can never
+    /// panic a worker), and the sharding must cover every unit exactly
+    /// once. `None` on any mismatch.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC || r.u32()? != MANIFEST_VERSION {
+            return None;
+        }
+        let nloops = r.len()?;
+        let mut loops = Vec::with_capacity(nloops);
+        for _ in 0..nloops {
+            let name_len = r.len()?;
+            let name = std::str::from_utf8(r.take(name_len)?).ok()?;
+            let trip = r.u64()?;
+            let weight = f64::from_bits(r.u64()?);
+            if trip == 0 || !weight.is_finite() || weight <= 0.0 {
+                return None;
+            }
+            let ddg = codec::decode_ddg(&mut r)?;
+            loops.push(
+                LoopBuilder::new(name, ddg)
+                    .trip_count(trip)
+                    .weight(weight)
+                    .build(),
+            );
+        }
+        let nspecs = r.len()?;
+        let mut specs = Vec::with_capacity(nspecs);
+        for _ in 0..nspecs {
+            specs.push(decode_point_spec(&mut r)?);
+        }
+        let nshards = r.len()?;
+        let total = nloops.checked_mul(nspecs)?;
+        let mut seen = vec![false; total];
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let len = r.len()?;
+            let mut shard = Vec::with_capacity(len);
+            for _ in 0..len {
+                let u = r.u32()?;
+                let slot = seen.get_mut(u as usize)?;
+                if std::mem::replace(slot, true) {
+                    return None; // unit in two shards
+                }
+                shard.push(u);
+            }
+            shards.push(shard);
+        }
+        if !r.exhausted() || seen.iter().any(|covered| !covered) {
+            return None;
+        }
+        Some(SweepManifest {
+            loops,
+            specs,
+            shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_machine::CycleModel;
+    use widening_pipeline::CompileOptions;
+    use widening_workload::kernels;
+
+    fn specs() -> Vec<PointSpec> {
+        ["1w1(256:1)", "8w1(32:1)", "4w2(64:1)"]
+            .iter()
+            .map(|s| {
+                PointSpec::scheduled(
+                    &s.parse().unwrap(),
+                    CycleModel::Cycles4,
+                    CompileOptions::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_and_validates() {
+        let m = SweepManifest::partition(kernels::all(), specs(), 3);
+        let bytes = m.encode();
+        let back = SweepManifest::decode(&bytes).expect("decodes");
+        assert_eq!(back, m);
+        // Any single-byte corruption decodes to None or an equal value,
+        // never panics; truncation always fails.
+        assert!(SweepManifest::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut skew = bytes.clone();
+        skew[5] ^= 0xff; // version
+        assert!(SweepManifest::decode(&skew).is_none());
+    }
+
+    #[test]
+    fn partition_covers_every_unit_exactly_once() {
+        let m = SweepManifest::partition(kernels::all(), specs(), 5);
+        let mut seen = vec![0u32; m.unit_count()];
+        for shard in &m.shards {
+            for &u in shard {
+                seen[u as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // Loop-major balance: shard sizes differ by at most one loop's
+        // worth of units.
+        let (min, max) = m.shards.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+            (lo.min(s.len()), hi.max(s.len()))
+        });
+        assert!(max - min <= m.specs.len());
+    }
+
+    #[test]
+    fn sharding_is_loop_major() {
+        // A loop's whole design-point column must stay in one shard, so
+        // exactly one worker ever derives its widen/MII/base stages.
+        let m = SweepManifest::partition(kernels::all(), specs(), 5);
+        for (s, shard) in m.shards.iter().enumerate() {
+            for &u in shard {
+                let li = m.loop_of(u);
+                assert_eq!(li % m.shards.len(), s, "loop {li} leaked across shards");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_units_lead_every_shard() {
+        // 8w1(32:1) outranks 4w2(64:1) outranks 1w1(256:1): each
+        // shard's unit list must be priority-sorted, heaviest first.
+        let m = SweepManifest::partition(kernels::all(), specs(), 4);
+        for shard in &m.shards {
+            let prios: Vec<u64> = shard
+                .iter()
+                .map(|&u| {
+                    let s = &m.specs[m.spec_of(u)];
+                    widening_cost::sweep_priority(s.replication, s.width, s.registers)
+                })
+                .collect();
+            assert!(prios.windows(2).all(|w| w[0] >= w[1]), "{prios:?}");
+        }
+        // And the overall heaviest spec is the pressure-starved 8w1(32).
+        let first = m.shards[0][0];
+        assert_eq!(m.spec_of(first), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The filesystem job queue: atomic shard claims, mtime leases,
+//! lease-expiry requeue and durable completion markers.
+//!
+//! Layout of a queue directory:
+//!
+//! ```text
+//! <queue>/manifest.bin      the SweepManifest (atomic temp+rename)
+//! <queue>/shard-<i>.claim   exists ⇒ shard i is claimed; mtime = lease
+//! <queue>/shard-<i>.done    exists ⇒ shard i is complete; payload =
+//!                           the worker's encoded ShardReport
+//! ```
+//!
+//! The protocol needs nothing but POSIX rename/create-new atomicity, so
+//! it works across processes and across hosts on a shared filesystem:
+//!
+//! * **claim** — `O_CREAT|O_EXCL` on the claim file; exactly one worker
+//!   wins a shard;
+//! * **lease** — the claim file's mtime, refreshed by the owner after
+//!   every unit. A claim older than the lease TTL with no completion
+//!   marker means its worker died mid-shard;
+//! * **requeue** — anyone (coordinator or an idle worker) may delete an
+//!   expired claim; the next `claim_next` scan re-claims the shard;
+//! * **complete** — the report is written to a temp file and renamed,
+//!   so a completion marker is always whole.
+//!
+//! Races are resolved by idempotency, not locking: if a presumed-dead
+//! worker was merely slow, two workers may process one shard — but unit
+//! results are content-addressed in the shared store, so both publish
+//! identical bytes under identical keys and the merge cannot tell the
+//! difference. (Clock skew between hosts sharing a directory can cause
+//! such spurious requeues; they cost duplicate work, never wrong
+//! results.)
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::manifest::SweepManifest;
+
+const MANIFEST_FILE: &str = "manifest.bin";
+
+/// A handle on one sweep's queue directory. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct JobQueue {
+    root: PathBuf,
+    shard_count: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue directory holding `manifest` and its (initially
+    /// unclaimed) shards.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating the directory or writing the
+    /// manifest.
+    pub fn create(root: impl Into<PathBuf>, manifest: &SweepManifest) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        atomic_write(&root, MANIFEST_FILE, &manifest.encode())?;
+        Ok(JobQueue {
+            root,
+            shard_count: manifest.shards.len(),
+        })
+    }
+
+    /// Opens an existing queue, returning it with its decoded manifest.
+    /// `None` when the manifest is missing or fails validation.
+    #[must_use]
+    pub fn open(root: impl Into<PathBuf>) -> Option<(Self, SweepManifest)> {
+        let root = root.into();
+        let bytes = fs::read(root.join(MANIFEST_FILE)).ok()?;
+        let manifest = SweepManifest::decode(&bytes)?;
+        let queue = JobQueue {
+            root,
+            shard_count: manifest.shards.len(),
+        };
+        Some((queue, manifest))
+    }
+
+    /// The queue directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards in the queue.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    fn claim_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}.claim"))
+    }
+
+    fn done_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}.done"))
+    }
+
+    /// Atomically claims the lowest-numbered unclaimed, incomplete
+    /// shard, stamping `tag` (diagnostic only) into the claim file.
+    /// `None` when every shard is claimed or done — which does **not**
+    /// mean the sweep is finished: a claim may yet expire and return.
+    #[must_use]
+    pub fn claim_next(&self, tag: &str) -> Option<usize> {
+        for shard in 0..self.shard_count {
+            if self.is_done(shard) {
+                continue;
+            }
+            let mut opts = fs::OpenOptions::new();
+            opts.write(true).create_new(true);
+            if let Ok(mut f) = opts.open(self.claim_path(shard)) {
+                let _ = f.write_all(tag.as_bytes());
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Refreshes the lease on a claimed shard (rewrites the claim file,
+    /// updating its mtime). If the claim was requeued from under a slow
+    /// owner this quietly re-creates it — harmless, see the module
+    /// documentation on idempotency.
+    pub fn renew_lease(&self, shard: usize, tag: &str) {
+        let _ = fs::write(self.claim_path(shard), tag.as_bytes());
+    }
+
+    /// Marks a shard complete, durably publishing the worker's encoded
+    /// report. Atomic: readers see either no marker or a whole one.
+    pub fn complete(&self, shard: usize, report: &[u8]) {
+        let _ = atomic_write(&self.root, &format!("shard-{shard}.done"), report);
+    }
+
+    /// Whether a shard has a completion marker.
+    #[must_use]
+    pub fn is_done(&self, shard: usize) -> bool {
+        self.done_path(shard).exists()
+    }
+
+    /// The completion payload of a shard, if any.
+    #[must_use]
+    pub fn completion(&self, shard: usize) -> Option<Vec<u8>> {
+        fs::read(self.done_path(shard)).ok()
+    }
+
+    /// Whether every shard is complete.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        (0..self.shard_count).all(|s| self.is_done(s))
+    }
+
+    /// Whether the queue has been retired: its manifest is gone (a
+    /// coordinator removes the whole directory once its sweep ends).
+    /// Idle workers exit on retirement instead of polling a vanished
+    /// queue forever.
+    #[must_use]
+    pub fn is_retired(&self) -> bool {
+        !self.root.join(MANIFEST_FILE).exists()
+    }
+
+    /// Shards without a completion marker.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        (0..self.shard_count).filter(|&s| !self.is_done(s)).count()
+    }
+
+    /// Requeues every claimed, incomplete shard whose lease is older
+    /// than `ttl` (its worker stopped renewing — killed, hung or
+    /// unreachable). Returns how many claims were released.
+    pub fn requeue_expired(&self, ttl: Duration) -> usize {
+        let mut requeued = 0;
+        for shard in 0..self.shard_count {
+            if self.is_done(shard) {
+                continue;
+            }
+            let path = self.claim_path(shard);
+            let Ok(meta) = fs::metadata(&path) else {
+                continue; // unclaimed
+            };
+            let expired = meta
+                .modified()
+                .ok()
+                .and_then(|mtime| mtime.elapsed().ok())
+                .is_some_and(|age| age > ttl);
+            if expired && fs::remove_file(&path).is_ok() {
+                requeued += 1;
+            }
+        }
+        requeued
+    }
+}
+
+/// Writes `bytes` to `<dir>/<name>` through a uniquely-named temp file
+/// and an atomic rename.
+fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut f = fs::File::create(&tmp)?;
+    let written = f.write_all(bytes).and_then(|()| f.flush());
+    drop(f);
+    let renamed = written.and_then(|()| fs::rename(&tmp, dir.join(name)));
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_machine::CycleModel;
+    use widening_pipeline::{CompileOptions, PointSpec};
+    use widening_workload::kernels;
+
+    fn temp_queue(shards: usize) -> (PathBuf, JobQueue, SweepManifest) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "widening-queue-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = PointSpec::scheduled(
+            &"2w2(64:1)".parse().unwrap(),
+            CycleModel::Cycles4,
+            CompileOptions::default(),
+        );
+        let manifest = SweepManifest::partition(kernels::all(), vec![spec], shards);
+        let queue = JobQueue::create(&dir, &manifest).unwrap();
+        (dir, queue, manifest)
+    }
+
+    #[test]
+    fn open_round_trips_the_manifest() {
+        let (dir, queue, manifest) = temp_queue(3);
+        let (reopened, decoded) = JobQueue::open(&dir).expect("opens");
+        assert_eq!(reopened.shard_count(), queue.shard_count());
+        assert_eq!(decoded, manifest);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_ordered() {
+        let (dir, queue, _) = temp_queue(3);
+        assert_eq!(queue.claim_next("a"), Some(0));
+        assert_eq!(queue.claim_next("b"), Some(1));
+        assert_eq!(queue.claim_next("c"), Some(2));
+        assert_eq!(queue.claim_next("d"), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn completion_skips_and_finishes_the_queue() {
+        let (dir, queue, _) = temp_queue(2);
+        queue.complete(0, b"report-0");
+        assert!(queue.is_done(0));
+        assert_eq!(queue.completion(0).as_deref(), Some(&b"report-0"[..]));
+        // Done shards are never claimed.
+        assert_eq!(queue.claim_next("w"), Some(1));
+        assert!(!queue.all_done());
+        queue.complete(1, b"report-1");
+        assert!(queue.all_done());
+        assert_eq!(queue.remaining(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn expired_leases_requeue_incomplete_shards_only() {
+        let (dir, queue, _) = temp_queue(2);
+        assert_eq!(queue.claim_next("doomed"), Some(0));
+        assert_eq!(queue.claim_next("fine"), Some(1));
+        queue.complete(1, b"ok");
+        // Nothing expires under a generous TTL.
+        assert_eq!(queue.requeue_expired(Duration::from_secs(3600)), 0);
+        std::thread::sleep(Duration::from_millis(30));
+        // Shard 0's lease (never renewed) expires; shard 1 is done and
+        // untouchable.
+        assert_eq!(queue.requeue_expired(Duration::from_millis(10)), 1);
+        assert_eq!(queue.claim_next("rescuer"), Some(0));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lease_renewal_keeps_a_shard_claimed() {
+        let (dir, queue, _) = temp_queue(1);
+        assert_eq!(queue.claim_next("w"), Some(0));
+        std::thread::sleep(Duration::from_millis(30));
+        queue.renew_lease(0, "w");
+        assert_eq!(queue.requeue_expired(Duration::from_millis(25)), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

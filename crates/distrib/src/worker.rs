@@ -1,0 +1,316 @@
+//! The sweep worker: claims shards, runs the staged pipeline over
+//! their units, and publishes per-unit results into the shared store.
+//!
+//! A worker is launched with nothing but a queue directory and a cache
+//! directory (`repro worker --queue … --cache-dir …`, or an in-process
+//! thread). It reads the manifest, builds its own [`Pipeline`] over the
+//! manifest corpus with the shared persistent store — so compiled stage
+//! artifacts are exchanged with every other worker through the disk
+//! tier — and loops: claim a shard, compile its units (units whose
+//! result is already published are skipped: re-runs and requeued shards
+//! cost lookups, not compiles), publish one [`UnitOutcome`] per unit,
+//! renew the lease as it goes, and durably mark the shard complete with
+//! a [`ShardReport`].
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use widening_pipeline::codec::{self, Reader, Writer};
+use widening_pipeline::exchange::{
+    decode_unit_outcome, encode_unit_outcome, unit_result_key, RESULT_KIND,
+};
+use widening_pipeline::{pool, Exchange, Pipeline, StageCounts, StoreConfig, UnitOutcome};
+
+use crate::queue::JobQueue;
+use crate::DistribError;
+
+/// Version of the [`ShardReport`] encoding.
+const REPORT_VERSION: u32 = 1;
+
+/// How a worker runs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The queue directory (manifest + claim/done markers).
+    pub queue_dir: PathBuf,
+    /// The shared cache directory (stage artifacts + unit results).
+    pub cache_dir: PathBuf,
+    /// Worker threads for intra-shard fan-out.
+    pub threads: usize,
+    /// Lease TTL: how stale another shard's claim must be before this
+    /// worker (idling, out of claimable shards) requeues it.
+    pub lease_ttl: Duration,
+    /// Idle poll interval while waiting for stragglers or requeues.
+    pub poll: Duration,
+    /// Whether an idle worker may requeue *other* workers' expired
+    /// leases. On by default so a coordinator-less fleet still drains a
+    /// queue whose members die; a coordinator turns it off for the
+    /// workers it supervises, making itself the single (and countable)
+    /// requeuer.
+    pub requeue_foreign: bool,
+    /// Diagnostic tag stamped into claim files.
+    pub tag: String,
+}
+
+impl WorkerConfig {
+    /// A worker over `queue_dir` and `cache_dir` with defaults: one
+    /// thread, 30 s lease TTL, 50 ms poll, pid-based tag.
+    #[must_use]
+    pub fn new(queue_dir: impl Into<PathBuf>, cache_dir: impl Into<PathBuf>) -> Self {
+        WorkerConfig {
+            queue_dir: queue_dir.into(),
+            cache_dir: cache_dir.into(),
+            threads: 1,
+            lease_ttl: Duration::from_secs(30),
+            poll: Duration::from_millis(50),
+            requeue_foreign: true,
+            tag: format!("pid-{}", std::process::id()),
+        }
+    }
+}
+
+/// What one worker did over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards this worker completed.
+    pub shards_completed: usize,
+    /// Units processed (compiled or replayed).
+    pub units: usize,
+    /// Units served straight from the result tier (no compile at all).
+    pub result_hits: usize,
+    /// The worker pipeline's cumulative stage counters.
+    pub counts: StageCounts,
+}
+
+/// One shard's completion report, published through the queue's done
+/// marker so the coordinator can fold per-shard progress into the
+/// existing stage-counter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: u32,
+    /// Units the shard held.
+    pub units: u32,
+    /// Units served from the result tier without compiling.
+    pub result_hits: u32,
+    /// Stage-counter delta attributable to this shard.
+    pub counts: StageCounts,
+}
+
+impl ShardReport {
+    /// Encodes the report as a self-versioned record.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(REPORT_VERSION);
+        w.u32(self.shard);
+        w.u32(self.units);
+        w.u32(self.result_hits);
+        let c = &self.counts;
+        for v in [
+            c.widen_runs,
+            c.widen_requests,
+            c.widen_disk_hits,
+            c.mii_runs,
+            c.mii_requests,
+            c.mii_disk_hits,
+            c.base_schedule_runs,
+            c.base_schedule_requests,
+            c.base_schedule_disk_hits,
+            c.schedule_runs,
+            c.schedule_requests,
+            c.schedule_disk_hits,
+            c.schedule_evictions,
+            c.schedule_resident_bytes,
+        ] {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a report; `None` on version skew or truncation.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != REPORT_VERSION {
+            return None;
+        }
+        let (shard, units, result_hits) = (r.u32()?, r.u32()?, r.u32()?);
+        let counts = StageCounts {
+            widen_runs: r.u64()?,
+            widen_requests: r.u64()?,
+            widen_disk_hits: r.u64()?,
+            mii_runs: r.u64()?,
+            mii_requests: r.u64()?,
+            mii_disk_hits: r.u64()?,
+            base_schedule_runs: r.u64()?,
+            base_schedule_requests: r.u64()?,
+            base_schedule_disk_hits: r.u64()?,
+            schedule_runs: r.u64()?,
+            schedule_requests: r.u64()?,
+            schedule_disk_hits: r.u64()?,
+            schedule_evictions: r.u64()?,
+            schedule_resident_bytes: r.u64()?,
+        };
+        r.exhausted().then_some(ShardReport {
+            shard,
+            units,
+            result_hits,
+            counts,
+        })
+    }
+}
+
+/// Runs a worker until the queue is fully complete. Returns a summary
+/// of the work done.
+///
+/// The worker never exits while *any* shard lacks a completion marker:
+/// out of claimable shards it idles, requeuing expired foreign leases —
+/// so a fleet of standalone workers (no coordinator at all) still
+/// drains a queue whose members die, as long as one survives.
+///
+/// # Errors
+///
+/// [`DistribError::QueueUnreadable`] when the queue directory holds no
+/// valid manifest; [`DistribError::CacheUnusable`] when the shared
+/// cache directory cannot be opened for publishing results.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, DistribError> {
+    let (queue, manifest) = JobQueue::open(&cfg.queue_dir)
+        .ok_or_else(|| DistribError::QueueUnreadable(cfg.queue_dir.clone()))?;
+    let exchange = Exchange::open(&cfg.cache_dir)
+        .ok_or_else(|| DistribError::CacheUnusable(cfg.cache_dir.clone()))?;
+    let pipeline = Pipeline::with_config(
+        Arc::new(manifest.loops.clone()),
+        StoreConfig::persistent(&cfg.cache_dir),
+    );
+    // Result keys reuse the pipeline's fingerprint table (present for
+    // persistent stores); the fallback only runs if the disk tier
+    // failed to open, in which case keys must still be derivable.
+    let fingerprints: Vec<u128> = manifest
+        .loops
+        .iter()
+        .enumerate()
+        .map(|(li, l)| {
+            pipeline
+                .content_fingerprint(li)
+                .unwrap_or_else(|| codec::ddg_fingerprint(l.ddg()))
+        })
+        .collect();
+
+    let mut summary = WorkerSummary {
+        shards_completed: 0,
+        units: 0,
+        result_hits: 0,
+        counts: StageCounts::zero(),
+    };
+    loop {
+        let Some(shard) = queue.claim_next(&cfg.tag) else {
+            if queue.all_done() {
+                break;
+            }
+            // A coordinator retires the queue directory when its sweep
+            // ends; a standalone worker mid-poll at that moment must
+            // exit instead of spinning on the vanished queue forever.
+            if queue.is_retired() {
+                break;
+            }
+            // Someone else holds the remaining shards. If their leases
+            // go stale, put their shards back up for grabs (unless a
+            // coordinator reserved that job for itself).
+            if cfg.requeue_foreign {
+                queue.requeue_expired(cfg.lease_ttl);
+            }
+            std::thread::sleep(cfg.poll);
+            continue;
+        };
+        let before = pipeline.stage_counts();
+        let units = &manifest.shards[shard];
+        let hits = AtomicUsize::new(0);
+        // Time-based heartbeat on its own thread: liveness must not
+        // depend on unit granularity — one pressure-starved unit can
+        // legitimately out-compile any sane TTL, and tying renewal to
+        // unit completion would let a *live* worker's lease expire
+        // mid-unit (spurious requeue, duplicate shard). A quarter of
+        // the TTL leaves ample margin; the sleep is chopped fine so the
+        // heartbeat exits promptly when the shard completes.
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let interval =
+                    (cfg.lease_ttl / 4).clamp(Duration::from_millis(5), Duration::from_secs(5));
+                while !done.load(Ordering::Relaxed) {
+                    queue.renew_lease(shard, &cfg.tag);
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !done.load(Ordering::Relaxed) {
+                        let step = Duration::from_millis(10).min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            });
+            pool::par_map(units.len(), cfg.threads, |i| {
+                let unit = units[i];
+                let li = manifest.loop_of(unit);
+                let spec = &manifest.specs[manifest.spec_of(unit)];
+                let key = unit_result_key(fingerprints[li], spec);
+                let published = exchange
+                    .get(RESULT_KIND, &key)
+                    .and_then(|bytes| decode_unit_outcome(&bytes));
+                if published.is_some() {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let outcome = UnitOutcome::of(&pipeline.compile(li, spec));
+                    exchange.put(RESULT_KIND, &key, &encode_unit_outcome(&outcome));
+                }
+            });
+            done.store(true, Ordering::Relaxed);
+        });
+        let result_hits = hits.into_inner();
+        let report = ShardReport {
+            shard: shard as u32,
+            units: units.len() as u32,
+            result_hits: result_hits as u32,
+            counts: pipeline.stage_counts().minus(&before),
+        };
+        queue.complete(shard, &report.encode());
+        summary.shards_completed += 1;
+        summary.units += units.len();
+        summary.result_hits += result_hits;
+    }
+    summary.counts = pipeline.stage_counts();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_report_round_trips() {
+        let report = ShardReport {
+            shard: 3,
+            units: 120,
+            result_hits: 7,
+            counts: StageCounts::zero().plus(&StageCounts {
+                widen_runs: 40,
+                widen_requests: 360,
+                widen_disk_hits: 2,
+                mii_runs: 80,
+                mii_requests: 360,
+                mii_disk_hits: 1,
+                base_schedule_runs: 100,
+                base_schedule_requests: 300,
+                base_schedule_disk_hits: 0,
+                schedule_runs: 110,
+                schedule_requests: 360,
+                schedule_disk_hits: 9,
+                schedule_evictions: 5,
+                schedule_resident_bytes: 1 << 20,
+            }),
+        };
+        let bytes = report.encode();
+        assert_eq!(ShardReport::decode(&bytes), Some(report));
+        assert_eq!(ShardReport::decode(&bytes[..bytes.len() - 1]), None);
+    }
+}

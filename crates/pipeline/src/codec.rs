@@ -1,4 +1,6 @@
-//! Hand-rolled versioned binary codec for persisted stage artifacts.
+//! Hand-rolled versioned binary codec for persisted stage artifacts —
+//! and the public wire primitives the distributed sweep layer encodes
+//! its manifests and results with.
 //!
 //! The environment is offline, so the disk tier cannot lean on serde:
 //! every artifact is encoded with the little-endian primitives below.
@@ -11,9 +13,16 @@
 //! invariants. A corrupt cache file therefore degrades to a cache miss,
 //! never to a wrong result.
 //!
-//! Format versioning lives in the container header written by
-//! [`crate::disk`]; bump [`crate::disk::FORMAT_VERSION`] whenever any
-//! encoding below changes shape.
+//! The public surface ([`Writer`], [`Reader`], [`encode_ddg`],
+//! [`decode_ddg`], [`ddg_fingerprint`], [`fnv128`]) is what
+//! out-of-crate consumers — the `widening-distrib` coordinator/worker
+//! protocol and the evaluator's simulation summaries — build their own
+//! versioned records from, so every byte that crosses a process
+//! boundary shares one set of primitives.
+//!
+//! Format versioning for stage artifacts lives in the container header
+//! written by the disk tier (`crate::disk`); bump its `FORMAT_VERSION`
+//! whenever any encoding below changes shape.
 
 use std::sync::Arc;
 
@@ -30,45 +39,60 @@ use crate::stage::{BaseSchedule, ScheduledStage};
 
 /// Append-only little-endian byte sink.
 #[derive(Debug, Default)]
-pub(crate) struct Writer {
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    pub(crate) fn new() -> Self {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
         Writer::default()
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// Consumes the sink, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn i64(&mut self, v: i64) {
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Collection length, capped well below anything a corpus produces.
-    fn len(&mut self, n: usize) {
+    /// Appends raw bytes verbatim (length is the caller's business).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a collection length (encoded as `u32`; decoders cap it).
+    pub fn len(&mut self, n: usize) {
         debug_assert!(n <= u32::MAX as usize);
         self.u32(n as u32);
     }
 }
 
-/// Cursor over an encoded buffer; every read is bounds-checked.
+/// Cursor over an encoded buffer; every read is bounds-checked and
+/// returns `None` past the end — decoding corrupt input can fail, never
+/// panic.
 #[derive(Debug)]
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
@@ -78,40 +102,52 @@ pub(crate) struct Reader<'a> {
 const MAX_LEN: u32 = 1 << 24;
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
     /// Whether every byte has been consumed — decoders require this so
     /// trailing garbage is rejected.
-    pub(crate) fn exhausted(&self) -> bool {
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
         self.pos == self.buf.len()
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    /// Consumes and returns the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let slice = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> Option<u8> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
         Some(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Option<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
         Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
     }
 
-    pub(crate) fn u64(&mut self) -> Option<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 
-    pub(crate) fn i64(&mut self) -> Option<i64> {
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
         Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 
-    fn len(&mut self) -> Option<usize> {
+    /// Reads a collection length, rejecting sizes no honest encoder
+    /// produces (> 2²⁴ elements). (Not a container size — the matching
+    /// emptiness query is [`Reader::exhausted`].)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Option<usize> {
         let n = self.u32()?;
         (n <= MAX_LEN).then_some(n as usize)
     }
@@ -133,7 +169,8 @@ pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// 128-bit FNV-1a — content fingerprints and disk file names.
-pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
+#[must_use]
+pub fn fnv128(bytes: &[u8]) -> u128 {
     bytes.iter().fold(FNV128_OFFSET, |h, &b| {
         (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME)
     })
@@ -143,8 +180,11 @@ pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
 /// canonical encoding. Loops with identical bodies share artifacts on
 /// disk regardless of corpus position, which is what makes the
 /// disk-tier keys stable under [`crate::Pipeline::extend`] and across
-/// processes with reordered corpora.
-pub(crate) fn ddg_fingerprint(ddg: &Ddg) -> u128 {
+/// processes with reordered corpora — and what lets distributed sweep
+/// workers on different hosts agree on result keys without exchanging
+/// loop indices.
+#[must_use]
+pub fn ddg_fingerprint(ddg: &Ddg) -> u128 {
     let mut w = Writer::new();
     encode_ddg(&mut w, ddg);
     fnv128(&w.into_bytes())
@@ -196,6 +236,16 @@ pub(crate) fn cycle_model_tag(m: CycleModel) -> u8 {
     }
 }
 
+pub(crate) fn cycle_model_from(tag: u8) -> Option<CycleModel> {
+    match tag {
+        0 => Some(CycleModel::Cycles1),
+        1 => Some(CycleModel::Cycles2),
+        2 => Some(CycleModel::Cycles3),
+        3 => Some(CycleModel::Cycles4),
+        _ => None,
+    }
+}
+
 pub(crate) fn strategy_tag(s: Strategy) -> u8 {
     match s {
         Strategy::Hrms => 0,
@@ -204,11 +254,29 @@ pub(crate) fn strategy_tag(s: Strategy) -> u8 {
     }
 }
 
+pub(crate) fn strategy_from(tag: u8) -> Option<Strategy> {
+    match tag {
+        0 => Some(Strategy::Hrms),
+        1 => Some(Strategy::Ims),
+        2 => Some(Strategy::Asap),
+        _ => None,
+    }
+}
+
 pub(crate) fn spill_policy_tag(p: SpillPolicy) -> u8 {
     match p {
         SpillPolicy::Adaptive => 0,
         SpillPolicy::SpillFirst => 1,
         SpillPolicy::IncreaseIiOnly => 2,
+    }
+}
+
+pub(crate) fn spill_policy_from(tag: u8) -> Option<SpillPolicy> {
+    match tag {
+        0 => Some(SpillPolicy::Adaptive),
+        1 => Some(SpillPolicy::SpillFirst),
+        2 => Some(SpillPolicy::IncreaseIiOnly),
+        _ => None,
     }
 }
 
@@ -239,10 +307,21 @@ pub(crate) fn encode_spill_options(w: &mut Writer, s: &SpillOptions) {
     w.u32(s.max_spills_per_round);
 }
 
+pub(crate) fn decode_spill_options(r: &mut Reader<'_>) -> Option<SpillOptions> {
+    Some(SpillOptions {
+        policy: spill_policy_from(r.u8()?)?,
+        max_rounds: r.u32()?,
+        max_spills_per_round: r.u32()?,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Graphs.
 
-pub(crate) fn encode_ddg(w: &mut Writer, ddg: &Ddg) {
+/// Encodes a dependence graph in its canonical wire form (ops with
+/// stride/compactability flags, then edges) — the byte stream
+/// [`ddg_fingerprint`] hashes.
+pub fn encode_ddg(w: &mut Writer, ddg: &Ddg) {
     w.len(ddg.num_nodes());
     for op in ddg.ops() {
         w.u8(op_kind_tag(op.kind()));
@@ -264,7 +343,9 @@ pub(crate) fn encode_ddg(w: &mut Writer, ddg: &Ddg) {
     }
 }
 
-pub(crate) fn decode_ddg(r: &mut Reader<'_>) -> Option<Ddg> {
+/// Decodes a dependence graph, re-running full [`Ddg::from_parts`]
+/// validation — a corrupt buffer yields `None`, never an invalid graph.
+pub fn decode_ddg(r: &mut Reader<'_>) -> Option<Ddg> {
     let n = r.len()?;
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {

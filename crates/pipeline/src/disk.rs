@@ -74,12 +74,20 @@ impl DiskTier {
 
     /// Loads the payload stored under `(stage, key_hash)`, verifying the
     /// container checksum and that the echoed key material equals
-    /// `key_bytes`. Any mismatch or I/O failure is a miss.
+    /// `key_bytes`. Any mismatch or I/O failure is a miss. A hit
+    /// refreshes the file's mtime — the generation stamp the lifecycle
+    /// layer ([`crate::maint`]) prunes by — best-effort.
     pub(crate) fn load(&self, stage: &str, key_hash: u128, key_bytes: &[u8]) -> Option<Vec<u8>> {
-        let bytes = fs::read(self.path_of(stage, key_hash)).ok()?;
+        let path = self.path_of(stage, key_hash);
+        let bytes = fs::read(&path).ok()?;
         let parsed = parse_container(&bytes, key_bytes);
         if parsed.is_none() && !bytes.is_empty() {
             self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if parsed.is_some() {
+            if let Ok(f) = fs::File::options().append(true).open(&path) {
+                let _ = f.set_modified(std::time::SystemTime::now());
+            }
         }
         parsed
     }
@@ -104,7 +112,6 @@ impl DiskTier {
     ) -> Option<()> {
         let path = self.path_of(stage, key_hash);
         let dir = path.parent()?;
-        fs::create_dir_all(dir).ok()?;
 
         let mut checked = Vec::with_capacity(8 + key_bytes.len() + payload.len());
         checked.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
@@ -123,7 +130,18 @@ impl DiskTier {
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        let mut out = fs::File::create(&tmp).ok()?;
+        // Optimistically assume the fan-out directory exists (it does
+        // for all but the first artifact it receives): a failed create
+        // makes the directory and retries once. Saves a `create_dir_all`
+        // round-trip per store — measurable over a cold sweep's
+        // thousands of artifacts.
+        let mut out = match fs::File::create(&tmp) {
+            Ok(f) => f,
+            Err(_) => {
+                fs::create_dir_all(dir).ok()?;
+                fs::File::create(&tmp).ok()?
+            }
+        };
         let written = out.write_all(&file).and_then(|()| out.flush());
         drop(out);
         if written.is_err() || fs::rename(&tmp, &path).is_err() {

@@ -118,6 +118,10 @@ impl StoreConfig {
 /// stage entry.
 #[derive(Debug)]
 pub struct Pipeline {
+    /// The store configuration this pipeline was built with (kept so
+    /// consumers — warm-start simulation, distributed sweeps — can open
+    /// the same cache directory's exchange tiers).
+    config: StoreConfig,
     /// Append-only corpus: `extend` swaps in a longer vector, existing
     /// indices never move, and callers work on cheap `Arc` snapshots.
     loops: RwLock<Arc<Vec<Loop>>>,
@@ -169,7 +173,26 @@ impl Pipeline {
             bounds: StageStore::pinned(),
             base: StageStore::pinned(),
             scheduled: StageStore::bounded(config.memory_budget),
+            config,
         }
+    }
+
+    /// The store configuration this pipeline was built with.
+    #[must_use]
+    pub fn store_config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The content fingerprint of loop `li`'s graph — the disk tier's
+    /// half of every stage key. `None` when no disk tier is attached
+    /// (the fingerprint table is only built for persistent stores).
+    #[must_use]
+    pub fn content_fingerprint(&self, li: usize) -> Option<u128> {
+        self.fingerprints
+            .read()
+            .expect("fingerprint lock")
+            .get(li)
+            .copied()
     }
 
     /// A snapshot of the corpus being compiled. Loop indices are stable:

@@ -1,0 +1,344 @@
+//! The **artifact exchange**: the result tier of the shared store.
+//!
+//! The compilation stages persist under `<root>/v1/{widen,mii,base,
+//! sched}`; this module opens the *same* content-addressed container
+//! format for the records that ride on top of compilation — the
+//! per-unit sweep results distributed workers publish and the
+//! simulation summaries the evaluator warm-starts from. An [`Exchange`]
+//! is deliberately dumb: `(kind, key bytes) → payload bytes`, atomic
+//! temp+rename publication, checksummed and key-echoed on load, and
+//! strictly best-effort like the rest of the disk tier — a worker whose
+//! publish fails costs a recompute somewhere, never a wrong merge.
+//!
+//! Two record kinds are defined here:
+//!
+//! * [`RESULT_KIND`] — a versioned [`UnitOutcome`]: the projection of
+//!   one compiled `(loop × design point)` unit that corpus aggregation
+//!   needs (II, MII, registers, spill ops — or the structured failure
+//!   cause). Keys are [`unit_result_key`]: the loop graph's content
+//!   fingerprint plus every design-point field, so workers on different
+//!   hosts (or re-runs of a killed shard) publish *identical bytes
+//!   under identical keys* — double execution after a lease-expiry
+//!   requeue is idempotent by construction.
+//! * [`SIM_SUMMARY_KIND`] — simulation summaries, keyed by
+//!   [`sim_summary_key`] (the unit key plus the simulated trip count).
+//!   The payload codec lives with the simulator's consumer; this module
+//!   only reserves the kind.
+//!
+//! Both payloads carry their own format version ([`RESULT_VERSION`])
+//! *inside* the container, on top of the disk tier's container-level
+//! `FORMAT_VERSION`, so result records can evolve without invalidating
+//! compiled stage artifacts.
+
+use std::path::Path;
+
+use crate::codec::{self, Reader, Writer};
+use crate::disk::DiskTier;
+use crate::error::{FailureCause, PipelineError};
+use crate::stage::{CompiledLoop, PointSpec};
+
+/// Exchange kind for per-unit sweep results.
+pub const RESULT_KIND: &str = "result";
+
+/// Exchange kind for per-unit simulation summaries.
+pub const SIM_SUMMARY_KIND: &str = "simsum";
+
+/// Version of the [`UnitOutcome`] payload encoding; bump on any shape
+/// change so stale records read as misses.
+pub const RESULT_VERSION: u16 = 1;
+
+/// A handle on the result tier of a shared cache directory.
+///
+/// Opens the same `<root>/v1` subtree as the pipeline's stage store,
+/// under distinct kind directories, so one `--cache-dir` is the single
+/// artifact *and* result exchange between coordinator and workers.
+#[derive(Debug)]
+pub struct Exchange {
+    tier: DiskTier,
+}
+
+impl Exchange {
+    /// Opens (creating if needed) the exchange under `root`. `None`
+    /// when the directory cannot be created — callers then run without
+    /// result sharing, exactly like a pipeline without a disk tier.
+    #[must_use]
+    pub fn open(root: &Path) -> Option<Self> {
+        Some(Exchange {
+            tier: DiskTier::open(root)?,
+        })
+    }
+
+    /// Publishes `payload` under `(kind, key)`. Atomic (temp + rename)
+    /// and best-effort: failures are counted, never surfaced.
+    pub fn put(&self, kind: &str, key: &[u8], payload: &[u8]) {
+        self.tier.store(kind, codec::fnv128(key), key, payload);
+    }
+
+    /// Loads the payload under `(kind, key)`, verifying the container
+    /// checksum and key echo. Any mismatch is a miss.
+    #[must_use]
+    pub fn get(&self, kind: &str, key: &[u8]) -> Option<Vec<u8>> {
+        self.tier.load(kind, codec::fnv128(key), key)
+    }
+
+    /// Swallowed I/O or format failures so far.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.tier.errors()
+    }
+}
+
+/// The per-unit result a distributed worker publishes: everything
+/// corpus aggregation needs from one compiled `(loop × design point)`
+/// unit. Weights and trip counts do **not** travel here — they are
+/// properties of the loop the merging coordinator already holds, which
+/// is what keeps the record content-addressable by graph fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// The unit compiled (or bounded, in peak mode).
+    Ok {
+        /// Achieved (or bounding) initiation interval.
+        ii: u32,
+        /// The MII the achieved II is judged against.
+        mii: u32,
+        /// Registers used by the allocation (0 in peak mode).
+        registers: u32,
+        /// Spill operations inserted (stores + reloads).
+        spill_ops: u32,
+    },
+    /// The pipeline could not compile the unit.
+    Failed {
+        /// Structured failure classification.
+        cause: FailureCause,
+    },
+}
+
+impl UnitOutcome {
+    /// Projects a pipeline compile result onto the wire record.
+    #[must_use]
+    pub fn of(outcome: &Result<CompiledLoop, PipelineError>) -> Self {
+        match outcome {
+            Ok(c) => UnitOutcome::Ok {
+                ii: c.ii(),
+                mii: c.mii(),
+                registers: c.registers_used(),
+                spill_ops: c.spill_ops(),
+            },
+            Err(e) => UnitOutcome::Failed { cause: e.cause() },
+        }
+    }
+}
+
+/// Encodes a design point's compilation-relevant fields (the exact key
+/// material stage artifacts are content-addressed by, minus the loop).
+pub fn encode_point_spec(w: &mut Writer, spec: &PointSpec) {
+    w.u32(spec.replication);
+    w.u32(spec.width);
+    match spec.registers {
+        Some(z) => {
+            w.u8(1);
+            w.u32(z);
+        }
+        None => w.u8(0),
+    }
+    w.u8(codec::cycle_model_tag(spec.model));
+    w.u8(codec::strategy_tag(spec.opts.strategy));
+    codec::encode_spill_options(w, &spec.opts.spill);
+}
+
+/// Decodes a design point; `None` on out-of-range tags or truncation.
+#[must_use]
+pub fn decode_point_spec(r: &mut Reader<'_>) -> Option<PointSpec> {
+    let replication = r.u32()?;
+    let width = r.u32()?;
+    let registers = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        _ => return None,
+    };
+    let model = codec::cycle_model_from(r.u8()?)?;
+    let strategy = codec::strategy_from(r.u8()?)?;
+    let spill = codec::decode_spill_options(r)?;
+    Some(PointSpec {
+        replication,
+        width,
+        registers,
+        model,
+        opts: crate::CompileOptions { strategy, spill },
+    })
+}
+
+/// The content key of a `(loop × design point)` unit result: the loop
+/// graph's [`codec::ddg_fingerprint`] plus every design-point field.
+#[must_use]
+pub fn unit_result_key(fingerprint: u128, spec: &PointSpec) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint as u64);
+    w.u64((fingerprint >> 64) as u64);
+    encode_point_spec(&mut w, spec);
+    w.into_bytes()
+}
+
+/// The content key of a simulation summary: the unit key plus the trip
+/// count the loop was executed for.
+#[must_use]
+pub fn sim_summary_key(fingerprint: u128, spec: &PointSpec, trip: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint as u64);
+    w.u64((fingerprint >> 64) as u64);
+    encode_point_spec(&mut w, spec);
+    w.u64(trip);
+    w.into_bytes()
+}
+
+/// Encodes a unit outcome as a self-versioned record.
+#[must_use]
+pub fn encode_unit_outcome(outcome: &UnitOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(u32::from(RESULT_VERSION));
+    match outcome {
+        UnitOutcome::Ok {
+            ii,
+            mii,
+            registers,
+            spill_ops,
+        } => {
+            w.u8(0);
+            w.u32(*ii);
+            w.u32(*mii);
+            w.u32(*registers);
+            w.u32(*spill_ops);
+        }
+        UnitOutcome::Failed { cause } => {
+            w.u8(1);
+            match cause {
+                FailureCause::Pressure { needed, available } => {
+                    w.u8(0);
+                    w.u32(*needed);
+                    w.u32(*available);
+                }
+                FailureCause::Schedule => w.u8(1),
+                FailureCause::Rewrite => w.u8(2),
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a unit outcome; version or tag mismatches read as misses.
+#[must_use]
+pub fn decode_unit_outcome(bytes: &[u8]) -> Option<UnitOutcome> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != u32::from(RESULT_VERSION) {
+        return None;
+    }
+    let outcome = match r.u8()? {
+        0 => UnitOutcome::Ok {
+            ii: r.u32()?,
+            mii: r.u32()?,
+            registers: r.u32()?,
+            spill_ops: r.u32()?,
+        },
+        1 => UnitOutcome::Failed {
+            cause: match r.u8()? {
+                0 => FailureCause::Pressure {
+                    needed: r.u32()?,
+                    available: r.u32()?,
+                },
+                1 => FailureCause::Schedule,
+                2 => FailureCause::Rewrite,
+                _ => return None,
+            },
+        },
+        _ => return None,
+    };
+    r.exhausted().then_some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widening_machine::CycleModel;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "widening-exchange-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn exchange_round_trips_payloads() {
+        let root = temp_root("rt");
+        let ex = Exchange::open(&root).expect("temp dir");
+        ex.put(RESULT_KIND, b"key", b"payload");
+        assert_eq!(
+            ex.get(RESULT_KIND, b"key").as_deref(),
+            Some(&b"payload"[..])
+        );
+        // Kinds are separate namespaces.
+        assert_eq!(ex.get(SIM_SUMMARY_KIND, b"key"), None);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unit_outcome_round_trips() {
+        let cases = [
+            UnitOutcome::Ok {
+                ii: 7,
+                mii: 6,
+                registers: 31,
+                spill_ops: 4,
+            },
+            UnitOutcome::Failed {
+                cause: FailureCause::Pressure {
+                    needed: 40,
+                    available: 32,
+                },
+            },
+            UnitOutcome::Failed {
+                cause: FailureCause::Schedule,
+            },
+            UnitOutcome::Failed {
+                cause: FailureCause::Rewrite,
+            },
+        ];
+        for o in cases {
+            let bytes = encode_unit_outcome(&o);
+            assert_eq!(decode_unit_outcome(&bytes), Some(o));
+            // Truncation and version skew are misses, not panics.
+            assert_eq!(decode_unit_outcome(&bytes[..bytes.len() - 1]), None);
+            let mut skew = bytes.clone();
+            skew[0] ^= 0xff;
+            assert_eq!(decode_unit_outcome(&skew), None);
+        }
+    }
+
+    #[test]
+    fn point_spec_round_trips_and_keys_differ() {
+        let scheduled = PointSpec::scheduled(
+            &"4w2(128:1)".parse().unwrap(),
+            CycleModel::Cycles2,
+            crate::CompileOptions::default(),
+        );
+        let peak = PointSpec::peak(2, 2, CycleModel::Cycles4);
+        for spec in [scheduled, peak] {
+            let mut w = Writer::new();
+            encode_point_spec(&mut w, &spec);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_point_spec(&mut r), Some(spec));
+            assert!(r.exhausted());
+        }
+        assert_ne!(unit_result_key(1, &scheduled), unit_result_key(1, &peak));
+        assert_ne!(unit_result_key(1, &peak), unit_result_key(2, &peak));
+        // The sim key extends the unit key with the trip count.
+        assert_ne!(
+            sim_summary_key(1, &peak, 100),
+            sim_summary_key(1, &peak, 101)
+        );
+    }
+}

@@ -82,16 +82,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod codec;
+pub mod codec;
 mod disk;
 mod driver;
 mod error;
+pub mod exchange;
+pub mod maint;
 pub mod pool;
 mod stage;
 mod store;
 
 pub use driver::{Pipeline, StoreConfig};
 pub use error::{FailureCause, PipelineError};
+pub use exchange::{Exchange, UnitOutcome};
 pub use stage::{
     compile_ddg, BaseSchedule, CompileOptions, CompiledLoop, PointSpec, ScheduledStage,
 };

@@ -1,0 +1,365 @@
+//! Store lifecycle: generation stamps, usage inspection and garbage
+//! collection for a content-addressed cache directory.
+//!
+//! The disk tier grows without bound by itself — every distinct
+//! `(loop, design point)` ever compiled leaves artifacts behind. This
+//! module bounds it by **generations**:
+//!
+//! * each cache-consuming *run* (a `repro` invocation with
+//!   `--cache-dir`, not each worker it spawns) calls [`record_run`],
+//!   which appends a `(generation, start-time)` entry to
+//!   `<root>/v1/generations`;
+//! * every artifact **read or write** refreshes the file's mtime (the
+//!   disk tier touches on load), so an artifact's mtime says which
+//!   generation last used it;
+//! * [`gc`] with `keep_generations = N` removes artifacts untouched
+//!   since the start of the `N`-th most recent generation — artifacts
+//!   no run of the last `N` used. [`stat`] reports usage without
+//!   deleting anything.
+//!
+//! Everything is best-effort and concurrency-tolerant: a GC racing a
+//! live run can at worst delete an artifact the run was about to reuse,
+//! which the two-tier store treats as an ordinary miss.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::disk::FORMAT_VERSION;
+
+/// Name of the generation log inside the versioned root.
+const GENERATIONS_FILE: &str = "generations";
+
+fn versioned_root(root: &Path) -> PathBuf {
+    root.join(format!("v{FORMAT_VERSION}"))
+}
+
+/// One `(generation, start time)` entry of the generation log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Generation {
+    /// Monotonic run counter (1-based).
+    pub generation: u64,
+    /// Start of the run, nanoseconds since the Unix epoch.
+    pub started_unix_nanos: u128,
+}
+
+fn read_generations(root: &Path) -> Vec<Generation> {
+    let Ok(text) = fs::read_to_string(versioned_root(root).join(GENERATIONS_FILE)) else {
+        return Vec::new();
+    };
+    let mut out: Vec<Generation> = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(g), Some(t)) = (parts.next(), parts.next()) else {
+            continue; // torn trailing line: skip, keep the rest
+        };
+        if let (Ok(generation), Ok(started)) = (g.parse(), t.parse()) {
+            // Two runs racing `record_run` (read-then-append is not
+            // atomic across processes) can log the same generation
+            // number twice. Collapse duplicates onto the *earliest*
+            // start time: the racers count as one run, which biases
+            // every cutoff computed from this list towards pruning
+            // LESS — never violating "keep the last N runs".
+            match out.iter_mut().find(|e| e.generation == generation) {
+                Some(e) => e.started_unix_nanos = e.started_unix_nanos.min(started),
+                None => out.push(Generation {
+                    generation,
+                    started_unix_nanos: started,
+                }),
+            }
+        }
+    }
+    out.sort_by_key(|e| e.generation);
+    out
+}
+
+/// Records the start of a cache-consuming run: bumps the generation
+/// counter and stamps its start time. Returns the new generation, or
+/// `None` when the log cannot be written (a dead disk — the run then
+/// proceeds without lifecycle tracking, like every other disk failure).
+pub fn record_run(root: &Path) -> Option<u64> {
+    let vroot = versioned_root(root);
+    fs::create_dir_all(&vroot).ok()?;
+    let next = read_generations(root)
+        .last()
+        .map_or(1, |g| g.generation + 1);
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_nanos();
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(vroot.join(GENERATIONS_FILE))
+        .ok()?;
+    writeln!(f, "{next} {now}").ok()?;
+    Some(next)
+}
+
+/// Usage of one artifact kind directory (`widen`, `sched`, `result`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindUsage {
+    /// Directory name (stage or exchange kind).
+    pub kind: String,
+    /// Artifact files present.
+    pub files: u64,
+    /// Total payload bytes on disk (container headers included).
+    pub bytes: u64,
+}
+
+/// A snapshot of a cache directory's contents and generation history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStat {
+    /// Latest recorded generation (0 when no run was ever recorded).
+    pub generation: u64,
+    /// Total runs recorded in the generation log.
+    pub runs_recorded: u64,
+    /// Per-kind usage, sorted by kind name.
+    pub kinds: Vec<KindUsage>,
+}
+
+impl CacheStat {
+    /// Total artifact files across all kinds.
+    #[must_use]
+    pub fn total_files(&self) -> u64 {
+        self.kinds.iter().map(|k| k.files).sum()
+    }
+
+    /// Total bytes across all kinds.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.bytes).sum()
+    }
+}
+
+/// Walks every artifact file under a kind directory, calling `visit`
+/// with the path and metadata.
+fn walk_kind(dir: &Path, visit: &mut impl FnMut(&Path, &fs::Metadata)) {
+    let Ok(fanouts) = fs::read_dir(dir) else {
+        return;
+    };
+    for fanout in fanouts.flatten() {
+        let Ok(files) = fs::read_dir(fanout.path()) else {
+            continue;
+        };
+        for file in files.flatten() {
+            let path = file.path();
+            if path.extension().is_some_and(|e| e == "bin") {
+                if let Ok(meta) = file.metadata() {
+                    visit(&path, &meta);
+                }
+            }
+        }
+    }
+}
+
+fn kind_dirs(root: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = fs::read_dir(versioned_root(root)) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .flatten()
+        .filter(|e| e.file_type().is_ok_and(|t| t.is_dir()))
+        .map(|e| e.path())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Inspects a cache directory. `None` when `root` holds no versioned
+/// store at all.
+#[must_use]
+pub fn stat(root: &Path) -> Option<CacheStat> {
+    if !versioned_root(root).is_dir() {
+        return None;
+    }
+    let generations = read_generations(root);
+    let mut kinds = Vec::new();
+    for dir in kind_dirs(root) {
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        walk_kind(&dir, &mut |_, meta| {
+            files += 1;
+            bytes += meta.len();
+        });
+        kinds.push(KindUsage {
+            kind: dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            files,
+            bytes,
+        });
+    }
+    Some(CacheStat {
+        generation: generations.last().map_or(0, |g| g.generation),
+        runs_recorded: generations.len() as u64,
+        kinds,
+    })
+}
+
+/// What a garbage collection pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Artifacts examined.
+    pub examined: u64,
+    /// Artifacts removed (untouched for `keep_generations` runs).
+    pub pruned: u64,
+    /// Bytes reclaimed.
+    pub pruned_bytes: u64,
+    /// The generation whose start time was the keep/prune cutoff (0
+    /// when fewer generations are recorded than `keep_generations` —
+    /// nothing is old enough to prune yet).
+    pub cutoff_generation: u64,
+}
+
+/// Removes every artifact untouched since the start of the
+/// `keep_generations`-th most recent recorded run. With fewer recorded
+/// runs than `keep_generations` nothing is pruned. `None` when `root`
+/// holds no versioned store.
+#[must_use]
+pub fn gc(root: &Path, keep_generations: u64) -> Option<GcOutcome> {
+    if !versioned_root(root).is_dir() {
+        return None;
+    }
+    let generations = read_generations(root);
+    let keep = keep_generations.max(1) as usize;
+    let mut outcome = GcOutcome {
+        examined: 0,
+        pruned: 0,
+        pruned_bytes: 0,
+        cutoff_generation: 0,
+    };
+    let cutoff = if generations.len() < keep {
+        None
+    } else {
+        let g = generations[generations.len() - keep];
+        outcome.cutoff_generation = g.generation;
+        Some(
+            UNIX_EPOCH
+                + std::time::Duration::from_nanos(
+                    u64::try_from(g.started_unix_nanos).unwrap_or(u64::MAX),
+                ),
+        )
+    };
+    for dir in kind_dirs(root) {
+        walk_kind(&dir, &mut |path, meta| {
+            outcome.examined += 1;
+            let Some(cutoff) = cutoff else { return };
+            let untouched = meta.modified().is_ok_and(|mtime| mtime < cutoff);
+            if untouched && fs::remove_file(path).is_ok() {
+                outcome.pruned += 1;
+                outcome.pruned_bytes += meta.len();
+            }
+        });
+    }
+    Some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "widening-maint-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put_artifact(root: &Path, kind: &str, name: &str, bytes: &[u8]) -> PathBuf {
+        let dir = versioned_root(root).join(kind).join("ab");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.bin"));
+        fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn generations_are_monotonic() {
+        let root = temp_root("gen");
+        assert_eq!(record_run(&root), Some(1));
+        assert_eq!(record_run(&root), Some(2));
+        assert_eq!(record_run(&root), Some(3));
+        let s = stat(&root).unwrap();
+        assert_eq!(s.generation, 3);
+        assert_eq!(s.runs_recorded, 3);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stat_counts_files_and_bytes_per_kind() {
+        let root = temp_root("stat");
+        record_run(&root).unwrap();
+        put_artifact(&root, "widen", "aa", &[0u8; 10]);
+        put_artifact(&root, "widen", "bb", &[0u8; 20]);
+        put_artifact(&root, "sched", "cc", &[0u8; 40]);
+        let s = stat(&root).unwrap();
+        assert_eq!(s.total_files(), 3);
+        assert_eq!(s.total_bytes(), 70);
+        let widen = s.kinds.iter().find(|k| k.kind == "widen").unwrap();
+        assert_eq!((widen.files, widen.bytes), (2, 30));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    fn set_mtime(path: &Path, when: SystemTime) {
+        fs::File::options()
+            .append(true)
+            .open(path)
+            .unwrap()
+            .set_modified(when)
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_prunes_only_artifacts_older_than_the_cutoff_generation() {
+        // Fabricated timeline well in the past (immune to filesystem
+        // mtime granularity): three generations 10 s apart; `old` was
+        // last touched during generation 1, `kept` during generation 3.
+        let root = temp_root("gc");
+        let t0 = SystemTime::now() - Duration::from_secs(1000);
+        let nanos = |t: SystemTime| t.duration_since(UNIX_EPOCH).unwrap().as_nanos();
+        fs::create_dir_all(versioned_root(&root)).unwrap();
+        fs::write(
+            versioned_root(&root).join(GENERATIONS_FILE),
+            format!(
+                "1 {}\n2 {}\n3 {}\n",
+                nanos(t0),
+                nanos(t0 + Duration::from_secs(10)),
+                nanos(t0 + Duration::from_secs(20)),
+            ),
+        )
+        .unwrap();
+        let old = put_artifact(&root, "sched", "old", &[0u8; 8]);
+        let kept = put_artifact(&root, "sched", "kept", &[0u8; 8]);
+        set_mtime(&old, t0 + Duration::from_secs(5));
+        set_mtime(&kept, t0 + Duration::from_secs(25));
+
+        // Keeping 3 generations: the cutoff is gen 1's start, and
+        // nothing predates it.
+        let g3 = gc(&root, 3).unwrap();
+        assert_eq!((g3.pruned, g3.cutoff_generation), (0, 1));
+        // Keeping 2: only the artifact untouched since gen 1 goes.
+        let g2 = gc(&root, 2).unwrap();
+        assert_eq!(g2.cutoff_generation, 2);
+        assert_eq!(g2.pruned, 1);
+        assert_eq!(g2.pruned_bytes, 8);
+        assert!(!old.exists());
+        assert!(kept.exists());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn missing_store_reports_none() {
+        let root = temp_root("none");
+        assert!(stat(&root).is_none());
+        assert!(gc(&root, 2).is_none());
+    }
+}

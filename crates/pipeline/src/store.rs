@@ -255,7 +255,7 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
 /// executing the stage. A multi-configuration sweep that shares stages
 /// shows `runs ≪ requests`; a warm-start run over a persisted cache
 /// shows `runs == 0` with every miss served from disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageCounts {
     /// Widening transforms executed (one per distinct `(loop, Y)`).
     pub widen_runs: u64,
@@ -314,6 +314,77 @@ impl StageCounts {
             + self.mii_disk_hits
             + self.base_schedule_disk_hits
             + self.schedule_disk_hits
+    }
+
+    /// All-zero counters — the identity for [`StageCounts::plus`].
+    #[must_use]
+    pub fn zero() -> Self {
+        StageCounts::default()
+    }
+
+    /// Field-wise sum — folds one worker's counters into a fleet total.
+    /// Flows (runs, requests, hits, evictions) add; resident bytes are
+    /// a *level*, not a flow — per-shard reports from one worker all
+    /// describe the same pipeline's residency — so the fold keeps the
+    /// **maximum** observed level (the fleet's peak single-pipeline
+    /// footprint) instead of a meaningless sum.
+    #[must_use]
+    pub fn plus(&self, other: &StageCounts) -> StageCounts {
+        StageCounts {
+            widen_runs: self.widen_runs + other.widen_runs,
+            widen_requests: self.widen_requests + other.widen_requests,
+            widen_disk_hits: self.widen_disk_hits + other.widen_disk_hits,
+            mii_runs: self.mii_runs + other.mii_runs,
+            mii_requests: self.mii_requests + other.mii_requests,
+            mii_disk_hits: self.mii_disk_hits + other.mii_disk_hits,
+            base_schedule_runs: self.base_schedule_runs + other.base_schedule_runs,
+            base_schedule_requests: self.base_schedule_requests + other.base_schedule_requests,
+            base_schedule_disk_hits: self.base_schedule_disk_hits + other.base_schedule_disk_hits,
+            schedule_runs: self.schedule_runs + other.schedule_runs,
+            schedule_requests: self.schedule_requests + other.schedule_requests,
+            schedule_disk_hits: self.schedule_disk_hits + other.schedule_disk_hits,
+            schedule_evictions: self.schedule_evictions + other.schedule_evictions,
+            schedule_resident_bytes: self
+                .schedule_resident_bytes
+                .max(other.schedule_resident_bytes),
+        }
+    }
+
+    /// Field-wise saturating difference — a shard's counter delta from
+    /// two cumulative snapshots (resident bytes keep the later
+    /// snapshot's value: residency is a level, not a flow).
+    #[must_use]
+    pub fn minus(&self, baseline: &StageCounts) -> StageCounts {
+        StageCounts {
+            widen_runs: self.widen_runs.saturating_sub(baseline.widen_runs),
+            widen_requests: self.widen_requests.saturating_sub(baseline.widen_requests),
+            widen_disk_hits: self
+                .widen_disk_hits
+                .saturating_sub(baseline.widen_disk_hits),
+            mii_runs: self.mii_runs.saturating_sub(baseline.mii_runs),
+            mii_requests: self.mii_requests.saturating_sub(baseline.mii_requests),
+            mii_disk_hits: self.mii_disk_hits.saturating_sub(baseline.mii_disk_hits),
+            base_schedule_runs: self
+                .base_schedule_runs
+                .saturating_sub(baseline.base_schedule_runs),
+            base_schedule_requests: self
+                .base_schedule_requests
+                .saturating_sub(baseline.base_schedule_requests),
+            base_schedule_disk_hits: self
+                .base_schedule_disk_hits
+                .saturating_sub(baseline.base_schedule_disk_hits),
+            schedule_runs: self.schedule_runs.saturating_sub(baseline.schedule_runs),
+            schedule_requests: self
+                .schedule_requests
+                .saturating_sub(baseline.schedule_requests),
+            schedule_disk_hits: self
+                .schedule_disk_hits
+                .saturating_sub(baseline.schedule_disk_hits),
+            schedule_evictions: self
+                .schedule_evictions
+                .saturating_sub(baseline.schedule_evictions),
+            schedule_resident_bytes: self.schedule_resident_bytes,
+        }
     }
 }
 

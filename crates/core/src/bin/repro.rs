@@ -40,11 +40,20 @@
 //!   priority-ordered shards and auto-spawns `N` local worker processes
 //!   (`repro worker …`) over the shared `--cache-dir`. Merged
 //!   aggregates are bitwise-equal to the in-process sweep; a killed
-//!   worker's shard is requeued on lease expiry.
+//!   worker's shard is requeued when its lease counter stalls.
+//! * `--max-workers M` — raise the fleet's autoscale ceiling above
+//!   `--shards N`: the coordinator spawns extra workers (up to `M`)
+//!   while the queue's remaining-priority-mass estimate exceeds the
+//!   per-worker budget, and the extras retire when the queue drains.
+//! * `--chaos-exit-units N` — fault injection for smoke tests: the
+//!   first spawned worker abandons everything after `N` units (silent
+//!   lease, no completion marker), exercising the requeue path.
 //! * `repro worker` — standalone worker mode: claim shards from
-//!   `--queue`, publish per-unit results into `--cache-dir`, exit when
-//!   the queue completes. Point several of these (on one machine or on
-//!   hosts sharing a filesystem) at one queue to scale a sweep out.
+//!   `--queue`, publish batched results into `--cache-dir`
+//!   (`--per-unit-results` for the legacy one-file-per-unit protocol),
+//!   steal surplus tails when idle, exit when the queue completes.
+//!   Point several of these (on one machine or on hosts sharing a
+//!   filesystem) at one queue to scale a sweep out.
 //! * `repro cache stat` — per-kind file/byte usage and the generation
 //!   history of a cache directory.
 //! * `repro cache gc` — prune artifacts untouched for the last
@@ -73,6 +82,8 @@ fn main() -> ExitCode {
     let mut cache_budget: Option<usize> = None;
     let mut extend: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut max_workers: Option<usize> = None;
+    let mut chaos_exit_units: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = argv.into_iter().peekable();
@@ -108,6 +119,14 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => shards = Some(n),
                 _ => return usage("--shards needs a positive worker count"),
             },
+            "--max-workers" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => max_workers = Some(n),
+                _ => return usage("--max-workers needs a positive worker count"),
+            },
+            "--chaos-exit-units" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => chaos_exit_units = Some(n),
+                _ => return usage("--chaos-exit-units needs a positive unit count"),
+            },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
                 Err(_) => return usage("--quick=N needs an integer"),
@@ -129,6 +148,16 @@ fn main() -> ExitCode {
                 Ok(n) if n >= 1 => shards = Some(n),
                 _ => return usage("--shards=N needs a positive worker count"),
             },
+            a if a.starts_with("--max-workers=") => match a["--max-workers=".len()..].parse() {
+                Ok(n) if n >= 1 => max_workers = Some(n),
+                _ => return usage("--max-workers=M needs a positive worker count"),
+            },
+            a if a.starts_with("--chaos-exit-units=") => {
+                match a["--chaos-exit-units=".len()..].parse() {
+                    Ok(n) if n >= 1 => chaos_exit_units = Some(n),
+                    _ => return usage("--chaos-exit-units=N needs a positive unit count"),
+                }
+            }
             "list" => {
                 for n in experiments::ALL {
                     println!("{n}");
@@ -149,6 +178,9 @@ fn main() -> ExitCode {
     if shards.is_some() && names.iter().any(|n| n != "sweep") {
         // Refuse rather than silently running the rest single-process.
         return usage("--shards only applies to the `sweep` experiment; drop the flag or the other experiment names");
+    }
+    if (max_workers.is_some() || chaos_exit_units.is_some()) && shards.is_none() {
+        return usage("--max-workers/--chaos-exit-units only apply with --shards N");
     }
     // `--simulate all` would otherwise queue simulate/transients twice.
     let mut seen = std::collections::HashSet::new();
@@ -173,7 +205,12 @@ fn main() -> ExitCode {
     for name in &names {
         let reports = match (name.as_str(), shards) {
             ("sweep", Some(workers)) => {
-                match experiments::sweep_distributed_reports(&ctx, workers) {
+                match experiments::sweep_distributed_reports(
+                    &ctx,
+                    workers,
+                    max_workers,
+                    chaos_exit_units,
+                ) {
                     Ok((reports, worker_counts)) => {
                         fleet_counts = fleet_counts.plus(&worker_counts);
                         Some(reports)
@@ -225,6 +262,8 @@ fn worker_main(args: &[String]) -> ExitCode {
     let mut threads: usize = 1;
     let mut lease_ttl_ms: u64 = 30_000;
     let mut requeue_foreign = true;
+    let mut batch_results = true;
+    let mut die_after_units: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -242,6 +281,15 @@ fn worker_main(args: &[String]) -> ExitCode {
             // coordinator so its requeue counter stays exact; standalone
             // fleets keep the default self-healing behaviour.
             "--no-requeue" => requeue_foreign = false,
+            // The legacy one-record-per-unit publishing protocol, for
+            // mixed fleets and the publish-cost benchmark.
+            "--per-unit-results" => batch_results = false,
+            // Fault injection: die (silent lease, no completion marker)
+            // after N units.
+            "--die-after-units" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => die_after_units = Some(n),
+                None => return usage("worker --die-after-units needs a unit count"),
+            },
             a => return usage(&format!("unknown worker flag {a}")),
         }
     }
@@ -252,13 +300,18 @@ fn worker_main(args: &[String]) -> ExitCode {
     cfg.threads = threads;
     cfg.lease_ttl = std::time::Duration::from_millis(lease_ttl_ms.max(1));
     cfg.requeue_foreign = requeue_foreign;
+    cfg.batch_results = batch_results;
+    cfg.die_after_units = die_after_units;
     match widening::distrib::run_worker(&cfg) {
         Ok(summary) => {
             eprintln!(
-                "worker: {} shard(s), {} unit(s), {} result hit(s), {} live stage run(s)",
+                "worker: {} shard(s), {} unit(s), {} result hit(s), {} steal(s) \
+                 ({} stolen unit(s)), {} live stage run(s)",
                 summary.shards_completed,
                 summary.units,
                 summary.result_hits,
+                summary.steals,
+                summary.stolen_units,
                 summary.counts.live_runs(),
             );
             ExitCode::SUCCESS
@@ -386,9 +439,12 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
          [--cache-dir DIR] [--cache-budget BYTES] [--extend N] [--shards N] \
-         <experiment>... | all | list"
+         [--max-workers M] [--chaos-exit-units N] <experiment>... | all | list"
     );
-    eprintln!("       repro worker --queue DIR --cache-dir DIR [--threads N] [--lease-ttl-ms MS]");
+    eprintln!(
+        "       repro worker --queue DIR --cache-dir DIR [--threads N] [--lease-ttl-ms MS] \
+         [--per-unit-results] [--die-after-units N]"
+    );
     eprintln!("       repro cache stat --cache-dir DIR");
     eprintln!("       repro cache gc --keep-generations N --cache-dir DIR");
     eprintln!("experiments: {}", experiments::ALL.join(" "));

@@ -30,7 +30,10 @@ use widening_distrib::{
     run_sweep, CoordinatorConfig, DistribError, Launcher, SpawnContext, SweepManifest, SweepRun,
 };
 use widening_pipeline::codec::ddg_fingerprint;
-use widening_pipeline::exchange::{decode_unit_outcome, unit_result_key, RESULT_KIND};
+use widening_pipeline::exchange::{
+    batch_result_key, decode_unit_batch, decode_unit_outcome, unit_result_key, BATCH_KIND,
+    RESULT_KIND,
+};
 use widening_pipeline::{Exchange, FailureCause, PointSpec, UnitOutcome};
 
 use crate::evaluate::{aggregate, score_eval, CorpusEval, Evaluator, LoopEval};
@@ -38,26 +41,42 @@ use crate::evaluate::{aggregate, score_eval, CorpusEval, Evaluator, LoopEval};
 /// Tuning for a distributed sweep.
 #[derive(Debug, Clone)]
 pub struct DistributedOptions {
-    /// Local workers the coordinator spawns.
+    /// Local workers the coordinator spawns up front.
     pub workers: usize,
+    /// Autoscale ceiling: the coordinator grows the fleet toward this
+    /// while the queue's remaining-priority-mass estimate exceeds the
+    /// per-worker budget. Equal to `workers` (the default) means a
+    /// static fleet.
+    pub max_workers: usize,
     /// Threads per worker for intra-shard fan-out.
     pub worker_threads: usize,
     /// Shards per worker (finer = less work lost per killed worker).
     pub shards_per_worker: usize,
     /// Lease TTL before a silent worker's shard is requeued.
     pub lease_ttl: Duration,
+    /// Whether workers publish per-shard batch result records (the
+    /// default) instead of one file per unit.
+    pub batch_results: bool,
+    /// Fault-injection knob: the first spawned worker abandons its work
+    /// after this many units (no completion marker, silent lease) — the
+    /// CI chaos path. `None` in production.
+    pub chaos_die_after_units: Option<u64>,
 }
 
 impl DistributedOptions {
     /// Defaults for `workers` local workers: one thread each, 4 shards
-    /// per worker, 30 s lease TTL.
+    /// per worker, 30 s lease TTL, batch records, no autoscaling.
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         DistributedOptions {
-            workers: workers.max(1),
+            workers,
+            max_workers: workers,
             worker_threads: 1,
             shards_per_worker: 4,
             lease_ttl: Duration::from_secs(30),
+            batch_results: true,
+            chaos_die_after_units: None,
         }
     }
 }
@@ -128,6 +147,12 @@ pub fn worker_command(exe: PathBuf) -> impl Fn(&SpawnContext) -> Command {
             // The spawning coordinator supervises leases; see the
             // in-process launcher for the same choice.
             .arg("--no-requeue");
+        if !sc.batch_results {
+            cmd.arg("--per-unit-results");
+        }
+        if let Some(limit) = sc.die_after_units {
+            cmd.arg("--die-after-units").arg(limit.to_string());
+        }
         cmd
     }
 }
@@ -155,14 +180,17 @@ pub fn sweep_distributed(
     let loops = eval.loops();
 
     let mut cfg = CoordinatorConfig::new(&cache_dir, opts.workers);
+    cfg.max_workers = opts.max_workers.max(opts.workers);
     cfg.worker_threads = opts.worker_threads.max(1);
     cfg.shards_per_worker = opts.shards_per_worker.max(1);
     cfg.lease_ttl = opts.lease_ttl;
+    cfg.batch_results = opts.batch_results;
+    cfg.chaos_die_after_units = opts.chaos_die_after_units;
     let shard_count = cfg.shard_count(loops.len() * specs.len());
     let manifest = SweepManifest::partition((*loops).clone(), specs.to_vec(), shard_count);
     let run = run_sweep(&manifest, &cfg, launcher)?;
 
-    let (aggregates, fallback_units) = merge_published(eval, specs);
+    let (aggregates, fallback_units) = merge_published(eval, specs, Some(&manifest));
     Ok(DistributedSweep {
         aggregates,
         run,
@@ -175,10 +203,22 @@ pub fn sweep_distributed(
 /// evaluator's aggregate memo. Returns the aggregates in spec order
 /// plus the local-fallback unit count.
 ///
+/// With a `manifest`, the merge consumes **batch result records**
+/// first: one exchange read per shard part replaces one per unit, and
+/// any unit a batch does not cover — a requeued partial shard, a
+/// pre-batch cache, a mixed old/new fleet — falls back to the per-unit
+/// tier and finally to local recompute. Coverage tiers never change
+/// *values* (every record of a unit holds identical bytes), so the
+/// merged aggregates are bitwise-equal whichever tier serves each unit.
+///
 /// Exposed separately so fault-injection tests can drive a queue by
 /// hand and still use the production merge.
 #[must_use]
-pub fn merge_published(eval: &Evaluator, specs: &[PointSpec]) -> (Vec<Arc<CorpusEval>>, usize) {
+pub fn merge_published(
+    eval: &Evaluator,
+    specs: &[PointSpec],
+    manifest: Option<&SweepManifest>,
+) -> (Vec<Arc<CorpusEval>>, usize) {
     let loops = eval.loops();
     let exchange = eval
         .pipeline()
@@ -198,19 +238,44 @@ pub fn merge_published(eval: &Evaluator, specs: &[PointSpec]) -> (Vec<Arc<Corpus
         })
         .collect();
 
+    // The batch tier: unit id → outcome, loaded once per shard part.
+    // Unit ids (and the key lists) are manifest-relative, so the tier
+    // only applies when the evaluator's corpus IS the manifest's corpus
+    // — an evaluator extended (or rebuilt) since the sweep falls back
+    // to the per-unit tier, whose keys are per-loop content addresses
+    // and immune to index drift. A spec absent from the manifest
+    // likewise finds no batch coverage.
+    let manifest = manifest.filter(|m| m.loops == **loops);
+    let mut batched: std::collections::HashMap<u32, UnitOutcome> = std::collections::HashMap::new();
+    if let (Some(man), Some(ex)) = (manifest, exchange.as_ref()) {
+        for shard in 0..man.shards.len() {
+            let keys = man.shard_unit_keys(shard, &fingerprints);
+            for part in [0u8, 1u8] {
+                if let Some(bytes) = ex.get(BATCH_KIND, &batch_result_key(&keys, part)) {
+                    batched.extend(decode_unit_batch(&bytes).unwrap_or_default());
+                }
+            }
+        }
+    }
+
     let mut aggregates = Vec::with_capacity(specs.len());
     let fallbacks = std::sync::atomic::AtomicUsize::new(0);
     for spec in specs {
+        let spec_index = manifest.and_then(|m| m.specs.iter().position(|s| s == spec));
         // Fetch in parallel — tens of thousands of open/verify round
         // trips at paper scale, each paying network latency on a shared
         // filesystem — then fold strictly sequentially in corpus order
         // (the fold order, not the fetch order, is what the bitwise
         // contract constrains).
         let outcomes = widening_pipeline::pool::par_map(loops.len(), eval.threads(), |li| {
-            let published = exchange
-                .as_ref()
-                .and_then(|ex| ex.get(RESULT_KIND, &unit_result_key(fingerprints[li], spec)))
-                .and_then(|bytes| decode_unit_outcome(&bytes));
+            let from_batch =
+                spec_index.and_then(|si| batched.get(&((si * loops.len() + li) as u32)).copied());
+            let published = from_batch.or_else(|| {
+                exchange
+                    .as_ref()
+                    .and_then(|ex| ex.get(RESULT_KIND, &unit_result_key(fingerprints[li], spec)))
+                    .and_then(|bytes| decode_unit_outcome(&bytes))
+            });
             published.unwrap_or_else(|| {
                 // Best-effort publishes can vanish; the merge stays
                 // total by compiling the hole locally (warm in practice

@@ -294,6 +294,13 @@ impl Evaluator {
     /// — a mixed-strategy or mixed-spill-policy sweep (the scheduler
     /// ablation's HRMS/IMS/ASAP pass) runs as one worker-queue batch,
     /// sharing the widening and MII stages across strategies.
+    ///
+    /// Units are handed to the dynamic queue **heaviest design point
+    /// first** ([`widening_cost::sweep_priority`] — the same LPT
+    /// ordering distributed shards use), so a lone worker is never left
+    /// grinding `8w1(32:1)` while the rest idle at the tail. Execution
+    /// order is pure scheduling: aggregates are folded in corpus order
+    /// per point and stay bitwise-identical to any other order.
     #[must_use]
     pub fn sweep_specs(&self, specs: &[PointSpec]) -> Vec<Arc<CorpusEval>> {
         // Only compile points whose aggregate is not already memoized
@@ -309,7 +316,10 @@ impl Evaluator {
                 .copied()
                 .collect()
         };
-        let compiled = self.pipeline.sweep(&missing, self.threads);
+        let order = priority_unit_order(&missing, self.loops().len());
+        let compiled = self
+            .pipeline
+            .sweep_ordered(&missing, self.threads, Some(&order));
         for (spec, artifacts) in missing.iter().zip(compiled) {
             let evaluated: Vec<(LoopEval, f64, f64, f64)> = artifacts
                 .iter()
@@ -358,6 +368,30 @@ impl Evaluator {
             agg
         }
     }
+}
+
+/// The execution order for a flat `(point × corpus)` unit grid:
+/// heaviest design point first by [`widening_cost::sweep_priority`]
+/// (pressure- and width-heavy points lead), ties keeping point input
+/// order, corpus order within a point — the in-process mirror of the
+/// distributed manifest's priority-ordered shards.
+pub(crate) fn priority_unit_order(specs: &[PointSpec], loops: usize) -> Vec<u32> {
+    let mut point_order: Vec<usize> = (0..specs.len()).collect();
+    point_order.sort_by_key(|&pi| {
+        let s = &specs[pi];
+        std::cmp::Reverse(widening_cost::sweep_priority(
+            s.replication,
+            s.width,
+            s.registers,
+        ))
+    });
+    let mut order = Vec::with_capacity(specs.len() * loops);
+    for pi in point_order {
+        for li in 0..loops {
+            order.push((pi * loops + li) as u32);
+        }
+    }
+    order
 }
 
 /// Scores one compiled loop: the outcome plus its weighted cycle and
@@ -589,6 +623,49 @@ mod tests {
         let again = swept.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
         for (a, b) in batch.iter().zip(&again) {
             assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn sweep_order_is_priority_major_and_result_preserving() {
+        // The in-process queue mirrors the distributed shards: the
+        // pressure-starved 8w1(32) point's units lead, the cheap
+        // 1w1(256) trail — and reordering execution changes nothing
+        // about the aggregates, bit for bit.
+        let specs: Vec<PointSpec> = ["1w1(256:1)", "8w1(32:1)", "4w2(64:1)"]
+            .iter()
+            .map(|s| {
+                PointSpec::scheduled(
+                    &s.parse().unwrap(),
+                    CycleModel::Cycles4,
+                    EvalOptions::default(),
+                )
+            })
+            .collect();
+        let n = 7;
+        let order = priority_unit_order(&specs, n);
+        assert_eq!(order.len(), specs.len() * n);
+        // A permutation…
+        let mut seen = vec![false; order.len()];
+        for &u in &order {
+            assert!(!std::mem::replace(&mut seen[u as usize], true));
+        }
+        // …leading with the heaviest point's corpus column, in corpus
+        // order, then the next-heaviest.
+        let expect_first: Vec<u32> = (0..n as u32).map(|li| n as u32 + li).collect();
+        assert_eq!(&order[..n], &expect_first[..], "8w1(32) leads");
+        assert_eq!(order[n] as usize / n, 2, "4w2(64) second");
+        assert_eq!(order[2 * n] as usize / n, 0, "1w1(256) last");
+
+        let loops = corpus::generate(&corpus::CorpusSpec::small(n, 5));
+        let batch = Evaluator::new(loops.clone())
+            .with_threads(4)
+            .sweep_specs(&specs);
+        let single = Evaluator::new(loops);
+        for (spec, got) in specs.iter().zip(&batch) {
+            let want = single.sweep_specs(std::slice::from_ref(spec));
+            assert_eq!(got.total_cycles.to_bits(), want[0].total_cycles.to_bits());
+            assert_eq!(got.per_loop, want[0].per_loop);
         }
     }
 

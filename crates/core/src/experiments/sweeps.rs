@@ -125,7 +125,11 @@ pub fn sweep(ctx: &Context) -> Report {
 /// Runs the sweep grid through the distributed engine: `workers` local
 /// worker processes (the current executable's `worker` subcommand) over
 /// the evaluator's shared cache directory, merged bitwise-equal to the
-/// in-process batch. Returns the reports (sweep table, per-shard
+/// in-process batch. `max_workers` (≥ `workers`) raises the autoscale
+/// ceiling — the coordinator grows the fleet while the queue's
+/// remaining-mass estimate warrants it; `chaos_die_after_units` makes
+/// the first worker abandon its shard mid-flight (the CI fault-
+/// injection knob). Returns the reports (sweep table, per-shard
 /// progress, fleet-summed stage counters) plus the fleet's summed
 /// counters so the caller can fold them into its own `cache:` summary.
 ///
@@ -136,10 +140,14 @@ pub fn sweep(ctx: &Context) -> Report {
 pub fn sweep_distributed_reports(
     ctx: &Context,
     workers: usize,
+    max_workers: Option<usize>,
+    chaos_die_after_units: Option<u64>,
 ) -> Result<(Vec<Report>, StageCounts), String> {
     let specs = sweep_grid_specs();
     let mut opts = DistributedOptions::new(workers);
-    // Split the local thread budget across the fleet.
+    opts.max_workers = max_workers.unwrap_or(opts.workers).max(opts.workers);
+    opts.chaos_die_after_units = chaos_die_after_units;
+    // Split the local thread budget across the baseline fleet.
     opts.worker_threads = (ctx.eval.threads() / opts.workers).max(1);
     let exe = std::env::current_exe().map_err(|e| format!("cannot resolve worker binary: {e}"))?;
     let launch = worker_command(exe);
@@ -151,8 +159,9 @@ pub fn sweep_distributed_reports(
         &result.aggregates,
     );
     table.push_note(format!(
-        "merged from {} workers × {} shard(s); bitwise-equal to the in-process batch",
+        "merged from {} workers (ceiling {}) × {} shard(s); bitwise-equal to the in-process batch",
         opts.workers,
+        opts.max_workers,
         result.run.shard_reports.len(),
     ));
     if result.fallback_units > 0 {
@@ -183,6 +192,7 @@ pub fn shard_table(run: &SweepRun) -> Report {
         "shard",
         "units",
         "result hits",
+        "stolen",
         "live runs",
         "disk hits",
         "schedule runs",
@@ -193,6 +203,7 @@ pub fn shard_table(run: &SweepRun) -> Report {
                 i.to_string(),
                 s.units.to_string(),
                 s.result_hits.to_string(),
+                s.stolen.to_string(),
                 s.counts.live_runs().to_string(),
                 s.counts.disk_hits().to_string(),
                 s.counts.schedule_runs.to_string(),
@@ -204,12 +215,14 @@ pub fn shard_table(run: &SweepRun) -> Report {
                 "?".into(),
                 "?".into(),
                 "?".into(),
+                "?".into(),
             ]),
         }
     }
     r.push_note(format!(
-        "units {} · result hits {} · lease requeues {} · worker respawns {}",
-        run.units, run.result_hits, run.requeues, run.respawns
+        "units {} · result hits {} · stolen {} · lease requeues {} · worker respawns {} · \
+         autoscale spawns {}",
+        run.units, run.result_hits, run.stolen_units, run.requeues, run.respawns, run.scale_ups
     ));
     r
 }

@@ -7,7 +7,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use widening::distrib::{run_on_queue, CoordinatorConfig, JobQueue, Launcher, SweepManifest};
+use widening::distrib::{
+    run_on_queue, run_worker, CoordinatorConfig, JobQueue, Launcher, SweepManifest, WorkerConfig,
+};
 use widening::distributed::{merge_published, sweep_distributed, DistributedOptions};
 use widening::{CorpusEval, EvalOptions, Evaluator};
 use widening_machine::{Configuration, CycleModel};
@@ -123,7 +125,7 @@ fn killed_worker_is_requeued_and_the_merge_stays_bitwise_equal() {
     assert!(queue.is_done(victim), "the victim's shard was reassigned");
     assert!(queue.all_done());
 
-    let (aggregates, fallback) = merge_published(&eval, &specs);
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
     assert_eq!(fallback, 0, "every unit was published despite the kill");
     let reference = Evaluator::new(loops).sweep_specs(&specs);
     for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
@@ -177,13 +179,305 @@ fn real_worker_process_survives_sigkill_via_requeue() {
     assert!(queue.all_done());
     // The kill either left an expired claim (requeued) or a completed
     // shard; both must end in a total, bitwise-equal merge.
-    let (aggregates, _fallback) = merge_published(&eval, &specs);
+    let (aggregates, _fallback) = merge_published(&eval, &specs, Some(&manifest));
     let reference = Evaluator::new(loops).sweep_specs(&specs);
     for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
         assert_bitwise_equal(d, s, &format!("{spec:?}"));
     }
     drop(run);
     let _ = std::fs::remove_dir_all(cache);
+}
+
+/// Counts the published files under one exchange kind of a cache
+/// directory — the on-disk proxy for result-publish syscalls (each file
+/// is one create + write + rename round trip).
+fn published_files(cache: &std::path::Path, kind: &str) -> usize {
+    fn walk(dir: &std::path::Path, count: &mut usize) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, count);
+            } else if path.extension().is_some_and(|e| e == "bin") {
+                *count += 1;
+            }
+        }
+    }
+    let mut count = 0;
+    walk(&cache.join("v1").join(kind), &mut count);
+    count
+}
+
+#[test]
+fn work_stealing_splits_a_big_shard_and_merges_bitwise_equal() {
+    // One big shard, two standalone workers: whoever loses the claim
+    // race steals the surplus tail instead of idling, and the merged
+    // aggregates still match single-process bitwise.
+    let cache = temp_dir("steal");
+    let loops = generate(&CorpusSpec::small(15, 9));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 1);
+    let unit_count = manifest.shards[0].len();
+    let queue_dir = cache.join("queue").join("steal");
+    let _queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    let worker_cfg = |tag: &str| {
+        let mut cfg = WorkerConfig::new(&queue_dir, &cache);
+        cfg.tag = tag.to_string();
+        cfg.lease_ttl = Duration::from_millis(300);
+        cfg.poll = Duration::from_millis(5);
+        cfg.surplus_after = 2;
+        cfg
+    };
+    let (a, b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| run_worker(&worker_cfg("worker-a")).expect("a finishes"));
+        let hb = scope.spawn(|| run_worker(&worker_cfg("worker-b")).expect("b finishes"));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a.shards_completed + b.shards_completed, 1);
+    assert_eq!(a.steals + b.steals, 1, "the idle worker must steal");
+    let stolen = a.stolen_units + b.stolen_units;
+    assert_eq!(stolen, unit_count / 2, "the tail half was stolen");
+
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0);
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn dead_thief_is_reclaimed_by_the_owner_and_merges_bitwise_equal() {
+    // A thief claims the stolen tail and dies silently (SIGKILL
+    // mid-steal): the owner's lease watch must stall out, reclaim the
+    // stolen units itself, and complete the shard — ending in a
+    // bitwise-equal merge.
+    let cache = temp_dir("deadthief");
+    let loops = generate(&CorpusSpec::small(12, 17));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 1);
+    let queue_dir = cache.join("queue").join("deadthief");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    // Stage the theft BEFORE the owner starts: the offer is on disk and
+    // already claimed by a thief that will never heartbeat, so the
+    // owner deterministically skips the tail and must reclaim it.
+    let units = &manifest.shards[0];
+    let split = units.len() / 2;
+    assert!(queue.publish_surplus(0, split as u32, &units[split..]));
+    assert_eq!(
+        queue.claim_steal(0, "doomed-thief").as_deref(),
+        Some(&units[split..])
+    );
+
+    let mut cfg = WorkerConfig::new(&queue_dir, &cache);
+    cfg.lease_ttl = Duration::from_millis(150);
+    cfg.poll = Duration::from_millis(5);
+    let summary = run_worker(&cfg).expect("owner survives the dead thief");
+    assert_eq!(summary.shards_completed, 1);
+    assert!(queue.all_done());
+
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0, "the reclaimed tail was published");
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn chaos_killed_worker_with_autoscaling_still_merges_bitwise_equal() {
+    // The CI chaos path, in-process: worker 0 abandons everything after
+    // a few units (silent lease, no marker); the coordinator requeues
+    // its shard and autoscales extra workers while the remaining-mass
+    // estimate is high. The merge must not care.
+    let cache = temp_dir("chaos");
+    let loops = generate(&CorpusSpec::small(14, 23));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 4);
+    let queue_dir = cache.join("queue").join("chaos");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    let mut cfg = CoordinatorConfig::new(&cache, 1);
+    cfg.max_workers = 3;
+    cfg.mass_per_worker = Some(1); // always worth another pair of hands
+    cfg.lease_ttl = Duration::from_millis(150);
+    cfg.poll = Duration::from_millis(5);
+    cfg.chaos_die_after_units = Some(3);
+    let run = run_on_queue(&queue, &cfg, &Launcher::InProcess).expect("fleet survives chaos");
+    assert!(queue.all_done());
+    assert!(run.scale_ups >= 1, "the fleet must have grown");
+    assert!(
+        run.requeues >= 1,
+        "the chaos victim's shard must be requeued"
+    );
+
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0);
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn undecodable_done_marker_is_requeued_not_merged() {
+    // The fsync satellite's coordinator half: a present-but-garbage
+    // completion marker (what a pre-fsync host crash could leave) must
+    // be treated as incomplete — reset, re-run, replaced by a valid
+    // marker — never folded into the merge.
+    let cache = temp_dir("torn");
+    let loops = generate(&CorpusSpec::small(10, 29));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 3);
+    let queue_dir = cache.join("queue").join("torn");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+    // Shard 1 "completed" on a host that crashed before its data hit
+    // the platter: the marker exists but holds garbage.
+    std::fs::write(queue_dir.join("shard-1.done"), b"\x00\x01torn").expect("inject");
+
+    let mut cfg = CoordinatorConfig::new(&cache, 2);
+    cfg.lease_ttl = Duration::from_millis(150);
+    let run = run_on_queue(&queue, &cfg, &Launcher::InProcess).expect("completes");
+    assert!(run.requeues >= 1, "the torn marker counts as a requeue");
+    let report = run.shard_reports[1].expect("shard 1 re-ran and reported validly");
+    assert_eq!(report.units as usize, manifest.shards[1].len());
+
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0);
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn mixed_batch_and_per_unit_caches_merge_identically() {
+    // A pre-batch cache (per-unit records only) must merge bitwise-
+    // equal with no fallback; a batch-mode fleet over the same cache
+    // replays those records as hits and adds batch records on top —
+    // and the batch-first merge still agrees bit for bit.
+    let cache = temp_dir("mixed");
+    let loops = generate(&CorpusSpec::small(11, 31));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 2);
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+
+    // Legacy fleet: per-unit records only.
+    let legacy_queue = cache.join("queue").join("legacy");
+    let queue = JobQueue::create(&legacy_queue, &manifest).expect("queue");
+    let mut cfg = WorkerConfig::new(&legacy_queue, &cache);
+    cfg.batch_results = false;
+    let summary = run_worker(&cfg).expect("legacy worker");
+    assert_eq!(summary.shards_completed, 2);
+    assert_eq!(published_files(&cache, "batch"), 0, "legacy publishes none");
+    let per_unit_files = published_files(&cache, "result");
+    assert_eq!(per_unit_files, manifest.unit_count());
+    drop(queue);
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0, "per-unit tier alone serves the merge");
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("legacy {spec:?}"));
+    }
+
+    // Batch fleet over the same (mixed) cache: replays the per-unit
+    // records, publishes batch records on top.
+    let batch_queue = cache.join("queue").join("batch");
+    let _ = JobQueue::create(&batch_queue, &manifest).expect("queue");
+    let mut cfg = WorkerConfig::new(&batch_queue, &cache);
+    cfg.batch_results = true;
+    let summary = run_worker(&cfg).expect("batch worker");
+    assert_eq!(summary.result_hits, manifest.unit_count(), "all replayed");
+    assert!(published_files(&cache, "batch") >= 2, "batches published");
+    // A fresh evaluator (cold memo) merging batch-first must agree.
+    let eval2 = Evaluator::new(eval.loops().to_vec()).with_store(StoreConfig::persistent(&cache));
+    let (aggregates, fallback) = merge_published(&eval2, &specs, Some(&manifest));
+    assert_eq!(fallback, 0);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("mixed {spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn stale_manifest_after_extend_falls_back_to_per_unit_tier() {
+    // merge_published with a manifest whose corpus no longer matches
+    // the evaluator's (the PR-3 incremental path grew it since the
+    // sweep) must not mis-index batch records by unit id: the batch
+    // tier is skipped, old loops replay from the per-unit content
+    // addresses, and only the appended loops recompile locally.
+    let cache = temp_dir("stale");
+    let full = generate(&CorpusSpec::small(12, 43));
+    let (initial, appended) = full.split_at(10);
+    let specs = specs();
+    let eval = Evaluator::new(initial.to_vec()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(initial.to_vec(), specs.clone(), 2);
+    // Populate the per-unit tier (and run the fleet) on the old corpus.
+    let legacy_queue = cache.join("queue").join("stale");
+    let _ = JobQueue::create(&legacy_queue, &manifest).expect("queue");
+    let mut cfg = WorkerConfig::new(&legacy_queue, &cache);
+    cfg.batch_results = false;
+    run_worker(&cfg).expect("fleet");
+
+    eval.extend(appended.to_vec());
+    let loops = full.clone();
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    // At most the appended loops recompile (fewer when an appended body
+    // duplicates an existing loop's content address).
+    assert!(
+        fallback <= 2 * specs.len(),
+        "only appended loops may recompile, got {fallback}"
+    );
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("stale {spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn batch_records_cut_publish_files_at_least_tenfold() {
+    // The acceptance bar: on a ≥ 50-unit grid, batch publication must
+    // write ≥ 10× fewer result-tier files (one create+write+rename
+    // syscall round trip each) than the per-unit protocol.
+    let loops = generate(&CorpusSpec::small(15, 41));
+    let specs = specs();
+    let unit_count = loops.len() * specs.len();
+    assert!(unit_count >= 50, "grid too small to be meaningful");
+
+    let run_fleet = |batch: bool, tag: &str| -> usize {
+        let cache = temp_dir(tag);
+        let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 2);
+        let queue_dir = cache.join("queue").join(tag);
+        let _ = JobQueue::create(&queue_dir, &manifest).expect("queue");
+        let mut cfg = WorkerConfig::new(&queue_dir, &cache);
+        cfg.batch_results = batch;
+        let summary = run_worker(&cfg).expect("fleet");
+        assert_eq!(summary.units, unit_count);
+        let files = published_files(&cache, if batch { "batch" } else { "result" });
+        let _ = std::fs::remove_dir_all(cache);
+        files
+    };
+    let per_unit = run_fleet(false, "prunit");
+    let batched = run_fleet(true, "pbatch");
+    assert_eq!(per_unit, unit_count);
+    assert!(
+        per_unit >= 10 * batched.max(1),
+        "batching must cut publishes ≥ 10×: {per_unit} per-unit vs {batched} batch files"
+    );
+    let _ = (per_unit, batched);
 }
 
 #[test]

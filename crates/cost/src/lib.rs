@@ -56,7 +56,7 @@ mod timing;
 pub use area::AreaModel;
 pub use cell::{CellGeometry, CellModel};
 pub use model::{CostModel, DesignPoint, IMPLEMENTABLE_BUDGET};
-pub use priority::{configuration_priority, sweep_priority};
+pub use priority::{configuration_priority, sweep_mass, sweep_priority};
 pub use published::{PublishedAccessTime, PublishedCell, ACCESS_TIMES, CELLS};
 pub use sia::Technology;
 pub use timing::TimingModel;

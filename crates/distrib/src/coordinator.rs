@@ -1,13 +1,29 @@
 //! The sweep coordinator: writes the queue, spawns local workers,
-//! supervises leases, and collects per-shard reports.
+//! supervises leases, autoscales the fleet, and collects per-shard
+//! reports.
 //!
 //! The coordinator owns no results — workers publish everything into
 //! the shared store — so its job is purely liveness: partition the grid
 //! ([`crate::SweepManifest::partition`]), get `workers` processes (or
-//! threads) running against the queue, requeue shards whose leases
-//! expire (the killed-worker path), and respawn a worker if the whole
-//! fleet dies. When every shard carries a completion marker the sweep
-//! is merge-ready.
+//! threads) running against the queue, requeue shards whose lease
+//! counters stall (the killed-worker path — clock-skew-proof, see
+//! [`crate::queue`]), validate completion markers as they appear
+//! (an undecodable marker is *incomplete*: the shard is reset and
+//! requeued, never merged as garbage), grow the fleet while the
+//! remaining-priority-mass estimate says the tail is worth more hands
+//! (up to [`CoordinatorConfig::max_workers`]), and respawn a worker if
+//! the whole fleet dies. When every shard carries a validated
+//! completion marker the sweep is merge-ready.
+//!
+//! **Autoscaling** reads the same lease stamps the stall detector does:
+//! every owner heartbeats the `sweep_priority` mass of its unprocessed
+//! units into its claim (thieves likewise into their steal files), and
+//! unclaimed shards count at their static manifest mass. While
+//! `estimated mass > mass_per_worker × live workers` and the fleet is
+//! under `max_workers`, the coordinator spawns one more worker per
+//! supervision tick; workers retire themselves when the queue drains
+//! (a worker exits once every shard is complete), so scale-down needs
+//! no protocol at all.
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -17,7 +33,7 @@ use std::time::Duration;
 use widening_pipeline::StageCounts;
 
 use crate::manifest::SweepManifest;
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, LeaseObserver, MASS_UNKNOWN};
 use crate::worker::{run_worker, ShardReport, WorkerConfig, WorkerSummary};
 use crate::DistribError;
 
@@ -27,8 +43,17 @@ pub struct CoordinatorConfig {
     /// The shared cache directory (artifact + result exchange). The
     /// queue directory is created under `<cache_dir>/queue/`.
     pub cache_dir: PathBuf,
-    /// Local workers to spawn.
+    /// Local workers to spawn up front.
     pub workers: usize,
+    /// Fleet ceiling for autoscaling. Equal to `workers` (the default)
+    /// ⇒ a static fleet.
+    pub max_workers: usize,
+    /// Autoscale threshold: another worker is spawned while the
+    /// remaining-mass estimate exceeds `mass_per_worker × live
+    /// workers`. `None` derives a threshold from the manifest's total
+    /// mass and `max_workers` so a freshly-queued big grid scales to
+    /// the ceiling and a nearly-drained one does not.
+    pub mass_per_worker: Option<u64>,
     /// Worker threads each worker uses for intra-shard fan-out.
     pub worker_threads: usize,
     /// Shards per worker (finer shards = less work lost per kill, more
@@ -41,23 +66,34 @@ pub struct CoordinatorConfig {
     pub poll: Duration,
     /// Workers the coordinator may respawn after the whole fleet died.
     pub max_respawns: usize,
+    /// Whether workers buffer and publish batch result records (the
+    /// default) instead of one per-unit record per unit.
+    pub batch_results: bool,
+    /// Fault-injection hook: the *first* spawned worker abandons its
+    /// work (no completion marker, lease goes silent) after this many
+    /// units — the CI chaos knob. `None` in production.
+    pub chaos_die_after_units: Option<u64>,
 }
 
 impl CoordinatorConfig {
     /// A fleet of `workers` over `cache_dir` with defaults: one thread
-    /// per worker, 4 shards per worker, 30 s lease TTL, 20 ms poll, and
-    /// as many respawns as workers.
+    /// per worker, 4 shards per worker, 30 s lease TTL, 20 ms poll, as
+    /// many respawns as workers, batch results, no autoscaling.
     #[must_use]
     pub fn new(cache_dir: impl Into<PathBuf>, workers: usize) -> Self {
         let workers = workers.max(1);
         CoordinatorConfig {
             cache_dir: cache_dir.into(),
             workers,
+            max_workers: workers,
+            mass_per_worker: None,
             worker_threads: 1,
             shards_per_worker: 4,
             lease_ttl: Duration::from_secs(30),
             poll: Duration::from_millis(20),
             max_respawns: workers,
+            batch_results: true,
+            chaos_die_after_units: None,
         }
     }
 
@@ -69,12 +105,27 @@ impl CoordinatorConfig {
             .min(units)
             .max(1)
     }
+
+    /// The autoscale threshold in effect for a manifest: the explicit
+    /// [`CoordinatorConfig::mass_per_worker`], or half the manifest's
+    /// mean per-ceiling-worker mass — so a full queue scales out to
+    /// `max_workers` and a mostly-drained one stops asking for hands.
+    #[must_use]
+    pub fn effective_mass_per_worker(&self, manifest: &SweepManifest) -> u64 {
+        self.mass_per_worker.unwrap_or_else(|| {
+            let total: u64 = (0..manifest.shards.len())
+                .map(|s| manifest.shard_mass(s))
+                .fold(0, u64::saturating_add);
+            (total / (2 * self.max_workers.max(1) as u64)).max(1)
+        })
+    }
 }
 
 /// Everything a launcher needs to start worker `index` against a queue.
 #[derive(Debug, Clone)]
 pub struct SpawnContext {
-    /// Worker index (respawns continue the numbering).
+    /// Worker index (autoscaled and respawned workers continue the
+    /// numbering).
     pub index: usize,
     /// The queue directory.
     pub queue_dir: PathBuf,
@@ -84,6 +135,11 @@ pub struct SpawnContext {
     pub threads: usize,
     /// Lease TTL the worker should assume.
     pub lease_ttl: Duration,
+    /// Whether the worker should publish batch result records.
+    pub batch_results: bool,
+    /// Chaos hook: abandon after this many units (fault-injection runs
+    /// set it on worker 0 only).
+    pub die_after_units: Option<u64>,
 }
 
 /// How the coordinator materializes a worker.
@@ -114,11 +170,16 @@ pub struct SweepRun {
     pub units: u64,
     /// Units served straight from the result tier.
     pub result_hits: u64,
-    /// Expired leases the coordinator requeued (≥ 1 whenever a worker
-    /// was killed mid-shard).
+    /// Units completed by thieves via work stealing.
+    pub stolen_units: u64,
+    /// Stalled leases the coordinator requeued (≥ 1 whenever a worker
+    /// was killed mid-shard), including shards reset because their
+    /// completion marker failed to decode.
     pub requeues: u64,
     /// Workers respawned after the fleet died entirely.
     pub respawns: u64,
+    /// Workers added by autoscaling (beyond the initial fleet).
+    pub scale_ups: u64,
 }
 
 enum Handle {
@@ -178,6 +239,10 @@ fn spawn(
                 // out of it makes `SweepRun::requeues` exact.
                 requeue_foreign: false,
                 tag: format!("inproc-{}-{}", std::process::id(), ctx.index),
+                batch_results: ctx.batch_results,
+                steal: true,
+                surplus_after: 8,
+                die_after_units: ctx.die_after_units,
             };
             Ok(Handle::Thread(std::thread::spawn(move || run_worker(&cfg))))
         }
@@ -227,26 +292,40 @@ pub fn run_sweep(
 }
 
 /// Drives an existing queue to completion: spawns the fleet, requeues
-/// expired leases, respawns through total fleet loss, and collects the
-/// shard reports. The queue directory is left in place (the
-/// fault-injection tests pre-claim shards on it).
+/// stalled leases and undecodable completion markers, autoscales while
+/// the remaining-mass estimate warrants it, respawns through total
+/// fleet loss, and collects the shard reports. The queue directory is
+/// left in place (the fault-injection tests pre-claim shards on it).
 ///
 /// # Errors
 ///
 /// [`DistribError::Io`] when a worker cannot be spawned;
-/// [`DistribError::WorkersExhausted`] when the fleet died more times
-/// than [`CoordinatorConfig::max_respawns`] with shards outstanding.
+/// [`DistribError::QueueUnreadable`] when the queue directory holds no
+/// manifest; [`DistribError::WorkersExhausted`] when the fleet died
+/// more times than [`CoordinatorConfig::max_respawns`] with shards
+/// outstanding.
 pub fn run_on_queue(
     queue: &JobQueue,
     cfg: &CoordinatorConfig,
     launcher: &Launcher<'_>,
 ) -> Result<SweepRun, DistribError> {
+    let manifest = JobQueue::open(queue.root())
+        .map(|(_, m)| m)
+        .ok_or_else(|| DistribError::QueueUnreadable(queue.root().to_path_buf()))?;
+    let shard_masses: Vec<u64> = (0..queue.shard_count())
+        .map(|s| manifest.shard_mass(s))
+        .collect();
+    let mass_per_worker = cfg.effective_mass_per_worker(&manifest);
+    let max_workers = cfg.max_workers.max(cfg.workers).max(1);
+
     let ctx_for = |index: usize| SpawnContext {
         index,
         queue_dir: queue.root().to_path_buf(),
         cache_dir: cfg.cache_dir.clone(),
         threads: cfg.worker_threads.max(1),
         lease_ttl: cfg.lease_ttl,
+        batch_results: cfg.batch_results,
+        die_after_units: cfg.chaos_die_after_units.filter(|_| index == 0),
     };
     // An aborted sweep must not orphan the workers it already started:
     // kill and reap spawned processes before surfacing the error (the
@@ -264,14 +343,50 @@ pub fn run_on_queue(
             Err(e) => return Err(abort_fleet(handles, e)),
         }
     }
+    let mut observer = LeaseObserver::new();
+    let mut validated: Vec<bool> = vec![false; queue.shard_count()];
     let mut requeues = 0u64;
     let mut respawns = 0u64;
+    let mut scale_ups = 0u64;
     let mut next_index = handles.len();
-    while !queue.all_done() {
-        requeues += queue.requeue_expired(cfg.lease_ttl) as u64;
-        if !handles.iter_mut().any(Handle::is_alive) {
+    loop {
+        // A present-but-undecodable done marker (a torn write from a
+        // crashed pre-fsync host, corruption at rest) must never be
+        // merged as "complete": reset the shard so it requeues. The
+        // published unit results survive in the store — the re-run is
+        // mostly result-tier hits.
+        for (shard, valid) in validated.iter_mut().enumerate() {
+            if *valid || !queue.is_done(shard) {
+                continue;
+            }
+            match queue
+                .completion(shard)
+                .and_then(|b| ShardReport::decode(&b))
+            {
+                Some(_) => *valid = true,
+                None => {
+                    if queue.invalidate_done(shard) {
+                        requeues += 1;
+                    }
+                }
+            }
+        }
+        // Exit only when every shard is done AND its marker passed
+        // validation *this side* of appearing — a marker that landed
+        // after the pass above waits one tick for its own decode, so
+        // an undecodable marker can never slip out as "complete".
+        if queue.all_done() && validated.iter().all(|&v| v) {
+            break;
+        }
+        requeues += queue.requeue_expired(&mut observer, cfg.lease_ttl) as u64;
+        let live = handles
+            .iter_mut()
+            .map(Handle::is_alive)
+            .filter(|&alive| alive)
+            .count();
+        if live == 0 {
             if queue.all_done() {
-                break;
+                continue; // markers present; validate before exiting
             }
             if respawns as usize >= cfg.max_respawns {
                 return Err(abort_fleet(
@@ -281,7 +396,7 @@ pub fn run_on_queue(
                     },
                 ));
             }
-            // Replacements start with expired foreign claims already
+            // Replacements start with stalled foreign claims already
             // released above, so they pick the dead fleet's work up.
             respawns += 1;
             match spawn(launcher, &ctx_for(next_index), cfg.poll) {
@@ -289,6 +404,18 @@ pub fn run_on_queue(
                 Err(e) => return Err(abort_fleet(handles, e)),
             }
             next_index += 1;
+        } else if live < max_workers {
+            // Autoscale: one more pair of hands per tick while the
+            // estimated remaining mass exceeds the per-worker budget.
+            let mass = remaining_mass_estimate(queue, &shard_masses);
+            if mass > mass_per_worker.saturating_mul(live as u64) {
+                scale_ups += 1;
+                match spawn(launcher, &ctx_for(next_index), cfg.poll) {
+                    Ok(h) => handles.push(h),
+                    Err(e) => return Err(abort_fleet(handles, e)),
+                }
+                next_index += 1;
+            }
         }
         std::thread::sleep(cfg.poll);
     }
@@ -302,8 +429,10 @@ pub fn run_on_queue(
         worker_counts: StageCounts::zero(),
         units: 0,
         result_hits: 0,
+        stolen_units: 0,
         requeues,
         respawns,
+        scale_ups,
     };
     for shard in 0..queue.shard_count() {
         let report = queue
@@ -313,8 +442,33 @@ pub fn run_on_queue(
             run.worker_counts = run.worker_counts.plus(&r.counts);
             run.units += u64::from(r.units);
             run.result_hits += u64::from(r.result_hits);
+            run.stolen_units += u64::from(r.stolen);
         }
         run.shard_reports.push(report);
     }
     Ok(run)
+}
+
+/// The queue's remaining-work estimate: per shard, a validated done
+/// marker counts zero, a live claim counts its last heartbeat's mass
+/// stamp (plus any thief's), and an unclaimed shard counts its static
+/// manifest mass. Fresh claims that have not heartbeated yet
+/// ([`MASS_UNKNOWN`]) fall back to the static estimate too.
+fn remaining_mass_estimate(queue: &JobQueue, shard_masses: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for (shard, &static_mass) in shard_masses.iter().enumerate() {
+        if queue.is_done(shard) {
+            continue;
+        }
+        let owner = match queue.read_claim(shard) {
+            Some(stamp) if stamp.mass != MASS_UNKNOWN => stamp.mass,
+            Some(_) | None => static_mass,
+        };
+        let thief = match queue.read_steal(shard) {
+            Some(stamp) if stamp.mass != MASS_UNKNOWN => stamp.mass,
+            _ => 0,
+        };
+        total = total.saturating_add(owner).saturating_add(thief);
+    }
+    total
 }

@@ -15,25 +15,41 @@
 //!   first) and dealt round-robin, so no shard is left holding all the
 //!   spill-engine-bound stragglers — the LPT trick that cuts tail
 //!   latency;
-//! * a filesystem [`JobQueue`] with **atomic claim files and
-//!   lease-expiry requeue**: workers claim shards via `create_new`,
-//!   renew their lease on every unit, and a shard whose worker died
-//!   (claim file gone stale) is requeued for the survivors. Duplicate
+//! * a filesystem [`JobQueue`] with **atomic claim files, monotonic
+//!   counter leases and lease-stall requeue**: workers claim shards via
+//!   `create_new` and heartbeat a monotonic counter (plus a
+//!   remaining-priority-mass estimate) into the claim file; a shard
+//!   whose counter stops advancing across a TTL observation window —
+//!   on the *observer's* monotonic clock, immune to cross-host
+//!   wall-clock skew — is requeued for the survivors. Duplicate
 //!   execution after a requeue race is *idempotent by construction*,
 //!   because results are content-addressed — two workers publishing the
-//!   same unit write identical bytes under identical keys;
+//!   same unit write identical bytes under identical keys. The same
+//!   queue carries the **work-stealing** protocol: owners offer the
+//!   tail half of a big shard's priority-ordered unit list as a
+//!   write-once *surplus*, and an idle worker claims it atomically,
+//!   heartbeats its own steal lease, and completes the stolen units
+//!   with a durable sub-report the owner folds in;
 //! * a [`coordinator`](run_sweep) that writes the queue, spawns local
 //!   workers (in-process threads for tests and benches, real
 //!   `repro worker` processes from the CLI), supervises leases,
-//!   respawns a worker if the whole fleet dies, and collects per-shard
-//!   progress reports ([`ShardReport`]) whose stage counters fold into
-//!   the existing counter tables.
+//!   validates completion markers (an undecodable marker requeues its
+//!   shard instead of merging garbage), **autoscales** the fleet while
+//!   the lease stamps' remaining-mass estimate exceeds a per-worker
+//!   budget (up to `max_workers`; workers retire themselves when the
+//!   queue drains), respawns a worker if the whole fleet dies, and
+//!   collects per-shard progress reports ([`ShardReport`]) whose stage
+//!   counters fold into the existing counter tables.
 //!
-//! Workers publish one [`widening_pipeline::UnitOutcome`] per unit into
-//! the shared store's result tier ([`widening_pipeline::Exchange`]);
-//! the *merge* of those records into corpus aggregates lives with the
-//! evaluator (the `widening` crate), which guarantees the fold is
-//! bitwise-equal to a single-process `Evaluator::sweep`.
+//! Workers buffer their units' [`widening_pipeline::UnitOutcome`]s and
+//! publish **one batch result record per shard** (or per stolen
+//! sub-shard) into the shared store's result tier
+//! ([`widening_pipeline::Exchange`]), keyed by the shard's
+//! unit-key-list hash — ~50× fewer publish syscalls than the per-unit
+//! tier, which remains as the compatibility fallback. The *merge* of
+//! those records into corpus aggregates lives with the evaluator (the
+//! `widening` crate), which guarantees the fold is bitwise-equal to a
+//! single-process `Evaluator::sweep`.
 //!
 //! The only shared medium is the cache directory: coordinator and
 //! workers never talk over sockets, so "distributed" degrades gracefully
@@ -52,7 +68,7 @@ pub use coordinator::{
     run_on_queue, run_sweep, CoordinatorConfig, Launcher, SpawnContext, SweepRun,
 };
 pub use manifest::SweepManifest;
-pub use queue::JobQueue;
+pub use queue::{JobQueue, LeaseObserver, LeaseStamp, LeaseWatch, MASS_UNKNOWN};
 pub use worker::{run_worker, ShardReport, WorkerConfig, WorkerSummary};
 
 use std::fmt;

@@ -1,10 +1,10 @@
 //! The sweep manifest: the frozen inputs of one distributed parameter
 //! study, plus its priority-ordered sharding of the unit grid.
 
-use widening_cost::sweep_priority;
+use widening_cost::{sweep_mass, sweep_priority};
 use widening_ir::{Loop, LoopBuilder};
 use widening_pipeline::codec::{self, Reader, Writer};
-use widening_pipeline::exchange::{decode_point_spec, encode_point_spec};
+use widening_pipeline::exchange::{decode_point_spec, encode_point_spec, unit_result_key};
 use widening_pipeline::PointSpec;
 
 /// Bump on any change to the manifest encoding: stale queues then read
@@ -86,6 +86,44 @@ impl SweepManifest {
     #[must_use]
     pub fn spec_of(&self, unit: u32) -> usize {
         unit as usize / self.loops.len()
+    }
+
+    /// The compile-cost priority of one unit
+    /// ([`widening_cost::sweep_priority`] of its design point).
+    #[must_use]
+    pub fn unit_priority(&self, unit: u32) -> u64 {
+        let spec = &self.specs[self.spec_of(unit)];
+        sweep_priority(spec.replication, spec.width, spec.registers)
+    }
+
+    /// The total priority mass of an arbitrary unit list (a shard, a
+    /// stolen tail, a suffix of either) — the remaining-work estimate
+    /// lease stamps and the autoscaler trade in.
+    #[must_use]
+    pub fn units_mass(&self, units: &[u32]) -> u64 {
+        sweep_mass(units.iter().map(|&u| {
+            let spec = &self.specs[self.spec_of(u)];
+            (spec.replication, spec.width, spec.registers)
+        }))
+    }
+
+    /// The static priority mass of one shard's full unit list.
+    #[must_use]
+    pub fn shard_mass(&self, shard: usize) -> u64 {
+        self.units_mass(&self.shards[shard])
+    }
+
+    /// The content-addressed result key of every unit in a shard's
+    /// list, in list order — the material both batch publication and
+    /// the batch-consuming merge derive their record keys from.
+    /// `fingerprints` is the per-loop graph fingerprint table, parallel
+    /// to [`SweepManifest::loops`].
+    #[must_use]
+    pub fn shard_unit_keys(&self, shard: usize, fingerprints: &[u128]) -> Vec<Vec<u8>> {
+        self.shards[shard]
+            .iter()
+            .map(|&u| unit_result_key(fingerprints[self.loop_of(u)], &self.specs[self.spec_of(u)]))
+            .collect()
     }
 
     /// Content fingerprint of the whole manifest (used to name queue

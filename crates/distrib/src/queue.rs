@@ -1,13 +1,21 @@
-//! The filesystem job queue: atomic shard claims, mtime leases,
-//! lease-expiry requeue and durable completion markers.
+//! The filesystem job queue: atomic shard claims, **monotonic
+//! counter leases**, lease-stall requeue, work-stealing surplus/steal
+//! markers and durable completion markers.
 //!
 //! Layout of a queue directory:
 //!
 //! ```text
-//! <queue>/manifest.bin      the SweepManifest (atomic temp+rename)
-//! <queue>/shard-<i>.claim   exists ⇒ shard i is claimed; mtime = lease
-//! <queue>/shard-<i>.done    exists ⇒ shard i is complete; payload =
-//!                           the worker's encoded ShardReport
+//! <queue>/manifest.bin       the SweepManifest (atomic temp+rename)
+//! <queue>/shard-<i>.claim    exists ⇒ shard i is claimed; payload =
+//!                            a lease stamp (heartbeat counter +
+//!                            remaining-priority-mass estimate)
+//! <queue>/shard-<i>.surplus  the owner's steal offer: the tail half
+//!                            of the shard's unit list, write-once
+//! <queue>/shard-<i>.steal    exists ⇒ a thief owns the surplus units;
+//!                            payload = the thief's lease stamp
+//! <queue>/shard-<i>.sub.done the thief's encoded sub-shard report
+//! <queue>/shard-<i>.done     exists ⇒ shard i is complete; payload =
+//!                            the worker's encoded ShardReport
 //! ```
 //!
 //! The protocol needs nothing but POSIX rename/create-new atomicity, so
@@ -15,30 +23,160 @@
 //!
 //! * **claim** — `O_CREAT|O_EXCL` on the claim file; exactly one worker
 //!   wins a shard;
-//! * **lease** — the claim file's mtime, refreshed by the owner after
-//!   every unit. A claim older than the lease TTL with no completion
-//!   marker means its worker died mid-shard;
-//! * **requeue** — anyone (coordinator or an idle worker) may delete an
-//!   expired claim; the next `claim_next` scan re-claims the shard;
-//! * **complete** — the report is written to a temp file and renamed,
-//!   so a completion marker is always whole.
+//! * **lease** — a *monotonic heartbeat counter* inside the claim file,
+//!   rewritten (atomic temp+rename) by the owner on a TTL/4 cadence. A
+//!   lease is live while its counter keeps advancing and **expired**
+//!   when the counter fails to advance across a TTL observation window
+//!   measured on the *observer's own monotonic clock*
+//!   ([`LeaseObserver`]). No wall clock is ever compared across hosts:
+//!   a claim stamped by a clock-skewed host — mtime in the future,
+//!   counter absurdly large — expires exactly like any other once it
+//!   stops advancing. (The previous protocol compared claim-file mtimes
+//!   against the observer's wall clock; a skew-ahead host's claim then
+//!   read as never-expiring and wedged the sweep on a dead worker.)
+//! * **requeue** — anyone holding a [`LeaseObserver`] (the coordinator,
+//!   or an idle worker) may delete a stalled claim; the next
+//!   `claim_next` scan re-claims the shard;
+//! * **steal** — the owner of a large shard publishes the tail half of
+//!   its priority-ordered unit list as a write-once *surplus* marker;
+//!   an idle worker claims it with `O_CREAT|O_EXCL` on the steal file
+//!   and heartbeats its own counter into that file while it works the
+//!   stolen units, completing them with a durable sub-shard report;
+//! * **complete** — reports are written to a temp file, `fsync`ed and
+//!   renamed, so a completion marker is always whole *and durable*: a
+//!   host crash right after the rename can no longer surface an empty
+//!   or truncated marker. A marker that still fails to decode (torn by
+//!   an older writer, corrupted at rest) is treated by the coordinator
+//!   as **incomplete** — [`JobQueue::invalidate_done`] resets the shard
+//!   for requeue instead of merging garbage.
 //!
 //! Races are resolved by idempotency, not locking: if a presumed-dead
 //! worker was merely slow, two workers may process one shard — but unit
 //! results are content-addressed in the shared store, so both publish
 //! identical bytes under identical keys and the merge cannot tell the
-//! difference. (Clock skew between hosts sharing a directory can cause
-//! such spurious requeues; they cost duplicate work, never wrong
-//! results.)
+//! difference. Spurious requeues and late steals cost duplicate work,
+//! never wrong results.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use widening_pipeline::codec::{self, Reader, Writer};
 
 use crate::manifest::SweepManifest;
 
 const MANIFEST_FILE: &str = "manifest.bin";
+
+/// Magic + version prefix of a lease stamp (claim / steal files).
+const LEASE_MAGIC: [u8; 4] = *b"WLSE";
+const LEASE_VERSION: u32 = 1;
+
+/// Magic + version prefix of a surplus (steal-offer) marker.
+const SURPLUS_MAGIC: [u8; 4] = *b"WSUR";
+const SURPLUS_VERSION: u32 = 1;
+
+/// Remaining-mass value meaning "not measured yet" (a claim stamped at
+/// creation, before the owner's first heartbeat). Consumers fall back
+/// to the manifest's static estimate.
+pub const MASS_UNKNOWN: u64 = u64::MAX;
+
+/// One heartbeat observation: the monotonic counter a lease owner keeps
+/// advancing, plus its current remaining-work estimate (the
+/// `sweep_priority` mass of units not yet processed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseStamp {
+    /// Monotonic heartbeat counter. Only *advancement* carries meaning;
+    /// the absolute value never does (a future-stamped counter from a
+    /// skewed or restarted host is indistinguishable from any other
+    /// starting point).
+    pub counter: u64,
+    /// Remaining `sweep_priority` mass behind this lease, or
+    /// [`MASS_UNKNOWN`].
+    pub mass: u64,
+}
+
+impl LeaseStamp {
+    fn encode(&self, tag: &str) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&LEASE_MAGIC);
+        w.u32(LEASE_VERSION);
+        w.u64(self.counter);
+        w.u64(self.mass);
+        w.bytes(tag.as_bytes());
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != LEASE_MAGIC || r.u32()? != LEASE_VERSION {
+            return None;
+        }
+        Some(LeaseStamp {
+            counter: r.u64()?,
+            mass: r.u64()?,
+        })
+    }
+}
+
+/// Stall detector for one lease file, on the observer's own monotonic
+/// clock. Feed it observations; it reports expiry when the observed
+/// value stops changing for longer than the TTL.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LeaseWatch {
+    last: Option<(u64, Instant)>,
+}
+
+impl LeaseWatch {
+    /// A watch with no observation yet.
+    #[must_use]
+    pub fn new() -> Self {
+        LeaseWatch::default()
+    }
+
+    /// Feeds one observation (any stable digest of the lease file —
+    /// usually the heartbeat counter; a raw-byte hash for files that do
+    /// not parse, so garbage still expires when it sits still). Returns
+    /// `true` when the value has not changed across a window longer
+    /// than `ttl` on this observer's monotonic clock.
+    pub fn observe(&mut self, value: u64, ttl: Duration) -> bool {
+        let now = Instant::now();
+        match self.last {
+            Some((prev, since)) if prev == value => now.duration_since(since) > ttl,
+            _ => {
+                self.last = Some((value, now));
+                false
+            }
+        }
+    }
+
+    /// Forgets the observation history (the watched file vanished or
+    /// was reset).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Per-shard [`LeaseWatch`]es for a whole queue: the state an observer
+/// (coordinator or idle worker) threads through repeated
+/// [`JobQueue::requeue_expired`] calls. Clock-skew-proof by
+/// construction — nothing in here ever reads a file mtime or compares
+/// wall clocks across hosts.
+#[derive(Debug, Default)]
+pub struct LeaseObserver {
+    claims: HashMap<usize, LeaseWatch>,
+}
+
+impl LeaseObserver {
+    /// A fresh observer with no history. The first TTL window after
+    /// construction never expires anything — stalls must be *observed*,
+    /// not inferred from on-disk state of unknown age.
+    #[must_use]
+    pub fn new() -> Self {
+        LeaseObserver::default()
+    }
+}
 
 /// A handle on one sweep's queue directory. Cheap to clone.
 #[derive(Debug, Clone)]
@@ -58,7 +196,7 @@ impl JobQueue {
     pub fn create(root: impl Into<PathBuf>, manifest: &SweepManifest) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        atomic_write(&root, MANIFEST_FILE, &manifest.encode())?;
+        atomic_write(&root, MANIFEST_FILE, &manifest.encode(), true)?;
         Ok(JobQueue {
             root,
             shard_count: manifest.shards.len(),
@@ -99,12 +237,29 @@ impl JobQueue {
         self.root.join(format!("shard-{shard}.done"))
     }
 
+    fn surplus_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}.surplus"))
+    }
+
+    fn steal_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}.steal"))
+    }
+
+    fn sub_done_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}.sub.done"))
+    }
+
     /// Atomically claims the lowest-numbered unclaimed, incomplete
-    /// shard, stamping `tag` (diagnostic only) into the claim file.
-    /// `None` when every shard is claimed or done — which does **not**
-    /// mean the sweep is finished: a claim may yet expire and return.
+    /// shard, stamping an initial lease (counter 0, mass unknown) plus
+    /// `tag` (diagnostic only) into the claim file. `None` when every
+    /// shard is claimed or done — which does **not** mean the sweep is
+    /// finished: a claim may yet stall and return.
     #[must_use]
     pub fn claim_next(&self, tag: &str) -> Option<usize> {
+        let initial = LeaseStamp {
+            counter: 0,
+            mass: MASS_UNKNOWN,
+        };
         for shard in 0..self.shard_count {
             if self.is_done(shard) {
                 continue;
@@ -112,25 +267,34 @@ impl JobQueue {
             let mut opts = fs::OpenOptions::new();
             opts.write(true).create_new(true);
             if let Ok(mut f) = opts.open(self.claim_path(shard)) {
-                let _ = f.write_all(tag.as_bytes());
+                let _ = f.write_all(&initial.encode(tag));
                 return Some(shard);
             }
         }
         None
     }
 
-    /// Refreshes the lease on a claimed shard (rewrites the claim file,
-    /// updating its mtime). If the claim was requeued from under a slow
-    /// owner this quietly re-creates it — harmless, see the module
-    /// documentation on idempotency.
-    pub fn renew_lease(&self, shard: usize, tag: &str) {
-        let _ = fs::write(self.claim_path(shard), tag.as_bytes());
+    /// Renews the lease on a claimed shard: atomically rewrites the
+    /// claim file with the owner's next heartbeat stamp. If the claim
+    /// was requeued from under a slow owner this quietly re-creates it
+    /// — harmless, see the module documentation on idempotency.
+    pub fn renew_lease(&self, shard: usize, tag: &str, stamp: LeaseStamp) {
+        let name = format!("shard-{shard}.claim");
+        let _ = atomic_write(&self.root, &name, &stamp.encode(tag), false);
+    }
+
+    /// The last lease stamp written for a shard's claim, if the claim
+    /// exists and parses.
+    #[must_use]
+    pub fn read_claim(&self, shard: usize) -> Option<LeaseStamp> {
+        LeaseStamp::decode(&fs::read(self.claim_path(shard)).ok()?)
     }
 
     /// Marks a shard complete, durably publishing the worker's encoded
-    /// report. Atomic: readers see either no marker or a whole one.
+    /// report. Atomic and fsynced: readers see either no marker or a
+    /// whole one, even across a host crash.
     pub fn complete(&self, shard: usize, report: &[u8]) {
-        let _ = atomic_write(&self.root, &format!("shard-{shard}.done"), report);
+        let _ = atomic_write(&self.root, &format!("shard-{shard}.done"), report, true);
     }
 
     /// Whether a shard has a completion marker.
@@ -143,6 +307,23 @@ impl JobQueue {
     #[must_use]
     pub fn completion(&self, shard: usize) -> Option<Vec<u8>> {
         fs::read(self.done_path(shard)).ok()
+    }
+
+    /// Resets a shard whose completion marker failed to decode (torn by
+    /// a pre-fsync writer, corrupted at rest): removes the marker and
+    /// every claim/steal artifact so the shard re-enters the claimable
+    /// pool. The published unit results are content-addressed and
+    /// survive — the re-run is mostly result-tier hits. Returns whether
+    /// a marker was actually removed.
+    pub fn invalidate_done(&self, shard: usize) -> bool {
+        let removed = fs::remove_file(self.done_path(shard)).is_ok();
+        if removed {
+            let _ = fs::remove_file(self.claim_path(shard));
+            let _ = fs::remove_file(self.steal_path(shard));
+            let _ = fs::remove_file(self.surplus_path(shard));
+            let _ = fs::remove_file(self.sub_done_path(shard));
+        }
+        removed
     }
 
     /// Whether every shard is complete.
@@ -166,35 +347,176 @@ impl JobQueue {
         (0..self.shard_count).filter(|&s| !self.is_done(s)).count()
     }
 
-    /// Requeues every claimed, incomplete shard whose lease is older
-    /// than `ttl` (its worker stopped renewing — killed, hung or
-    /// unreachable). Returns how many claims were released.
-    pub fn requeue_expired(&self, ttl: Duration) -> usize {
+    /// Requeues every claimed, incomplete shard whose lease counter has
+    /// failed to advance across a full `ttl` window of `observer`'s
+    /// monotonic clock (its worker stopped heartbeating — killed, hung
+    /// or unreachable). Wall-clock skew between hosts is irrelevant:
+    /// only counter movement is compared, never timestamps. Returns how
+    /// many claims were released.
+    pub fn requeue_expired(&self, observer: &mut LeaseObserver, ttl: Duration) -> usize {
         let mut requeued = 0;
         for shard in 0..self.shard_count {
             if self.is_done(shard) {
+                observer.claims.remove(&shard);
                 continue;
             }
             let path = self.claim_path(shard);
-            let Ok(meta) = fs::metadata(&path) else {
-                continue; // unclaimed
+            let Ok(bytes) = fs::read(&path) else {
+                observer.claims.remove(&shard); // unclaimed
+                continue;
             };
-            let expired = meta
-                .modified()
-                .ok()
-                .and_then(|mtime| mtime.elapsed().ok())
-                .is_some_and(|age| age > ttl);
-            if expired && fs::remove_file(&path).is_ok() {
+            let observation = lease_observation(&bytes);
+            let watch = observer.claims.entry(shard).or_default();
+            if watch.observe(observation, ttl) && fs::remove_file(&path).is_ok() {
+                watch.reset();
                 requeued += 1;
             }
         }
         requeued
     }
+
+    // -- work stealing -------------------------------------------------
+
+    /// Publishes a steal offer for a claimed shard: the unit ids from
+    /// `split` (an index into the shard's own unit list) to its end.
+    /// Write-once — republishing would race a thief's read of the old
+    /// offer, so the first offer is final for the shard's lifetime.
+    /// Returns whether an offer (this one or an earlier owner's) is now
+    /// on disk.
+    pub fn publish_surplus(&self, shard: usize, split: u32, units: &[u32]) -> bool {
+        let path = self.surplus_path(shard);
+        if path.exists() {
+            return true;
+        }
+        let mut w = Writer::new();
+        w.bytes(&SURPLUS_MAGIC);
+        w.u32(SURPLUS_VERSION);
+        w.u32(split);
+        w.len(units.len());
+        for &u in units {
+            w.u32(u);
+        }
+        atomic_write(
+            &self.root,
+            &format!("shard-{shard}.surplus"),
+            &w.into_bytes(),
+            true,
+        )
+        .is_ok()
+    }
+
+    /// The steal offer published for a shard, if any: the split index
+    /// and the offered unit ids.
+    #[must_use]
+    pub fn read_surplus(&self, shard: usize) -> Option<(u32, Vec<u32>)> {
+        let bytes = fs::read(self.surplus_path(shard)).ok()?;
+        let mut r = Reader::new(&bytes);
+        if r.take(4)? != SURPLUS_MAGIC || r.u32()? != SURPLUS_VERSION {
+            return None;
+        }
+        let split = r.u32()?;
+        let n = r.len()?;
+        let mut units = Vec::with_capacity(n);
+        for _ in 0..n {
+            units.push(r.u32()?);
+        }
+        r.exhausted().then_some((split, units))
+    }
+
+    /// Whether a shard's surplus has been claimed by a thief.
+    #[must_use]
+    pub fn steal_claimed(&self, shard: usize) -> bool {
+        self.steal_path(shard).exists()
+    }
+
+    /// Atomically claims a shard's steal offer (`O_CREAT|O_EXCL` on the
+    /// steal file — exactly one thief wins), returning the offered
+    /// units. `None` when the offer is already claimed, the shard is
+    /// done, or no offer exists.
+    #[must_use]
+    pub fn claim_steal(&self, shard: usize, tag: &str) -> Option<Vec<u32>> {
+        if self.is_done(shard) || !self.surplus_path(shard).exists() {
+            return None;
+        }
+        let initial = LeaseStamp {
+            counter: 0,
+            mass: MASS_UNKNOWN,
+        };
+        let mut opts = fs::OpenOptions::new();
+        opts.write(true).create_new(true);
+        let mut f = opts.open(self.steal_path(shard)).ok()?;
+        let _ = f.write_all(&initial.encode(tag));
+        drop(f);
+        match self.read_surplus(shard) {
+            Some((_, units)) if !units.is_empty() => Some(units),
+            // The offer vanished (owner completed) or is unreadable:
+            // release the steal claim and walk away.
+            _ => {
+                let _ = fs::remove_file(self.steal_path(shard));
+                None
+            }
+        }
+    }
+
+    /// Renews a thief's lease on its stolen sub-shard.
+    pub fn renew_steal(&self, shard: usize, tag: &str, stamp: LeaseStamp) {
+        let name = format!("shard-{shard}.steal");
+        let _ = atomic_write(&self.root, &name, &stamp.encode(tag), false);
+    }
+
+    /// The raw stall observation for a shard's steal file: the lease
+    /// counter when it parses, a content hash otherwise, `None` when no
+    /// steal is claimed. Owners feed this into a [`LeaseWatch`] to
+    /// decide whether their thief died.
+    #[must_use]
+    pub fn steal_observation(&self, shard: usize) -> Option<u64> {
+        let bytes = fs::read(self.steal_path(shard)).ok()?;
+        Some(lease_observation(&bytes))
+    }
+
+    /// The last lease stamp a thief wrote for a shard, if any parses
+    /// (used by the coordinator's remaining-mass estimate).
+    #[must_use]
+    pub fn read_steal(&self, shard: usize) -> Option<LeaseStamp> {
+        LeaseStamp::decode(&fs::read(self.steal_path(shard)).ok()?)
+    }
+
+    /// Durably publishes a thief's sub-shard completion report.
+    pub fn complete_sub(&self, shard: usize, report: &[u8]) {
+        let _ = atomic_write(&self.root, &format!("shard-{shard}.sub.done"), report, true);
+    }
+
+    /// The sub-shard completion payload for a shard, if any.
+    #[must_use]
+    pub fn sub_completion(&self, shard: usize) -> Option<Vec<u8>> {
+        fs::read(self.sub_done_path(shard)).ok()
+    }
+
+    /// Removes a shard's surplus offer (the owner completed without it
+    /// ever being stolen — a late thief would only duplicate finished
+    /// work).
+    pub fn retract_surplus(&self, shard: usize) {
+        let _ = fs::remove_file(self.surplus_path(shard));
+    }
+}
+
+/// The stall-detection digest of a lease file's bytes: the heartbeat
+/// counter when the stamp parses, a raw content hash otherwise — so a
+/// garbage or torn claim file still *expires* once it sits still,
+/// instead of wedging the shard forever.
+fn lease_observation(bytes: &[u8]) -> u64 {
+    match LeaseStamp::decode(bytes) {
+        Some(stamp) => stamp.counter,
+        None => codec::fnv128(bytes) as u64,
+    }
 }
 
 /// Writes `bytes` to `<dir>/<name>` through a uniquely-named temp file
-/// and an atomic rename.
-fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+/// and an atomic rename. With `durable`, the temp file is `fsync`ed
+/// before the rename — a crash can then never surface a present-but-
+/// truncated file under the final name (rename durability without data
+/// durability is exactly how empty `shard-N.done` markers were born).
+fn atomic_write(dir: &Path, name: &str, bytes: &[u8], durable: bool) -> io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let tmp = dir.join(format!(
@@ -203,7 +525,10 @@ fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let mut f = fs::File::create(&tmp)?;
-    let written = f.write_all(bytes).and_then(|()| f.flush());
+    let mut written = f.write_all(bytes).and_then(|()| f.flush());
+    if durable {
+        written = written.and_then(|()| f.sync_all());
+    }
     drop(f);
     let renamed = written.and_then(|()| fs::rename(&tmp, dir.join(name)));
     if renamed.is_err() {
@@ -238,6 +563,13 @@ mod tests {
         (dir, queue, manifest)
     }
 
+    fn stamp(counter: u64) -> LeaseStamp {
+        LeaseStamp {
+            counter,
+            mass: MASS_UNKNOWN,
+        }
+    }
+
     #[test]
     fn open_round_trips_the_manifest() {
         let (dir, queue, manifest) = temp_queue(3);
@@ -254,6 +586,8 @@ mod tests {
         assert_eq!(queue.claim_next("b"), Some(1));
         assert_eq!(queue.claim_next("c"), Some(2));
         assert_eq!(queue.claim_next("d"), None);
+        // Fresh claims carry the initial stamp.
+        assert_eq!(queue.read_claim(0), Some(stamp(0)));
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -273,17 +607,19 @@ mod tests {
     }
 
     #[test]
-    fn expired_leases_requeue_incomplete_shards_only() {
+    fn stalled_leases_requeue_incomplete_shards_only() {
         let (dir, queue, _) = temp_queue(2);
         assert_eq!(queue.claim_next("doomed"), Some(0));
         assert_eq!(queue.claim_next("fine"), Some(1));
         queue.complete(1, b"ok");
-        // Nothing expires under a generous TTL.
-        assert_eq!(queue.requeue_expired(Duration::from_secs(3600)), 0);
+        let ttl = Duration::from_millis(20);
+        let mut obs = LeaseObserver::new();
+        // First observation only opens the window — nothing expires.
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
         std::thread::sleep(Duration::from_millis(30));
-        // Shard 0's lease (never renewed) expires; shard 1 is done and
-        // untouchable.
-        assert_eq!(queue.requeue_expired(Duration::from_millis(10)), 1);
+        // Shard 0's counter (never advanced) stalls; shard 1 is done
+        // and untouchable.
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 1);
         assert_eq!(queue.claim_next("rescuer"), Some(0));
         let _ = fs::remove_dir_all(dir);
     }
@@ -292,9 +628,119 @@ mod tests {
     fn lease_renewal_keeps_a_shard_claimed() {
         let (dir, queue, _) = temp_queue(1);
         assert_eq!(queue.claim_next("w"), Some(0));
+        let ttl = Duration::from_millis(25);
+        let mut obs = LeaseObserver::new();
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
         std::thread::sleep(Duration::from_millis(30));
-        queue.renew_lease(0, "w");
-        assert_eq!(queue.requeue_expired(Duration::from_millis(25)), 0);
+        // The counter advanced inside the window: the lease is live no
+        // matter how much wall time passed.
+        queue.renew_lease(0, "w", stamp(1));
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
+        std::thread::sleep(Duration::from_millis(30));
+        queue.renew_lease(0, "w", stamp(2));
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn future_stamped_claims_still_expire() {
+        // The cross-host clock-skew case the mtime protocol wedged on: a
+        // claim whose counter (and mtime) lie absurdly "in the future"
+        // must expire exactly like any other once it stops advancing.
+        let (dir, queue, _) = temp_queue(1);
+        assert_eq!(queue.claim_next("skewed"), Some(0));
+        queue.renew_lease(0, "skewed", stamp(u64::MAX - 1));
+        // Push the claim file's mtime a year ahead, as a skew-ahead
+        // host's writes would.
+        let claim = dir.join("shard-0.claim");
+        let future = std::time::SystemTime::now() + Duration::from_secs(365 * 24 * 3600);
+        fs::File::options()
+            .append(true)
+            .open(&claim)
+            .unwrap()
+            .set_modified(future)
+            .unwrap();
+        let ttl = Duration::from_millis(20);
+        let mut obs = LeaseObserver::new();
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            queue.requeue_expired(&mut obs, ttl),
+            1,
+            "a future-stamped stalled claim must requeue"
+        );
+        assert_eq!(queue.claim_next("rescuer"), Some(0));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn garbage_claim_files_expire_instead_of_wedging() {
+        let (dir, queue, _) = temp_queue(1);
+        // A torn or foreign-format claim file: no parseable counter.
+        fs::write(dir.join("shard-0.claim"), b"\x00\xffnot-a-lease").unwrap();
+        let ttl = Duration::from_millis(15);
+        let mut obs = LeaseObserver::new();
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 0);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(queue.requeue_expired(&mut obs, ttl), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn invalidate_done_resets_the_shard() {
+        let (dir, queue, _) = temp_queue(2);
+        assert_eq!(queue.claim_next("w"), Some(0));
+        queue.publish_surplus(0, 1, &[3, 5]);
+        queue.complete(0, b"\x01garbage-that-wont-decode");
+        assert!(queue.is_done(0));
+        assert!(queue.invalidate_done(0));
+        assert!(!queue.is_done(0));
+        assert!(queue.read_surplus(0).is_none(), "surplus reset too");
+        // The shard is claimable again (its stale claim was removed).
+        assert_eq!(queue.claim_next("again"), Some(0));
+        assert!(!queue.invalidate_done(1), "no marker, nothing removed");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn steal_protocol_is_exclusive_and_write_once() {
+        let (dir, queue, _) = temp_queue(1);
+        assert_eq!(queue.claim_next("owner"), Some(0));
+        assert!(queue.claim_steal(0, "too-early").is_none(), "no offer yet");
+        assert!(queue.publish_surplus(0, 4, &[9, 11, 13]));
+        // Write-once: a second publish cannot change the offer.
+        assert!(queue.publish_surplus(0, 1, &[1]));
+        assert_eq!(queue.read_surplus(0), Some((4, vec![9, 11, 13])));
+        // Exactly one thief wins.
+        assert_eq!(queue.claim_steal(0, "thief-a"), Some(vec![9, 11, 13]));
+        assert!(queue.steal_claimed(0));
+        assert!(queue.claim_steal(0, "thief-b").is_none());
+        // The thief heartbeats its own lease; the owner reads it.
+        queue.renew_steal(0, "thief-a", stamp(7));
+        assert_eq!(queue.steal_observation(0), Some(7));
+        queue.complete_sub(0, b"sub-report");
+        assert_eq!(queue.sub_completion(0).as_deref(), Some(&b"sub-report"[..]));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn retracted_surplus_stops_late_thieves() {
+        let (dir, queue, _) = temp_queue(1);
+        assert_eq!(queue.claim_next("owner"), Some(0));
+        assert!(queue.publish_surplus(0, 2, &[5, 6]));
+        queue.retract_surplus(0);
+        assert!(queue.claim_steal(0, "late-thief").is_none());
+        assert!(!queue.steal_claimed(0), "failed steal leaves no residue");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn done_shards_reject_steals() {
+        let (dir, queue, _) = temp_queue(1);
+        assert_eq!(queue.claim_next("owner"), Some(0));
+        assert!(queue.publish_surplus(0, 2, &[5, 6]));
+        queue.complete(0, b"done");
+        assert!(queue.claim_steal(0, "thief").is_none());
         let _ = fs::remove_dir_all(dir);
     }
 }

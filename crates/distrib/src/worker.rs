@@ -1,33 +1,62 @@
 //! The sweep worker: claims shards, runs the staged pipeline over
-//! their units, and publishes per-unit results into the shared store.
+//! their units, steals surplus work when idle, and publishes batched
+//! results into the shared store.
 //!
 //! A worker is launched with nothing but a queue directory and a cache
 //! directory (`repro worker --queue … --cache-dir …`, or an in-process
 //! thread). It reads the manifest, builds its own [`Pipeline`] over the
 //! manifest corpus with the shared persistent store — so compiled stage
 //! artifacts are exchanged with every other worker through the disk
-//! tier — and loops: claim a shard, compile its units (units whose
-//! result is already published are skipped: re-runs and requeued shards
-//! cost lookups, not compiles), publish one [`UnitOutcome`] per unit,
-//! renew the lease as it goes, and durably mark the shard complete with
-//! a [`ShardReport`].
+//! tier — and loops over three behaviours:
+//!
+//! * **own a shard** — claim it, offer the tail half of its
+//!   priority-ordered unit list as a steal *surplus* (when the shard is
+//!   big enough to share), compile the units front-to-back while a
+//!   heartbeat thread advances the claim's monotonic lease counter and
+//!   remaining-mass estimate, and durably complete the shard with a
+//!   [`ShardReport`];
+//! * **steal** — with every shard claimed and none stalled, take a
+//!   surplus shard's offered tail via the atomically-claimed steal
+//!   file, heartbeat a lease of its own while working the stolen units,
+//!   and complete them with a durable sub-shard report the owner folds
+//!   into the shard's — instead of spinning on `claim_next`;
+//! * **idle** — requeue stalled foreign leases (unless a coordinator
+//!   reserved that job) and poll.
+//!
+//! Results are **batched**: outcomes are buffered per shard (or per
+//! stolen sub-shard) and published as one batch record keyed by the
+//! shard's unit-key-list hash — one publish per shard instead of one
+//! per `(loop × config)` unit, ~50× fewer result-tier syscalls on big
+//! grids. Units already covered by a batch record or the per-unit tier
+//! are skipped (re-runs and requeued shards cost lookups, not
+//! compiles); the legacy per-unit publishing mode remains available
+//! ([`WorkerConfig::batch_results`]` = false`) for mixed fleets and
+//! the publish-cost benchmark.
 
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use widening_pipeline::codec::{self, Reader, Writer};
 use widening_pipeline::exchange::{
-    decode_unit_outcome, encode_unit_outcome, unit_result_key, RESULT_KIND,
+    batch_result_key, decode_unit_batch, decode_unit_outcome, encode_unit_batch,
+    encode_unit_outcome, unit_result_key, BATCH_KIND, RESULT_KIND,
 };
-use widening_pipeline::{pool, Exchange, Pipeline, StageCounts, StoreConfig, UnitOutcome};
+use widening_pipeline::{Exchange, Pipeline, StageCounts, StoreConfig, UnitOutcome};
 
-use crate::queue::JobQueue;
+use crate::manifest::SweepManifest;
+use crate::queue::{JobQueue, LeaseObserver, LeaseStamp, LeaseWatch};
 use crate::DistribError;
 
 /// Version of the [`ShardReport`] encoding.
-const REPORT_VERSION: u32 = 1;
+const REPORT_VERSION: u32 = 2;
+
+/// Batch part tag of the shard owner's record.
+const PART_OWNER: u8 = 0;
+/// Batch part tag of a thief's stolen-sub-shard record.
+const PART_THIEF: u8 = 1;
 
 /// How a worker runs.
 #[derive(Debug, Clone)]
@@ -38,12 +67,14 @@ pub struct WorkerConfig {
     pub cache_dir: PathBuf,
     /// Worker threads for intra-shard fan-out.
     pub threads: usize,
-    /// Lease TTL: how stale another shard's claim must be before this
-    /// worker (idling, out of claimable shards) requeues it.
+    /// Lease TTL: how long another worker's heartbeat counter must sit
+    /// still before this worker (idling, out of claimable shards)
+    /// requeues its shard, and how long an owner waits on a silent
+    /// thief before reclaiming its stolen units.
     pub lease_ttl: Duration,
     /// Idle poll interval while waiting for stragglers or requeues.
     pub poll: Duration,
-    /// Whether an idle worker may requeue *other* workers' expired
+    /// Whether an idle worker may requeue *other* workers' stalled
     /// leases. On by default so a coordinator-less fleet still drains a
     /// queue whose members die; a coordinator turns it off for the
     /// workers it supervises, making itself the single (and countable)
@@ -51,11 +82,25 @@ pub struct WorkerConfig {
     pub requeue_foreign: bool,
     /// Diagnostic tag stamped into claim files.
     pub tag: String,
+    /// Publish one batch result record per shard / sub-shard instead of
+    /// one per-unit record per unit (the default). Off = the legacy
+    /// per-unit publishing protocol.
+    pub batch_results: bool,
+    /// Whether this worker offers its shards' tails for stealing and
+    /// steals others' surplus when idle.
+    pub steal: bool,
+    /// Minimum shard size (in units) worth offering a surplus for.
+    pub surplus_after: usize,
+    /// Fault-injection hook: abandon everything (without completing the
+    /// current shard — exactly what SIGKILL leaves behind) after
+    /// processing this many units. `None` in production.
+    pub die_after_units: Option<u64>,
 }
 
 impl WorkerConfig {
     /// A worker over `queue_dir` and `cache_dir` with defaults: one
-    /// thread, 30 s lease TTL, 50 ms poll, pid-based tag.
+    /// thread, 30 s lease TTL, 50 ms poll, pid-based tag, batched
+    /// results, stealing on for shards of 8+ units.
     #[must_use]
     pub fn new(queue_dir: impl Into<PathBuf>, cache_dir: impl Into<PathBuf>) -> Self {
         WorkerConfig {
@@ -66,6 +111,10 @@ impl WorkerConfig {
             poll: Duration::from_millis(50),
             requeue_foreign: true,
             tag: format!("pid-{}", std::process::id()),
+            batch_results: true,
+            steal: true,
+            surplus_after: 8,
+            die_after_units: None,
         }
     }
 }
@@ -73,19 +122,25 @@ impl WorkerConfig {
 /// What one worker did over its lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSummary {
-    /// Shards this worker completed.
+    /// Shards this worker completed as owner.
     pub shards_completed: usize,
-    /// Units processed (compiled or replayed).
+    /// Units processed (compiled or replayed) as shard owner.
     pub units: usize,
     /// Units served straight from the result tier (no compile at all).
     pub result_hits: usize,
+    /// Surplus offers this worker stole.
+    pub steals: usize,
+    /// Units processed as a thief.
+    pub stolen_units: usize,
     /// The worker pipeline's cumulative stage counters.
     pub counts: StageCounts,
 }
 
 /// One shard's completion report, published through the queue's done
 /// marker so the coordinator can fold per-shard progress into the
-/// existing stage-counter table.
+/// existing stage-counter table. (Thieves publish the same shape as
+/// their sub-shard report, with `shard` naming the robbed shard and
+/// `stolen = 0`.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardReport {
     /// The shard index.
@@ -94,6 +149,8 @@ pub struct ShardReport {
     pub units: u32,
     /// Units served from the result tier without compiling.
     pub result_hits: u32,
+    /// Units completed by a thief (folded in from its sub-report).
+    pub stolen: u32,
     /// Stage-counter delta attributable to this shard.
     pub counts: StageCounts,
 }
@@ -107,6 +164,7 @@ impl ShardReport {
         w.u32(self.shard);
         w.u32(self.units);
         w.u32(self.result_hits);
+        w.u32(self.stolen);
         let c = &self.counts;
         for v in [
             c.widen_runs,
@@ -136,7 +194,7 @@ impl ShardReport {
         if r.u32()? != REPORT_VERSION {
             return None;
         }
-        let (shard, units, result_hits) = (r.u32()?, r.u32()?, r.u32()?);
+        let (shard, units, result_hits, stolen) = (r.u32()?, r.u32()?, r.u32()?, r.u32()?);
         let counts = StageCounts {
             widen_runs: r.u64()?,
             widen_requests: r.u64()?,
@@ -157,18 +215,468 @@ impl ShardReport {
             shard,
             units,
             result_hits,
+            stolen,
             counts,
         })
     }
+}
+
+/// Everything a worker's shard/steal runs share.
+struct WorkerState<'a> {
+    cfg: &'a WorkerConfig,
+    queue: &'a JobQueue,
+    manifest: &'a SweepManifest,
+    exchange: &'a Exchange,
+    pipeline: &'a Pipeline,
+    fingerprints: &'a [u128],
+    /// Units processed so far (the chaos hook's odometer).
+    processed: AtomicU64,
+    /// Set once the chaos hook trips: every loop unwinds immediately,
+    /// completing nothing — the closest an in-process worker gets to
+    /// SIGKILL.
+    poison: AtomicBool,
+}
+
+impl WorkerState<'_> {
+    fn poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
+    }
+
+    /// Ticks the odometer; returns `true` when the chaos hook trips.
+    fn note_processed(&self) -> bool {
+        let total = self.processed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cfg.die_after_units.is_some_and(|limit| total >= limit) {
+            self.poison.store(true, Ordering::Relaxed);
+        }
+        self.poisoned()
+    }
+
+    fn unit_key(&self, unit: u32) -> Vec<u8> {
+        let li = self.manifest.loop_of(unit);
+        let spec = &self.manifest.specs[self.manifest.spec_of(unit)];
+        unit_result_key(self.fingerprints[li], spec)
+    }
+
+    /// Resolves one unit: batch prefill, then the per-unit result tier,
+    /// then a live compile (published per-unit in legacy mode).
+    fn unit_outcome(
+        &self,
+        unit: u32,
+        prefill: &HashMap<u32, UnitOutcome>,
+        hits: &AtomicUsize,
+    ) -> UnitOutcome {
+        if let Some(o) = prefill.get(&unit) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return *o;
+        }
+        let key = self.unit_key(unit);
+        if let Some(o) = self
+            .exchange
+            .get(RESULT_KIND, &key)
+            .and_then(|b| decode_unit_outcome(&b))
+        {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return o;
+        }
+        let li = self.manifest.loop_of(unit);
+        let spec = &self.manifest.specs[self.manifest.spec_of(unit)];
+        let outcome = UnitOutcome::of(&self.pipeline.compile(li, spec));
+        if !self.cfg.batch_results {
+            self.exchange
+                .put(RESULT_KIND, &key, &encode_unit_outcome(&outcome));
+        }
+        outcome
+    }
+
+    /// Loads a shard's existing batch records (owner and thief parts)
+    /// into a unit → outcome map, restricted to `wanted` units. Batch
+    /// mode only; the legacy mode reads the per-unit tier exactly as it
+    /// always did.
+    fn batch_prefill(&self, shard: usize, wanted: &[u32]) -> HashMap<u32, UnitOutcome> {
+        let mut map = HashMap::new();
+        if !self.cfg.batch_results {
+            return map;
+        }
+        let keys = self.manifest.shard_unit_keys(shard, self.fingerprints);
+        let wanted: HashSet<u32> = wanted.iter().copied().collect();
+        for part in [PART_OWNER, PART_THIEF] {
+            let Some(bytes) = self
+                .exchange
+                .get(BATCH_KIND, &batch_result_key(&keys, part))
+            else {
+                continue;
+            };
+            for (unit, outcome) in decode_unit_batch(&bytes).unwrap_or_default() {
+                if wanted.contains(&unit) {
+                    map.insert(unit, outcome);
+                }
+            }
+        }
+        map
+    }
+
+    /// Publishes the batch record for `(shard, part)` covering
+    /// `entries` (unit id → outcome), sorted so identical coverage is
+    /// byte-identical.
+    fn publish_batch(&self, shard: usize, part: u8, mut entries: Vec<(u32, UnitOutcome)>) {
+        if !self.cfg.batch_results || entries.is_empty() {
+            return;
+        }
+        entries.sort_by_key(|&(unit, _)| unit);
+        let keys = self.manifest.shard_unit_keys(shard, self.fingerprints);
+        self.exchange.put(
+            BATCH_KIND,
+            &batch_result_key(&keys, part),
+            &encode_unit_batch(&entries),
+        );
+    }
+
+    /// Scans for a stealable surplus: an incomplete shard with an
+    /// unclaimed offer. Returns the stolen units on success.
+    fn find_steal(&self) -> Option<(usize, Vec<u32>)> {
+        for shard in 0..self.queue.shard_count() {
+            if self.queue.is_done(shard) || self.queue.steal_claimed(shard) {
+                continue;
+            }
+            if let Some(units) = self.queue.claim_steal(shard, &self.cfg.tag) {
+                return Some((shard, units));
+            }
+        }
+        None
+    }
+}
+
+/// The heartbeat cadence for a lease TTL: a quarter of the TTL leaves
+/// ample margin, clamped so tests with millisecond TTLs still beat and
+/// long TTLs don't leave multi-minute observation gaps.
+fn heartbeat_interval(ttl: Duration) -> Duration {
+    (ttl / 4).clamp(Duration::from_millis(5), Duration::from_secs(5))
+}
+
+/// Sleeps up to `interval` in small steps, returning early when `stop`
+/// flips — so heartbeat threads exit promptly at shard completion.
+fn chopped_sleep(interval: Duration, stop: &AtomicBool) {
+    let mut slept = Duration::ZERO;
+    while slept < interval && !stop.load(Ordering::Relaxed) {
+        let step = Duration::from_millis(10).min(interval - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+/// How one owned-shard (or stolen-sub-shard) run ended.
+enum RunEnd {
+    /// Everything processed; counters for the summary.
+    Completed {
+        result_hits: usize,
+        stolen: u32,
+        thief_counts: StageCounts,
+    },
+    /// The chaos hook tripped (or the queue was retired mid-shard):
+    /// abandon without completing — the lease goes silent and someone
+    /// else requeues the work.
+    Abandoned,
+}
+
+/// Runs one owned shard to completion: offer a surplus, compile with a
+/// counter heartbeat, honour a thief's claim on the offered tail (wait
+/// for its sub-report; reclaim its units if its lease stalls), publish
+/// the owner batch and the durable done marker.
+fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
+    let cfg = state.cfg;
+    let queue = state.queue;
+    let units = &state.manifest.shards[shard];
+    let n = units.len();
+
+    // The steal offer: the tail half of the priority-ordered list
+    // (cheap units — the owner keeps the heavy head it starts on).
+    // Published once, at claim time; a re-claimed shard inherits the
+    // previous owner's offer so an in-flight thief stays coherent.
+    let mut split = n;
+    if cfg.steal {
+        if let Some((s, _)) = queue.read_surplus(shard) {
+            split = (s as usize).min(n);
+        } else if n >= cfg.surplus_after.max(2) {
+            let s = n - n / 2;
+            if queue.publish_surplus(shard, s as u32, &units[s..]) {
+                split = s;
+            }
+        }
+    }
+
+    // Suffix priority mass, for the lease's remaining-work stamp:
+    // `suffix[i]` = mass of `units[i..]`.
+    let mut suffix = vec![0u64; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1].saturating_add(state.manifest.unit_priority(units[i]));
+    }
+
+    let before = state.pipeline.stage_counts();
+    let prefill = state.batch_prefill(shard, units);
+    let slots: Vec<Mutex<Option<UnitOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let hits = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new(0);
+    let steal_seen = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+
+    let work = || loop {
+        if state.poisoned() {
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        if i >= split && steal_seen.load(Ordering::Relaxed) {
+            continue; // the thief owns the tail now
+        }
+        let outcome = state.unit_outcome(units[i], &prefill, &hits);
+        *slots[i].lock().expect("slot lock") = Some(outcome);
+        if state.note_processed() {
+            break;
+        }
+    };
+    let work = &work;
+
+    let end = std::thread::scope(|scope| {
+        // Time-based heartbeat on its own thread: liveness must not
+        // depend on unit granularity — one pressure-starved unit can
+        // legitimately out-compile any sane TTL, and tying renewal to
+        // unit completion would let a *live* worker's lease stall
+        // mid-unit (spurious requeue, duplicate shard).
+        scope.spawn(|| {
+            let interval = heartbeat_interval(cfg.lease_ttl);
+            let mut beat = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                beat += 1;
+                if split < n && !steal_seen.load(Ordering::Relaxed) && queue.steal_claimed(shard) {
+                    steal_seen.store(true, Ordering::Relaxed);
+                }
+                let c = cursor.load(Ordering::Relaxed).min(n);
+                // The stolen tail's mass belongs to the thief's lease
+                // once a steal is live; before that the whole remainder
+                // is this owner's.
+                let mass = if steal_seen.load(Ordering::Relaxed) {
+                    suffix[c.min(split)].saturating_sub(suffix[split])
+                } else {
+                    suffix[c]
+                };
+                queue.renew_lease(
+                    shard,
+                    &cfg.tag,
+                    LeaseStamp {
+                        counter: beat,
+                        mass,
+                    },
+                );
+                chopped_sleep(interval, &stop);
+            }
+        });
+
+        let extra: Vec<_> = (1..cfg.threads.max(1)).map(|_| scope.spawn(work)).collect();
+        work();
+        for h in extra {
+            let _ = h.join();
+        }
+
+        if state.poisoned() {
+            stop.store(true, Ordering::Relaxed);
+            return RunEnd::Abandoned;
+        }
+
+        // If a thief holds the tail and we skipped any of it, wait for
+        // its durable sub-report — or reclaim its units when its lease
+        // counter stalls for a full TTL (the thief died mid-steal).
+        let tail_missing = || (split..n).any(|i| slots[i].lock().expect("slot lock").is_none());
+        let mut stolen = 0u32;
+        let mut thief_counts = StageCounts::zero();
+        if steal_seen.load(Ordering::Relaxed) && tail_missing() {
+            let mut watch = LeaseWatch::new();
+            loop {
+                if let Some(report) = queue
+                    .sub_completion(shard)
+                    .and_then(|b| ShardReport::decode(&b))
+                {
+                    stolen = report.units;
+                    hits.fetch_add(report.result_hits as usize, Ordering::Relaxed);
+                    thief_counts = report.counts;
+                    break;
+                }
+                if queue.is_retired() {
+                    stop.store(true, Ordering::Relaxed);
+                    return RunEnd::Abandoned;
+                }
+                let stalled = match queue.steal_observation(shard) {
+                    // Steal file gone (or unreadable sub-report raced
+                    // in): reclaim immediately.
+                    None => true,
+                    Some(obs) => watch.observe(obs, cfg.lease_ttl),
+                };
+                if stalled {
+                    // Reclaim the stolen tail ourselves. Sequential:
+                    // this is the rare thief-death path, and the
+                    // heartbeat thread is still renewing our lease.
+                    for i in split..n {
+                        if state.poisoned() {
+                            stop.store(true, Ordering::Relaxed);
+                            return RunEnd::Abandoned;
+                        }
+                        let filled = slots[i].lock().expect("slot lock").is_some();
+                        if !filled {
+                            let outcome = state.unit_outcome(units[i], &prefill, &hits);
+                            *slots[i].lock().expect("slot lock") = Some(outcome);
+                            if state.note_processed() {
+                                stop.store(true, Ordering::Relaxed);
+                                return RunEnd::Abandoned;
+                            }
+                        }
+                    }
+                    break;
+                }
+                std::thread::sleep(cfg.poll);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        RunEnd::Completed {
+            result_hits: hits.load(Ordering::Relaxed),
+            stolen,
+            thief_counts,
+        }
+    });
+
+    let RunEnd::Completed {
+        result_hits,
+        stolen,
+        thief_counts,
+    } = end
+    else {
+        return RunEnd::Abandoned;
+    };
+
+    // Publish the owner batch (everything this worker resolved) and the
+    // durable completion marker carrying fleet-foldable counters.
+    let entries: Vec<(u32, UnitOutcome)> = (0..n)
+        .filter_map(|i| slots_get(&slots, i).map(|o| (units[i], o)))
+        .collect();
+    state.publish_batch(shard, PART_OWNER, entries);
+    let report = ShardReport {
+        shard: shard as u32,
+        units: n as u32,
+        result_hits: result_hits as u32,
+        stolen,
+        counts: state
+            .pipeline
+            .stage_counts()
+            .minus(&before)
+            .plus(&thief_counts),
+    };
+    queue.complete(shard, &report.encode());
+    if !queue.steal_claimed(shard) {
+        queue.retract_surplus(shard);
+    }
+    RunEnd::Completed {
+        result_hits,
+        stolen,
+        thief_counts,
+    }
+}
+
+fn slots_get(slots: &[Mutex<Option<UnitOutcome>>], i: usize) -> Option<UnitOutcome> {
+    *slots[i].lock().expect("slot lock")
+}
+
+/// Works a stolen sub-shard: heartbeat the steal lease, resolve the
+/// stolen units, publish the thief batch and the durable sub-report the
+/// owner folds into its shard completion. Returns the units processed.
+fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Option<usize> {
+    let cfg = state.cfg;
+    let queue = state.queue;
+    let n = stolen_units.len();
+    let mut suffix = vec![0u64; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1].saturating_add(state.manifest.unit_priority(stolen_units[i]));
+    }
+    let prefill = state.batch_prefill(shard, stolen_units);
+    let slots: Vec<Mutex<Option<UnitOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let hits = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let abandoned = AtomicBool::new(false);
+
+    let work = || loop {
+        if state.poisoned() || abandoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        // The owner may have presumed us dead, reclaimed the tail
+        // and completed the shard — stop wasting work if so.
+        if queue.is_done(shard) {
+            abandoned.store(true, Ordering::Relaxed);
+            break;
+        }
+        let outcome = state.unit_outcome(stolen_units[i], &prefill, &hits);
+        *slots[i].lock().expect("slot lock") = Some(outcome);
+        if state.note_processed() {
+            break;
+        }
+    };
+    let work = &work;
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let interval = heartbeat_interval(cfg.lease_ttl);
+            let mut beat = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                beat += 1;
+                let c = cursor.load(Ordering::Relaxed).min(n);
+                queue.renew_steal(
+                    shard,
+                    &cfg.tag,
+                    LeaseStamp {
+                        counter: beat,
+                        mass: suffix[c],
+                    },
+                );
+                chopped_sleep(interval, &stop);
+            }
+        });
+        let extra: Vec<_> = (1..cfg.threads.max(1)).map(|_| scope.spawn(work)).collect();
+        work();
+        for h in extra {
+            let _ = h.join();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    if state.poisoned() || abandoned.load(Ordering::Relaxed) {
+        return None;
+    }
+    let entries: Vec<(u32, UnitOutcome)> = (0..n)
+        .filter_map(|i| slots_get(&slots, i).map(|o| (stolen_units[i], o)))
+        .collect();
+    state.publish_batch(shard, PART_THIEF, entries);
+    let report = ShardReport {
+        shard: shard as u32,
+        units: n as u32,
+        result_hits: hits.load(Ordering::Relaxed) as u32,
+        stolen: 0,
+        counts: StageCounts::zero(),
+    };
+    queue.complete_sub(shard, &report.encode());
+    Some(n)
 }
 
 /// Runs a worker until the queue is fully complete. Returns a summary
 /// of the work done.
 ///
 /// The worker never exits while *any* shard lacks a completion marker:
-/// out of claimable shards it idles, requeuing expired foreign leases —
-/// so a fleet of standalone workers (no coordinator at all) still
-/// drains a queue whose members die, as long as one survives.
+/// out of claimable shards it steals published surplus tails, requeues
+/// stalled foreign leases (unless a coordinator reserved that job), and
+/// idles — so a fleet of standalone workers (no coordinator at all)
+/// still drains a queue whose members die, as long as one survives.
 ///
 /// # Errors
 ///
@@ -197,86 +705,87 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, DistribError> {
                 .unwrap_or_else(|| codec::ddg_fingerprint(l.ddg()))
         })
         .collect();
+    let state = WorkerState {
+        cfg,
+        queue: &queue,
+        manifest: &manifest,
+        exchange: &exchange,
+        pipeline: &pipeline,
+        fingerprints: &fingerprints,
+        processed: AtomicU64::new(0),
+        poison: AtomicBool::new(false),
+    };
 
     let mut summary = WorkerSummary {
         shards_completed: 0,
         units: 0,
         result_hits: 0,
+        steals: 0,
+        stolen_units: 0,
         counts: StageCounts::zero(),
     };
+    let mut observer = LeaseObserver::new();
     loop {
-        let Some(shard) = queue.claim_next(&cfg.tag) else {
-            if queue.all_done() {
-                break;
+        if state.poisoned() {
+            break;
+        }
+        if let Some(shard) = queue.claim_next(&cfg.tag) {
+            match run_owned_shard(&state, shard) {
+                RunEnd::Completed { result_hits, .. } => {
+                    summary.shards_completed += 1;
+                    summary.units += manifest.shards[shard].len();
+                    summary.result_hits += result_hits;
+                }
+                RunEnd::Abandoned => break,
             }
-            // A coordinator retires the queue directory when its sweep
-            // ends; a standalone worker mid-poll at that moment must
-            // exit instead of spinning on the vanished queue forever.
-            if queue.is_retired() {
-                break;
-            }
-            // Someone else holds the remaining shards. If their leases
-            // go stale, put their shards back up for grabs (unless a
-            // coordinator reserved that job for itself).
-            if cfg.requeue_foreign {
-                queue.requeue_expired(cfg.lease_ttl);
-            }
-            std::thread::sleep(cfg.poll);
             continue;
-        };
-        let before = pipeline.stage_counts();
-        let units = &manifest.shards[shard];
-        let hits = AtomicUsize::new(0);
-        // Time-based heartbeat on its own thread: liveness must not
-        // depend on unit granularity — one pressure-starved unit can
-        // legitimately out-compile any sane TTL, and tying renewal to
-        // unit completion would let a *live* worker's lease expire
-        // mid-unit (spurious requeue, duplicate shard). A quarter of
-        // the TTL leaves ample margin; the sleep is chopped fine so the
-        // heartbeat exits promptly when the shard completes.
-        let done = std::sync::atomic::AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            scope.spawn(|| {
-                let interval =
-                    (cfg.lease_ttl / 4).clamp(Duration::from_millis(5), Duration::from_secs(5));
-                while !done.load(Ordering::Relaxed) {
-                    queue.renew_lease(shard, &cfg.tag);
-                    let mut slept = Duration::ZERO;
-                    while slept < interval && !done.load(Ordering::Relaxed) {
-                        let step = Duration::from_millis(10).min(interval - slept);
-                        std::thread::sleep(step);
-                        slept += step;
-                    }
+        }
+        if queue.is_retired() {
+            break;
+        }
+        if queue.all_done() {
+            // Standalone fleets have no coordinator to validate
+            // completion markers: before accepting the queue as
+            // drained, a self-healing worker resets any marker that
+            // does not decode (a torn pre-fsync write) so it re-runs
+            // instead of shipping garbage to the merge. Supervised
+            // workers leave that judgement to the coordinator.
+            if !cfg.requeue_foreign {
+                break;
+            }
+            let mut reset = false;
+            for shard in 0..queue.shard_count() {
+                let garbage = queue
+                    .completion(shard)
+                    .is_some_and(|b| ShardReport::decode(&b).is_none());
+                if garbage && queue.invalidate_done(shard) {
+                    reset = true;
                 }
-            });
-            pool::par_map(units.len(), cfg.threads, |i| {
-                let unit = units[i];
-                let li = manifest.loop_of(unit);
-                let spec = &manifest.specs[manifest.spec_of(unit)];
-                let key = unit_result_key(fingerprints[li], spec);
-                let published = exchange
-                    .get(RESULT_KIND, &key)
-                    .and_then(|bytes| decode_unit_outcome(&bytes));
-                if published.is_some() {
-                    hits.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    let outcome = UnitOutcome::of(&pipeline.compile(li, spec));
-                    exchange.put(RESULT_KIND, &key, &encode_unit_outcome(&outcome));
+            }
+            if !reset {
+                break;
+            }
+            continue;
+        }
+        if cfg.steal {
+            if let Some((shard, stolen_units)) = state.find_steal() {
+                if let Some(done) = run_stolen(&state, shard, &stolen_units) {
+                    summary.steals += 1;
+                    summary.stolen_units += done;
                 }
-            });
-            done.store(true, Ordering::Relaxed);
-        });
-        let result_hits = hits.into_inner();
-        let report = ShardReport {
-            shard: shard as u32,
-            units: units.len() as u32,
-            result_hits: result_hits as u32,
-            counts: pipeline.stage_counts().minus(&before),
-        };
-        queue.complete(shard, &report.encode());
-        summary.shards_completed += 1;
-        summary.units += units.len();
-        summary.result_hits += result_hits;
+                if state.poisoned() {
+                    break;
+                }
+                continue;
+            }
+        }
+        // Someone else holds the remaining shards. If their lease
+        // counters stall, put their shards back up for grabs (unless a
+        // coordinator reserved that job for itself).
+        if cfg.requeue_foreign {
+            queue.requeue_expired(&mut observer, cfg.lease_ttl);
+        }
+        std::thread::sleep(cfg.poll);
     }
     summary.counts = pipeline.stage_counts();
     Ok(summary)
@@ -292,6 +801,7 @@ mod tests {
             shard: 3,
             units: 120,
             result_hits: 7,
+            stolen: 21,
             counts: StageCounts::zero().plus(&StageCounts {
                 widen_runs: 40,
                 widen_requests: 360,
@@ -312,5 +822,9 @@ mod tests {
         let bytes = report.encode();
         assert_eq!(ShardReport::decode(&bytes), Some(report));
         assert_eq!(ShardReport::decode(&bytes[..bytes.len() - 1]), None);
+        // Version skew is a decode failure, not a misread.
+        let mut skew = bytes;
+        skew[0] ^= 0xff;
+        assert_eq!(ShardReport::decode(&skew), None);
     }
 }

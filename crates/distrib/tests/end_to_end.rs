@@ -9,7 +9,10 @@ use widening_distrib::{
 };
 use widening_machine::CycleModel;
 use widening_pipeline::codec::ddg_fingerprint;
-use widening_pipeline::exchange::{decode_unit_outcome, unit_result_key, RESULT_KIND};
+use widening_pipeline::exchange::{
+    batch_result_key, decode_unit_batch, decode_unit_outcome, unit_result_key, BATCH_KIND,
+    RESULT_KIND,
+};
 use widening_pipeline::{CompileOptions, Exchange, PointSpec, UnitOutcome};
 use widening_workload::corpus::{generate, CorpusSpec};
 
@@ -38,20 +41,41 @@ fn specs() -> Vec<PointSpec> {
         .collect()
 }
 
-/// Every unit's result must be decodable from the exchange after a run.
+/// Every unit's result must be recoverable from the exchange after a
+/// run — from the batch tier (what workers publish by default) or the
+/// per-unit fallback tier, exactly the two tiers the merge consults.
 fn assert_all_results_published(
     cache: &std::path::Path,
     manifest: &SweepManifest,
 ) -> Vec<UnitOutcome> {
     let ex = Exchange::open(cache).expect("cache opens");
+    let fingerprints: Vec<u128> = manifest
+        .loops
+        .iter()
+        .map(|l| ddg_fingerprint(l.ddg()))
+        .collect();
+    let mut batched = std::collections::HashMap::new();
+    for shard in 0..manifest.shards.len() {
+        let keys = manifest.shard_unit_keys(shard, &fingerprints);
+        for part in [0u8, 1u8] {
+            if let Some(bytes) = ex.get(BATCH_KIND, &batch_result_key(&keys, part)) {
+                batched.extend(decode_unit_batch(&bytes).expect("batch decodes"));
+            }
+        }
+    }
+    let n = manifest.loops.len() as u32;
     let mut outcomes = Vec::new();
     for (si, spec) in manifest.specs.iter().enumerate() {
-        for l in &manifest.loops {
-            let key = unit_result_key(ddg_fingerprint(l.ddg()), spec);
-            let bytes = ex
-                .get(RESULT_KIND, &key)
-                .unwrap_or_else(|| panic!("missing result for {} at spec {si}", l.name()));
-            outcomes.push(decode_unit_outcome(&bytes).expect("result decodes"));
+        for (li, l) in manifest.loops.iter().enumerate() {
+            let unit = si as u32 * n + li as u32;
+            let outcome = batched.get(&unit).copied().or_else(|| {
+                let key = unit_result_key(fingerprints[li], spec);
+                ex.get(RESULT_KIND, &key)
+                    .and_then(|bytes| decode_unit_outcome(&bytes))
+            });
+            outcomes.push(
+                outcome.unwrap_or_else(|| panic!("missing result for {} at spec {si}", l.name())),
+            );
         }
     }
     outcomes

@@ -488,14 +488,53 @@ impl Pipeline {
         points: &[PointSpec],
         threads: usize,
     ) -> Vec<Vec<Result<CompiledLoop, PipelineError>>> {
+        self.sweep_ordered(points, threads, None)
+    }
+
+    /// [`Pipeline::sweep`] with an explicit **execution order** over
+    /// the flat unit grid (`unit = point_index · |loops| +
+    /// loop_index`): the dynamic queue hands units out in `order`
+    /// instead of point-major FIFO, so a caller can front-load its
+    /// compile-cost-heavy design points (the evaluator orders by
+    /// `widening_cost::sweep_priority`, the same LPT ordering the
+    /// distributed shards use). Results are still returned in
+    /// `(point, corpus)` order — execution order is pure scheduling and
+    /// cannot change a single output bit.
+    ///
+    /// `order` must be a permutation of `0..points.len() × |loops|`;
+    /// `None` keeps FIFO.
+    #[must_use]
+    pub fn sweep_ordered(
+        &self,
+        points: &[PointSpec],
+        threads: usize,
+        order: Option<&[u32]>,
+    ) -> Vec<Vec<Result<CompiledLoop, PipelineError>>> {
         let n = self.loops().len();
-        let flat = par_map(points.len() * n, threads, |unit| {
-            self.compile(unit % n, &points[unit / n])
+        let total = points.len() * n;
+        debug_assert!(order.is_none_or(|o| {
+            let mut seen = vec![false; total];
+            o.len() == total
+                && o.iter()
+                    .all(|&u| !std::mem::replace(&mut seen[u as usize], true))
+        }));
+        let flat = par_map(total, threads, |slot| {
+            let unit = order.map_or(slot, |o| o[slot] as usize);
+            (unit, self.compile(unit % n, &points[unit / n]))
         });
-        let mut flat = flat.into_iter();
+        // Scatter back to (point, corpus) order: the permutation covers
+        // every unit exactly once, so every slot fills.
+        let mut scattered: Vec<Option<Result<CompiledLoop, PipelineError>>> =
+            (0..total).map(|_| None).collect();
+        for (unit, outcome) in flat {
+            scattered[unit] = Some(outcome);
+        }
+        let mut it = scattered
+            .into_iter()
+            .map(|o| o.expect("order covered every unit"));
         points
             .iter()
-            .map(|_| flat.by_ref().take(n).collect())
+            .map(|_| it.by_ref().take(n).collect())
             .collect()
     }
 

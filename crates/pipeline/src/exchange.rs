@@ -10,7 +10,7 @@
 //! strictly best-effort like the rest of the disk tier — a worker whose
 //! publish fails costs a recompute somewhere, never a wrong merge.
 //!
-//! Two record kinds are defined here:
+//! Three record kinds are defined here:
 //!
 //! * [`RESULT_KIND`] — a versioned [`UnitOutcome`]: the projection of
 //!   one compiled `(loop × design point)` unit that corpus aggregation
@@ -20,15 +20,25 @@
 //!   hosts (or re-runs of a killed shard) publish *identical bytes
 //!   under identical keys* — double execution after a lease-expiry
 //!   requeue is idempotent by construction.
+//! * [`BATCH_KIND`] — a **batch result record**: many unit outcomes in
+//!   one published file, keyed by [`batch_result_key`] — the content
+//!   hash of a shard's full ordered per-unit key list plus a part tag
+//!   (owner vs. thief). Workers buffer outcomes and publish one batch
+//!   per shard (or per stolen sub-shard) instead of one file per unit,
+//!   cutting publish syscalls ~50× on huge grids. Each entry is tagged
+//!   with its manifest unit id, so a batch may cover any *subset* of
+//!   the keyed list (a partially-reclaimed shard, a stolen tail); the
+//!   merge treats batches as a first tier and falls back to the
+//!   per-unit tier — so mixed old/new caches stay merge-equivalent.
 //! * [`SIM_SUMMARY_KIND`] — simulation summaries, keyed by
 //!   [`sim_summary_key`] (the unit key plus the simulated trip count).
 //!   The payload codec lives with the simulator's consumer; this module
 //!   only reserves the kind.
 //!
-//! Both payloads carry their own format version ([`RESULT_VERSION`])
-//! *inside* the container, on top of the disk tier's container-level
-//! `FORMAT_VERSION`, so result records can evolve without invalidating
-//! compiled stage artifacts.
+//! All payloads carry their own format version ([`RESULT_VERSION`],
+//! [`BATCH_VERSION`]) *inside* the container, on top of the disk tier's
+//! container-level `FORMAT_VERSION`, so result records can evolve
+//! without invalidating compiled stage artifacts.
 
 use std::path::Path;
 
@@ -40,12 +50,19 @@ use crate::stage::{CompiledLoop, PointSpec};
 /// Exchange kind for per-unit sweep results.
 pub const RESULT_KIND: &str = "result";
 
+/// Exchange kind for per-shard batch result records.
+pub const BATCH_KIND: &str = "batch";
+
 /// Exchange kind for per-unit simulation summaries.
 pub const SIM_SUMMARY_KIND: &str = "simsum";
 
 /// Version of the [`UnitOutcome`] payload encoding; bump on any shape
 /// change so stale records read as misses.
 pub const RESULT_VERSION: u16 = 1;
+
+/// Version of the batch result record encoding; bump on any shape
+/// change so stale records read as misses.
+pub const BATCH_VERSION: u16 = 1;
 
 /// A handle on the result tier of a shared cache directory.
 ///
@@ -191,11 +208,9 @@ pub fn sim_summary_key(fingerprint: u128, spec: &PointSpec, trip: u64) -> Vec<u8
     w.into_bytes()
 }
 
-/// Encodes a unit outcome as a self-versioned record.
-#[must_use]
-pub fn encode_unit_outcome(outcome: &UnitOutcome) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.u32(u32::from(RESULT_VERSION));
+/// Encodes an outcome body (no version prefix — per-unit and batch
+/// records share this, each under its own version header).
+fn encode_outcome_body(w: &mut Writer, outcome: &UnitOutcome) {
     match outcome {
         UnitOutcome::Ok {
             ii,
@@ -222,17 +237,10 @@ pub fn encode_unit_outcome(outcome: &UnitOutcome) -> Vec<u8> {
             }
         }
     }
-    w.into_bytes()
 }
 
-/// Decodes a unit outcome; version or tag mismatches read as misses.
-#[must_use]
-pub fn decode_unit_outcome(bytes: &[u8]) -> Option<UnitOutcome> {
-    let mut r = Reader::new(bytes);
-    if r.u32()? != u32::from(RESULT_VERSION) {
-        return None;
-    }
-    let outcome = match r.u8()? {
+fn decode_outcome_body(r: &mut Reader<'_>) -> Option<UnitOutcome> {
+    Some(match r.u8()? {
         0 => UnitOutcome::Ok {
             ii: r.u32()?,
             mii: r.u32()?,
@@ -251,8 +259,79 @@ pub fn decode_unit_outcome(bytes: &[u8]) -> Option<UnitOutcome> {
             },
         },
         _ => return None,
-    };
+    })
+}
+
+/// Encodes a unit outcome as a self-versioned record.
+#[must_use]
+pub fn encode_unit_outcome(outcome: &UnitOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(u32::from(RESULT_VERSION));
+    encode_outcome_body(&mut w, outcome);
+    w.into_bytes()
+}
+
+/// Decodes a unit outcome; version or tag mismatches read as misses.
+#[must_use]
+pub fn decode_unit_outcome(bytes: &[u8]) -> Option<UnitOutcome> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != u32::from(RESULT_VERSION) {
+        return None;
+    }
+    let outcome = decode_outcome_body(&mut r)?;
     r.exhausted().then_some(outcome)
+}
+
+/// The content key of a batch result record: the 128-bit hash of a
+/// shard's full, ordered per-unit key list, a part tag (0 = the shard
+/// owner's batch, 1 = a thief's stolen-sub-shard batch), and the list
+/// length. Publisher and merger both derive it from the manifest alone
+/// — no side channel names which batches exist.
+#[must_use]
+pub fn batch_result_key(unit_keys: &[Vec<u8>], part: u8) -> Vec<u8> {
+    let mut cat = Writer::new();
+    for k in unit_keys {
+        cat.bytes(k);
+    }
+    let h = codec::fnv128(&cat.into_bytes());
+    let mut w = Writer::new();
+    w.u64(h as u64);
+    w.u64((h >> 64) as u64);
+    w.u8(part);
+    w.u32(unit_keys.len() as u32);
+    w.into_bytes()
+}
+
+/// Encodes a batch of `(manifest unit id, outcome)` entries as one
+/// self-versioned record. Entries should be sorted by unit id so
+/// identical coverage always publishes identical bytes.
+#[must_use]
+pub fn encode_unit_batch(entries: &[(u32, UnitOutcome)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(u32::from(BATCH_VERSION));
+    w.len(entries.len());
+    for (unit, outcome) in entries {
+        w.u32(*unit);
+        encode_outcome_body(&mut w, outcome);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a batch result record; version skew, truncation or trailing
+/// garbage read as misses.
+#[must_use]
+pub fn decode_unit_batch(bytes: &[u8]) -> Option<Vec<(u32, UnitOutcome)>> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != u32::from(BATCH_VERSION) {
+        return None;
+    }
+    let n = r.len()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let unit = r.u32()?;
+        entries.push((unit, decode_outcome_body(&mut r)?));
+    }
+    r.exhausted().then_some(entries)
 }
 
 #[cfg(test)]
@@ -315,6 +394,41 @@ mod tests {
             skew[0] ^= 0xff;
             assert_eq!(decode_unit_outcome(&skew), None);
         }
+    }
+
+    #[test]
+    fn unit_batch_round_trips_and_keys_separate_parts() {
+        let entries = vec![
+            (
+                3u32,
+                UnitOutcome::Ok {
+                    ii: 5,
+                    mii: 5,
+                    registers: 17,
+                    spill_ops: 0,
+                },
+            ),
+            (
+                9u32,
+                UnitOutcome::Failed {
+                    cause: FailureCause::Pressure {
+                        needed: 40,
+                        available: 32,
+                    },
+                },
+            ),
+        ];
+        let bytes = encode_unit_batch(&entries);
+        assert_eq!(decode_unit_batch(&bytes), Some(entries.clone()));
+        assert_eq!(decode_unit_batch(&bytes[..bytes.len() - 1]), None);
+        let mut skew = bytes.clone();
+        skew[0] ^= 0xff;
+        assert_eq!(decode_unit_batch(&skew), None);
+        // Owner and thief parts of the same unit list use distinct keys;
+        // different lists use distinct keys.
+        let keys = vec![b"unit-a".to_vec(), b"unit-b".to_vec()];
+        assert_ne!(batch_result_key(&keys, 0), batch_result_key(&keys, 1));
+        assert_ne!(batch_result_key(&keys, 0), batch_result_key(&keys[..1], 0));
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! the legacy one-file-per-unit result protocol, and a final publish
 //! audit counts the published result files both ways — batch records
 //! cut them well over 10× on this 540-unit grid.
+//!
+//! `traced_shared_cache_sweep` repeats the shared-cache batch with the
+//! span recorder installed: the delta against `shared_cache_sweep` is
+//! the recording overhead (the acceptance bar is ≤ 5%). A final traced
+//! run exports the per-stage latency table through the same Chrome
+//! JSON → analyze path `repro trace summarize` uses.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -28,6 +34,7 @@ use widening::machine::{Configuration, CycleModel};
 use widening::pipeline::{PointSpec, StoreConfig};
 use widening::workload::corpus::{generate, CorpusSpec};
 use widening::{EvalOptions, Evaluator};
+use widening_obs as obs;
 
 const SWEEP: [&str; 9] = [
     "1w1(64:1)",
@@ -76,6 +83,18 @@ fn bench_sweep_throughput(c: &mut Criterion) {
             let results = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
             black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
         })
+    });
+    g.bench_function("traced_shared_cache_sweep", |b| {
+        // Identical work with the span recorder installed: the delta
+        // against `shared_cache_sweep` is the recording overhead.
+        let recorder = obs::Recorder::new("bench");
+        obs::install(&recorder);
+        b.iter(|| {
+            let ev = Evaluator::new(loops.clone());
+            let results = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+            black_box(results.iter().map(|e| e.total_cycles).sum::<f64>())
+        });
+        obs::uninstall();
     });
     // Used cold directories are torn down after the measurement: the
     // cold figure must price compile + persist, not fs teardown.
@@ -201,6 +220,30 @@ fn bench_sweep_throughput(c: &mut Criterion) {
         batched,
         per_unit / batched.max(1)
     );
+
+    // Per-stage latency table from one traced shared-cache sweep,
+    // through the same export path `repro trace summarize` uses.
+    let recorder = obs::Recorder::new("bench");
+    obs::install(&recorder);
+    {
+        let ev = Evaluator::new(loops.clone());
+        let _ = ev.sweep(&cfgs, CycleModel::Cycles4, &EvalOptions::default());
+    }
+    obs::uninstall();
+    let json = obs::chrome_trace_json(&[recorder.snapshot()]);
+    let doc = obs::analyze::parse_chrome(&obs::json::parse(&json).expect("trace parses"))
+        .expect("trace validates");
+    eprintln!("per-stage latency, µs (log2-bucket upper-bound percentiles):");
+    eprintln!(
+        "{:>14}  {:>6}  {:>10}  {:>10}  {:>10}",
+        "span", "count", "p50", "p90", "p99"
+    );
+    for s in obs::analyze::per_stage_stats(&doc.spans) {
+        eprintln!(
+            "{:>14}  {:>6}  {:>10.1}  {:>10.1}  {:>10.1}",
+            s.name, s.count, s.p50_us, s.p90_us, s.p99_us
+        );
+    }
 }
 
 criterion_group!(benches, bench_sweep_throughput);

@@ -4,9 +4,10 @@
 //! ```text
 //! repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate]
 //!       [--cache-dir DIR] [--cache-budget BYTES] [--extend N]
-//!       [--shards N] <experiment>... | all | list
+//!       [--shards N] [--trace FILE] <experiment>... | all | list
 //! repro worker --queue DIR --cache-dir DIR [--threads N]
-//!       [--lease-ttl-ms MS] [--no-requeue]
+//!       [--lease-ttl-ms MS] [--no-requeue] [--trace-file FILE]
+//! repro trace summarize FILE
 //! repro cache stat --cache-dir DIR
 //! repro cache gc --keep-generations N --cache-dir DIR
 //! ```
@@ -54,6 +55,16 @@
 //!   steal surplus tails when idle, exit when the queue completes.
 //!   Point several of these (on one machine or on hosts sharing a
 //!   filesystem) at one queue to scale a sweep out.
+//! * `--trace FILE` — record spans (stage executions, sweep units,
+//!   queue waits, store evictions; with `--shards` also worker
+//!   lifecycle, steals, heartbeats and fleet events) and write one
+//!   merged Chrome trace-event JSON timeline to `FILE` on exit — open
+//!   it at <https://ui.perfetto.dev>. Distributed workers each write a
+//!   binary trace next to their results; the coordinator merges them
+//!   into the same file, one process track per worker.
+//! * `repro trace summarize` — read a `--trace` JSON back and print
+//!   per-stage latency percentiles (p50/p90/p99 from log₂-bucketed
+//!   histograms), per-shard busy time, and per-track span counts.
 //! * `repro cache stat` — per-kind file/byte usage and the generation
 //!   history of a cache directory.
 //! * `repro cache gc` — prune artifacts untouched for the last
@@ -63,6 +74,7 @@ use std::process::ExitCode;
 
 use widening::experiments::{self, Context};
 use widening::Evaluator;
+use widening_obs as obs;
 use widening_pipeline::{maint, StoreConfig};
 use widening_workload::corpus::{generate, CorpusSpec};
 
@@ -71,6 +83,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("worker") => return worker_main(&argv[1..]),
         Some("cache") => return cache_main(&argv[1..]),
+        Some("trace") => return trace_main(&argv[1..]),
         _ => {}
     }
 
@@ -84,6 +97,7 @@ fn main() -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut max_workers: Option<usize> = None;
     let mut chaos_exit_units: Option<u64> = None;
+    let mut trace: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = argv.into_iter().peekable();
@@ -127,6 +141,10 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => chaos_exit_units = Some(n),
                 _ => return usage("--chaos-exit-units needs a positive unit count"),
             },
+            "--trace" => match args.next() {
+                Some(f) if !f.starts_with('-') => trace = Some(f),
+                _ => return usage("--trace needs an output file"),
+            },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
                 Err(_) => return usage("--quick=N needs an integer"),
@@ -158,6 +176,7 @@ fn main() -> ExitCode {
                     _ => return usage("--chaos-exit-units=N needs a positive unit count"),
                 }
             }
+            a if a.starts_with("--trace=") => trace = Some(a["--trace=".len()..].to_string()),
             "list" => {
                 for n in experiments::ALL {
                     println!("{n}");
@@ -192,6 +211,31 @@ fn main() -> ExitCode {
         // distributed sweep spawns belong to this run, not their own).
         let _ = maint::record_run(std::path::Path::new(dir));
     }
+    // `--trace` installs the process-global span recorder up front so
+    // corpus build, experiments and the merge all land on the timeline.
+    let recorder = trace.as_ref().map(|_| {
+        let r = obs::Recorder::new("repro");
+        obs::install(&r);
+        obs::set_thread_label("main");
+        r
+    });
+    // Spawned workers of a traced distributed sweep drop binary traces
+    // in a per-run directory under the shared cache; merged (and the
+    // directory removed) after the run.
+    let worker_trace_dir = match (&trace, &cache_dir, shards) {
+        (Some(_), Some(dir), Some(_)) => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap_or_default()
+                .as_nanos();
+            Some(
+                std::path::Path::new(dir)
+                    .join("traces")
+                    .join(format!("run-{}-{nanos:x}", std::process::id())),
+            )
+        }
+        _ => None,
+    };
     let ctx = build_context(quick, seed, threads, cache_dir, cache_budget, extend);
     eprintln!(
         "corpus: {} loops (seed {}), {} worker threads",
@@ -210,6 +254,7 @@ fn main() -> ExitCode {
                     workers,
                     max_workers,
                     chaos_exit_units,
+                    worker_trace_dir.clone(),
                 ) {
                     Ok((reports, worker_counts)) => {
                         fleet_counts = fleet_counts.plus(&worker_counts);
@@ -252,6 +297,24 @@ fn main() -> ExitCode {
             ctx.eval.pipeline().disk_errors(),
         );
     }
+    if let (Some(path), Some(rec)) = (&trace, &recorder) {
+        obs::uninstall();
+        let mut traces = vec![rec.snapshot()];
+        if let Some(dir) = &worker_trace_dir {
+            traces.extend(obs::read_trace_dir(dir));
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let path = std::path::Path::new(path);
+        if let Err(e) = obs::write_chrome_trace_file(path, &traces) {
+            eprintln!("error: cannot write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: wrote {} ({} process track(s))",
+            path.display(),
+            traces.len()
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -264,6 +327,7 @@ fn worker_main(args: &[String]) -> ExitCode {
     let mut requeue_foreign = true;
     let mut batch_results = true;
     let mut die_after_units: Option<u64> = None;
+    let mut trace_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -290,6 +354,9 @@ fn worker_main(args: &[String]) -> ExitCode {
                 Some(n) => die_after_units = Some(n),
                 None => return usage("worker --die-after-units needs a unit count"),
             },
+            // Span recording for the coordinator's merged fleet
+            // timeline: the binary trace is written here on exit.
+            "--trace-file" => trace_file = it.next().cloned(),
             a => return usage(&format!("unknown worker flag {a}")),
         }
     }
@@ -302,7 +369,19 @@ fn worker_main(args: &[String]) -> ExitCode {
     cfg.requeue_foreign = requeue_foreign;
     cfg.batch_results = batch_results;
     cfg.die_after_units = die_after_units;
-    match widening::distrib::run_worker(&cfg) {
+    let recorder = trace_file.as_ref().map(|_| {
+        let r = obs::Recorder::new(&format!("repro-worker-{}", std::process::id()));
+        obs::install(&r);
+        r
+    });
+    let result = widening::distrib::run_worker(&cfg);
+    if let (Some(path), Some(rec)) = (&trace_file, &recorder) {
+        obs::uninstall();
+        if let Err(e) = obs::write_trace_file(std::path::Path::new(path), &rec.snapshot()) {
+            eprintln!("warning: cannot write worker trace {path}: {e}");
+        }
+    }
+    match result {
         Ok(summary) => {
             eprintln!(
                 "worker: {} shard(s), {} unit(s), {} result hit(s), {} steal(s) \
@@ -321,6 +400,84 @@ fn worker_main(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `repro trace summarize FILE` — latency tables from a merged Chrome
+/// trace written by `--trace`: per-stage percentiles (log₂-bucket upper
+/// bounds, so an at-most-2× overestimate), per-shard busy time, and
+/// per-track span counts.
+fn trace_main(args: &[String]) -> ExitCode {
+    let (Some("summarize"), Some(path), None) =
+        (args.first().map(String::as_str), args.get(1), args.get(2))
+    else {
+        return usage("trace needs a subcommand: summarize FILE");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match obs::json::parse(&text).and_then(|v| obs::analyze::parse_chrome(&v)) {
+        Ok(doc) => doc,
+        Err(why) => {
+            eprintln!("error: {path} is not a valid merged trace: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let us = |v: f64| format!("{v:.1}");
+    let mut stages = widening::report::Report::new(format!("Trace — per-stage latency ({path})"))
+        .with_columns([
+            "span",
+            "count",
+            "p50 µs",
+            "p90 µs",
+            "p99 µs",
+            "max µs",
+            "total µs",
+        ]);
+    for s in obs::analyze::per_stage_stats(&doc.spans) {
+        stages.push_row([
+            s.name.clone(),
+            s.count.to_string(),
+            us(s.p50_us),
+            us(s.p90_us),
+            us(s.p99_us),
+            us(s.max_us),
+            us(s.total_us),
+        ]);
+    }
+    stages.push_note(format!(
+        "{} span(s), {} instant event(s); percentiles are log₂-bucket upper bounds",
+        doc.spans.len(),
+        doc.instants
+    ));
+    println!("{stages}");
+
+    let shards = obs::analyze::per_shard_stats(&doc.spans);
+    if !shards.is_empty() {
+        let mut r = widening::report::Report::new("Trace — per-shard busy time")
+            .with_columns(["shard", "runs", "steals", "units", "busy µs"]);
+        for s in &shards {
+            r.push_row([
+                s.shard.to_string(),
+                s.runs.to_string(),
+                s.steals.to_string(),
+                s.units.to_string(),
+                us(s.busy_us),
+            ]);
+        }
+        println!("{r}");
+    }
+
+    let mut tracks = widening::report::Report::new("Trace — per-track spans")
+        .with_columns(["process", "track", "spans", "busy µs"]);
+    for t in obs::analyze::per_track_stats(&doc) {
+        tracks.push_row([t.process, t.track, t.spans.to_string(), us(t.busy_us)]);
+    }
+    println!("{tracks}");
+    ExitCode::SUCCESS
 }
 
 /// `repro cache stat|gc` — store lifecycle over a cache directory.
@@ -439,12 +596,14 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
          [--cache-dir DIR] [--cache-budget BYTES] [--extend N] [--shards N] \
-         [--max-workers M] [--chaos-exit-units N] <experiment>... | all | list"
+         [--max-workers M] [--chaos-exit-units N] [--trace FILE] \
+         <experiment>... | all | list"
     );
     eprintln!(
         "       repro worker --queue DIR --cache-dir DIR [--threads N] [--lease-ttl-ms MS] \
-         [--per-unit-results] [--die-after-units N]"
+         [--per-unit-results] [--die-after-units N] [--trace-file FILE]"
     );
+    eprintln!("       repro trace summarize FILE");
     eprintln!("       repro cache stat --cache-dir DIR");
     eprintln!("       repro cache gc --keep-generations N --cache-dir DIR");
     eprintln!("experiments: {}", experiments::ALL.join(" "));

@@ -61,6 +61,10 @@ pub struct DistributedOptions {
     /// after this many units (no completion marker, silent lease) — the
     /// CI chaos path. `None` in production.
     pub chaos_die_after_units: Option<u64>,
+    /// Directory where spawned worker processes drop their binary span
+    /// traces (`worker-<index>.trace.bin`), for the merged fleet
+    /// timeline. `None` disables collection.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl DistributedOptions {
@@ -77,6 +81,7 @@ impl DistributedOptions {
             lease_ttl: Duration::from_secs(30),
             batch_results: true,
             chaos_die_after_units: None,
+            trace_dir: None,
         }
     }
 }
@@ -153,6 +158,9 @@ pub fn worker_command(exe: PathBuf) -> impl Fn(&SpawnContext) -> Command {
         if let Some(limit) = sc.die_after_units {
             cmd.arg("--die-after-units").arg(limit.to_string());
         }
+        if let Some(path) = &sc.trace_file {
+            cmd.arg("--trace-file").arg(path);
+        }
         cmd
     }
 }
@@ -186,6 +194,7 @@ pub fn sweep_distributed(
     cfg.lease_ttl = opts.lease_ttl;
     cfg.batch_results = opts.batch_results;
     cfg.chaos_die_after_units = opts.chaos_die_after_units;
+    cfg.trace_dir = opts.trace_dir.clone();
     let shard_count = cfg.shard_count(loops.len() * specs.len());
     let manifest = SweepManifest::partition((*loops).clone(), specs.to_vec(), shard_count);
     let run = run_sweep(&manifest, &cfg, launcher)?;

@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use widening_cost::CostModel;
 use widening_ir::Loop;
 use widening_machine::{Configuration, CycleModel};
+use widening_obs as obs;
 use widening_pipeline::{pool, CompiledLoop, FailureCause, Pipeline, PointSpec, StoreConfig};
 
 pub use widening_pipeline::CompileOptions as EvalOptions;
@@ -343,6 +344,11 @@ impl Evaluator {
         }
         let loops = self.loops();
         let results = pool::par_map(loops.len(), self.threads, |li| {
+            let _unit_span = obs::span(
+                obs::SpanKind::SweepUnit,
+                li as u64,
+                obs::pack_point(spec.replication, spec.width, spec.registers),
+            );
             score_loop(&loops[li], spec.width, &self.pipeline.compile(li, spec))
         });
         let value = Arc::new(aggregate(results));

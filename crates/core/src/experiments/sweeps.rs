@@ -129,9 +129,11 @@ pub fn sweep(ctx: &Context) -> Report {
 /// ceiling — the coordinator grows the fleet while the queue's
 /// remaining-mass estimate warrants it; `chaos_die_after_units` makes
 /// the first worker abandon its shard mid-flight (the CI fault-
-/// injection knob). Returns the reports (sweep table, per-shard
-/// progress, fleet-summed stage counters) plus the fleet's summed
-/// counters so the caller can fold them into its own `cache:` summary.
+/// injection knob); `trace_dir` makes every spawned worker drop its
+/// binary span trace there for the merged fleet timeline. Returns the
+/// reports (sweep table, per-shard progress, fleet-summed stage
+/// counters) plus the fleet's summed counters so the caller can fold
+/// them into its own `cache:` summary.
 ///
 /// # Errors
 ///
@@ -142,11 +144,13 @@ pub fn sweep_distributed_reports(
     workers: usize,
     max_workers: Option<usize>,
     chaos_die_after_units: Option<u64>,
+    trace_dir: Option<std::path::PathBuf>,
 ) -> Result<(Vec<Report>, StageCounts), String> {
     let specs = sweep_grid_specs();
     let mut opts = DistributedOptions::new(workers);
     opts.max_workers = max_workers.unwrap_or(opts.workers).max(opts.workers);
     opts.chaos_die_after_units = chaos_die_after_units;
+    opts.trace_dir = trace_dir;
     // Split the local thread budget across the baseline fleet.
     opts.worker_threads = (ctx.eval.threads() / opts.workers).max(1);
     let exe = std::env::current_exe().map_err(|e| format!("cannot resolve worker binary: {e}"))?;

@@ -481,6 +481,92 @@ fn batch_records_cut_publish_files_at_least_tenfold() {
 }
 
 #[test]
+fn merged_fleet_timeline_has_every_workers_spans_exactly_once_after_chaos() {
+    // The observability acceptance path: a chaos-killed worker process
+    // (silent lease after 3 units, shard requeued) plus autoscaled
+    // replacements, each writing a binary span trace next to its
+    // results. The merged Chrome timeline must carry one process track
+    // per spawned worker and every recorded span exactly once — the
+    // requeue may re-run units, but it must never duplicate or drop a
+    // worker's trace in the merge.
+    let cache = temp_dir("timeline");
+    let loops = generate(&CorpusSpec::small(14, 23));
+    let specs = specs();
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 4);
+    let queue_dir = cache.join("queue").join("timeline");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+    let trace_dir = cache.join("traces");
+
+    let mut cfg = CoordinatorConfig::new(&cache, 1);
+    cfg.max_workers = 3;
+    cfg.mass_per_worker = Some(1); // always worth another pair of hands
+    cfg.lease_ttl = Duration::from_millis(500);
+    cfg.poll = Duration::from_millis(10);
+    cfg.chaos_die_after_units = Some(3);
+    cfg.trace_dir = Some(trace_dir.clone());
+    let launch = widening::distributed::worker_command(PathBuf::from(env!("CARGO_BIN_EXE_repro")));
+    let run = run_on_queue(&queue, &cfg, &Launcher::Spawn(&launch)).expect("fleet survives chaos");
+    assert!(queue.all_done());
+    assert!(run.requeues >= 1, "the chaos victim must be requeued");
+
+    // One binary trace per spawned worker index (victim included: it
+    // abandons its shard but still unwinds and writes its trace).
+    let spawned = 1 + run.scale_ups as usize + run.respawns as usize;
+    let traces = widening_obs::read_trace_dir(&trace_dir);
+    assert_eq!(traces.len(), spawned, "one trace file per spawned worker");
+
+    let json = widening_obs::chrome_trace_json(&traces);
+    let doc = widening_obs::analyze::parse_chrome(
+        &widening_obs::json::parse(&json).expect("merged timeline parses"),
+    )
+    .expect("merged timeline validates");
+
+    // Exactly once, per worker: each process appears as one pid track
+    // whose span count equals its binary trace's span count, and no
+    // two workers share a process name.
+    assert_eq!(doc.processes.len(), spawned);
+    let mut names: Vec<&str> = doc.processes.values().map(String::as_str).collect();
+    names.dedup();
+    assert_eq!(names.len(), spawned, "worker process names must be unique");
+    let tracks = widening_obs::analyze::per_track_stats(&doc);
+    for (index, trace) in traces.iter().enumerate() {
+        let pid = index as u64 + 1;
+        let recorded: u64 = trace
+            .tracks
+            .iter()
+            .map(|t| t.events.iter().filter(|e| !e.is_instant()).count() as u64)
+            .sum();
+        let merged: u64 = tracks
+            .iter()
+            .filter(|t| t.pid == pid)
+            .map(|t| t.spans)
+            .sum();
+        assert_eq!(
+            merged, recorded,
+            "worker {index} ({}) spans must appear exactly once",
+            trace.process
+        );
+        assert_eq!(trace.dropped, 0, "no ring truncation on this workload");
+    }
+
+    // Fleet-wide coverage: every unit of the grid ran somewhere (the
+    // requeue re-runs some), and the shard spans cover the queue.
+    let unit_spans = doc.spans.iter().filter(|s| s.name == "unit").count();
+    assert!(
+        unit_spans >= manifest.unit_count(),
+        "{unit_spans} unit spans < {} grid units",
+        manifest.unit_count()
+    );
+    let shard_spans = doc.spans.iter().filter(|s| s.name == "shard").count();
+    assert!(
+        shard_spans >= manifest.shards.len(),
+        "{shard_spans} shard spans < {} shards",
+        manifest.shards.len()
+    );
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
 fn distributed_rerun_replays_published_results() {
     let cache = temp_dir("rerun");
     let loops = generate(&CorpusSpec::small(10, 4));

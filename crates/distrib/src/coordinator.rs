@@ -30,6 +30,8 @@ use std::process::{Child, Command, Stdio};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use widening_obs as obs;
+use widening_obs::SpanKind;
 use widening_pipeline::StageCounts;
 
 use crate::manifest::SweepManifest;
@@ -73,6 +75,11 @@ pub struct CoordinatorConfig {
     /// work (no completion marker, lease goes silent) after this many
     /// units — the CI chaos knob. `None` in production.
     pub chaos_die_after_units: Option<u64>,
+    /// Directory where spawned workers drop their binary span traces
+    /// (`worker-<index>.trace.bin`). `None` disables trace collection;
+    /// in-process workers record into the caller's global recorder
+    /// instead and ignore this.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl CoordinatorConfig {
@@ -94,6 +101,7 @@ impl CoordinatorConfig {
             max_respawns: workers,
             batch_results: true,
             chaos_die_after_units: None,
+            trace_dir: None,
         }
     }
 
@@ -140,6 +148,10 @@ pub struct SpawnContext {
     /// Chaos hook: abandon after this many units (fault-injection runs
     /// set it on worker 0 only).
     pub die_after_units: Option<u64>,
+    /// Where a spawned worker process should write its binary span
+    /// trace on exit (`None` when tracing is off; in-process workers
+    /// share the caller's recorder and ignore this).
+    pub trace_file: Option<PathBuf>,
 }
 
 /// How the coordinator materializes a worker.
@@ -318,6 +330,9 @@ pub fn run_on_queue(
     let mass_per_worker = cfg.effective_mass_per_worker(&manifest);
     let max_workers = cfg.max_workers.max(cfg.workers).max(1);
 
+    if let Some(dir) = &cfg.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
     let ctx_for = |index: usize| SpawnContext {
         index,
         queue_dir: queue.root().to_path_buf(),
@@ -326,6 +341,10 @@ pub fn run_on_queue(
         lease_ttl: cfg.lease_ttl,
         batch_results: cfg.batch_results,
         die_after_units: cfg.chaos_die_after_units.filter(|_| index == 0),
+        trace_file: cfg
+            .trace_dir
+            .as_ref()
+            .map(|d| d.join(format!("worker-{index}.trace.bin"))),
     };
     // An aborted sweep must not orphan the workers it already started:
     // kill and reap spawned processes before surfacing the error (the
@@ -378,7 +397,12 @@ pub fn run_on_queue(
         if queue.all_done() && validated.iter().all(|&v| v) {
             break;
         }
-        requeues += queue.requeue_expired(&mut observer, cfg.lease_ttl) as u64;
+        let expired = queue.requeue_expired(&mut observer, cfg.lease_ttl) as u64;
+        if expired > 0 {
+            eprintln!("distrib: event=lease-expired requeued={expired}");
+            obs::instant(SpanKind::LeaseExpire, expired, 0);
+        }
+        requeues += expired;
         let live = handles
             .iter_mut()
             .map(Handle::is_alive)
@@ -399,6 +423,8 @@ pub fn run_on_queue(
             // Replacements start with stalled foreign claims already
             // released above, so they pick the dead fleet's work up.
             respawns += 1;
+            eprintln!("distrib: event=respawn worker={next_index}");
+            obs::instant(SpanKind::Respawn, next_index as u64, 0);
             match spawn(launcher, &ctx_for(next_index), cfg.poll) {
                 Ok(h) => handles.push(h),
                 Err(e) => return Err(abort_fleet(handles, e)),
@@ -410,6 +436,8 @@ pub fn run_on_queue(
             let mass = remaining_mass_estimate(queue, &shard_masses);
             if mass > mass_per_worker.saturating_mul(live as u64) {
                 scale_ups += 1;
+                eprintln!("distrib: event=scale-up worker={next_index} live={live} mass={mass}");
+                obs::instant(SpanKind::ScaleUp, next_index as u64, mass);
                 match spawn(launcher, &ctx_for(next_index), cfg.poll) {
                     Ok(h) => handles.push(h),
                     Err(e) => return Err(abort_fleet(handles, e)),

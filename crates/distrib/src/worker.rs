@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use widening_obs as obs;
+use widening_obs::SpanKind;
 use widening_pipeline::codec::{self, Reader, Writer};
 use widening_pipeline::exchange::{
     batch_result_key, decode_unit_batch, decode_unit_outcome, encode_unit_batch,
@@ -280,6 +282,11 @@ impl WorkerState<'_> {
         }
         let li = self.manifest.loop_of(unit);
         let spec = &self.manifest.specs[self.manifest.spec_of(unit)];
+        let _unit_span = obs::span(
+            SpanKind::SweepUnit,
+            li as u64,
+            obs::pack_point(spec.replication, spec.width, spec.registers),
+        );
         let outcome = UnitOutcome::of(&self.pipeline.compile(li, spec));
         if !self.cfg.batch_results {
             self.exchange
@@ -339,6 +346,12 @@ impl WorkerState<'_> {
                 continue;
             }
             if let Some(units) = self.queue.claim_steal(shard, &self.cfg.tag) {
+                eprintln!(
+                    "distrib: event=steal-claim shard={shard} units={} tag={}",
+                    units.len(),
+                    self.cfg.tag
+                );
+                obs::instant(SpanKind::StealClaim, shard as u64, units.len() as u64);
                 return Some((shard, units));
             }
         }
@@ -387,6 +400,7 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
     let queue = state.queue;
     let units = &state.manifest.shards[shard];
     let n = units.len();
+    let _shard_span = obs::span(SpanKind::WorkerShard, shard as u64, n as u64);
 
     // The steal offer: the tail half of the priority-ordered list
     // (cheap units — the owner keeps the heavy head it starts on).
@@ -400,6 +414,7 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
             let s = n - n / 2;
             if queue.publish_surplus(shard, s as u32, &units[s..]) {
                 split = s;
+                obs::instant(SpanKind::StealOffer, shard as u64, (n - s) as u64);
             }
         }
     }
@@ -469,6 +484,7 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
                         mass,
                     },
                 );
+                obs::instant(SpanKind::Heartbeat, shard as u64, mass);
                 chopped_sleep(interval, &stop);
             }
         });
@@ -500,6 +516,7 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
                     stolen = report.units;
                     hits.fetch_add(report.result_hits as usize, Ordering::Relaxed);
                     thief_counts = report.counts;
+                    obs::instant(SpanKind::StealFold, shard as u64, u64::from(report.units));
                     break;
                 }
                 if queue.is_retired() {
@@ -592,6 +609,7 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
     let cfg = state.cfg;
     let queue = state.queue;
     let n = stolen_units.len();
+    let _steal_span = obs::span(SpanKind::WorkerSteal, shard as u64, n as u64);
     let mut suffix = vec![0u64; n + 1];
     for i in (0..n).rev() {
         suffix[i] = suffix[i + 1].saturating_add(state.manifest.unit_priority(stolen_units[i]));
@@ -640,6 +658,7 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
                         mass: suffix[c],
                     },
                 );
+                obs::instant(SpanKind::Heartbeat, shard as u64, suffix[c]);
                 chopped_sleep(interval, &stop);
             }
         });
@@ -684,6 +703,9 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
 /// valid manifest; [`DistribError::CacheUnusable`] when the shared
 /// cache directory cannot be opened for publishing results.
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, DistribError> {
+    // Name this worker's trace track after its tag so the merged fleet
+    // timeline shows `inproc-…-0`, `pid-…` etc. instead of `thread-N`.
+    obs::set_thread_label(&cfg.tag);
     let (queue, manifest) = JobQueue::open(&cfg.queue_dir)
         .ok_or_else(|| DistribError::QueueUnreadable(cfg.queue_dir.clone()))?;
     let exchange = Exchange::open(&cfg.cache_dir)

@@ -1,0 +1,64 @@
+//! `tracecheck` — CI validator for merged Chrome trace files.
+//!
+//! Usage: `tracecheck <trace.json>`
+//!
+//! Exits non-zero unless the file parses as JSON, is structurally valid
+//! Chrome trace-event output (no unmatched begin/end, every `X` span
+//! carries `ts`/`dur`), and covers every pipeline stage kind — each of
+//! `widen`, `mii`, `base-schedule`, `schedule` must appear as at least
+//! one span, either as a live run or as its `decode:` disk variant,
+//! plus at least one `unit` sweep span.
+
+use std::process::ExitCode;
+
+use widening_obs::analyze;
+use widening_obs::json;
+
+const REQUIRED_STAGES: [&str; 4] = ["widen", "mii", "base-schedule", "schedule"];
+
+fn run(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let doc = analyze::parse_chrome(&value).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    let count_named = |name: &str| doc.spans.iter().filter(|s| s.name == name).count();
+    let mut covered = Vec::new();
+    for stage in REQUIRED_STAGES {
+        let live = count_named(stage);
+        let decoded = count_named(&format!("decode:{stage}"));
+        if live + decoded == 0 {
+            return Err(format!(
+                "{path}: stage {stage:?} has no spans (live or decode)"
+            ));
+        }
+        covered.push(format!("{stage}={live}+{decoded}d"));
+    }
+    let units = count_named("unit");
+    if units == 0 {
+        return Err(format!("{path}: no sweep unit spans"));
+    }
+    Ok(format!(
+        "tracecheck: OK — {} span(s), {} instant(s), {} process track(s), units={units}, stages [{}]",
+        doc.spans.len(),
+        doc.instants,
+        doc.processes.len(),
+        covered.join(", ")
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: tracecheck <trace.json>");
+        return ExitCode::from(2);
+    };
+    match run(path) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("tracecheck: FAIL — {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

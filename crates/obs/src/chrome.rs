@@ -1,0 +1,227 @@
+//! The merged fleet timeline: Chrome trace-event JSON emission.
+//!
+//! [`chrome_trace_json`] takes any number of per-process traces (the
+//! coordinator's own snapshot plus every worker's `WTRC` file) and
+//! emits one `{"traceEvents": [...]}` document loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`:
+//!
+//! * each **process** becomes one `pid` track, named via `process_name`
+//!   metadata;
+//! * each recording **thread** becomes one `tid` track under its
+//!   process, named via `thread_name` metadata (workers label their
+//!   thread with the worker tag);
+//! * spans are complete (`"ph":"X"`) events with microsecond `ts`/`dur`
+//!   (fractional, so nanosecond precision survives);
+//! * instants are `"ph":"i"` thread-scoped marks;
+//! * timelines from different processes are aligned by each trace's
+//!   wall-clock anchor: every event is offset by its process's anchor
+//!   minus the earliest anchor in the set, so fleet-wide causality
+//!   (steal offer on one worker, claim on another) reads correctly.
+//!
+//! Ring-buffer truncation is surfaced as a `dropped_events` arg on the
+//! process metadata, never hidden.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::span::format_point;
+use crate::trace::ProcessTrace;
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format nanoseconds as fractional microseconds (`123.456`).
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn push_meta(out: &mut String, name: &str, pid: u32, tid: u32, arg_name: &str, arg_value: &str) {
+    out.push_str("{\"ph\":\"M\",\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"args\":{\"");
+    out.push_str(arg_name);
+    out.push_str("\":\"");
+    escape_into(out, arg_value);
+    out.push_str("\"}}");
+}
+
+/// Render merged traces as a Chrome trace-event JSON document.
+#[must_use]
+pub fn chrome_trace_json(traces: &[ProcessTrace]) -> String {
+    let base_anchor = traces
+        .iter()
+        .map(|t| t.wall_anchor_ns)
+        .min()
+        .unwrap_or_default();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for (index, trace) in traces.iter().enumerate() {
+        let pid = u32::try_from(index).unwrap_or(u32::MAX).saturating_add(1);
+        let offset_ns = trace.wall_anchor_ns.saturating_sub(base_anchor);
+        sep(&mut out, &mut first);
+        let label = format!("{} (dropped_events={})", trace.process, trace.dropped);
+        push_meta(&mut out, "process_name", pid, 0, "name", &label);
+        for track in &trace.tracks {
+            sep(&mut out, &mut first);
+            push_meta(
+                &mut out,
+                "thread_name",
+                pid,
+                track.tid,
+                "name",
+                &track.label,
+            );
+            for event in &track.events {
+                sep(&mut out, &mut first);
+                let ts = event.start_ns.saturating_add(offset_ns);
+                let dur = event.end_ns.saturating_sub(event.start_ns);
+                out.push_str("{\"name\":\"");
+                out.push_str(event.kind.name());
+                out.push_str("\",\"cat\":\"");
+                out.push_str(event.kind.category());
+                if event.is_instant() {
+                    out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                    push_us(&mut out, ts);
+                } else {
+                    out.push_str("\",\"ph\":\"X\",\"ts\":");
+                    push_us(&mut out, ts);
+                    out.push_str(",\"dur\":");
+                    push_us(&mut out, dur);
+                }
+                out.push_str(",\"pid\":");
+                out.push_str(&pid.to_string());
+                out.push_str(",\"tid\":");
+                out.push_str(&track.tid.to_string());
+                let (a_name, b_name) = event.kind.arg_names();
+                out.push_str(",\"args\":{\"");
+                out.push_str(a_name);
+                out.push_str("\":");
+                out.push_str(&event.a.to_string());
+                out.push_str(",\"");
+                out.push_str(b_name);
+                out.push_str("\":");
+                if event.kind.b_is_point() {
+                    out.push('"');
+                    escape_into(&mut out, &format_point(event.b));
+                    out.push('"');
+                } else {
+                    out.push_str(&event.b.to_string());
+                }
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write the merged Chrome trace JSON for `traces` to `path`.
+pub fn write_chrome_trace_file(path: &Path, traces: &[ProcessTrace]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, chrome_trace_json(traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Event, SpanKind};
+    use crate::trace::TrackTrace;
+
+    fn trace(process: &str, anchor: u64, events: Vec<Event>) -> ProcessTrace {
+        ProcessTrace {
+            process: process.into(),
+            wall_anchor_ns: anchor,
+            dropped: 0,
+            tracks: vec![TrackTrace {
+                tid: 1,
+                label: format!("{process}-main"),
+                events,
+            }],
+        }
+    }
+
+    #[test]
+    fn spans_and_instants_render_with_alignment() {
+        let a = trace(
+            "repro",
+            1_000_000,
+            vec![Event {
+                kind: SpanKind::Widen,
+                start_ns: 2_500,
+                end_ns: 12_500,
+                a: 3,
+                b: 2,
+            }],
+        );
+        let b = trace(
+            "worker-1",
+            4_000_000,
+            vec![Event {
+                kind: SpanKind::StealClaim,
+                start_ns: 0,
+                end_ns: 0,
+                a: 5,
+                b: 9,
+            }],
+        );
+        let json = chrome_trace_json(&[a, b]);
+        // Process 1 is the base anchor: ts = 2.5 µs, dur = 10 µs.
+        assert!(json.contains(
+            "\"name\":\"widen\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":2.500,\"dur\":10.000"
+        ));
+        assert!(json.contains("\"args\":{\"loop\":3,\"width\":2}"));
+        // Process 2 is 3 ms later: instant at 3000 µs.
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":3000.000"));
+        assert!(json.contains("\"args\":{\"shard\":5,\"units\":9}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("worker-1-main"));
+    }
+
+    #[test]
+    fn point_args_render_in_paper_notation() {
+        let t = trace(
+            "repro",
+            0,
+            vec![Event {
+                kind: SpanKind::SweepUnit,
+                start_ns: 0,
+                end_ns: 10,
+                a: 1,
+                b: crate::span::pack_point(4, 2, Some(128)),
+            }],
+        );
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("\"point\":\"4w2(128)\""));
+    }
+}

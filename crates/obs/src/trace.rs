@@ -1,0 +1,316 @@
+//! The versioned binary trace-file format (`WTRC` v1).
+//!
+//! Each fleet worker process serialises its [`ProcessTrace`] into one
+//! file next to its published results; the coordinator reads every file
+//! back and merges them onto one timeline ([`crate::chrome`]). The
+//! format is hand-rolled little-endian (this crate sits below
+//! `widening-pipeline`, so it cannot borrow the pipeline codec):
+//!
+//! ```text
+//! magic    "WTRC"                     4 bytes
+//! version  u32 = 1
+//! anchor   u64   wall-clock ns at recorder install (UNIX epoch)
+//! dropped  u64   events lost to ring overflow, totalled
+//! process  str   (u32 length + UTF-8 bytes)
+//! tracks   u32   count
+//!   tid    u32
+//!   label  str
+//!   events u32   count
+//!     kind u8, start_ns u64, end_ns u64, a u64, b u64   (×count)
+//! ```
+//!
+//! Decoding is defensive: any truncation, bad magic, unknown version or
+//! unknown event kind yields `None` — a corrupt trace degrades to "no
+//! trace", never a panic.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::span::{Event, SpanKind};
+
+/// File magic.
+pub const TRACE_MAGIC: [u8; 4] = *b"WTRC";
+/// Current format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One recording thread's events, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackTrace {
+    /// Thread id, unique within the process (1-based registration order).
+    pub tid: u32,
+    /// Human-readable track label (worker tag or `thread-N`).
+    pub label: String,
+    /// Events, oldest surviving first.
+    pub events: Vec<Event>,
+}
+
+/// Everything one process recorded: its tracks plus the time base
+/// needed to merge it with traces from other processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessTrace {
+    /// Process label (e.g. `repro` or `worker-3`).
+    pub process: String,
+    /// Wall-clock nanoseconds (UNIX epoch) at recorder construction;
+    /// event timestamps are monotonic offsets from that moment.
+    pub wall_anchor_ns: u64,
+    /// Events lost to ring overflow across all tracks.
+    pub dropped: u64,
+    /// Per-thread tracks.
+    pub tracks: Vec<TrackTrace>,
+}
+
+impl ProcessTrace {
+    /// Total recorded events across all tracks.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Serialise to the `WTRC` v1 byte format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.event_count() * 33);
+        out.extend_from_slice(&TRACE_MAGIC);
+        put_u32(&mut out, TRACE_VERSION);
+        put_u64(&mut out, self.wall_anchor_ns);
+        put_u64(&mut out, self.dropped);
+        put_str(&mut out, &self.process);
+        put_u32(&mut out, self.tracks.len() as u32);
+        for track in &self.tracks {
+            put_u32(&mut out, track.tid);
+            put_str(&mut out, &track.label);
+            put_u32(&mut out, track.events.len() as u32);
+            for event in &track.events {
+                out.push(event.kind as u8);
+                put_u64(&mut out, event.start_ns);
+                put_u64(&mut out, event.end_ns);
+                put_u64(&mut out, event.a);
+                put_u64(&mut out, event.b);
+            }
+        }
+        out
+    }
+
+    /// Decode a `WTRC` trace; `None` on any corruption or version skew.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(4)? != TRACE_MAGIC {
+            return None;
+        }
+        if cur.u32()? != TRACE_VERSION {
+            return None;
+        }
+        let wall_anchor_ns = cur.u64()?;
+        let dropped = cur.u64()?;
+        let process = cur.str()?;
+        let track_count = cur.u32()? as usize;
+        // Each track needs ≥ 12 bytes: cheap bound against hostile counts.
+        if track_count > cur.remaining() / 12 + 1 {
+            return None;
+        }
+        let mut tracks = Vec::with_capacity(track_count.min(1024));
+        for _ in 0..track_count {
+            let tid = cur.u32()?;
+            let label = cur.str()?;
+            let event_count = cur.u32()? as usize;
+            if event_count > cur.remaining() / 33 + 1 {
+                return None;
+            }
+            let mut events = Vec::with_capacity(event_count);
+            for _ in 0..event_count {
+                let kind = SpanKind::from_u8(cur.u8()?)?;
+                let start_ns = cur.u64()?;
+                let end_ns = cur.u64()?;
+                let a = cur.u64()?;
+                let b = cur.u64()?;
+                events.push(Event {
+                    kind,
+                    start_ns,
+                    end_ns,
+                    a,
+                    b,
+                });
+            }
+            tracks.push(TrackTrace { tid, label, events });
+        }
+        Some(ProcessTrace {
+            process,
+            wall_anchor_ns,
+            dropped,
+            tracks,
+        })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Write `trace` to `path` atomically (temp file + rename), creating
+/// parent directories as needed.
+pub fn write_trace_file(path: &Path, trace: &ProcessTrace) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, trace.encode())?;
+    fs::rename(&tmp, path)
+}
+
+/// Read one `WTRC` trace file; `None` if missing or corrupt.
+#[must_use]
+pub fn read_trace_file(path: &Path) -> Option<ProcessTrace> {
+    ProcessTrace::decode(&fs::read(path).ok()?)
+}
+
+/// Read every decodable `*.trace.bin` in `dir`, sorted by file name for
+/// a deterministic merge order. A missing directory is an empty fleet.
+#[must_use]
+pub fn read_trace_dir(dir: &Path) -> Vec<ProcessTrace> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".trace.bin"))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().filter_map(|p| read_trace_file(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProcessTrace {
+        ProcessTrace {
+            process: "worker-1".into(),
+            wall_anchor_ns: 1_700_000_000_000_000_000,
+            dropped: 3,
+            tracks: vec![
+                TrackTrace {
+                    tid: 1,
+                    label: "shard-0".into(),
+                    events: vec![
+                        Event {
+                            kind: SpanKind::Widen,
+                            start_ns: 10,
+                            end_ns: 40,
+                            a: 2,
+                            b: 2,
+                        },
+                        Event {
+                            kind: SpanKind::Evict,
+                            start_ns: 50,
+                            end_ns: 50,
+                            a: 4,
+                            b: 4096,
+                        },
+                    ],
+                },
+                TrackTrace {
+                    tid: 2,
+                    label: "shard-1".into(),
+                    events: vec![Event {
+                        kind: SpanKind::SweepUnit,
+                        start_ns: 5,
+                        end_ns: 95,
+                        a: 0,
+                        b: 0x1_0202,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let trace = sample();
+        let bytes = trace.encode();
+        assert_eq!(&bytes[..4], b"WTRC");
+        assert_eq!(ProcessTrace::decode(&bytes), Some(trace));
+    }
+
+    #[test]
+    fn corruption_degrades_to_none() {
+        let bytes = sample().encode();
+        assert_eq!(ProcessTrace::decode(&bytes[..bytes.len() - 1]), None);
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(ProcessTrace::decode(&bad_magic), None);
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(ProcessTrace::decode(&bad_version), None);
+        let mut bad_kind = bytes;
+        // First event kind byte sits right after the track header.
+        let kind_pos = 4 + 4 + 8 + 8 + (4 + 8) + 4 + 4 + (4 + 7) + 4;
+        bad_kind[kind_pos] = 200;
+        assert_eq!(ProcessTrace::decode(&bad_kind), None);
+        assert_eq!(ProcessTrace::decode(b""), None);
+    }
+
+    #[test]
+    fn trace_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("obs-trace-dir-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let trace = sample();
+        write_trace_file(&dir.join("worker-1.trace.bin"), &trace).unwrap();
+        fs::write(dir.join("garbage.trace.bin"), b"not a trace").unwrap();
+        fs::write(dir.join("ignored.txt"), b"other file").unwrap();
+        let read = read_trace_dir(&dir);
+        assert_eq!(read, vec![trace]);
+        assert!(read_trace_dir(&dir.join("missing")).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

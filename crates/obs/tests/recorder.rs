@@ -1,0 +1,121 @@
+//! End-to-end recorder tests: global install, multi-thread tracks,
+//! drop counting, binary file round-trip, Chrome emission.
+//!
+//! The recorder is process-global, so every test here serialises on one
+//! mutex — `cargo test` runs test fns of one binary concurrently.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use widening_obs as obs;
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn disabled_recording_is_inert() {
+    let _guard = global_lock();
+    obs::uninstall();
+    assert!(!obs::is_enabled());
+    assert_eq!(obs::now_ns(), None);
+    obs::instant(obs::SpanKind::Evict, 1, 2);
+    let span = obs::span(obs::SpanKind::Widen, 0, 2);
+    drop(span);
+    // Nothing to snapshot anywhere; installing a fresh recorder now
+    // must start empty.
+    let recorder = obs::Recorder::new("t");
+    obs::install(&recorder);
+    obs::uninstall();
+    assert_eq!(recorder.snapshot().event_count(), 0);
+}
+
+#[test]
+fn spans_instants_and_labels_land_in_tracks() {
+    let _guard = global_lock();
+    let recorder = obs::Recorder::new("proc");
+    obs::install(&recorder);
+    obs::set_thread_label("driver");
+    {
+        let _span = obs::span(obs::SpanKind::Schedule, 7, obs::pack_point(4, 2, Some(128)));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    obs::instant(obs::SpanKind::StealOffer, 3, 5);
+    let cancelled = obs::span(obs::SpanKind::Widen, 0, 0);
+    cancelled.cancel();
+    let handle = std::thread::spawn(|| {
+        obs::set_thread_label("worker-thread");
+        let _span = obs::span(obs::SpanKind::SweepUnit, 1, 2);
+    });
+    handle.join().unwrap();
+    obs::uninstall();
+
+    let trace = recorder.snapshot();
+    assert_eq!(trace.process, "proc");
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(trace.tracks.len(), 2, "one track per recording thread");
+    let main = trace
+        .tracks
+        .iter()
+        .find(|t| t.label == "driver")
+        .expect("labelled main track");
+    assert_eq!(main.events.len(), 2, "cancelled span not recorded");
+    assert_eq!(main.events[0].kind, obs::SpanKind::Schedule);
+    assert!(main.events[0].end_ns > main.events[0].start_ns);
+    assert!(main.events[1].is_instant());
+    let worker = trace
+        .tracks
+        .iter()
+        .find(|t| t.label == "worker-thread")
+        .expect("labelled worker track");
+    assert_eq!(worker.events.len(), 1);
+    assert_eq!(worker.events[0].kind, obs::SpanKind::SweepUnit);
+}
+
+#[test]
+fn ring_pressure_is_counted_not_silent() {
+    let _guard = global_lock();
+    let recorder = obs::Recorder::with_capacity("tiny", 8);
+    obs::install(&recorder);
+    for i in 0..20 {
+        obs::instant(obs::SpanKind::Heartbeat, i, 0);
+    }
+    obs::uninstall();
+    let trace = recorder.snapshot();
+    assert_eq!(trace.event_count(), 8);
+    assert_eq!(trace.dropped, 12);
+    // The survivors are the newest events.
+    let kept: Vec<u64> = trace.tracks[0].events.iter().map(|e| e.a).collect();
+    assert_eq!(kept, (12..20).collect::<Vec<u64>>());
+    // Truncation is visible in the exported timeline, too.
+    let json = obs::chrome_trace_json(&[trace]);
+    assert!(json.contains("dropped_events=12"));
+}
+
+#[test]
+fn snapshot_survives_file_round_trip_and_chrome_export() {
+    let _guard = global_lock();
+    let recorder = obs::Recorder::new("exporter");
+    obs::install(&recorder);
+    {
+        let _span = obs::span(obs::SpanKind::Mii, 2, obs::pack_point(1, 2, Some(64)));
+    }
+    obs::uninstall();
+    let trace = recorder.snapshot();
+
+    let dir = std::env::temp_dir().join(format!("obs-recorder-{}", std::process::id()));
+    let path = dir.join("worker-0.trace.bin");
+    obs::write_trace_file(&path, &trace).unwrap();
+    let read = obs::read_trace_file(&path).expect("decodes");
+    assert_eq!(read, trace);
+
+    let text = obs::chrome_trace_json(&[read]);
+    let value = obs::json::parse(&text).expect("emitted JSON parses");
+    let doc = obs::analyze::parse_chrome(&value).expect("valid chrome trace");
+    assert_eq!(doc.spans.len(), 1);
+    assert_eq!(doc.spans[0].name, "mii");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

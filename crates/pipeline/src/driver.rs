@@ -1,12 +1,15 @@
 //! The memoized [`Pipeline`] driver: the two-tier stage store, the
 //! incremental corpus, and the multi-config sweep engine.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
 
 use widening_ir::{Ddg, Loop};
 use widening_machine::CycleModel;
+use widening_obs as obs;
+use widening_obs::{MetricsRegistry, SpanKind};
 use widening_regalloc::SpillOptions;
 use widening_sched::{MiiBounds, Strategy};
 use widening_transform::WideningOutcome;
@@ -19,7 +22,7 @@ use crate::stage::{
     stage_base_schedule, stage_mii, stage_schedule, stage_widen, BaseSchedule, CompiledLoop,
     PointSpec, ScheduledStage,
 };
-use crate::store::{Fetch, StageCounts, StageStore};
+use crate::store::{Fetch, StageCounts, StageStore, StoreMetrics};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct WideKey {
@@ -129,6 +132,9 @@ pub struct Pipeline {
     /// tier's half of every stage key).
     fingerprints: RwLock<Arc<Vec<u128>>>,
     disk: Option<DiskTier>,
+    /// The metrics registry behind every stage store's counters; also
+    /// open to consumers for their own pipeline-scoped metrics.
+    metrics: MetricsRegistry,
     widened: StageStore<WideKey, Arc<WideningOutcome>>,
     bounds: StageStore<MiiKey, Arc<MiiBounds>>,
     base: StageStore<BaseKey, Result<Arc<BaseSchedule>, PipelineError>>,
@@ -165,16 +171,29 @@ impl Pipeline {
         } else {
             Vec::new()
         };
+        let metrics = MetricsRegistry::new();
         Pipeline {
             loops: RwLock::new(loops),
             fingerprints: RwLock::new(Arc::new(fingerprints)),
             disk,
-            widened: StageStore::pinned(),
-            bounds: StageStore::pinned(),
-            base: StageStore::pinned(),
-            scheduled: StageStore::bounded(config.memory_budget),
+            widened: StageStore::pinned(StoreMetrics::for_stage(&metrics, "widen")),
+            bounds: StageStore::pinned(StoreMetrics::for_stage(&metrics, "mii")),
+            base: StageStore::pinned(StoreMetrics::for_stage(&metrics, "base-schedule")),
+            scheduled: StageStore::bounded(
+                config.memory_budget,
+                StoreMetrics::for_stage(&metrics, "schedule"),
+            ),
+            metrics,
             config,
         }
+    }
+
+    /// The pipeline's metrics registry. Stage-store counters live here
+    /// under `store.<stage>.*`; callers may register their own
+    /// pipeline-scoped counters and histograms alongside them.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The store configuration this pipeline was built with.
@@ -252,7 +271,7 @@ impl Pipeline {
             schedule_requests: self.scheduled.requests(),
             schedule_disk_hits: self.scheduled.disk_hits(),
             schedule_evictions: self.scheduled.evictions(),
-            schedule_resident_bytes: self.scheduled.resident_bytes() as u64,
+            schedule_resident_bytes: self.scheduled.resident_bytes(),
         }
     }
 
@@ -303,11 +322,15 @@ impl Pipeline {
                 let loops = self.loops();
                 let ddg = loops[li].ddg();
                 let key_bytes = || self.widen_key_bytes(li, width);
+                let (a, b) = (li as u64, u64::from(width));
+                let decode = obs::span(SpanKind::WidenDecode, a, b);
                 if let Some(out) = self.disk_load(STAGE_WIDEN, key_bytes, |bytes| {
                     codec::decode_widen(bytes, ddg.num_nodes(), width)
                 }) {
                     return (Arc::new(out), Fetch::Disk);
                 }
+                decode.cancel();
+                let _run = obs::span(SpanKind::Widen, a, b);
                 let out = stage_widen(ddg, width);
                 self.disk_store(STAGE_WIDEN, key_bytes, || codec::encode_widen(&out));
                 (Arc::new(out), Fetch::Computed)
@@ -337,11 +360,15 @@ impl Pipeline {
             || {
                 let wide = self.widened(li, width);
                 let key_bytes = || self.mii_key_bytes(li, replication, width, model);
+                let (a, b) = (li as u64, obs::pack_point(replication, width, None));
+                let decode = obs::span(SpanKind::MiiDecode, a, b);
                 if let Some(bounds) = self.disk_load(STAGE_MII, key_bytes, |bytes| {
                     codec::decode_mii(bytes, wide.ddg().num_nodes())
                 }) {
                     return (Arc::new(bounds), Fetch::Disk);
                 }
+                decode.cancel();
+                let _run = obs::span(SpanKind::Mii, a, b);
                 let spec = PointSpec::peak(replication, width, model);
                 let bounds = stage_mii(wide.ddg(), &spec.machine(), model);
                 self.disk_store(STAGE_MII, key_bytes, || codec::encode_mii(&bounds));
@@ -375,11 +402,18 @@ impl Pipeline {
             || {
                 let wide = self.widened(li, spec.width);
                 let key_bytes = || self.base_key_bytes(li, spec);
+                let (a, b) = (
+                    li as u64,
+                    obs::pack_point(spec.replication, spec.width, None),
+                );
+                let decode = obs::span(SpanKind::BaseDecode, a, b);
                 if let Some(result) = self.disk_load(STAGE_BASE, key_bytes, |bytes| {
                     codec::decode_base(bytes, wide.ddg(), &spec.machine(), spec.model)
                 }) {
                     return (result, Fetch::Disk);
                 }
+                decode.cancel();
+                let _run = obs::span(SpanKind::BaseSchedule, a, b);
                 let bounds = self.mii_bounds(li, spec.replication, spec.width, spec.model);
                 let result = stage_base_schedule(
                     wide.ddg(),
@@ -420,6 +454,11 @@ impl Pipeline {
                 };
                 let stage = self.scheduled.get_or_fetch(key, stage_bytes, || {
                     let key_bytes = || self.sched_key_bytes(li, spec, registers);
+                    let (a, b) = (
+                        li as u64,
+                        obs::pack_point(spec.replication, spec.width, Some(registers)),
+                    );
+                    let decode = obs::span(SpanKind::SchedDecode, a, b);
                     match self.disk_load(STAGE_SCHED, key_bytes, |bytes| {
                         codec::decode_sched(bytes, &spec.machine(), spec.model)
                     }) {
@@ -438,6 +477,8 @@ impl Pipeline {
                         }
                         None => {}
                     }
+                    decode.cancel();
+                    let _run = obs::span(SpanKind::Schedule, a, b);
                     let mut fits_base = false;
                     let result = self.base_schedule(li, spec).and_then(|base| {
                         if base.needed <= registers {
@@ -518,9 +559,37 @@ impl Pipeline {
                 && o.iter()
                     .all(|&u| !std::mem::replace(&mut seen[u as usize], true))
         }));
+        // Queue-wait attribution: each pool thread remembers when its
+        // previous unit ended; the gap to the next unit's start is time
+        // the thread spent idle on the dynamic queue. Clamped to the
+        // sweep's own start so an inline (threads ≤ 1) sweep on a reused
+        // thread never bridges two separate sweeps.
+        thread_local! {
+            static LAST_UNIT_END: Cell<u64> = const { Cell::new(0) };
+        }
+        let sweep_start = obs::now_ns();
         let flat = par_map(total, threads, |slot| {
             let unit = order.map_or(slot, |o| o[slot] as usize);
-            (unit, self.compile(unit % n, &points[unit / n]))
+            let (li, pi) = (unit % n, unit / n);
+            let spec = &points[pi];
+            let (a, b) = (
+                li as u64,
+                obs::pack_point(spec.replication, spec.width, spec.registers),
+            );
+            if let (Some(now), Some(start)) = (obs::now_ns(), sweep_start) {
+                let since = LAST_UNIT_END.get().max(start);
+                if now > since {
+                    obs::record_span(SpanKind::QueueWait, since, now, a, b);
+                }
+            }
+            let outcome = {
+                let _unit_span = obs::span(SpanKind::SweepUnit, a, b);
+                self.compile(li, spec)
+            };
+            if let Some(now) = obs::now_ns() {
+                LAST_UNIT_END.set(now);
+            }
+            (unit, outcome)
         });
         // Scatter back to (point, corpus) order: the permutation covers
         // every unit exactly once, so every slot fills.

@@ -31,8 +31,11 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use widening_obs as obs;
+use widening_obs::{Counter, Gauge, MetricsRegistry};
 
 /// Lock shards per store: enough to keep a ~16-thread sweep off each
 /// other's locks, small enough to cost nothing.
@@ -46,6 +49,39 @@ pub(crate) enum Fetch {
     Computed,
     /// The artifact was decoded from the disk tier.
     Disk,
+}
+
+/// One stage store's counter handles, registered in the pipeline's
+/// [`MetricsRegistry`] under `store.<stage>.*` so external consumers
+/// (metric snapshots) and the legacy [`StageCounts`] projection read
+/// the same atomics.
+#[derive(Debug)]
+pub(crate) struct StoreMetrics {
+    requests: Arc<Counter>,
+    runs: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    evictions: Arc<Counter>,
+    resident: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    /// Handles for stage `stage`, created in (or fetched from) `registry`.
+    pub(crate) fn for_stage(registry: &MetricsRegistry, stage: &str) -> Self {
+        StoreMetrics {
+            requests: registry.counter(&format!("store.{stage}.requests")),
+            runs: registry.counter(&format!("store.{stage}.runs")),
+            disk_hits: registry.counter(&format!("store.{stage}.disk-hits")),
+            evictions: registry.counter(&format!("store.{stage}.evictions")),
+            resident: registry.gauge(&format!("store.{stage}.resident-bytes")),
+        }
+    }
+
+    /// Handles backed by a throwaway registry — for stores constructed
+    /// outside a [`crate::Pipeline`] (tests).
+    #[cfg(test)]
+    pub(crate) fn detached() -> Self {
+        Self::for_stage(&MetricsRegistry::new(), "detached")
+    }
 }
 
 #[derive(Debug)]
@@ -68,37 +104,29 @@ pub(crate) struct StageStore<K, V> {
     hasher: RandomState,
     /// Byte budget for the in-memory tier; `None` = pinned (unbounded).
     budget: Option<usize>,
-    resident: AtomicUsize,
     clock: AtomicU64,
-    requests: AtomicU64,
-    runs: AtomicU64,
-    disk_hits: AtomicU64,
-    evictions: AtomicU64,
+    metrics: StoreMetrics,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
     /// An unbounded store: entries are pinned for the store's lifetime.
-    pub(crate) fn pinned() -> Self {
-        Self::with_budget(None)
+    pub(crate) fn pinned(metrics: StoreMetrics) -> Self {
+        Self::with_budget(None, metrics)
     }
 
     /// A byte-budgeted store: sealed entries are LRU-evicted whenever
     /// resident bytes exceed `budget`.
-    pub(crate) fn bounded(budget: Option<usize>) -> Self {
-        Self::with_budget(budget)
+    pub(crate) fn bounded(budget: Option<usize>, metrics: StoreMetrics) -> Self {
+        Self::with_budget(budget, metrics)
     }
 
-    fn with_budget(budget: Option<usize>) -> Self {
+    fn with_budget(budget: Option<usize>, metrics: StoreMetrics) -> Self {
         StageStore {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hasher: RandomState::new(),
             budget,
-            resident: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            runs: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -121,7 +149,7 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
         size_of: impl FnOnce(&V) -> usize,
         fetch: impl FnOnce() -> (V, Fetch),
     ) -> V {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
         let shard = self.shard_of(&key);
         let cell = {
             let mut map = self.shards[shard].lock().expect("stage store lock");
@@ -148,8 +176,8 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
             .clone();
         if let Some(fetched) = source {
             match fetched {
-                Fetch::Computed => self.runs.fetch_add(1, Ordering::Relaxed),
-                Fetch::Disk => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+                Fetch::Computed => self.metrics.runs.inc(),
+                Fetch::Disk => self.metrics.disk_hits.inc(),
             };
             let bytes = size_of(&value);
             let mut map = self.shards[shard].lock().expect("stage store lock");
@@ -159,7 +187,7 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
                 // the meantime, in which case that thread accounts it.
                 if Arc::ptr_eq(&entry.cell, &cell) && entry.bytes == 0 {
                     entry.bytes = bytes;
-                    self.resident.fetch_add(bytes, Ordering::Relaxed);
+                    self.metrics.resident.add(bytes as u64);
                 }
             }
             drop(map);
@@ -193,7 +221,8 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
     /// remains).
     fn enforce_budget(&self) {
         let Some(budget) = self.budget else { return };
-        if self.resident.load(Ordering::Relaxed) <= budget {
+        let budget = budget as u64;
+        if self.metrics.resident.get() <= budget {
             return;
         }
         // Collect eviction candidates across shards, oldest first. The
@@ -209,8 +238,9 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
             }
         }
         candidates.sort_unstable_by_key(|&(touch, ..)| touch);
+        let mut evicted = 0u64;
         for (touch, si, key) in candidates {
-            if self.resident.load(Ordering::Relaxed) <= budget {
+            if self.metrics.resident.get() <= budget {
                 break;
             }
             let mut map = self.shards[si].lock().expect("stage store lock");
@@ -220,31 +250,35 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
                 if entry.sealed && entry.bytes > 0 && entry.touch == touch {
                     let bytes = entry.bytes;
                     map.remove(&key);
-                    self.resident.fetch_sub(bytes, Ordering::Relaxed);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.resident.sub(bytes as u64);
+                    self.metrics.evictions.inc();
+                    evicted += 1;
                 }
             }
+        }
+        if evicted > 0 {
+            obs::instant(obs::SpanKind::Evict, evicted, self.metrics.resident.get());
         }
     }
 
     pub(crate) fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.metrics.requests.get()
     }
 
     pub(crate) fn runs(&self) -> u64 {
-        self.runs.load(Ordering::Relaxed)
+        self.metrics.runs.get()
     }
 
     pub(crate) fn disk_hits(&self) -> u64 {
-        self.disk_hits.load(Ordering::Relaxed)
+        self.metrics.disk_hits.get()
     }
 
     pub(crate) fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.metrics.evictions.get()
     }
 
-    pub(crate) fn resident_bytes(&self) -> usize {
-        self.resident.load(Ordering::Relaxed)
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.metrics.resident.get()
     }
 }
 
@@ -394,7 +428,7 @@ mod tests {
 
     #[test]
     fn pinned_store_runs_once_per_key() {
-        let store: StageStore<u32, u32> = StageStore::pinned();
+        let store: StageStore<u32, u32> = StageStore::pinned(StoreMetrics::detached());
         for _ in 0..3 {
             for k in 0..4 {
                 let v = store.get_or_fetch(k, |_| 8, || (k * 10, Fetch::Computed));
@@ -408,7 +442,7 @@ mod tests {
 
     #[test]
     fn disk_fetches_count_separately() {
-        let store: StageStore<u32, u32> = StageStore::pinned();
+        let store: StageStore<u32, u32> = StageStore::pinned(StoreMetrics::detached());
         store.get_or_fetch(1, |_| 8, || (1, Fetch::Disk));
         store.get_or_fetch(2, |_| 8, || (2, Fetch::Computed));
         assert_eq!(store.runs(), 1);
@@ -417,7 +451,7 @@ mod tests {
 
     #[test]
     fn sealed_entries_evict_lru_first_under_budget() {
-        let store: StageStore<u32, u32> = StageStore::bounded(Some(100));
+        let store: StageStore<u32, u32> = StageStore::bounded(Some(100), StoreMetrics::detached());
         for k in 0..4 {
             store.get_or_fetch(k, |_| 40, || (k, Fetch::Computed));
         }
@@ -436,7 +470,7 @@ mod tests {
 
     #[test]
     fn eviction_keeps_budget_on_later_inserts() {
-        let store: StageStore<u32, u32> = StageStore::bounded(Some(100));
+        let store: StageStore<u32, u32> = StageStore::bounded(Some(100), StoreMetrics::detached());
         for k in 0..16 {
             store.get_or_fetch(k, |_| 30, || (k, Fetch::Computed));
             store.seal_if(|&key| key == k);
@@ -451,7 +485,7 @@ mod tests {
 
     #[test]
     fn concurrent_requests_fetch_exactly_once_per_key() {
-        let store: StageStore<u32, u64> = StageStore::pinned();
+        let store: StageStore<u32, u64> = StageStore::pinned(StoreMetrics::detached());
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {

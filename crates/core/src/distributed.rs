@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use widening_distrib::{
     run_sweep, CoordinatorConfig, DistribError, Launcher, SpawnContext, SweepManifest, SweepRun,
+    BATCH_PARTS,
 };
 use widening_pipeline::codec::ddg_fingerprint;
 use widening_pipeline::exchange::{
@@ -259,7 +260,10 @@ pub fn merge_published(
     if let (Some(man), Some(ex)) = (manifest, exchange.as_ref()) {
         for shard in 0..man.shards.len() {
             let keys = man.shard_unit_keys(shard, &fingerprints);
-            for part in [0u8, 1u8] {
+            // Part 0 is the owner's record; parts 1.. are thief records,
+            // one per recursive-halving steal round (capped — see
+            // `widening_distrib::BATCH_PARTS`).
+            for part in 0..BATCH_PARTS {
                 if let Some(bytes) = ex.get(BATCH_KIND, &batch_result_key(&keys, part)) {
                     batched.extend(decode_unit_batch(&bytes).unwrap_or_default());
                 }

@@ -225,8 +225,14 @@ pub fn shard_table(run: &SweepRun) -> Report {
     }
     r.push_note(format!(
         "units {} · result hits {} · stolen {} · lease requeues {} · worker respawns {} · \
-         autoscale spawns {}",
-        run.units, run.result_hits, run.stolen_units, run.requeues, run.respawns, run.scale_ups
+         autoscale spawns {} · early retirements {}",
+        run.units,
+        run.result_hits,
+        run.stolen_units,
+        run.requeues,
+        run.respawns,
+        run.scale_ups,
+        run.scale_downs
     ));
     r
 }

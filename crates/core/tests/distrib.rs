@@ -8,12 +8,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use widening::distrib::{
-    run_on_queue, run_worker, CoordinatorConfig, JobQueue, Launcher, SweepManifest, WorkerConfig,
+    run_on_queue, run_worker, CoordinatorConfig, JobQueue, Launcher, ShardReport, SweepManifest,
+    WorkerConfig,
 };
 use widening::distributed::{merge_published, sweep_distributed, DistributedOptions};
 use widening::{CorpusEval, EvalOptions, Evaluator};
 use widening_machine::{Configuration, CycleModel};
-use widening_pipeline::{PointSpec, StoreConfig};
+use widening_pipeline::{PointSpec, StageCounts, StoreConfig};
 use widening_workload::corpus::{generate, CorpusSpec};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -238,9 +239,16 @@ fn work_stealing_splits_a_big_shard_and_merges_bitwise_equal() {
         (ha.join().unwrap(), hb.join().unwrap())
     });
     assert_eq!(a.shards_completed + b.shards_completed, 1);
-    assert_eq!(a.steals + b.steals, 1, "the idle worker must steal");
+    // Recursive halving: the first steal takes the tail half, and the
+    // owner may re-offer (and the idle worker re-steal) further halves
+    // of whatever it still holds — at least one steal of at least the
+    // original tail is guaranteed.
+    assert!(a.steals + b.steals >= 1, "the idle worker must steal");
     let stolen = a.stolen_units + b.stolen_units;
-    assert_eq!(stolen, unit_count / 2, "the tail half was stolen");
+    assert!(
+        stolen >= unit_count / 2,
+        "at least the tail half was stolen (got {stolen} of {unit_count})"
+    );
 
     let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
     assert_eq!(fallback, 0);
@@ -285,6 +293,119 @@ fn dead_thief_is_reclaimed_by_the_owner_and_merges_bitwise_equal() {
 
     let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
     assert_eq!(fallback, 0, "the reclaimed tail was published");
+    let reference = Evaluator::new(loops).sweep_specs(&specs);
+    for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
+        assert_bitwise_equal(d, s, &format!("{spec:?}"));
+    }
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn recursive_halving_reoffers_the_tail_and_survives_a_dead_second_thief() {
+    // Round 0 of the steal protocol is staged as already *resolved*
+    // before the owner starts: offered, claimed, and carrying a durable
+    // sub-report. The owner must fold it on its first heartbeat and —
+    // recursive halving — re-offer half of what it still holds as a
+    // round-1 surplus under fresh marker names. A second thief claims
+    // that round and dies silently; the owner's lease watch reclaims it
+    // and the shard still completes.
+    let cache = temp_dir("halving");
+    let loops = generate(&CorpusSpec::small(12, 31));
+    let specs = specs();
+    let manifest = SweepManifest::partition(loops, specs, 1);
+    let queue_dir = cache.join("queue").join("halving");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    let units = manifest.shards[0].clone();
+    let n = units.len();
+    let s0 = n - n / 2;
+    assert!(queue.publish_surplus_round(0, 0, s0 as u32, &units[s0..]));
+    assert_eq!(
+        queue.claim_steal_round(0, 0, "fast-thief").as_deref(),
+        Some(&units[s0..])
+    );
+    let fake = ShardReport {
+        shard: 0,
+        units: (n - s0) as u32,
+        result_hits: 0,
+        stolen: 0,
+        counts: StageCounts::zero(),
+    };
+    queue.complete_sub_round(0, 0, &fake.encode());
+
+    let mut cfg = WorkerConfig::new(&queue_dir, &cache);
+    cfg.lease_ttl = Duration::from_millis(150);
+    cfg.poll = Duration::from_millis(5);
+    cfg.surplus_after = 2;
+    let (summary, second) = std::thread::scope(|scope| {
+        let owner = scope.spawn(|| run_worker(&cfg).expect("owner survives both thieves"));
+        // Wait for the fold to publish the round-1 offer, then claim it
+        // as a thief that will never heartbeat.
+        let second = loop {
+            if queue.latest_surplus_round(0) == Some(1) {
+                break queue.claim_steal_round(0, 1, "doomed-second-thief");
+            }
+            if queue.all_done() {
+                break None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        (owner.join().unwrap(), second)
+    });
+    assert_eq!(summary.shards_completed, 1);
+    assert!(queue.all_done());
+    let second = second.expect("round 1 must be offered and claimable");
+    assert!(!second.is_empty() && second.len() < s0);
+    assert_eq!(*second.last().unwrap(), units[s0 - 1]);
+
+    let report = queue
+        .completion(0)
+        .and_then(|b| ShardReport::decode(&b))
+        .expect("decodable completion");
+    assert_eq!(report.units, n as u32);
+    // Only round 0's folded sub-report counts as stolen: round 1's
+    // thief died, so the owner reclaimed those units itself.
+    assert_eq!(report.stolen, (n - s0) as u32);
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn idle_workers_retire_on_scale_down_tokens_and_the_merge_is_unaffected() {
+    // One tiny shard (below the steal threshold) and a three-worker
+    // fleet: whoever loses the claim race has nothing to claim and
+    // nothing to steal. The coordinator's mass estimate says one worker
+    // suffices, so it posts retirement tokens and the idle workers exit
+    // early instead of polling until the owner finishes.
+    let cache = temp_dir("scaledown");
+    let loops = generate(&CorpusSpec::small(1, 41));
+    let specs = specs();
+    let eval = Evaluator::new(loops.clone()).with_store(StoreConfig::persistent(&cache));
+    let manifest = SweepManifest::partition(loops.clone(), specs.clone(), 1);
+    assert!(
+        manifest.shards[0].len() < 8,
+        "the shard must be too small to publish a steal offer"
+    );
+    let queue_dir = cache.join("queue").join("scaledown");
+    let queue = JobQueue::create(&queue_dir, &manifest).expect("queue");
+
+    let mut cfg = CoordinatorConfig::new(&cache, 3);
+    cfg.max_workers = 3;
+    // A huge per-worker budget: the tail never justifies more than one
+    // worker, so the two spares are told to go home.
+    cfg.mass_per_worker = Some(u64::MAX);
+    cfg.lease_ttl = Duration::from_millis(500);
+    cfg.poll = Duration::from_millis(5);
+    let run = run_on_queue(&queue, &cfg, &Launcher::InProcess).expect("fleet drains");
+    assert!(queue.all_done());
+    assert!(
+        run.scale_downs >= 1,
+        "at least one idle worker must retire early (got {})",
+        run.scale_downs
+    );
+    assert_eq!(run.scale_ups, 0);
+
+    let (aggregates, fallback) = merge_published(&eval, &specs, Some(&manifest));
+    assert_eq!(fallback, 0);
     let reference = Evaluator::new(loops).sweep_specs(&specs);
     for ((d, s), spec) in aggregates.iter().zip(&reference).zip(&specs) {
         assert_bitwise_equal(d, s, &format!("{spec:?}"));

@@ -21,9 +21,15 @@
 //! unclaimed shards count at their static manifest mass. While
 //! `estimated mass > mass_per_worker × live workers` and the fleet is
 //! under `max_workers`, the coordinator spawns one more worker per
-//! supervision tick; workers retire themselves when the queue drains
-//! (a worker exits once every shard is complete), so scale-down needs
-//! no protocol at all.
+//! supervision tick. Scale-down mirrors it: when the estimate says the
+//! tail needs fewer hands than are live, the coordinator posts
+//! retirement tokens ([`JobQueue::post_retirements`]) and *idle*
+//! workers — nothing left to claim or steal — race to claim one and
+//! exit early instead of polling until the stragglers finish. Tokens
+//! left unclaimed when the fleet needs to grow again are voided
+//! (claimed by the coordinator itself) before any new worker spawns,
+//! so a newcomer cannot retire on a stale lull. Workers that never see
+//! a token still exit on their own once every shard is complete.
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -192,6 +198,9 @@ pub struct SweepRun {
     pub respawns: u64,
     /// Workers added by autoscaling (beyond the initial fleet).
     pub scale_ups: u64,
+    /// Workers that retired early on a coordinator-posted token
+    /// (coordinator-voided tokens are not counted).
+    pub scale_downs: u64,
 }
 
 enum Handle {
@@ -367,7 +376,17 @@ pub fn run_on_queue(
     let mut requeues = 0u64;
     let mut respawns = 0u64;
     let mut scale_ups = 0u64;
+    let mut tokens_posted = 0u32;
+    let mut tokens_voided = 0u32;
     let mut next_index = handles.len();
+    // Claims every outstanding retirement token as the coordinator's
+    // own, so a worker spawned after a lull cannot retire on a token
+    // posted for the *previous* fleet size.
+    let void_tokens = |queue: &JobQueue, voided: &mut u32| {
+        while queue.claim_retirement("coordinator-void").is_some() {
+            *voided += 1;
+        }
+    };
     loop {
         // A present-but-undecodable done marker (a torn write from a
         // crashed pre-fsync host, corruption at rest) must never be
@@ -422,6 +441,7 @@ pub fn run_on_queue(
             }
             // Replacements start with stalled foreign claims already
             // released above, so they pick the dead fleet's work up.
+            void_tokens(queue, &mut tokens_voided);
             respawns += 1;
             eprintln!("distrib: event=respawn worker={next_index}");
             obs::instant(SpanKind::Respawn, next_index as u64, 0);
@@ -430,11 +450,13 @@ pub fn run_on_queue(
                 Err(e) => return Err(abort_fleet(handles, e)),
             }
             next_index += 1;
-        } else if live < max_workers {
-            // Autoscale: one more pair of hands per tick while the
-            // estimated remaining mass exceeds the per-worker budget.
+        } else {
             let mass = remaining_mass_estimate(queue, &shard_masses);
-            if mass > mass_per_worker.saturating_mul(live as u64) {
+            if live < max_workers && mass > mass_per_worker.saturating_mul(live as u64) {
+                // Autoscale: one more pair of hands per tick while the
+                // estimated remaining mass exceeds the per-worker
+                // budget.
+                void_tokens(queue, &mut tokens_voided);
                 scale_ups += 1;
                 eprintln!("distrib: event=scale-up worker={next_index} live={live} mass={mass}");
                 obs::instant(SpanKind::ScaleUp, next_index as u64, mass);
@@ -443,6 +465,27 @@ pub fn run_on_queue(
                     Err(e) => return Err(abort_fleet(handles, e)),
                 }
                 next_index += 1;
+            } else {
+                // Scale down: near the drain the mass estimate says how
+                // many hands the tail still justifies; post exactly
+                // enough tokens that the spare workers (there is always
+                // one keeper) can retire instead of idling to the end.
+                let needed = usize::try_from(mass.div_ceil(mass_per_worker))
+                    .unwrap_or(usize::MAX)
+                    .max(1);
+                if live > needed {
+                    let spare = u32::try_from(live - needed).unwrap_or(u32::MAX);
+                    let target = queue.retirements_claimed().saturating_add(spare);
+                    if target > tokens_posted {
+                        tokens_posted = target;
+                        queue.post_retirements(tokens_posted);
+                        eprintln!(
+                            "distrib: event=scale-down tokens={tokens_posted} live={live} \
+                             needed={needed} mass={mass}"
+                        );
+                        obs::instant(SpanKind::ScaleDown, u64::from(tokens_posted), mass);
+                    }
+                }
             }
         }
         std::thread::sleep(cfg.poll);
@@ -461,6 +504,7 @@ pub fn run_on_queue(
         requeues,
         respawns,
         scale_ups,
+        scale_downs: u64::from(queue.retirements_claimed().saturating_sub(tokens_voided)),
     };
     for shard in 0..queue.shard_count() {
         let report = queue

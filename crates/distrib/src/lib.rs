@@ -29,15 +29,22 @@
 //!   tail half of a big shard's priority-ordered unit list as a
 //!   write-once *surplus*, and an idle worker claims it atomically,
 //!   heartbeats its own steal lease, and completes the stolen units
-//!   with a durable sub-report the owner folds in;
+//!   with a durable sub-report the owner folds in. Steals *halve
+//!   recursively*: each fold re-offers half of whatever the owner
+//!   still holds as a fresh round-numbered surplus marker (round 0
+//!   keeps the legacy names), so idle workers keep converging on a
+//!   straggler shard until its remainder is too small to share;
 //! * a [`coordinator`](run_sweep) that writes the queue, spawns local
 //!   workers (in-process threads for tests and benches, real
 //!   `repro worker` processes from the CLI), supervises leases,
 //!   validates completion markers (an undecodable marker requeues its
 //!   shard instead of merging garbage), **autoscales** the fleet while
 //!   the lease stamps' remaining-mass estimate exceeds a per-worker
-//!   budget (up to `max_workers`; workers retire themselves when the
-//!   queue drains), respawns a worker if the whole fleet dies, and
+//!   budget (up to `max_workers`) and **scales down** by posting
+//!   retirement tokens that idle workers claim to exit early once the
+//!   estimate says the tail needs fewer hands (workers retire
+//!   themselves anyway when the queue drains), respawns a worker if
+//!   the whole fleet dies, and
 //!   collects per-shard progress reports ([`ShardReport`]) whose stage
 //!   counters fold into the existing counter tables.
 //!
@@ -69,7 +76,7 @@ pub use coordinator::{
 };
 pub use manifest::SweepManifest;
 pub use queue::{JobQueue, LeaseObserver, LeaseStamp, LeaseWatch, MASS_UNKNOWN};
-pub use worker::{run_worker, ShardReport, WorkerConfig, WorkerSummary};
+pub use worker::{run_worker, ShardReport, WorkerConfig, WorkerSummary, BATCH_PARTS};
 
 use std::fmt;
 use std::path::PathBuf;

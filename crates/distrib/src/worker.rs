@@ -14,14 +14,21 @@
 //!   big enough to share), compile the units front-to-back while a
 //!   heartbeat thread advances the claim's monotonic lease counter and
 //!   remaining-mass estimate, and durably complete the shard with a
-//!   [`ShardReport`];
+//!   [`ShardReport`]. Stealing is *recursive*: each time a thief's
+//!   sub-report for the offered tail lands while the owner still holds
+//!   enough unprocessed units, the owner folds the report in and
+//!   re-offers the tail half of its remainder as the next round's
+//!   surplus — halving that converges every idle worker on the last
+//!   straggler shard;
 //! * **steal** — with every shard claimed and none stalled, take a
 //!   surplus shard's offered tail via the atomically-claimed steal
 //!   file, heartbeat a lease of its own while working the stolen units,
 //!   and complete them with a durable sub-shard report the owner folds
 //!   into the shard's — instead of spinning on `claim_next`;
 //! * **idle** — requeue stalled foreign leases (unless a coordinator
-//!   reserved that job) and poll.
+//!   reserved that job), retire early when the coordinator posted a
+//!   scale-down token (remaining mass near zero, nothing stealable),
+//!   and poll.
 //!
 //! Results are **batched**: outcomes are buffered per shard (or per
 //! stolen sub-shard) and published as one batch record keyed by the
@@ -57,8 +64,24 @@ const REPORT_VERSION: u32 = 2;
 
 /// Batch part tag of the shard owner's record.
 const PART_OWNER: u8 = 0;
-/// Batch part tag of a thief's stolen-sub-shard record.
+/// Batch part tag of a thief's stolen-sub-shard record (steal round 0).
 const PART_THIEF: u8 = 1;
+/// Distinct thief batch-part tags: steal rounds 0..MAX_THIEF_PARTS-1
+/// each get their own record; deeper rounds (vanishingly small tails)
+/// share the last tag. A shared tag can overwrite a sibling round's
+/// record, which costs a result-tier recompute on replay — never
+/// correctness, because unit results are content-addressed.
+const MAX_THIEF_PARTS: u32 = 8;
+
+/// How many batch-record parts a shard can publish under: the owner's
+/// part 0 plus one per thief round (capped). Merge-side readers probe
+/// every part below this bound.
+pub const BATCH_PARTS: u8 = PART_THIEF + MAX_THIEF_PARTS as u8;
+
+/// The batch part tag for a thief's record at a given steal round.
+fn thief_part(round: u32) -> u8 {
+    PART_THIEF + round.min(MAX_THIEF_PARTS - 1) as u8
+}
 
 /// How a worker runs.
 #[derive(Debug, Clone)]
@@ -306,7 +329,7 @@ impl WorkerState<'_> {
         }
         let keys = self.manifest.shard_unit_keys(shard, self.fingerprints);
         let wanted: HashSet<u32> = wanted.iter().copied().collect();
-        for part in [PART_OWNER, PART_THIEF] {
+        for part in PART_OWNER..BATCH_PARTS {
             let Some(bytes) = self
                 .exchange
                 .get(BATCH_KIND, &batch_result_key(&keys, part))
@@ -338,21 +361,29 @@ impl WorkerState<'_> {
         );
     }
 
-    /// Scans for a stealable surplus: an incomplete shard with an
-    /// unclaimed offer. Returns the stolen units on success.
-    fn find_steal(&self) -> Option<(usize, Vec<u32>)> {
+    /// Scans for a stealable surplus: an incomplete shard whose latest
+    /// steal round holds an unclaimed offer (earlier rounds are always
+    /// claimed — a new round only opens after the previous one
+    /// resolved). Returns the round and the stolen units on success.
+    fn find_steal(&self) -> Option<(usize, u32, Vec<u32>)> {
         for shard in 0..self.queue.shard_count() {
-            if self.queue.is_done(shard) || self.queue.steal_claimed(shard) {
+            if self.queue.is_done(shard) {
                 continue;
             }
-            if let Some(units) = self.queue.claim_steal(shard, &self.cfg.tag) {
+            let Some(round) = self.queue.latest_surplus_round(shard) else {
+                continue;
+            };
+            if self.queue.steal_claimed_round(shard, round) {
+                continue;
+            }
+            if let Some(units) = self.queue.claim_steal_round(shard, round, &self.cfg.tag) {
                 eprintln!(
-                    "distrib: event=steal-claim shard={shard} units={} tag={}",
+                    "distrib: event=steal-claim shard={shard} round={round} units={} tag={}",
                     units.len(),
                     self.cfg.tag
                 );
                 obs::instant(SpanKind::StealClaim, shard as u64, units.len() as u64);
-                return Some((shard, units));
+                return Some((shard, round, units));
             }
         }
         None
@@ -391,10 +422,26 @@ enum RunEnd {
     Abandoned,
 }
 
+/// The owner-side lifecycle of a shard's offered tail, advanced round
+/// by round as thieves claim and complete it (recursive halving).
+struct TailState {
+    /// Round number of the current offer.
+    round: u32,
+    /// An offer for `round` is on disk and unresolved.
+    offered: bool,
+    /// That offer has been claimed by a thief.
+    claimed: bool,
+    /// Units completed by thieves across all resolved rounds.
+    stolen: u32,
+    /// Stage counters folded in from thieves' sub-reports.
+    thief_counts: StageCounts,
+}
+
 /// Runs one owned shard to completion: offer a surplus, compile with a
-/// counter heartbeat, honour a thief's claim on the offered tail (wait
-/// for its sub-report; reclaim its units if its lease stalls), publish
-/// the owner batch and the durable done marker.
+/// counter heartbeat, honour a thief's claim on the offered tail (fold
+/// its sub-report and re-offer the remaining tail half as the next
+/// round — recursive halving; reclaim its units if its lease stalls),
+/// publish the owner batch and the durable done marker.
 fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
     let cfg = state.cfg;
     let queue = state.queue;
@@ -402,18 +449,69 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
     let n = units.len();
     let _shard_span = obs::span(SpanKind::WorkerShard, shard as u64, n as u64);
 
-    // The steal offer: the tail half of the priority-ordered list
-    // (cheap units — the owner keeps the heavy head it starts on).
-    // Published once, at claim time; a re-claimed shard inherits the
-    // previous owner's offer so an in-flight thief stays coherent.
-    let mut split = n;
+    // Two boundaries fence the owner's unit range. `hard_end` is the
+    // start of the resolved region: everything at or past it was
+    // completed by thieves of already-folded rounds, and the owner
+    // never enters it. `soft_split` is the start of the *open* round's
+    // offer, binding only once a thief claims it (`steal_live`); until
+    // then the offer is just an option and the owner keeps compiling
+    // into it.
+    let hits = AtomicUsize::new(0);
+    let hard_end = AtomicUsize::new(n);
+    let soft_split = AtomicUsize::new(n);
+    let steal_live = AtomicBool::new(false);
+    let tail = Mutex::new(TailState {
+        round: 0,
+        offered: false,
+        claimed: false,
+        stolen: 0,
+        thief_counts: StageCounts::zero(),
+    });
+
+    // The initial steal offer: the tail half of the priority-ordered
+    // list (cheap units — the owner keeps the heavy head it starts
+    // on). A re-claimed shard inherits the previous owner's offer
+    // chain instead, so in-flight thieves stay coherent: resolved
+    // rounds fold in from their durable sub-reports and the open round
+    // resumes where the dead owner left it.
     if cfg.steal {
-        if let Some((s, _)) = queue.read_surplus(shard) {
-            split = (s as usize).min(n);
+        if let Some(latest) = queue.latest_surplus_round(shard) {
+            let mut t = tail.lock().expect("tail lock");
+            for round in 0..latest {
+                if let Some(report) = queue
+                    .sub_completion_round(shard, round)
+                    .and_then(|b| ShardReport::decode(&b))
+                {
+                    t.stolen += report.units;
+                    t.thief_counts = t.thief_counts.plus(&report.counts);
+                    hits.fetch_add(report.result_hits as usize, Ordering::Relaxed);
+                }
+            }
+            if let Some((s, _)) = queue.read_surplus_round(shard, latest) {
+                t.round = latest;
+                t.offered = true;
+                soft_split.store((s as usize).min(n), Ordering::Relaxed);
+                // The open round's offer ends where the previous
+                // round's began (rounds bite off the tail, so round
+                // k + 1 sits strictly below round k's split).
+                let hi = if latest == 0 {
+                    n
+                } else {
+                    queue
+                        .read_surplus_round(shard, latest - 1)
+                        .map_or(n, |(p, _)| (p as usize).min(n))
+                };
+                hard_end.store(hi, Ordering::Relaxed);
+                if queue.steal_claimed_round(shard, latest) {
+                    t.claimed = true;
+                    steal_live.store(true, Ordering::Relaxed);
+                }
+            }
         } else if n >= cfg.surplus_after.max(2) {
             let s = n - n / 2;
-            if queue.publish_surplus(shard, s as u32, &units[s..]) {
-                split = s;
+            if queue.publish_surplus_round(shard, 0, s as u32, &units[s..]) {
+                tail.lock().expect("tail lock").offered = true;
+                soft_split.store(s, Ordering::Relaxed);
                 obs::instant(SpanKind::StealOffer, shard as u64, (n - s) as u64);
             }
         }
@@ -429,9 +527,7 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
     let before = state.pipeline.stage_counts();
     let prefill = state.batch_prefill(shard, units);
     let slots: Vec<Mutex<Option<UnitOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let hits = AtomicUsize::new(0);
     let cursor = AtomicUsize::new(0);
-    let steal_seen = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
 
     let work = || loop {
@@ -442,8 +538,10 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
         if i >= n {
             break;
         }
-        if i >= split && steal_seen.load(Ordering::Relaxed) {
-            continue; // the thief owns the tail now
+        if i >= hard_end.load(Ordering::Relaxed)
+            || (steal_live.load(Ordering::Relaxed) && i >= soft_split.load(Ordering::Relaxed))
+        {
+            continue; // a thief owns (or owned) this range
         }
         let outcome = state.unit_outcome(units[i], &prefill, &hits);
         *slots[i].lock().expect("slot lock") = Some(outcome);
@@ -453,6 +551,66 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
     };
     let work = &work;
 
+    // Advances the open offer's lifecycle (called from the heartbeat
+    // thread each beat, and from the post-work wait loop): notice a
+    // thief's claim, fold its durable sub-report when it lands, and —
+    // while this owner still holds enough unprocessed units — re-offer
+    // the tail half of the remainder as the next round's surplus.
+    // Recursive halving: idle workers keep converging on a straggler
+    // shard until its remainder is too small to share.
+    let poll_tail = || {
+        let mut t = tail.lock().expect("tail lock");
+        if !t.offered {
+            return;
+        }
+        if !t.claimed && queue.steal_claimed_round(shard, t.round) {
+            t.claimed = true;
+            steal_live.store(true, Ordering::Relaxed);
+        }
+        if !t.claimed {
+            return;
+        }
+        let Some(report) = queue
+            .sub_completion_round(shard, t.round)
+            .and_then(|b| ShardReport::decode(&b))
+        else {
+            return;
+        };
+        t.stolen += report.units;
+        t.thief_counts = t.thief_counts.plus(&report.counts);
+        hits.fetch_add(report.result_hits as usize, Ordering::Relaxed);
+        obs::instant(SpanKind::StealFold, shard as u64, u64::from(report.units));
+        // The folded range joins the resolved region; the offer slot
+        // is free again.
+        let resolved = soft_split.load(Ordering::Relaxed);
+        hard_end.store(resolved, Ordering::Relaxed);
+        steal_live.store(false, Ordering::Relaxed);
+        t.claimed = false;
+        t.offered = false;
+        // `cursor` counts grabbed units, so everything in
+        // [cursor, resolved) is untouched — re-offer its tail half.
+        let c = cursor.load(Ordering::Relaxed).min(resolved);
+        let remaining = resolved - c;
+        if remaining >= cfg.surplus_after.max(2) {
+            let s = c + (remaining - remaining / 2);
+            if queue.publish_surplus_round(shard, t.round + 1, s as u32, &units[s..resolved]) {
+                t.round += 1;
+                t.offered = true;
+                soft_split.store(s, Ordering::Relaxed);
+                eprintln!(
+                    "distrib: event=steal-reoffer shard={shard} round={} units={} tag={}",
+                    t.round,
+                    resolved - s,
+                    cfg.tag
+                );
+                obs::instant(SpanKind::StealOffer, shard as u64, (resolved - s) as u64);
+            }
+        } else {
+            soft_split.store(resolved, Ordering::Relaxed);
+        }
+    };
+
+    let mut unclaimed_offer: Option<u32> = None;
     let end = std::thread::scope(|scope| {
         // Time-based heartbeat on its own thread: liveness must not
         // depend on unit granularity — one pressure-starved unit can
@@ -464,18 +622,19 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
             let mut beat = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 beat += 1;
-                if split < n && !steal_seen.load(Ordering::Relaxed) && queue.steal_claimed(shard) {
-                    steal_seen.store(true, Ordering::Relaxed);
+                if cfg.steal {
+                    poll_tail();
                 }
                 let c = cursor.load(Ordering::Relaxed).min(n);
-                // The stolen tail's mass belongs to the thief's lease
-                // once a steal is live; before that the whole remainder
-                // is this owner's.
-                let mass = if steal_seen.load(Ordering::Relaxed) {
-                    suffix[c.min(split)].saturating_sub(suffix[split])
+                // A live steal's mass belongs to the thief's lease, and
+                // the resolved region past `hard_end` is someone else's
+                // finished work — neither counts against this owner.
+                let e = if steal_live.load(Ordering::Relaxed) {
+                    soft_split.load(Ordering::Relaxed)
                 } else {
-                    suffix[c]
+                    hard_end.load(Ordering::Relaxed)
                 };
+                let mass = suffix[c.min(e)].saturating_sub(suffix[e]);
                 queue.renew_lease(
                     shard,
                     &cfg.tag,
@@ -500,40 +659,52 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
             return RunEnd::Abandoned;
         }
 
-        // If a thief holds the tail and we skipped any of it, wait for
-        // its durable sub-report — or reclaim its units when its lease
-        // counter stalls for a full TTL (the thief died mid-steal).
-        let tail_missing = || (split..n).any(|i| slots[i].lock().expect("slot lock").is_none());
-        let mut stolen = 0u32;
-        let mut thief_counts = StageCounts::zero();
-        if steal_seen.load(Ordering::Relaxed) && tail_missing() {
+        // Settle the open round: fold its durable sub-report — or
+        // reclaim its units when its lease counter stalls for a full
+        // TTL (the thief died mid-steal). Earlier rounds were folded by
+        // `poll_tail` as their reports landed; with the cursor drained
+        // no new round can be offered, so this loop converges.
+        if cfg.steal {
             let mut watch = LeaseWatch::new();
             loop {
-                if let Some(report) = queue
-                    .sub_completion(shard)
-                    .and_then(|b| ShardReport::decode(&b))
-                {
-                    stolen = report.units;
-                    hits.fetch_add(report.result_hits as usize, Ordering::Relaxed);
-                    thief_counts = report.counts;
-                    obs::instant(SpanKind::StealFold, shard as u64, u64::from(report.units));
+                poll_tail();
+                let (round, offered, claimed) = {
+                    let t = tail.lock().expect("tail lock");
+                    (t.round, t.offered, t.claimed)
+                };
+                if !offered {
+                    break;
+                }
+                if !claimed {
+                    // Nobody bit; the offer dies with the shard (the
+                    // marker is retracted after the completion lands).
+                    unclaimed_offer = Some(round);
+                    break;
+                }
+                let lo = soft_split.load(Ordering::Relaxed);
+                let hi = hard_end.load(Ordering::Relaxed);
+                let missing = (lo..hi).any(|i| slots[i].lock().expect("slot lock").is_none());
+                if !missing {
+                    // This owner raced past the claim and resolved the
+                    // whole range itself; the thief's late report is
+                    // redundant (results are content-addressed).
                     break;
                 }
                 if queue.is_retired() {
                     stop.store(true, Ordering::Relaxed);
                     return RunEnd::Abandoned;
                 }
-                let stalled = match queue.steal_observation(shard) {
+                let stalled = match queue.steal_observation_round(shard, round) {
                     // Steal file gone (or unreadable sub-report raced
                     // in): reclaim immediately.
                     None => true,
                     Some(obs) => watch.observe(obs, cfg.lease_ttl),
                 };
                 if stalled {
-                    // Reclaim the stolen tail ourselves. Sequential:
+                    // Reclaim the stolen range ourselves. Sequential:
                     // this is the rare thief-death path, and the
                     // heartbeat thread is still renewing our lease.
-                    for i in split..n {
+                    for i in lo..hi {
                         if state.poisoned() {
                             stop.store(true, Ordering::Relaxed);
                             return RunEnd::Abandoned;
@@ -548,12 +719,20 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
                             }
                         }
                     }
+                    let mut t = tail.lock().expect("tail lock");
+                    t.claimed = false;
+                    t.offered = false;
+                    steal_live.store(false, Ordering::Relaxed);
                     break;
                 }
                 std::thread::sleep(cfg.poll);
             }
         }
         stop.store(true, Ordering::Relaxed);
+        let (stolen, thief_counts) = {
+            let t = tail.lock().expect("tail lock");
+            (t.stolen, t.thief_counts)
+        };
         RunEnd::Completed {
             result_hits: hits.load(Ordering::Relaxed),
             stolen,
@@ -588,8 +767,10 @@ fn run_owned_shard(state: &WorkerState<'_>, shard: usize) -> RunEnd {
             .plus(&thief_counts),
     };
     queue.complete(shard, &report.encode());
-    if !queue.steal_claimed(shard) {
-        queue.retract_surplus(shard);
+    if let Some(round) = unclaimed_offer {
+        if !queue.steal_claimed_round(shard, round) {
+            queue.retract_surplus_round(shard, round);
+        }
     }
     RunEnd::Completed {
         result_hits,
@@ -605,7 +786,12 @@ fn slots_get(slots: &[Mutex<Option<UnitOutcome>>], i: usize) -> Option<UnitOutco
 /// Works a stolen sub-shard: heartbeat the steal lease, resolve the
 /// stolen units, publish the thief batch and the durable sub-report the
 /// owner folds into its shard completion. Returns the units processed.
-fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Option<usize> {
+fn run_stolen(
+    state: &WorkerState<'_>,
+    shard: usize,
+    round: u32,
+    stolen_units: &[u32],
+) -> Option<usize> {
     let cfg = state.cfg;
     let queue = state.queue;
     let n = stolen_units.len();
@@ -650,8 +836,9 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
             while !stop.load(Ordering::Relaxed) {
                 beat += 1;
                 let c = cursor.load(Ordering::Relaxed).min(n);
-                queue.renew_steal(
+                queue.renew_steal_round(
                     shard,
+                    round,
                     &cfg.tag,
                     LeaseStamp {
                         counter: beat,
@@ -676,7 +863,7 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
     let entries: Vec<(u32, UnitOutcome)> = (0..n)
         .filter_map(|i| slots_get(&slots, i).map(|o| (stolen_units[i], o)))
         .collect();
-    state.publish_batch(shard, PART_THIEF, entries);
+    state.publish_batch(shard, thief_part(round), entries);
     let report = ShardReport {
         shard: shard as u32,
         units: n as u32,
@@ -684,7 +871,7 @@ fn run_stolen(state: &WorkerState<'_>, shard: usize, stolen_units: &[u32]) -> Op
         stolen: 0,
         counts: StageCounts::zero(),
     };
-    queue.complete_sub(shard, &report.encode());
+    queue.complete_sub_round(shard, round, &report.encode());
     Some(n)
 }
 
@@ -790,8 +977,8 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, DistribError> {
             continue;
         }
         if cfg.steal {
-            if let Some((shard, stolen_units)) = state.find_steal() {
-                if let Some(done) = run_stolen(&state, shard, &stolen_units) {
+            if let Some((shard, round, stolen_units)) = state.find_steal() {
+                if let Some(done) = run_stolen(&state, shard, round, &stolen_units) {
                     summary.steals += 1;
                     summary.stolen_units += done;
                 }
@@ -800,6 +987,15 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, DistribError> {
                 }
                 continue;
             }
+        }
+        // Idle with nothing to claim and nothing to steal: if the
+        // coordinator posted retirement tokens (the remaining mass no
+        // longer justifies this many workers), grab one and exit early
+        // instead of polling until the stragglers finish.
+        if let Some(token) = queue.claim_retirement(&cfg.tag) {
+            eprintln!("distrib: event=retire token={token} tag={}", cfg.tag);
+            obs::instant(SpanKind::ScaleDown, u64::from(token), 0);
+            break;
         }
         // Someone else holds the remaining shards. If their lease
         // counters stall, put their shards back up for grabs (unless a

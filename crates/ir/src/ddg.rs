@@ -170,6 +170,28 @@ impl Ddg {
             .map(|&i| &self.edges[i as usize])
     }
 
+    /// Indices (into [`Ddg::edges`]) of the outgoing edges of `id`, in
+    /// the same order as [`Ddg::out_edges`]. Lets callers index
+    /// per-edge side tables without hashing.
+    #[must_use]
+    pub fn out_edge_ids(&self, id: NodeId) -> &[u32] {
+        &self.succs[id.index()]
+    }
+
+    /// Indices (into [`Ddg::edges`]) of the incoming edges of `id`, in
+    /// the same order as [`Ddg::in_edges`].
+    #[must_use]
+    pub fn in_edge_ids(&self, id: NodeId) -> &[u32] {
+        &self.preds[id.index()]
+    }
+
+    /// The edge at index `idx` (as returned by [`Ddg::out_edge_ids`] /
+    /// [`Ddg::in_edge_ids`]).
+    #[must_use]
+    pub fn edge(&self, idx: u32) -> &Edge {
+        &self.edges[idx as usize]
+    }
+
     /// Number of operations that occupy resource class `class`.
     #[must_use]
     pub fn count_class(&self, class: ResourceClass) -> usize {

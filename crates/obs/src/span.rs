@@ -77,11 +77,15 @@ pub enum SpanKind {
     ScaleUp = 18,
     /// Instant: coordinator respawned a worker. `a` = worker index.
     Respawn = 19,
+    /// Instant: scale-down — the coordinator posted retirement tokens
+    /// (`a` = token total, `b` = mass estimate) or a worker retired on
+    /// one (`a` = token claimed, `b` = 0).
+    ScaleDown = 20,
 }
 
 /// Every kind, in wire order. Kept in sync with the enum by the
 /// round-trip test below.
-pub(crate) const ALL_KINDS: [SpanKind; 20] = [
+pub(crate) const ALL_KINDS: [SpanKind; 21] = [
     SpanKind::Widen,
     SpanKind::Mii,
     SpanKind::BaseSchedule,
@@ -102,6 +106,7 @@ pub(crate) const ALL_KINDS: [SpanKind; 20] = [
     SpanKind::LeaseExpire,
     SpanKind::ScaleUp,
     SpanKind::Respawn,
+    SpanKind::ScaleDown,
 ];
 
 impl SpanKind {
@@ -138,6 +143,7 @@ impl SpanKind {
             SpanKind::LeaseExpire => "lease-expired",
             SpanKind::ScaleUp => "scale-up",
             SpanKind::Respawn => "respawn",
+            SpanKind::ScaleDown => "scale-down",
         }
     }
 
@@ -160,7 +166,9 @@ impl SpanKind {
             | SpanKind::StealFold
             | SpanKind::Heartbeat => "worker",
             SpanKind::Evict => "store",
-            SpanKind::LeaseExpire | SpanKind::ScaleUp | SpanKind::Respawn => "fleet",
+            SpanKind::LeaseExpire | SpanKind::ScaleUp | SpanKind::Respawn | SpanKind::ScaleDown => {
+                "fleet"
+            }
         }
     }
 
@@ -185,6 +193,7 @@ impl SpanKind {
             SpanKind::LeaseExpire => ("requeued", "unused"),
             SpanKind::ScaleUp => ("worker", "mass"),
             SpanKind::Respawn => ("worker", "unused"),
+            SpanKind::ScaleDown => ("token", "mass"),
         }
     }
 

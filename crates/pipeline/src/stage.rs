@@ -12,15 +12,18 @@
 //! [`compile_ddg`] or memoized through [`crate::Pipeline`]), so a change
 //! to the chain lands everywhere at once.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use widening_ir::Ddg;
 use widening_machine::{Configuration, CycleModel};
 use widening_regalloc::{
-    allocate, lifetimes, schedule_with_registers_seeded, FirstRound, Lifetime, PressureResult,
-    RegisterAllocation, SpillOptions,
+    allocate_in, lifetimes, schedule_with_registers_seeded, AllocScratch, FirstRound, Lifetime,
+    PressureResult, RegisterAllocation, SpillOptions,
 };
-use widening_sched::{MiiBounds, ModuloScheduler, Schedule, SchedulerOptions, Strategy};
+use widening_sched::{
+    MiiBounds, ModuloScheduler, SchedScratch, Schedule, SchedulerOptions, Strategy,
+};
 use widening_transform::{widen, WideningOutcome};
 
 use crate::error::PipelineError;
@@ -296,6 +299,15 @@ impl BaseSchedule {
     }
 }
 
+thread_local! {
+    /// Per-thread scheduler/allocator arenas for the stage-3a hot path:
+    /// a sweep re-enters [`stage_base_schedule`] once per (loop, width,
+    /// machine) point, and reusing the attempt state keeps the steady
+    /// state allocation-free.
+    static STAGE_SCRATCH: RefCell<(SchedScratch, AllocScratch)> =
+        RefCell::new((SchedScratch::new(), AllocScratch::new()));
+}
+
 /// Stage 3a — schedule + allocate once, ignoring the register file.
 pub(crate) fn stage_base_schedule(
     wide: &Ddg,
@@ -305,11 +317,15 @@ pub(crate) fn stage_base_schedule(
     bounds: &MiiBounds,
 ) -> Result<BaseSchedule, PipelineError> {
     let scheduler = ModuloScheduler::with_options(*machine, model, opts.scheduler_options());
-    let schedule = scheduler
-        .schedule_with_bounds(wide, bounds)
-        .map_err(PipelineError::Schedule)?;
-    let lts = lifetimes(wide, &schedule, model);
-    let allocation = allocate(&lts, schedule.ii());
+    let (schedule, allocation, lts) = STAGE_SCRATCH.with(|cell| {
+        let (sched_scratch, alloc_scratch) = &mut *cell.borrow_mut();
+        let schedule = scheduler
+            .schedule_with(wide, bounds, 1, sched_scratch)
+            .map_err(PipelineError::Schedule)?;
+        let lts = lifetimes(wide, &schedule, model);
+        let allocation = allocate_in(&lts, schedule.ii(), alloc_scratch);
+        Ok::<_, PipelineError>((schedule, allocation, lts))
+    })?;
     let needed = allocation.registers_used();
     Ok(BaseSchedule {
         schedule,

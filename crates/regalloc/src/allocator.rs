@@ -16,8 +16,39 @@
 //! The result is within a register or two of the `MaxLives` lower bound
 //! on the paper's loop shapes (asserted by tests and measured in
 //! EXPERIMENTS.md).
+//!
+//! # Dense packing representation
+//!
+//! The hot path keeps per-register occupancy as a **cylinder bitset**
+//! (one bit per slot, `c = K·II` slots), so the pairwise `overlaps`
+//! probe of the original `Vec<Vec<Arc>>` representation becomes a
+//! word-AND over at most `⌈c/64⌉` words:
+//!
+//! * an arc's slot coverage equals the wrapped run
+//!   `[start, start + min(len, c))`, and two circular arcs overlap iff
+//!   their coverage sets intersect (for `len ≥ c` the set is the full
+//!   circle; a degenerate `len = 0` arc covers nothing and overlaps
+//!   nothing — exactly the `overlaps` contract);
+//! * end-fit's smallest-gap search keeps an **endpoint table bucketed
+//!   by cylinder slot**: walking slots backwards from the arc's start
+//!   and stopping at the first slot holding a disjoint register finds
+//!   the minimiser of `(start + c − end) mod c` directly — the cost is
+//!   the winning gap, not a scan of every register and occupant;
+//! * the min-density cut evaluates candidate points (`{0} ∪ starts`)
+//!   against two **sorted endpoint arrays** — density at `p` is
+//!   `#{segment starts ≤ p} − #{segment ends ≤ p}` plus the full-circle
+//!   arc count — replacing the O(c·arcs) per-point coverage scan.
+//!
+//! All working storage lives in an [`AllocScratch`] that is cleared, not
+//! reallocated, between calls; results are bitwise-identical to the
+//! original packers (kept below as the oversized-cylinder fallback and
+//! as the reference implementations for the equivalence tests).
 
-use crate::lifetime::{max_lives, Lifetime};
+use std::cmp::Reverse;
+
+use widening_dense::words;
+
+use crate::lifetime::{max_lives_with, Lifetime};
 
 /// The outcome of allocating one loop's lifetimes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,6 +201,58 @@ impl Arc {
     }
 }
 
+/// A packed register assignment: `(lifetime, instance, register)` in
+/// arc-processing order, plus the register count.
+type Packing = Vec<(u32, u32, u32)>;
+
+/// Cylinders larger than this (in slots) fall back to the legacy
+/// `Vec<Vec<Arc>>` packers rather than materialising per-register
+/// bitsets. Real schedules stay orders of magnitude below it (the
+/// corpus peaks at c = 64); only adversarial lifetimes with enormous
+/// spans reach the fallback.
+const DENSE_SLOT_LIMIT: u64 = 1 << 14;
+
+/// Reusable working storage for [`allocate_in`]: arc tables, cylinder
+/// bitsets, endpoint tables and the candidate packings, all cleared —
+/// not reallocated — between calls.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    /// Arcs in adjacency (start-position) order.
+    arcs: Vec<Arc>,
+    /// Per-arc cylinder coverage bitsets (`wpc` words each, matching
+    /// `arcs` order).
+    masks: Vec<u64>,
+    /// Arc index permutations: identity (adjacency order) and
+    /// longest-first.
+    idx_adj: Vec<u32>,
+    idx_len: Vec<u32>,
+    /// Cut-interval processing order.
+    idx_cut: Vec<u32>,
+    /// Per-register occupancy bitsets (flat, `wpc` words per register).
+    occ: Vec<u64>,
+    /// End-fit endpoint table, bucketed by cylinder slot: `buckets[p]`
+    /// lists the registers with an occupant end at slot `p`.
+    end_buckets: Vec<Vec<u32>>,
+    /// Min-density sweep: candidate cut points and sorted segment
+    /// endpoints.
+    cand: Vec<u64>,
+    seg_starts: Vec<u64>,
+    seg_ends: Vec<u64>,
+    /// Best packing so far and the candidate being evaluated.
+    best: Packing,
+    tmp: Packing,
+    /// `max_lives` difference-array buffer.
+    rows: Vec<i64>,
+}
+
+impl AllocScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        AllocScratch::default()
+    }
+}
+
 /// Allocates `lifetimes` (from a schedule with initiation interval `ii`)
 /// to registers with end-fit/adjacency ordering. Returns the allocation;
 /// `registers_used` is the register requirement the spill engine compares
@@ -180,8 +263,20 @@ impl Arc {
 /// Panics if `ii` is zero.
 #[must_use]
 pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
+    allocate_in(lifetimes, ii, &mut AllocScratch::new())
+}
+
+/// [`allocate`] reusing a caller-owned [`AllocScratch`] — the hot-path
+/// entry point. Identical results, no steady-state allocation beyond the
+/// returned tables.
+///
+/// # Panics
+///
+/// Panics if `ii` is zero.
+#[must_use]
+pub fn allocate_in(lifetimes: &[Lifetime], ii: u32, s: &mut AllocScratch) -> RegisterAllocation {
     assert!(ii >= 1, "II must be at least 1");
-    let ml = max_lives(lifetimes, ii);
+    let ml = max_lives_with(lifetimes, ii, &mut s.rows);
     let k = lifetimes
         .iter()
         .map(|lt| lt.concurrent_instances(ii))
@@ -194,48 +289,30 @@ pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
     // Expand each lifetime into K arcs (one per kernel copy) and sort by
     // start position (adjacency ordering), then length descending for
     // deterministic, well-packed placement.
-    let mut arcs = Vec::with_capacity(lifetimes.len() * k as usize);
+    s.arcs.clear();
     for (i, lt) in lifetimes.iter().enumerate() {
         let len = u64::from(lt.len()).min(c);
         for j in 0..k {
             let start = (u64::from(lt.start) + u64::from(j) * u64::from(ii)) % c;
-            arcs.push(Arc {
-                lifetime: i as u32,
-                instance: j,
-                start,
-                len,
-            });
+            arcs_push(&mut s.arcs, i as u32, j, start, len);
         }
     }
-    arcs.sort_by_key(|a| (a.start, std::cmp::Reverse(a.len), a.lifetime, a.instance));
+    // (start, len, lifetime, instance) is a total order, so the unstable
+    // sort is deterministic.
+    s.arcs
+        .sort_unstable_by_key(|a| (a.start, Reverse(a.len), a.lifetime, a.instance));
 
-    // Run the packers and keep the tightest result. End-fit is Rau's
-    // published heuristic; first-fit and the min-density-cut interval
-    // pass are classic fallbacks; Lam's private-cyclic expansion wins
-    // when the shared cylinder fragments badly.
-    let mut best = pack_end_fit(&arcs, c);
-    // A second arc order — longest arcs first — often packs dense mixes
-    // a register or two tighter; both orders feed both greedy packers.
-    let mut by_len = arcs.clone();
-    by_len.sort_by_key(|a| (std::cmp::Reverse(a.len), a.start, a.lifetime, a.instance));
-    for alt in [
-        pack_first_fit(&arcs, c),
-        pack_end_fit(&by_len, c),
-        pack_first_fit(&by_len, c),
-        pack_cut_interval(&arcs, c),
-        pack_private_cyclic(lifetimes, ii, k),
-    ] {
-        if alt.0 < best.0 {
-            best = alt;
-        }
-    }
-    let (registers_used, triples) = best;
+    let (registers_used, triples) = if c <= DENSE_SLOT_LIMIT {
+        pack_best_dense(lifetimes, ii, k, c, s)
+    } else {
+        pack_best_legacy(lifetimes, ii, k, c, s)
+    };
 
     // Derive the legacy arc-order assignment and the dense location
     // table from the winning packing.
     let assignment: Vec<(u32, u32)> = triples.iter().map(|&(lt, _, r)| (lt, r)).collect();
     let mut locations = vec![u32::MAX; lifetimes.len() * k as usize];
-    for &(lt, instance, r) in &triples {
+    for &(lt, instance, r) in triples {
         locations[lt as usize * k as usize + instance as usize] = r;
     }
     debug_assert!(lifetimes.is_empty() || locations.iter().all(|&r| r != u32::MAX));
@@ -249,6 +326,119 @@ pub fn allocate(lifetimes: &[Lifetime], ii: u32) -> RegisterAllocation {
     }
 }
 
+fn arcs_push(arcs: &mut Vec<Arc>, lifetime: u32, instance: u32, start: u64, len: u64) {
+    arcs.push(Arc {
+        lifetime,
+        instance,
+        start,
+        len,
+    });
+}
+
+/// Runs all six packers on the dense (bitset) representation and
+/// returns the tightest packing. Mirrors [`pack_best_legacy`] result
+/// for result, candidate order and strict-improvement tie-breaking.
+fn pack_best_dense<'a>(
+    lifetimes: &[Lifetime],
+    ii: u32,
+    k: u32,
+    c: u64,
+    s: &'a mut AllocScratch,
+) -> (u32, &'a Packing) {
+    let n = s.arcs.len();
+    let wpc = words::words_for(c as usize);
+    s.masks.clear();
+    s.masks.resize(n * wpc, 0);
+    for (i, a) in s.arcs.iter().enumerate() {
+        if a.len > 0 {
+            words::set_wrapped_run(
+                &mut s.masks[i * wpc..(i + 1) * wpc],
+                c as usize,
+                a.start as usize,
+                a.len as usize,
+            );
+        }
+    }
+    s.idx_adj.clear();
+    s.idx_adj.extend(0..n as u32);
+    s.idx_len.clear();
+    s.idx_len.extend(0..n as u32);
+    // A second arc order — longest arcs first — often packs dense mixes
+    // a register or two tighter; both orders feed both greedy packers.
+    let arcs = &s.arcs;
+    s.idx_len.sort_unstable_by_key(|&i| {
+        let a = &arcs[i as usize];
+        (Reverse(a.len), a.start, a.lifetime, a.instance)
+    });
+
+    // Run the packers and keep the tightest result. End-fit is Rau's
+    // published heuristic; first-fit and the min-density-cut interval
+    // pass are classic fallbacks; Lam's private-cyclic expansion wins
+    // when the shared cylinder fragments badly.
+    let mut best_regs = pack_end_fit_dense(
+        &s.arcs,
+        &s.idx_adj,
+        &s.masks,
+        wpc,
+        c,
+        &mut s.occ,
+        &mut s.end_buckets,
+        &mut s.best,
+    );
+    for which in 0..5 {
+        let regs = match which {
+            0 => pack_first_fit_dense(&s.arcs, &s.idx_adj, &s.masks, wpc, &mut s.occ, &mut s.tmp),
+            1 => pack_end_fit_dense(
+                &s.arcs,
+                &s.idx_len,
+                &s.masks,
+                wpc,
+                c,
+                &mut s.occ,
+                &mut s.end_buckets,
+                &mut s.tmp,
+            ),
+            2 => pack_first_fit_dense(&s.arcs, &s.idx_len, &s.masks, wpc, &mut s.occ, &mut s.tmp),
+            3 => pack_cut_interval_dense(s, wpc, c),
+            _ => pack_private_cyclic(lifetimes, ii, k, &mut s.tmp),
+        };
+        if regs < best_regs {
+            best_regs = regs;
+            std::mem::swap(&mut s.best, &mut s.tmp);
+        }
+    }
+    (best_regs, &s.best)
+}
+
+/// The original `Vec<Vec<Arc>>` packers, used verbatim when the
+/// cylinder is too large to bitset (`c > DENSE_SLOT_LIMIT`).
+fn pack_best_legacy<'a>(
+    lifetimes: &[Lifetime],
+    ii: u32,
+    k: u32,
+    c: u64,
+    s: &'a mut AllocScratch,
+) -> (u32, &'a Packing) {
+    let mut best = pack_end_fit_ref(&s.arcs, c);
+    let mut by_len = s.arcs.clone();
+    by_len.sort_unstable_by_key(|a| (Reverse(a.len), a.start, a.lifetime, a.instance));
+    let mut private = Vec::new();
+    let private_regs = pack_private_cyclic(lifetimes, ii, k, &mut private);
+    for alt in [
+        pack_first_fit_ref(&s.arcs, c),
+        pack_end_fit_ref(&by_len, c),
+        pack_first_fit_ref(&by_len, c),
+        pack_cut_interval_ref(&s.arcs, c),
+        (private_regs, private),
+    ] {
+        if alt.0 < best.0 {
+            best = alt;
+        }
+    }
+    s.best = best.1;
+    (best.0, &s.best)
+}
+
 /// Lam's modulo-variable-expansion allocation: value `v` rotates through
 /// a private block of `k'_v` registers, where `k'_v` is
 /// `⌈len_v / II⌉` rounded up to a power of two so that every block
@@ -258,22 +448,268 @@ fn pack_private_cyclic(
     lifetimes: &[Lifetime],
     ii: u32,
     kernel_unroll: u32,
-) -> (u32, Vec<(u32, u32, u32)>) {
+    out: &mut Packing,
+) -> u32 {
+    out.clear();
     let mut base = 0u32;
-    let mut assignment = Vec::with_capacity(lifetimes.len() * kernel_unroll as usize);
     for (i, lt) in lifetimes.iter().enumerate() {
         let k = lt.concurrent_instances(ii).max(1).next_power_of_two();
         for j in 0..kernel_unroll {
-            assignment.push((i as u32, j, base + (j % k)));
+            out.push((i as u32, j, base + (j % k)));
         }
         base += k;
     }
-    (base, assignment)
+    base
 }
 
+// ----- dense (bitset) packers --------------------------------------------
+
+/// First-fit over cylinder bitsets: each arc goes to the lowest-indexed
+/// register whose occupancy words AND to zero against the arc's mask.
+fn pack_first_fit_dense(
+    arcs: &[Arc],
+    order: &[u32],
+    masks: &[u64],
+    wpc: usize,
+    occ: &mut Vec<u64>,
+    out: &mut Packing,
+) -> u32 {
+    occ.clear();
+    out.clear();
+    for &i in order {
+        let arc = &arcs[i as usize];
+        let mask = &masks[i as usize * wpc..(i as usize + 1) * wpc];
+        let nregs = occ.len() / wpc;
+        // Single-word cylinders (c ≤ 64, the common case) probe a flat
+        // `u64` per register — one AND per probe, no slicing.
+        let r = if wpc == 1 {
+            let m = mask[0];
+            occ.iter().position(|&w| w & m == 0)
+        } else {
+            (0..nregs).find(|&r| words::disjoint(&occ[r * wpc..(r + 1) * wpc], mask))
+        };
+        let r = match r {
+            Some(r) => {
+                words::union_into(&mut occ[r * wpc..(r + 1) * wpc], mask);
+                r
+            }
+            None => {
+                occ.extend_from_slice(mask);
+                nregs
+            }
+        };
+        out.push((arc.lifetime, arc.instance, r as u32));
+    }
+    (occ.len() / wpc) as u32
+}
+
+/// End-fit over cylinder bitsets + slot-bucketed endpoint tables:
+/// among the registers whose occupancy is disjoint from the arc, pick
+/// the one whose nearest preceding occupant end leaves the smallest
+/// backward gap `(start + c − end) mod c`, lowest register on ties.
+///
+/// `buckets[p]` lists every register with an occupant end at slot `p`.
+/// Walking `p = start, start−1, …` (gap `g = 0, 1, …`) and stopping at
+/// the first slot holding a disjoint register finds exactly the
+/// reference minimum: a disjoint register with true gap `g' < g` has
+/// its nearest preceding end at slot `start − g'`, so it is in that
+/// bucket and the walk would already have stopped there — hence any
+/// disjoint register met at slot distance `g` has true gap `g`. The
+/// per-arc cost is the winning gap plus the endpoint entries passed
+/// over, instead of a scan of every register.
+#[allow(clippy::too_many_arguments)]
+fn pack_end_fit_dense(
+    arcs: &[Arc],
+    order: &[u32],
+    masks: &[u64],
+    wpc: usize,
+    c: u64,
+    occ: &mut Vec<u64>,
+    buckets: &mut Vec<Vec<u32>>,
+    out: &mut Packing,
+) -> u32 {
+    occ.clear();
+    out.clear();
+    if buckets.len() < c as usize {
+        buckets.resize_with(c as usize, Vec::new);
+    }
+    for b in &mut buckets[..c as usize] {
+        b.clear();
+    }
+    let mut nregs = 0usize;
+    for &i in order {
+        let arc = &arcs[i as usize];
+        let mask = &masks[i as usize * wpc..(i as usize + 1) * wpc];
+        let mut best: Option<usize> = None;
+        if nregs > 0 {
+            'walk: for g in 0..c {
+                let p = (arc.start + c - g) % c;
+                // Lowest disjoint register in this bucket wins the tie.
+                let mut cand: Option<usize> = None;
+                for &r in &buckets[p as usize] {
+                    let r = r as usize;
+                    if cand.is_some_and(|b| r >= b) {
+                        continue;
+                    }
+                    let free = if wpc == 1 {
+                        occ[r] & mask[0] == 0
+                    } else {
+                        words::disjoint(&occ[r * wpc..(r + 1) * wpc], mask)
+                    };
+                    if free {
+                        cand = Some(r);
+                    }
+                }
+                if cand.is_some() {
+                    best = cand;
+                    break 'walk;
+                }
+            }
+        }
+        let r = match best {
+            Some(r) => {
+                words::union_into(&mut occ[r * wpc..(r + 1) * wpc], mask);
+                r
+            }
+            None => {
+                occ.extend_from_slice(mask);
+                nregs += 1;
+                nregs - 1
+            }
+        };
+        buckets[((arc.start + arc.len) % c) as usize].push(r as u32);
+        out.push((arc.lifetime, arc.instance, r as u32));
+    }
+    nregs as u32
+}
+
+/// Min-density cut on sorted endpoints, then greedy interval colouring
+/// over the linearised coordinate. The cut is the first point of
+/// minimum density among `{0} ∪ starts`; density at `p` counts the
+/// arcs covering `p`, evaluated as `#{segment starts ≤ p} − #{segment
+/// ends ≤ p}` (+1 per full-circle arc) — one sorted endpoint sweep
+/// instead of scanning every arc per candidate.
+fn pack_cut_interval_dense(s: &mut AllocScratch, wpc: usize, c: u64) -> u32 {
+    let AllocScratch {
+        arcs,
+        masks,
+        idx_cut,
+        occ,
+        cand,
+        seg_starts,
+        seg_ends,
+        tmp,
+        ..
+    } = s;
+    // Candidate cut points, ascending (matches the original 0..c scan
+    // filtered to starts).
+    cand.clear();
+    cand.push(0);
+    cand.extend(arcs.iter().map(|a| a.start));
+    cand.sort_unstable();
+    cand.dedup();
+    // Decompose each arc into at most two linear segments; full-circle
+    // arcs (len ≥ c) and degenerate zero-length arcs contribute a
+    // uniform density at every point (`covers` returns `true`
+    // everywhere for both), so they fold into a constant base.
+    seg_starts.clear();
+    seg_ends.clear();
+    let mut base = 0u64;
+    for a in arcs.iter() {
+        if a.len >= c || a.len == 0 {
+            base += 1;
+            continue;
+        }
+        let e = (a.start + a.len) % c;
+        if a.start < e {
+            seg_starts.push(a.start);
+            seg_ends.push(e);
+        } else {
+            seg_starts.push(a.start); // [start, c): its end c exceeds every p
+            seg_ends.push(c);
+            if e > 0 {
+                seg_starts.push(0);
+                seg_ends.push(e);
+            }
+        }
+    }
+    seg_starts.sort_unstable();
+    seg_ends.sort_unstable();
+    let mut cut = 0u64;
+    let mut best_density = u64::MAX;
+    for &p in cand.iter() {
+        let d = base + seg_starts.partition_point(|&x| x <= p) as u64
+            - seg_ends.partition_point(|&x| x <= p) as u64;
+        if d < best_density {
+            best_density = d;
+            cut = p;
+        }
+    }
+
+    // Greedy first-fit in linearised order: distance clockwise from the
+    // cut. An arc's slot set is rotation-invariant, so segment
+    // disjointness in linearised coordinates is exactly mask
+    // disjointness in cylinder coordinates.
+    idx_cut.clear();
+    idx_cut.extend(0..arcs.len() as u32);
+    idx_cut.sort_unstable_by_key(|&i| {
+        let a = &arcs[i as usize];
+        (
+            (a.start + c - cut) % c,
+            Reverse(a.len),
+            a.lifetime,
+            a.instance,
+        )
+    });
+    if arcs.iter().any(|a| a.len == 0) {
+        // Degenerate zero-length arcs: the original segment logic treats
+        // the empty segment [s, s) as a blocking *point* (it refuses
+        // registers where s falls strictly inside an occupied segment),
+        // which a coverage bitset cannot express. Keep the original
+        // semantics on this cold path.
+        return pack_cut_segments(arcs, idx_cut, c, cut, tmp);
+    }
+    pack_first_fit_dense(arcs, idx_cut, masks, wpc, occ, tmp)
+}
+
+/// The original cut-interval segment packer body, shared by the
+/// zero-length-arc path of [`pack_cut_interval_dense`] (exact
+/// degenerate-point semantics) and by [`pack_cut_interval_ref`].
+fn pack_cut_segments(arcs: &[Arc], order: &[u32], c: u64, cut: u64, out: &mut Packing) -> u32 {
+    out.clear();
+    let lin = |p: u64| (p + c - cut) % c;
+    let mut registers: Vec<Vec<(u64, u64)>> = Vec::new(); // busy [from, to) segments
+    for &i in order {
+        let arc = &arcs[i as usize];
+        let (s, e) = (lin(arc.start), lin(arc.start) + arc.len.min(c));
+        // An arc crossing the cut occupies [s, c) and wraps to [0, e-c).
+        let new_segs: &[(u64, u64)] = if e > c {
+            &[(s, c), (0, e - c)]
+        } else {
+            &[(s, e)]
+        };
+        let fits = |segs: &Vec<(u64, u64)>| {
+            segs.iter()
+                .all(|&(f, t)| new_segs.iter().all(|&(ns, ne)| ne <= f || ns >= t))
+        };
+        let r = match registers.iter().position(fits) {
+            Some(r) => r,
+            None => {
+                registers.push(Vec::new());
+                registers.len() - 1
+            }
+        };
+        registers[r].extend_from_slice(new_segs);
+        out.push((arc.lifetime, arc.instance, r as u32));
+    }
+    registers.len() as u32
+}
+
+// ----- reference packers (oversized-cylinder fallback + equivalence) -----
+
 /// First-fit: each arc goes to the lowest-indexed register with no
-/// overlap.
-fn pack_first_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
+/// overlap. Reference implementation (pairwise `overlaps` scans).
+fn pack_first_fit_ref(arcs: &[Arc], c: u64) -> (u32, Packing) {
     let mut registers: Vec<Vec<Arc>> = Vec::new();
     let mut assignment = Vec::with_capacity(arcs.len());
     for arc in arcs {
@@ -294,8 +730,9 @@ fn pack_first_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
 }
 
 /// End-fit: each arc goes to the fitting register whose nearest
-/// preceding end leaves the smallest gap.
-fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
+/// preceding end leaves the smallest gap. Reference implementation
+/// (per-occupant gap scans).
+fn pack_end_fit_ref(arcs: &[Arc], c: u64) -> (u32, Packing) {
     let mut registers: Vec<Vec<Arc>> = Vec::new();
     let mut assignment = Vec::with_capacity(arcs.len());
     for arc in arcs {
@@ -331,51 +768,24 @@ fn pack_end_fit(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
     (registers.len() as u32, assignment)
 }
 
-/// Min-density cut: cut the cylinder where the fewest arcs cross, give
-/// each crossing arc a private register, and colour the remaining
-/// intervals greedily by left endpoint (optimal for interval graphs).
-fn pack_cut_interval(arcs: &[Arc], c: u64) -> (u32, Vec<(u32, u32, u32)>) {
+/// Min-density cut reference: scan every cylinder point for the
+/// min-density cut, give each crossing arc a segment pair, and colour
+/// greedily by left endpoint.
+fn pack_cut_interval_ref(arcs: &[Arc], c: u64) -> (u32, Packing) {
     // Density change-points are arc starts; evaluate density there.
     let cut = (0..c)
         .filter(|p| arcs.iter().any(|a| a.start == *p) || *p == 0)
         .min_by_key(|&p| arcs.iter().filter(|a| a.covers(p, c)).count())
         .unwrap_or(0);
-    let mut registers: Vec<Vec<(u64, u64)>> = Vec::new(); // busy [from, to) segments
-    let mut assignment = Vec::with_capacity(arcs.len());
-    // Linearised coordinate: distance clockwise from the cut.
     let lin = |p: u64| (p + c - cut) % c;
-    let mut order: Vec<&Arc> = arcs.iter().collect();
-    order.sort_by_key(|a| {
-        (
-            lin(a.start),
-            std::cmp::Reverse(a.len),
-            a.lifetime,
-            a.instance,
-        )
+    let mut order: Vec<u32> = (0..arcs.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let a = &arcs[i as usize];
+        (lin(a.start), Reverse(a.len), a.lifetime, a.instance)
     });
-    for arc in order {
-        let (s, e) = (lin(arc.start), lin(arc.start) + arc.len.min(c));
-        // An arc crossing the cut occupies [s, c) and wraps to [0, e-c).
-        let new_segs: &[(u64, u64)] = if e > c {
-            &[(s, c), (0, e - c)]
-        } else {
-            &[(s, e)]
-        };
-        let fits = |segs: &Vec<(u64, u64)>| {
-            segs.iter()
-                .all(|&(f, t)| new_segs.iter().all(|&(ns, ne)| ne <= f || ns >= t))
-        };
-        let r = match registers.iter().position(fits) {
-            Some(r) => r,
-            None => {
-                registers.push(Vec::new());
-                registers.len() - 1
-            }
-        };
-        registers[r].extend_from_slice(new_segs);
-        assignment.push((arc.lifetime, arc.instance, r as u32));
-    }
-    (registers.len() as u32, assignment)
+    let mut out = Vec::new();
+    let regs = pack_cut_segments(arcs, &order, c, cut, &mut out);
+    (regs, out)
 }
 
 #[cfg(test)]
@@ -538,5 +948,119 @@ mod tests {
         assert!(a.overlaps(&b, c));
         assert!(!a.overlaps(&d, c));
         assert!(!b.overlaps(&d, c));
+    }
+
+    /// Build the dense-side inputs (sorted arcs + masks + orders) the
+    /// way `allocate_in` does, for packer-level equivalence checks.
+    fn dense_inputs(lts: &[Lifetime], ii: u32) -> (Vec<Arc>, Vec<u64>, usize, u64) {
+        let k = lts
+            .iter()
+            .map(|l| l.concurrent_instances(ii))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+            .next_power_of_two();
+        let c = u64::from(k) * u64::from(ii);
+        let mut arcs = Vec::new();
+        for (i, l) in lts.iter().enumerate() {
+            let len = u64::from(l.len()).min(c);
+            for j in 0..k {
+                let start = (u64::from(l.start) + u64::from(j) * u64::from(ii)) % c;
+                arcs_push(&mut arcs, i as u32, j, start, len);
+            }
+        }
+        arcs.sort_unstable_by_key(|a| (a.start, Reverse(a.len), a.lifetime, a.instance));
+        let wpc = words::words_for(c as usize);
+        let mut masks = vec![0u64; arcs.len() * wpc];
+        for (i, a) in arcs.iter().enumerate() {
+            if a.len > 0 {
+                words::set_wrapped_run(
+                    &mut masks[i * wpc..(i + 1) * wpc],
+                    c as usize,
+                    a.start as usize,
+                    a.len as usize,
+                );
+            }
+        }
+        (arcs, masks, wpc, c)
+    }
+
+    #[test]
+    fn dense_packers_match_reference_packers() {
+        // Several lifetime mixes, including wrap-heavy and full-circle
+        // shapes: every dense packer must reproduce its reference packer
+        // bit for bit (registers AND triples).
+        let cases: Vec<(Vec<Lifetime>, u32)> = vec![
+            (
+                (0..24)
+                    .map(|i| lt(i, (i * 3) % 11, (i * 3) % 11 + 5 + (i % 7)))
+                    .collect(),
+                11,
+            ),
+            (
+                (0..16)
+                    .map(|i| lt(i, i * 4 + (i % 3), i * 4 + (i % 3) + 6 + 2 * (i % 4)))
+                    .collect(),
+                4,
+            ),
+            (vec![lt(0, 0, 8), lt(1, 3, 5), lt(2, 7, 23)], 2),
+            (vec![lt(0, 0, 4), lt(1, 0, 4)], 4),
+            (vec![lt(0, 5, 6)], 1),
+            (
+                (0..12)
+                    .map(|i| lt(i, i * 7 % 13, i * 7 % 13 + 1 + i % 11))
+                    .collect(),
+                13,
+            ),
+        ];
+        for (case, (lts, ii)) in cases.iter().enumerate() {
+            let (arcs, masks, wpc, c) = dense_inputs(lts, *ii);
+            let idx: Vec<u32> = (0..arcs.len() as u32).collect();
+            let mut occ = Vec::new();
+            let mut buckets: Vec<Vec<u32>> = Vec::new();
+            let mut out = Vec::new();
+
+            let (rr, ra) = pack_first_fit_ref(&arcs, c);
+            let dr = pack_first_fit_dense(&arcs, &idx, &masks, wpc, &mut occ, &mut out);
+            assert_eq!((rr, &ra), (dr, &out), "first-fit case {case}");
+
+            let (rr, ra) = pack_end_fit_ref(&arcs, c);
+            let dr = pack_end_fit_dense(
+                &arcs,
+                &idx,
+                &masks,
+                wpc,
+                c,
+                &mut occ,
+                &mut buckets,
+                &mut out,
+            );
+            assert_eq!((rr, &ra), (dr, &out), "end-fit case {case}");
+
+            let (rr, ra) = pack_cut_interval_ref(&arcs, c);
+            let mut s = AllocScratch::new();
+            s.arcs = arcs.clone();
+            s.masks = masks.clone();
+            let dr = pack_cut_interval_dense(&mut s, wpc, c);
+            assert_eq!((rr, &ra), (dr, &s.tmp), "cut-interval case {case}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        // One warm scratch across many calls must reproduce the
+        // throwaway-scratch allocation exactly (registers, assignment
+        // order, location table).
+        let mut scratch = AllocScratch::new();
+        for ii in [1, 2, 3, 7, 12] {
+            for n in [0u32, 1, 5, 24] {
+                let lts: Vec<Lifetime> = (0..n)
+                    .map(|i| lt(i, (i * 5) % (3 * ii), (i * 5) % (3 * ii) + 1 + (i % 9)))
+                    .collect();
+                let fresh = allocate(&lts, ii);
+                let reused = allocate_in(&lts, ii, &mut scratch);
+                assert_eq!(fresh, reused, "ii={ii} n={n}");
+            }
+        }
     }
 }

@@ -51,8 +51,8 @@ mod allocator;
 mod lifetime;
 mod spill;
 
-pub use allocator::{allocate, RegisterAllocation};
-pub use lifetime::{lifetimes, max_lives, Lifetime};
+pub use allocator::{allocate, allocate_in, AllocScratch, RegisterAllocation};
+pub use lifetime::{lifetimes, lifetimes_into, max_lives, Lifetime};
 pub use spill::{
     schedule_with_registers, schedule_with_registers_seeded, FirstRound, PressureResult,
     RegallocError, SpillOptions, SpillPolicy, SpillRecord,

@@ -51,8 +51,16 @@ impl Lifetime {
 /// (issue + latency): the register is still needed for the writeback.
 #[must_use]
 pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, model: CycleModel) -> Vec<Lifetime> {
-    let ii = schedule.ii();
     let mut out = Vec::new();
+    lifetimes_into(ddg, schedule, model, &mut out);
+    out
+}
+
+/// [`lifetimes`] into a caller-supplied buffer (cleared first), so hot
+/// loops can reuse the allocation across schedule attempts.
+pub fn lifetimes_into(ddg: &Ddg, schedule: &Schedule, model: CycleModel, out: &mut Vec<Lifetime>) {
+    let ii = schedule.ii();
+    out.clear();
     for v in ddg.node_ids() {
         let op = ddg.op(v);
         if !op.produces_value() {
@@ -69,7 +77,6 @@ pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, model: CycleModel) -> Vec<Lifet
         }
         out.push(Lifetime { def: v, start, end });
     }
-    out
 }
 
 /// `MaxLives`: the maximum number of values simultaneously live at any
@@ -77,14 +84,48 @@ pub fn lifetimes(ddg: &Ddg, schedule: &Schedule, model: CycleModel) -> Vec<Lifet
 /// (Llosa et al., IJPP'98).
 #[must_use]
 pub fn max_lives(lifetimes: &[Lifetime], ii: u32) -> u32 {
+    max_lives_with(lifetimes, ii, &mut Vec::new())
+}
+
+/// [`max_lives`] with a caller-supplied difference-array buffer.
+///
+/// A lifetime of length `len` contributes `⌊len/II⌋` to *every* kernel
+/// row plus one extra over the wrapped run of `len mod II` rows starting
+/// at `start mod II` — so the per-row counts are a uniform base plus a
+/// difference array, O(lifetimes + II) instead of O(Σ len).
+pub(crate) fn max_lives_with(lifetimes: &[Lifetime], ii: u32, diff: &mut Vec<i64>) -> u32 {
     assert!(ii >= 1, "II must be at least 1");
-    let mut rows = vec![0u32; ii as usize];
+    let rows = ii as usize;
+    diff.clear();
+    diff.resize(rows, 0);
+    let mut base = 0i64;
     for lt in lifetimes {
-        for t in lt.start..lt.end {
-            rows[(t % ii) as usize] += 1;
+        let len = u64::from(lt.len());
+        base += (len / u64::from(ii)) as i64;
+        let part = (len % u64::from(ii)) as usize;
+        if part == 0 {
+            continue;
+        }
+        let s = (lt.start % ii) as usize;
+        if s + part <= rows {
+            diff[s] += 1;
+            if s + part < rows {
+                diff[s + part] -= 1;
+            }
+        } else {
+            // The partial run wraps: [s, rows) and [0, s + part − rows).
+            diff[s] += 1;
+            diff[0] += 1;
+            diff[s + part - rows] -= 1;
         }
     }
-    rows.into_iter().max().unwrap_or(0)
+    let mut acc = 0i64;
+    let mut peak = 0i64;
+    for &d in diff.iter() {
+        acc += d;
+        peak = peak.max(acc);
+    }
+    u32::try_from(base + peak).expect("max_lives fits in u32")
 }
 
 #[cfg(test)]
@@ -196,6 +237,37 @@ mod tests {
         assert_eq!(max_lives(&lts, 2), 1);
         // At II=1 they share the only row.
         assert_eq!(max_lives(&lts, 1), 2);
+    }
+
+    #[test]
+    fn max_lives_matches_naive_row_scan() {
+        // The difference-array formulation must agree with the direct
+        // per-cycle row counting on irregular mixes (wrapping partial
+        // runs, zero-remainder lengths, start offsets beyond II).
+        let naive = |lts: &[Lifetime], ii: u32| -> u32 {
+            let mut rows = vec![0u32; ii as usize];
+            for lt in lts {
+                for t in lt.start..lt.end {
+                    rows[(t % ii) as usize] += 1;
+                }
+            }
+            rows.into_iter().max().unwrap_or(0)
+        };
+        for ii in [1u32, 2, 3, 5, 8, 13] {
+            for n in [0u32, 1, 7, 23] {
+                let lts: Vec<Lifetime> = (0..n)
+                    .map(|i| {
+                        let start = (i * 11) % (4 * ii);
+                        Lifetime {
+                            def: NodeId(i),
+                            start,
+                            end: start + 1 + (i * 5) % (3 * ii),
+                        }
+                    })
+                    .collect();
+                assert_eq!(max_lives(&lts, ii), naive(&lts, ii), "ii={ii} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -13,16 +13,18 @@
 //! * as an alternative (or fallback), *increase the II*, which shortens
 //!   relative lifetimes and lowers pressure without extra traffic.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
 use widening_ir::{Ddg, Edge, EdgeKind, GraphError, NodeId, Op, OpKind};
 use widening_machine::{Configuration, CycleModel};
-use widening_sched::{ModuloScheduler, Schedule, ScheduleError, SchedulerOptions};
+use widening_sched::{
+    MiiBounds, ModuloScheduler, SchedScratch, Schedule, ScheduleError, SchedulerOptions,
+};
 
-use crate::allocator::{allocate, RegisterAllocation};
-use crate::lifetime::{lifetimes, Lifetime};
+use crate::allocator::{allocate_in, AllocScratch, RegisterAllocation};
+use crate::lifetime::{lifetimes_into, Lifetime};
 
 /// What to do when register pressure exceeds the file size.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -245,7 +247,9 @@ pub fn schedule_with_registers_seeded(
     }
     let scheduler = ModuloScheduler::with_options(*cfg, model, *sched_opts);
     let available = cfg.registers();
-    let mut graph = ddg.clone();
+    // The graph is only cloned when spill code actually rewrites it; the
+    // common pressure-free round 1 returns with a single deferred clone.
+    let mut graph: Cow<'_, Ddg> = Cow::Borrowed(ddg);
     let mut spill_loads = 0u32;
     let mut spill_stores = 0u32;
     let mut spill_records: Vec<SpillRecord> = Vec::new();
@@ -255,19 +259,30 @@ pub fn schedule_with_registers_seeded(
     // Consumed at round 1 only: later rounds see a modified graph or a
     // raised min_ii, for which the seed is no longer valid.
     let mut seeded = first;
+    // Scratch arenas reused across rounds: scheduler attempt state,
+    // allocator tables, the lifetime list and the spill-rewrite tables.
+    let mut sched_scratch = SchedScratch::new();
+    let mut alloc_scratch = AllocScratch::new();
+    let mut lts_buf: Vec<Lifetime> = Vec::new();
+    let mut rewrite = RewriteScratch::default();
+    // MII bounds are a deterministic function of the graph alone, so one
+    // computation serves every round until spill code changes the graph
+    // (min_ii bumps reuse it).
+    let mut bounds: Option<MiiBounds> = None;
 
     for round in 1..=spill_opts.max_rounds {
-        let (schedule, lts, alloc) = match seeded.take() {
-            Some(f) => (
-                f.schedule.clone(),
-                f.lifetimes.to_vec(),
-                f.allocation.clone(),
-            ),
+        let (schedule, alloc) = match seeded.take() {
+            Some(f) => {
+                lts_buf.clear();
+                lts_buf.extend_from_slice(f.lifetimes);
+                (f.schedule.clone(), f.allocation.clone())
+            }
             None => {
-                let schedule = scheduler.schedule_with_min_ii(&graph, min_ii)?;
-                let lts = lifetimes(&graph, &schedule, model);
-                let alloc = allocate(&lts, schedule.ii());
-                (schedule, lts, alloc)
+                let b = bounds.get_or_insert_with(|| MiiBounds::compute(&graph, cfg, model));
+                let schedule = scheduler.schedule_with(&graph, b, min_ii, &mut sched_scratch)?;
+                lifetimes_into(&graph, &schedule, model, &mut lts_buf);
+                let alloc = allocate_in(&lts_buf, schedule.ii(), &mut alloc_scratch);
+                (schedule, alloc)
             }
         };
         let needed = alloc.registers_used();
@@ -276,8 +291,8 @@ pub fn schedule_with_registers_seeded(
             return Ok(PressureResult {
                 schedule,
                 allocation: alloc,
-                ddg: graph,
-                lifetimes: lts,
+                ddg: graph.into_owned(),
+                lifetimes: std::mem::take(&mut lts_buf),
                 spills: spill_records,
                 spill_stores,
                 spill_loads,
@@ -293,7 +308,7 @@ pub fn schedule_with_registers_seeded(
         let did_spill = if spill_opts.policy == SpillPolicy::SpillFirst {
             let picked = pick_spill_candidates(
                 &graph,
-                &lts,
+                &lts_buf,
                 schedule.ii(),
                 model,
                 &spill_made,
@@ -303,8 +318,8 @@ pub fn schedule_with_registers_seeded(
             if picked.is_empty() {
                 false
             } else {
-                let (g, records) =
-                    insert_spills(&graph, &picked).map_err(RegallocError::Rewrite)?;
+                let (g, records) = insert_spills_with(&graph, &picked, &mut rewrite)
+                    .map_err(RegallocError::Rewrite)?;
                 spill_made.resize(g.num_nodes(), false);
                 for v in &picked {
                     spill_made[v.index()] = true;
@@ -313,7 +328,8 @@ pub fn schedule_with_registers_seeded(
                 for made in &mut spill_made[graph.num_nodes()..g.num_nodes()] {
                     *made = true;
                 }
-                graph = g;
+                graph = Cow::Owned(g);
+                bounds = None;
                 for r in &records {
                     spill_stores += 1;
                     spill_loads += r.reloads.len() as u32;
@@ -422,21 +438,48 @@ fn pick_spill_candidates(
         .collect()
 }
 
+/// Reusable spill-rewrite tables: dense `NodeId`-indexed victim lookup
+/// plus per-victim store/reload lists, cleared — not reallocated —
+/// between rounds.
+#[derive(Debug, Default)]
+struct RewriteScratch {
+    /// `victim_slot[node] = i` iff `node == victims[i]`, else `u32::MAX`.
+    victim_slot: Vec<u32>,
+    /// Spill store per victim (parallel to `victims`).
+    stores: Vec<NodeId>,
+    /// Reloads per victim, `(distance, reload)` in creation order.
+    reloads: Vec<Vec<(u32, NodeId)>>,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
 /// Rewrites `ddg`, spilling each value in `victims`: the definition
 /// gains a spill store, and each distinct consumer distance gains one
 /// reload that takes over those consumers' flow edges. Returns the new
-/// graph plus one [`SpillRecord`] per victim.
-fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, Vec<SpillRecord>), GraphError> {
+/// graph plus one [`SpillRecord`] per victim. Victim lookup is a dense
+/// `NodeId`-indexed table in `s`, reused across rounds.
+fn insert_spills_with(
+    ddg: &Ddg,
+    victims: &[NodeId],
+    s: &mut RewriteScratch,
+) -> Result<(Ddg, Vec<SpillRecord>), GraphError> {
     let mut ops: Vec<Op> = ddg.ops().to_vec();
     let mut edges: Vec<Edge> = Vec::with_capacity(ddg.num_edges() + victims.len() * 3);
 
-    // Map (victim, distance) -> reload node id, created on demand.
-    let mut reload_of: HashMap<(NodeId, u32), NodeId> = HashMap::new();
-    let mut store_of: HashMap<NodeId, NodeId> = HashMap::new();
-    for &v in victims {
+    s.victim_slot.clear();
+    s.victim_slot.resize(ddg.num_nodes(), NO_SLOT);
+    s.stores.clear();
+    if s.reloads.len() < victims.len() {
+        s.reloads.resize_with(victims.len(), Vec::new);
+    }
+    for r in &mut s.reloads[..victims.len()] {
+        r.clear();
+    }
+    for (i, &v) in victims.iter().enumerate() {
+        s.victim_slot[v.index()] = i as u32;
         let store = NodeId(ops.len() as u32);
         ops.push(Op::memory(OpKind::Store, 1).never_compactable());
-        store_of.insert(v, store);
+        s.stores.push(store);
         edges.push(Edge {
             src: v,
             dst: store,
@@ -445,24 +488,32 @@ fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, Vec<SpillRecord>
         });
     }
     for e in ddg.edges() {
-        let spilled = e.kind.is_flow() && store_of.contains_key(&e.src);
-        if !spilled {
+        let slot = s.victim_slot[e.src.index()];
+        if !e.kind.is_flow() || slot == NO_SLOT {
             edges.push(*e);
             continue;
         }
-        let reload = *reload_of.entry((e.src, e.distance)).or_insert_with(|| {
-            let id = NodeId(ops.len() as u32);
-            ops.push(Op::memory(OpKind::Load, 1).never_compactable());
-            // The reload reads the spill slot written `distance`
-            // iterations earlier.
-            edges.push(Edge {
-                src: store_of[&e.src],
-                dst: id,
-                kind: EdgeKind::Memory,
-                distance: e.distance,
-            });
-            id
-        });
+        let slot = slot as usize;
+        // Reloads are created on demand, one per distinct distance; the
+        // per-victim list is small (a handful of distances), so a linear
+        // probe beats any hashing.
+        let reload = match s.reloads[slot].iter().find(|&&(d, _)| d == e.distance) {
+            Some(&(_, id)) => id,
+            None => {
+                let id = NodeId(ops.len() as u32);
+                ops.push(Op::memory(OpKind::Load, 1).never_compactable());
+                // The reload reads the spill slot written `distance`
+                // iterations earlier.
+                edges.push(Edge {
+                    src: s.stores[slot],
+                    dst: id,
+                    kind: EdgeKind::Memory,
+                    distance: e.distance,
+                });
+                s.reloads[slot].push((e.distance, id));
+                id
+            }
+        };
         edges.push(Edge {
             src: reload,
             dst: e.dst,
@@ -472,16 +523,13 @@ fn insert_spills(ddg: &Ddg, victims: &[NodeId]) -> Result<(Ddg, Vec<SpillRecord>
     }
     let records = victims
         .iter()
-        .map(|&v| {
-            let mut reloads: Vec<(u32, NodeId)> = reload_of
-                .iter()
-                .filter(|((victim, _), _)| *victim == v)
-                .map(|(&(_, d), &id)| (d, id))
-                .collect();
+        .enumerate()
+        .map(|(i, &v)| {
+            let mut reloads = s.reloads[i].clone();
             reloads.sort_unstable();
             SpillRecord {
                 victim: v,
-                store: store_of[&v],
+                store: s.stores[i],
                 reloads,
             }
         })
@@ -616,7 +664,7 @@ mod tests {
         b.flow(v, a0);
         b.carried_flow(v, a2, 2);
         let g = b.build().unwrap();
-        let (g2, records) = insert_spills(&g, &[v]).unwrap();
+        let (g2, records) = insert_spills_with(&g, &[v], &mut RewriteScratch::default()).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].victim, v);
         assert_eq!(records[0].reloads.len(), 2); // one per distinct distance

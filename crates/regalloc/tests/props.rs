@@ -3,8 +3,13 @@
 use proptest::prelude::*;
 use widening_ir::NodeId;
 use widening_machine::{Configuration, CycleModel};
-use widening_regalloc::{allocate, max_lives, schedule_with_registers, Lifetime, SpillOptions};
-use widening_sched::SchedulerOptions;
+use widening_regalloc::{
+    allocate, allocate_in, lifetimes, lifetimes_into, max_lives, schedule_with_registers,
+    AllocScratch, Lifetime, SpillOptions,
+};
+use widening_sched::{
+    MiiBounds, ModuloScheduler, SchedScratch, SchedulerOptions, Strategy as SchedStrategy,
+};
 use widening_workload::corpus::{generate, CorpusSpec};
 
 fn arb_lifetimes() -> impl Strategy<Value = (Vec<Lifetime>, u32)> {
@@ -74,6 +79,88 @@ proptest! {
     fn instances_monotone_in_ii((lts, ii) in arb_lifetimes()) {
         for lt in &lts {
             prop_assert!(lt.concurrent_instances(ii + 1) <= lt.concurrent_instances(ii));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flat-table hot paths are drop-in: for random DDGs × machine
+    /// configs × strategies, scheduling and allocating through one warm,
+    /// repeatedly reused scratch arena produces bitwise-identical
+    /// results (issue cycles, `registers_used`, the dense location
+    /// table) to the fresh-scratch convenience entry points.
+    #[test]
+    fn warm_scratch_matches_fresh(
+        seed in 0u64..5000,
+        x in 0u32..3,
+        strat in 0usize..3,
+    ) {
+        let strategy = [SchedStrategy::Hrms, SchedStrategy::Ims, SchedStrategy::Asap][strat];
+        let opts = SchedulerOptions { strategy, ..SchedulerOptions::default() };
+        let cfg = Configuration::monolithic(1 << x, 2, 256).expect("valid");
+        let model = CycleModel::Cycles4;
+        let scheduler = ModuloScheduler::with_options(cfg, model, opts);
+        // One arena across every loop: later loops must not see state
+        // leaked from earlier ones.
+        let mut sched_scratch = SchedScratch::new();
+        let mut alloc_scratch = AllocScratch::new();
+        let mut lts_buf = Vec::new();
+        for l in generate(&CorpusSpec::small(4, seed)) {
+            let bounds = MiiBounds::compute(l.ddg(), &cfg, model);
+            let fresh = scheduler.schedule_with_bounds(l.ddg(), &bounds);
+            let warm = scheduler.schedule_with(l.ddg(), &bounds, 1, &mut sched_scratch);
+            match (fresh, warm) {
+                (Ok(f), Ok(w)) => {
+                    prop_assert_eq!(f.ii(), w.ii());
+                    prop_assert_eq!(f.times(), w.times());
+                    let f_lts = lifetimes(l.ddg(), &f, model);
+                    lifetimes_into(l.ddg(), &w, model, &mut lts_buf);
+                    prop_assert_eq!(&f_lts, &lts_buf);
+                    let f_alloc = allocate(&f_lts, f.ii());
+                    let w_alloc = allocate_in(&lts_buf, w.ii(), &mut alloc_scratch);
+                    prop_assert_eq!(f_alloc, w_alloc);
+                }
+                (Err(_), Err(_)) => {}
+                (f, w) => {
+                    return Err(TestCaseError::fail(format!(
+                        "fresh/warm disagree on feasibility: {f:?} vs {w:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The spill engine (which reuses its scratch arenas *across
+    /// rounds* internally) is deterministic end to end: repeated runs
+    /// agree on issue cycles, the location table and the spill rewrite.
+    #[test]
+    fn spill_engine_is_deterministic(seed in 0u64..5000, z in 0usize..2) {
+        let regs = [32u32, 64][z];
+        let cfg = Configuration::monolithic(4, 1, regs).expect("valid");
+        for l in generate(&CorpusSpec::small(3, seed)) {
+            let run = || schedule_with_registers(
+                l.ddg(),
+                &cfg,
+                CycleModel::Cycles4,
+                &SchedulerOptions::default(),
+                &SpillOptions::default(),
+            );
+            match (run(), run()) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.schedule.times(), b.schedule.times());
+                    prop_assert_eq!(a.allocation, b.allocation);
+                    prop_assert_eq!(a.lifetimes, b.lifetimes);
+                    prop_assert_eq!(a.spills, b.spills);
+                    prop_assert_eq!(
+                        (a.spill_stores, a.spill_loads, a.rounds),
+                        (b.spill_stores, b.spill_loads, b.rounds)
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                _ => return Err(TestCaseError::fail("nondeterministic outcome")),
+            }
         }
     }
 }

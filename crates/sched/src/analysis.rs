@@ -27,36 +27,60 @@ impl TimeAnalysis {
     /// positive cycle (i.e. `ii < RecMII`).
     #[must_use]
     pub fn compute(ddg: &Ddg, model: CycleModel, ii: u32) -> Option<Self> {
+        let delays: Vec<i64> = ddg
+            .edges()
+            .iter()
+            .map(|e| edge_delay(model, ddg.op(e.src).kind(), e))
+            .collect();
+        let lat: Vec<i64> = ddg
+            .node_ids()
+            .map(|v| i64::from(model.latency(ddg.op(v).kind())))
+            .collect();
+        let mut ta = TimeAnalysis::empty();
+        ta.recompute(ddg, &delays, &lat, ii).then_some(ta)
+    }
+
+    /// An empty analysis holding no data; a scratch slot to be filled by
+    /// [`TimeAnalysis::recompute`].
+    #[must_use]
+    pub(crate) fn empty() -> Self {
+        TimeAnalysis {
+            ii: 0,
+            asap: Vec::new(),
+            alap: Vec::new(),
+            span: 0,
+        }
+    }
+
+    /// Recomputes the analysis in place for a new `II`, reusing the
+    /// `asap`/`alap` buffers. `delays[i]` must be
+    /// `edge_delay(model, ·, &edges[i])` and `lat[v]` the issue latency
+    /// of node `v` — both are II-independent, so the scheduler computes
+    /// them once per call and re-relaxes cheaply per II attempt.
+    /// Returns `false` (leaving the contents unspecified) if
+    /// `ii < RecMII`.
+    pub(crate) fn recompute(&mut self, ddg: &Ddg, delays: &[i64], lat: &[i64], ii: u32) -> bool {
         let n = ddg.num_nodes();
         let iil = i64::from(ii);
+        self.ii = ii;
 
         // ASAP: longest paths from below (every node starts ≥ 0).
-        let mut asap = vec![0i64; n];
-        if !relax(ddg, model, iil, &mut asap, false) {
-            return None;
+        self.asap.clear();
+        self.asap.resize(n, 0);
+        if !relax(ddg, delays, iil, &mut self.asap, false) {
+            return false;
         }
-        let span = ddg
-            .node_ids()
-            .map(|v| asap[v.index()] + i64::from(model.latency(ddg.op(v).kind())))
+        let span = (0..n)
+            .map(|v| self.asap[v] + lat[v])
             .max()
             .expect("non-empty graph");
+        self.span = span;
 
         // ALAP: latest issue times such that every node still *completes*
         // by the span; relax downward.
-        let mut alap: Vec<i64> = ddg
-            .node_ids()
-            .map(|v| span - i64::from(model.latency(ddg.op(v).kind())))
-            .collect();
-        debug_assert_eq!(alap.len(), n);
-        if !relax(ddg, model, iil, &mut alap, true) {
-            return None;
-        }
-        Some(TimeAnalysis {
-            ii,
-            asap,
-            alap,
-            span,
-        })
+        self.alap.clear();
+        self.alap.extend((0..n).map(|v| span - lat[v]));
+        relax(ddg, delays, iil, &mut self.alap, true)
     }
 
     /// The `II` the analysis was computed for.
@@ -107,12 +131,12 @@ impl TimeAnalysis {
 /// raises `t[dst]` to satisfy `t[dst] ≥ t[src] + w`; `backward = true`
 /// lowers `t[src]` to satisfy `t[src] ≤ t[dst] − w`. Returns `false` if
 /// no fixpoint is reached after `n + 1` rounds (positive cycle).
-fn relax(ddg: &Ddg, model: CycleModel, ii: i64, t: &mut [i64], backward: bool) -> bool {
+fn relax(ddg: &Ddg, delays: &[i64], ii: i64, t: &mut [i64], backward: bool) -> bool {
     let rounds = ddg.num_nodes() + 1;
     for round in 0..=rounds {
         let mut changed = false;
-        for e in ddg.edges() {
-            let w = edge_delay(model, ddg.op(e.src).kind(), e) - ii * i64::from(e.distance);
+        for (e, &d) in ddg.edges().iter().zip(delays) {
+            let w = d - ii * i64::from(e.distance);
             if backward {
                 let bound = t[e.dst.index()] - w;
                 if t[e.src.index()] > bound {

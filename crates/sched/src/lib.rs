@@ -62,7 +62,7 @@ pub use analysis::TimeAnalysis;
 pub use mii::{MiiBounds, RecurrenceInfo};
 pub use mrt::{Mrt, Placement};
 pub use schedule::{Schedule, ScheduleError};
-pub use scheduler::{ModuloScheduler, SchedulerOptions, Strategy};
+pub use scheduler::{ModuloScheduler, SchedScratch, SchedulerOptions, Strategy};
 
 use widening_ir::{Edge, OpKind};
 use widening_machine::CycleModel;

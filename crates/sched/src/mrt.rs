@@ -12,6 +12,7 @@
 //! a run of `o mod II` rows on one more unit. This matches the capacity
 //! argument behind `ResMII` exactly.
 
+use widening_dense::words;
 use widening_ir::ResourceClass;
 
 /// Where an operation landed in the MRT; returned for introspection and
@@ -34,23 +35,39 @@ pub struct Mrt {
     grids: [Grid; 2],
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Grid {
     units: u32,
     rows: u32,
+    /// Words per unit in `busy`.
+    wpu: usize,
     /// `cells[unit * rows + row]` = occupying node id + 1, or 0 if free.
+    /// Carries occupant identity for `conflicts` and release checking.
     cells: Vec<u32>,
+    /// Per-unit occupancy bitmap (`wpu` words each, bit = row taken);
+    /// the word-at-a-time mirror of `cells` that emptiness and free-run
+    /// probes read.
+    busy: Vec<u64>,
 }
 
 const FREE: u32 = 0;
 
 impl Grid {
     fn new(units: u32, rows: u32) -> Self {
-        Grid {
-            units,
-            rows,
-            cells: vec![FREE; (units * rows) as usize],
-        }
+        let mut g = Grid::default();
+        g.reset(units, rows);
+        g
+    }
+
+    /// Clear and resize in place, keeping capacity.
+    fn reset(&mut self, units: u32, rows: u32) {
+        self.units = units;
+        self.rows = rows;
+        self.wpu = words::words_for(rows as usize);
+        self.cells.clear();
+        self.cells.resize((units * rows) as usize, FREE);
+        self.busy.clear();
+        self.busy.resize(units as usize * self.wpu, 0);
     }
 
     fn cell(&self, unit: u32, row: u32) -> u32 {
@@ -61,12 +78,62 @@ impl Grid {
         &mut self.cells[(unit * self.rows + row) as usize]
     }
 
+    fn unit_words(&self, unit: u32) -> &[u64] {
+        let u = unit as usize;
+        &self.busy[u * self.wpu..(u + 1) * self.wpu]
+    }
+
+    fn unit_words_mut(&mut self, unit: u32) -> &mut [u64] {
+        let u = unit as usize;
+        &mut self.busy[u * self.wpu..(u + 1) * self.wpu]
+    }
+
     fn unit_is_empty(&self, unit: u32) -> bool {
-        (0..self.rows).all(|r| self.cell(unit, r) == FREE)
+        self.unit_words(unit).iter().all(|&w| w == 0)
     }
 
     fn run_is_free(&self, unit: u32, start_row: u32, len: u32) -> bool {
-        (0..len).all(|i| self.cell(unit, (start_row + i) % self.rows) == FREE)
+        words::wrapped_run_is_clear(
+            self.unit_words(unit),
+            self.rows as usize,
+            start_row as usize,
+            len as usize,
+        )
+    }
+
+    /// Mark the wrapped run `[start_row, start_row + len)` of `unit` as
+    /// taken by `tag` (both the cell tags and the busy bitmap).
+    fn claim_run(&mut self, unit: u32, start_row: u32, len: u32, tag: u32) {
+        for i in 0..len {
+            let r = (start_row + i) % self.rows;
+            *self.cell_mut(unit, r) = tag;
+        }
+        let rows = self.rows as usize;
+        words::set_wrapped_run(
+            self.unit_words_mut(unit),
+            rows,
+            start_row as usize,
+            len as usize,
+        );
+    }
+
+    /// Release the wrapped run `[start_row, start_row + len)` of `unit`.
+    fn release_run(&mut self, unit: u32, start_row: u32, len: u32, tag: u32, node: u32) {
+        for i in 0..len {
+            let r = (start_row + i) % self.rows;
+            let c = self.cell_mut(unit, r);
+            debug_assert_eq!(*c, tag, "releasing a slot not owned by node {node}");
+            *c = FREE;
+        }
+        let rows = self.rows as usize;
+        let (start, run) = (start_row as usize, len as usize);
+        if start + run <= rows {
+            words::clear_run(self.unit_words_mut(unit), start, run);
+        } else {
+            let head = rows - start;
+            words::clear_run(self.unit_words_mut(unit), start, head);
+            words::clear_run(self.unit_words_mut(unit), 0, run - head);
+        }
     }
 }
 
@@ -95,6 +162,27 @@ impl Mrt {
             ii,
             grids: [Grid::new(bus_units, ii), Grid::new(fpu_units, ii)],
         }
+    }
+
+    /// Empties the table and re-sizes it for a new `II` / unit counts,
+    /// reusing the existing buffers. Semantically identical to
+    /// `*self = Mrt::new(ii, bus_units, fpu_units)` but allocation-free
+    /// once the buffers have grown to their steady-state size — this is
+    /// what lets the scheduler retry successive II values without
+    /// touching the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` or either unit count is zero.
+    pub fn reset(&mut self, ii: u32, bus_units: u32, fpu_units: u32) {
+        assert!(ii >= 1, "II must be at least 1");
+        assert!(
+            bus_units >= 1 && fpu_units >= 1,
+            "unit counts must be at least 1"
+        );
+        self.ii = ii;
+        self.grids[0].reset(bus_units, ii);
+        self.grids[1].reset(fpu_units, ii);
     }
 
     /// The initiation interval this table models.
@@ -146,15 +234,10 @@ impl Mrt {
         }
         let tag = node + 1;
         for &u in &full_units {
-            for r in 0..grid.rows {
-                *grid.cell_mut(u, r) = tag;
-            }
+            grid.claim_run(u, 0, grid.rows, tag);
         }
         let partial = partial_unit.map(|u| {
-            for i in 0..partial_len {
-                let r = (row + i) % grid.rows;
-                *grid.cell_mut(u, r) = tag;
-            }
+            grid.claim_run(u, row, partial_len, tag);
             (u, row, partial_len)
         });
         Some(Placement {
@@ -170,6 +253,22 @@ impl Mrt {
     /// deduplicated and sorted.
     #[must_use]
     pub fn conflicts(&self, class: ResourceClass, time: i64, occupancy: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.conflicts_into(class, time, occupancy, &mut out);
+        out
+    }
+
+    /// [`Mrt::conflicts`] into a caller-supplied buffer (cleared first),
+    /// so the IMS eviction loop can reuse one allocation across every
+    /// probe of an II attempt.
+    pub fn conflicts_into(
+        &self,
+        class: ResourceClass,
+        time: i64,
+        occupancy: u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
         let row = self.row_of(time);
         let grid = &self.grids[class_index(class)];
         let ii = self.ii;
@@ -180,7 +279,6 @@ impl Mrt {
         // simple: collect occupants of the partial window on every unit
         // plus, if whole columns are needed, occupants of the emptiest
         // columns.
-        let mut out = Vec::new();
         if partial_len > 0 {
             for u in 0..grid.units {
                 for i in 0..partial_len {
@@ -203,7 +301,6 @@ impl Mrt {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Releases a reservation made by [`Mrt::try_place`].
@@ -211,19 +308,10 @@ impl Mrt {
         let tag = node + 1;
         let grid = &mut self.grids[class_index(placement.class)];
         for &u in &placement.full_units {
-            for r in 0..grid.rows {
-                let c = grid.cell_mut(u, r);
-                debug_assert_eq!(*c, tag, "releasing a slot not owned by node {node}");
-                *c = FREE;
-            }
+            grid.release_run(u, 0, grid.rows, tag, node);
         }
         if let Some((u, row, len)) = placement.partial {
-            for i in 0..len {
-                let r = (row + i) % grid.rows;
-                let c = grid.cell_mut(u, r);
-                debug_assert_eq!(*c, tag, "releasing a slot not owned by node {node}");
-                *c = FREE;
-            }
+            grid.release_run(u, row, len, tag, node);
         }
     }
 
@@ -323,6 +411,46 @@ mod tests {
         assert_eq!(mrt.conflicts(ResourceClass::Bus, 0, 1), vec![3]);
         assert_eq!(mrt.conflicts(ResourceClass::Bus, 1, 1), vec![4]);
         assert!(mrt.conflicts(ResourceClass::Fpu, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        let mut mrt = Mrt::new(7, 2, 3);
+        mrt.try_place(0, ResourceClass::Fpu, 3, 9).unwrap();
+        mrt.reset(2, 1, 3);
+        assert_eq!(mrt.ii(), 2);
+        assert_eq!(mrt.occupied_slots(ResourceClass::Fpu), 0);
+        // Identical behavior to a fresh table (cf.
+        // unpipelined_wrapping_occupies_whole_columns).
+        let p = mrt.try_place(7, ResourceClass::Fpu, 0, 5).unwrap();
+        assert_eq!(p.full_units.len(), 2);
+        assert_eq!(p.partial.unwrap().2, 1);
+        assert!(mrt.try_place(8, ResourceClass::Fpu, 1, 1).is_some());
+        assert!(mrt.try_place(9, ResourceClass::Fpu, 0, 1).is_none());
+    }
+
+    #[test]
+    fn busy_bitmap_mirrors_cells_across_place_and_remove() {
+        // Wrapping partial runs + full columns + release must keep the
+        // word bitmap and the cell tags coherent.
+        let mut mrt = Mrt::new(5, 1, 2);
+        let p = mrt.try_place(1, ResourceClass::Fpu, 4, 8).unwrap(); // 1 column + run of 3 @ row 4
+        let q = mrt.try_place(2, ResourceClass::Bus, 2, 2).unwrap();
+        for g in &mrt.grids {
+            for u in 0..g.units {
+                for r in 0..g.rows {
+                    assert_eq!(
+                        g.cell(u, r) != FREE,
+                        widening_dense::words::get(g.unit_words(u), r as usize),
+                        "unit {u} row {r}"
+                    );
+                }
+            }
+        }
+        mrt.remove(1, &p);
+        mrt.remove(2, &q);
+        assert!(mrt.grids.iter().all(|g| g.busy.iter().all(|&w| w == 0)));
+        assert!(mrt.grids.iter().all(|g| g.cells.iter().all(|&c| c == FREE)));
     }
 
     #[test]

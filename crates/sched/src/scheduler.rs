@@ -14,7 +14,22 @@
 //!   Used as the comparison baseline in ablation studies.
 //! * [`Strategy::Asap`] — naive topological-order placement; the "no
 //!   clever ordering" control.
+//!
+//! # Dense scratch discipline
+//!
+//! One schedule call attempts many II values, and a design-space sweep
+//! makes millions of such calls. All per-attempt state therefore lives
+//! in a [`SchedScratch`] arena that is *cleared, not reallocated*
+//! between attempts: the MRT grids, the ASAP/ALAP tables, the
+//! time/placement tables, the HRMS frontier and priority sets, the IMS
+//! priority queue and eviction lists. Work that does not depend on the
+//! candidate II — edge delays, node latencies, the reachability closure
+//! and the HRMS priority sets, the SCC condensation — is hoisted out of
+//! the II loop entirely and computed once per call. After warm-up a
+//! steady-state II attempt performs no heap allocation (asserted by the
+//! `zero_alloc` integration test).
 
+use widening_dense::BitMatrix;
 use widening_ir::{Ddg, NodeId};
 use widening_machine::{Configuration, CycleModel};
 
@@ -79,6 +94,102 @@ impl Default for SchedulerOptions {
     }
 }
 
+/// Reusable working storage for [`ModuloScheduler`].
+///
+/// Holds every table the placement passes touch, so that repeated
+/// schedule calls (and the many II attempts inside each call) reuse one
+/// warm set of buffers instead of allocating afresh. Create once, pass
+/// to [`ModuloScheduler::schedule_with`] for every loop compiled on
+/// this thread; the convenience entry points create a throwaway one
+/// internally.
+///
+/// The arena is keyed by nothing: any call may pass any scratch, and
+/// results are bitwise-identical to the allocating path.
+#[derive(Debug, Clone)]
+pub struct SchedScratch {
+    // ----- per-call, II-independent (filled by `prepare`) -----
+    /// `delays[i]` = `edge_delay` of edge `i`.
+    delays: Vec<i64>,
+    /// `lat[v]` = issue latency of node `v`.
+    lat: Vec<i64>,
+    /// Reachability closure (HRMS path closure between recurrences).
+    reach: BitMatrix,
+    /// BFS worklist for `reach`.
+    queue: Vec<u32>,
+    /// Nodes already claimed by an HRMS priority set.
+    selected: Vec<bool>,
+    /// HRMS priority sets, concatenated.
+    sets_flat: Vec<NodeId>,
+    /// End offset (into `sets_flat`) of each priority set.
+    set_ends: Vec<usize>,
+    /// SCC members, concatenated (ASAP strategy; Tarjan's output order,
+    /// i.e. reverse topological).
+    comp_flat: Vec<NodeId>,
+    /// End offset (into `comp_flat`) of each component.
+    comp_ends: Vec<usize>,
+    // ----- per-attempt (reset at each candidate II) -----
+    /// ASAP/ALAP tables, re-relaxed in place per II.
+    ta: TimeAnalysis,
+    /// The modulo reservation table.
+    mrt: Mrt,
+    /// Issue cycle per node, `None` while unplaced.
+    time: Vec<Option<i64>>,
+    /// MRT reservation per node (needed to evict).
+    placements: Vec<Option<Placement>>,
+    /// IMS: last forced issue cycle per node.
+    prev_time: Vec<Option<i64>>,
+    /// Placement order under construction (HRMS sweep / ASAP).
+    order: Vec<NodeId>,
+    /// Nodes already appended to `order`.
+    ordered: Vec<bool>,
+    /// Membership of the priority set being swept.
+    in_set: Vec<bool>,
+    /// HRMS sweep frontier.
+    frontier: Vec<NodeId>,
+    /// IMS deadline priority order.
+    prio: Vec<NodeId>,
+    /// IMS: neighbours invalidated by a forced placement.
+    evict: Vec<NodeId>,
+    /// IMS: occupants contending for a slot (`Mrt::conflicts_into`).
+    conflicts: Vec<u32>,
+}
+
+impl SchedScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        SchedScratch {
+            delays: Vec::new(),
+            lat: Vec::new(),
+            reach: BitMatrix::new(),
+            queue: Vec::new(),
+            selected: Vec::new(),
+            sets_flat: Vec::new(),
+            set_ends: Vec::new(),
+            comp_flat: Vec::new(),
+            comp_ends: Vec::new(),
+            ta: TimeAnalysis::empty(),
+            mrt: Mrt::new(1, 1, 1),
+            time: Vec::new(),
+            placements: Vec::new(),
+            prev_time: Vec::new(),
+            order: Vec::new(),
+            ordered: Vec::new(),
+            in_set: Vec::new(),
+            frontier: Vec::new(),
+            prio: Vec::new(),
+            evict: Vec::new(),
+            conflicts: Vec::new(),
+        }
+    }
+}
+
+impl Default for SchedScratch {
+    fn default() -> Self {
+        SchedScratch::new()
+    }
+}
+
 /// The modulo scheduler for one machine configuration and cycle model.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
@@ -126,7 +237,7 @@ impl ModuloScheduler {
     /// inside the search window.
     pub fn schedule(&self, ddg: &Ddg) -> Result<Schedule, ScheduleError> {
         let bounds = MiiBounds::compute(ddg, &self.cfg, self.model);
-        self.schedule_with_bounds(ddg, &bounds)
+        self.schedule_bounded(ddg, &bounds, 1, &mut SchedScratch::new())
     }
 
     /// Schedules `ddg` with the II search starting no lower than
@@ -139,7 +250,7 @@ impl ModuloScheduler {
     /// inside the search window.
     pub fn schedule_with_min_ii(&self, ddg: &Ddg, min_ii: u32) -> Result<Schedule, ScheduleError> {
         let bounds = MiiBounds::compute(ddg, &self.cfg, self.model);
-        self.schedule_bounded(ddg, &bounds, min_ii)
+        self.schedule_bounded(ddg, &bounds, min_ii, &mut SchedScratch::new())
     }
 
     /// Schedules `ddg` reusing precomputed [`MiiBounds`].
@@ -153,7 +264,42 @@ impl ModuloScheduler {
         ddg: &Ddg,
         bounds: &MiiBounds,
     ) -> Result<Schedule, ScheduleError> {
-        self.schedule_bounded(ddg, bounds, 1)
+        self.schedule_bounded(ddg, bounds, 1, &mut SchedScratch::new())
+    }
+
+    /// Schedules `ddg` reusing precomputed [`MiiBounds`] *and* a caller
+    /// owned [`SchedScratch`], with the II search starting no lower than
+    /// `min_ii`. The hot-path entry point: identical results to the
+    /// convenience methods, zero steady-state allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoSchedule`] if no feasible II is found
+    /// inside the search window.
+    pub fn schedule_with(
+        &self,
+        ddg: &Ddg,
+        bounds: &MiiBounds,
+        min_ii: u32,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, ScheduleError> {
+        self.schedule_bounded(ddg, bounds, min_ii, scratch)
+    }
+
+    /// Runs one placement attempt at exactly `ii` (no II search, no
+    /// schedule verification) and reports whether every node was placed.
+    /// Exposed so tests and diagnostics can probe a single steady-state
+    /// II attempt — notably the allocation-counting test, since this is
+    /// precisely the loop body that must stay heap-free after warm-up.
+    pub fn attempt_ii(
+        &self,
+        ddg: &Ddg,
+        bounds: &MiiBounds,
+        ii: u32,
+        scratch: &mut SchedScratch,
+    ) -> bool {
+        self.prepare(ddg, bounds, scratch);
+        self.relax_and_attempt(ddg, ii, scratch)
     }
 
     fn schedule_bounded(
@@ -161,29 +307,17 @@ impl ModuloScheduler {
         ddg: &Ddg,
         bounds: &MiiBounds,
         min_ii: u32,
+        scratch: &mut SchedScratch,
     ) -> Result<Schedule, ScheduleError> {
+        self.prepare(ddg, bounds, scratch);
         let mii = bounds.mii().max(min_ii);
         let limit = (mii
             .saturating_mul(self.opts.ii_window_factor)
             .saturating_add(self.opts.ii_window_slack))
         .min(self.opts.max_ii);
         for ii in mii..=limit {
-            let times = match self.opts.strategy {
-                // The HRMS sweep places each node exactly once; on rare
-                // diamond shapes that one-pass discipline pinches a node
-                // between a late predecessor and an early successor at
-                // every II. Rau's backtracking pass recovers those cases
-                // at the same II, so it backstops the sweep (HRMS's
-                // ordering still decides the schedule whenever it
-                // succeeds, which is the overwhelmingly common case).
-                Strategy::Hrms => self
-                    .hrms_attempt(ddg, bounds, ii)
-                    .or_else(|| self.ims_attempt(ddg, ii)),
-                Strategy::Ims => self.ims_attempt(ddg, ii),
-                Strategy::Asap => self.asap_attempt(ddg, ii),
-            };
-            if let Some(times) = times {
-                let normalized = normalize(times);
+            if self.relax_and_attempt(ddg, ii, scratch) {
+                let normalized = normalize(&scratch.time);
                 match Schedule::new(ddg, &self.cfg, self.model, ii, normalized) {
                     Ok(s) => return Ok(s),
                     // The independent re-verification packs unpipelined
@@ -200,6 +334,68 @@ impl ModuloScheduler {
         })
     }
 
+    /// Fills the II-independent scratch tables: edge delays, node
+    /// latencies, and the strategy's pre-order inputs (HRMS
+    /// reachability and priority sets, ASAP's SCC condensation).
+    /// Everything here used to be recomputed inside the II loop; none
+    /// of it depends on II.
+    fn prepare(&self, ddg: &Ddg, bounds: &MiiBounds, s: &mut SchedScratch) {
+        s.delays.clear();
+        s.delays.extend(
+            ddg.edges()
+                .iter()
+                .map(|e| edge_delay(self.model, ddg.op(e.src).kind(), e)),
+        );
+        s.lat.clear();
+        s.lat.extend(
+            ddg.node_ids()
+                .map(|v| i64::from(self.model.latency(ddg.op(v).kind()))),
+        );
+        match self.opts.strategy {
+            Strategy::Hrms => hrms_prepare_sets(ddg, bounds, s),
+            Strategy::Ims => {}
+            Strategy::Asap => {
+                // Tarjan emits components in reverse topological order;
+                // store that order flat, the attempt walks it backwards.
+                let sccs = widening_ir::StronglyConnectedComponents::compute(ddg);
+                s.comp_flat.clear();
+                s.comp_ends.clear();
+                for comp in sccs.components() {
+                    s.comp_flat.extend_from_slice(comp);
+                    s.comp_ends.push(s.comp_flat.len());
+                }
+            }
+        }
+    }
+
+    /// One II attempt: re-relax the timing tables in place, then run the
+    /// strategy's placement pass. On success `scratch.time` holds the
+    /// issue cycle of every node.
+    fn relax_and_attempt(&self, ddg: &Ddg, ii: u32, scratch: &mut SchedScratch) -> bool {
+        {
+            let SchedScratch {
+                ta, delays, lat, ..
+            } = scratch;
+            if !ta.recompute(ddg, delays, lat, ii) {
+                return false; // ii < RecMII
+            }
+        }
+        match self.opts.strategy {
+            // The HRMS sweep places each node exactly once; on rare
+            // diamond shapes that one-pass discipline pinches a node
+            // between a late predecessor and an early successor at
+            // every II. Rau's backtracking pass recovers those cases
+            // at the same II, so it backstops the sweep (HRMS's
+            // ordering still decides the schedule whenever it
+            // succeeds, which is the overwhelmingly common case).
+            Strategy::Hrms => {
+                self.hrms_attempt(ddg, ii, scratch) || self.ims_attempt(ddg, ii, scratch)
+            }
+            Strategy::Ims => self.ims_attempt(ddg, ii, scratch),
+            Strategy::Asap => self.asap_attempt(ddg, ii, scratch),
+        }
+    }
+
     // ----- shared placement helpers -------------------------------------
 
     fn units(&self) -> (u32, u32) {
@@ -207,32 +403,6 @@ impl ModuloScheduler {
             self.cfg.units(widening_ir::ResourceClass::Bus),
             self.cfg.units(widening_ir::ResourceClass::Fpu),
         )
-    }
-
-    /// Earliest start implied by *placed* predecessors.
-    fn estart(&self, ddg: &Ddg, v: NodeId, ii: u32, time: &[Option<i64>]) -> Option<i64> {
-        let mut e = None;
-        for edge in ddg.in_edges(v) {
-            if let Some(tu) = time[edge.src.index()] {
-                let bound = tu + edge_delay(self.model, ddg.op(edge.src).kind(), edge)
-                    - i64::from(ii) * i64::from(edge.distance);
-                e = Some(e.map_or(bound, |x: i64| x.max(bound)));
-            }
-        }
-        e
-    }
-
-    /// Latest start implied by *placed* successors.
-    fn lstart(&self, ddg: &Ddg, v: NodeId, ii: u32, time: &[Option<i64>]) -> Option<i64> {
-        let mut l = None;
-        for edge in ddg.out_edges(v) {
-            if let Some(ts) = time[edge.dst.index()] {
-                let bound = ts - edge_delay(self.model, ddg.op(v).kind(), edge)
-                    + i64::from(ii) * i64::from(edge.distance);
-                l = Some(l.map_or(bound, |x: i64| x.min(bound)));
-            }
-        }
-        l
     }
 
     /// Tries the candidate cycles of `window` in order; places `v` at the
@@ -260,92 +430,100 @@ impl ModuloScheduler {
 
     // ----- HRMS ----------------------------------------------------------
 
-    fn hrms_attempt(&self, ddg: &Ddg, bounds: &MiiBounds, ii: u32) -> Option<Vec<i64>> {
-        let ta = TimeAnalysis::compute(ddg, self.model, ii)?;
-        let order = hrms_order(ddg, bounds, &ta);
-        debug_assert_eq!(order.len(), ddg.num_nodes());
+    fn hrms_attempt(&self, ddg: &Ddg, ii: u32, scratch: &mut SchedScratch) -> bool {
+        hrms_sweep(ddg, scratch);
+        debug_assert_eq!(scratch.order.len(), ddg.num_nodes());
         let (bus, fpu) = self.units();
-        let mut mrt = Mrt::new(ii, bus, fpu);
-        let mut time = vec![None; ddg.num_nodes()];
-        let mut placements: Vec<Option<Placement>> = vec![None; ddg.num_nodes()];
+        let SchedScratch {
+            ta,
+            delays,
+            mrt,
+            time,
+            placements,
+            order,
+            ..
+        } = scratch;
+        let n = ddg.num_nodes();
+        mrt.reset(ii, bus, fpu);
+        time.clear();
+        time.resize(n, None);
+        placements.clear();
+        placements.resize(n, None);
         let iil = i64::from(ii);
-        for v in order {
-            let e = self.estart(ddg, v, ii, &time);
-            let l = self.lstart(ddg, v, ii, &time);
+        for &v in order.iter() {
+            let e = estart(ddg, delays, v, ii, time);
+            let l = lstart(ddg, delays, v, ii, time);
             let ok = match (e, l) {
-                (Some(e), None) => {
-                    self.place_in_window(ddg, v, e..e + iil, &mut mrt, &mut time, &mut placements)
+                (Some(e), None) => self.place_in_window(ddg, v, e..e + iil, mrt, time, placements),
+                (None, Some(l)) => {
+                    self.place_in_window(ddg, v, (l - iil + 1..=l).rev(), mrt, time, placements)
                 }
-                (None, Some(l)) => self.place_in_window(
-                    ddg,
-                    v,
-                    (l - iil + 1..=l).rev(),
-                    &mut mrt,
-                    &mut time,
-                    &mut placements,
-                ),
                 (Some(e), Some(l)) => {
                     e <= l
                         && self.place_in_window(
                             ddg,
                             v,
                             e..=l.min(e + iil - 1),
-                            &mut mrt,
-                            &mut time,
-                            &mut placements,
+                            mrt,
+                            time,
+                            placements,
                         )
                 }
                 (None, None) => {
                     let a = ta.asap(v);
-                    self.place_in_window(ddg, v, a..a + iil, &mut mrt, &mut time, &mut placements)
+                    self.place_in_window(ddg, v, a..a + iil, mrt, time, placements)
                 }
             };
             if !ok {
-                return None;
+                return false;
             }
         }
-        Some(
-            time.into_iter()
-                .map(|t| t.expect("all nodes placed"))
-                .collect(),
-        )
+        true
     }
 
     // ----- IMS -----------------------------------------------------------
 
-    fn ims_attempt(&self, ddg: &Ddg, ii: u32) -> Option<Vec<i64>> {
-        let ta = TimeAnalysis::compute(ddg, self.model, ii)?;
+    fn ims_attempt(&self, ddg: &Ddg, ii: u32, scratch: &mut SchedScratch) -> bool {
         let n = ddg.num_nodes();
+        let (bus, fpu) = self.units();
+        let SchedScratch {
+            ta,
+            delays,
+            mrt,
+            time,
+            placements,
+            prev_time,
+            prio,
+            evict,
+            conflicts,
+            ..
+        } = scratch;
         // Deadline priority: earlier ALAP first (critical path), ties by
         // ASAP then id — a total, deterministic order.
-        let mut prio: Vec<NodeId> = ddg.node_ids().collect();
-        prio.sort_by_key(|&v| (ta.alap(v), ta.asap(v), v.0));
-        let rank = {
-            let mut r = vec![0usize; n];
-            for (i, &v) in prio.iter().enumerate() {
-                r[v.index()] = i;
-            }
-            r
-        };
+        prio.clear();
+        prio.extend(ddg.node_ids());
+        prio.sort_unstable_by_key(|&v| (ta.alap(v), ta.asap(v), v.0));
 
-        let (bus, fpu) = self.units();
-        let mut mrt = Mrt::new(ii, bus, fpu);
-        let mut time: Vec<Option<i64>> = vec![None; n];
-        let mut placements: Vec<Option<Placement>> = vec![None; n];
-        let mut prev_time: Vec<Option<i64>> = vec![None; n];
+        mrt.reset(ii, bus, fpu);
+        time.clear();
+        time.resize(n, None);
+        placements.clear();
+        placements.resize(n, None);
+        prev_time.clear();
+        prev_time.resize(n, None);
         let mut budget = self.opts.budget_factor.saturating_mul(n as u32).max(16);
         let iil = i64::from(ii);
 
         loop {
             // Highest-priority unscheduled node.
             let Some(&v) = prio.iter().find(|v| time[v.index()].is_none()) else {
-                return Some(time.into_iter().map(|t| t.expect("scheduled")).collect());
+                debug_assert!(time.iter().all(Option::is_some));
+                return true;
             };
-            let _ = rank; // rank retained for debugging dumps
             let op = ddg.op(v);
             let occ = self.model.occupancy(op.kind());
-            let estart = self.estart(ddg, v, ii, &time).unwrap_or_else(|| ta.asap(v));
-            let found = (estart..estart + iil).find_map(|t| {
+            let est = estart(ddg, delays, v, ii, time).unwrap_or_else(|| ta.asap(v));
+            let found = (est..est + iil).find_map(|t| {
                 mrt.try_place(v.0, op.resource_class(), t, occ)
                     .map(|p| (t, p))
             });
@@ -354,14 +532,15 @@ impl ModuloScheduler {
                 None => {
                     // Forced placement with eviction.
                     if budget == 0 {
-                        return None;
+                        return false;
                     }
                     budget -= 1;
                     let t = match prev_time[v.index()] {
-                        Some(pt) => estart.max(pt + 1),
-                        None => estart,
+                        Some(pt) => est.max(pt + 1),
+                        None => est,
                     };
-                    for u in mrt.conflicts(op.resource_class(), t, occ) {
+                    mrt.conflicts_into(op.resource_class(), t, occ, conflicts);
+                    for &u in conflicts.iter() {
                         let ui = u as usize;
                         if let Some(p) = placements[ui].take() {
                             mrt.remove(u, &p);
@@ -378,32 +557,32 @@ impl ModuloScheduler {
             placements[v.index()] = Some(placement);
             prev_time[v.index()] = Some(t);
             // Evict neighbours whose dependence constraints `t` breaks.
-            let mut evict = Vec::new();
-            for e in ddg.in_edges(v) {
+            evict.clear();
+            for &ei in ddg.in_edge_ids(v) {
+                let e = ddg.edge(ei);
                 if let Some(tu) = time[e.src.index()] {
-                    let bound = tu + edge_delay(self.model, ddg.op(e.src).kind(), e)
-                        - iil * i64::from(e.distance);
+                    let bound = tu + delays[ei as usize] - iil * i64::from(e.distance);
                     if t < bound {
                         evict.push(e.src);
                     }
                 }
             }
-            for e in ddg.out_edges(v) {
+            for &ei in ddg.out_edge_ids(v) {
+                let e = ddg.edge(ei);
                 if e.dst == v {
                     continue; // self-edge already satisfied by RecMII
                 }
                 if let Some(ts) = time[e.dst.index()] {
-                    let bound = t + edge_delay(self.model, ddg.op(v).kind(), e)
-                        - iil * i64::from(e.distance);
+                    let bound = t + delays[ei as usize] - iil * i64::from(e.distance);
                     if ts < bound {
                         evict.push(e.dst);
                     }
                 }
             }
-            for u in evict {
+            for &u in evict.iter() {
                 if let Some(p) = placements[u.index()].take() {
                     if budget == 0 {
-                        return None;
+                        return false;
                     }
                     budget -= 1;
                     mrt.remove(u.0, &p);
@@ -415,128 +594,194 @@ impl ModuloScheduler {
 
     // ----- ASAP ----------------------------------------------------------
 
-    fn asap_attempt(&self, ddg: &Ddg, ii: u32) -> Option<Vec<i64>> {
-        let ta = TimeAnalysis::compute(ddg, self.model, ii)?;
+    fn asap_attempt(&self, ddg: &Ddg, ii: u32, scratch: &mut SchedScratch) -> bool {
+        let n = ddg.num_nodes();
+        let (bus, fpu) = self.units();
+        let SchedScratch {
+            ta,
+            delays,
+            mrt,
+            time,
+            placements,
+            order,
+            comp_flat,
+            comp_ends,
+            ..
+        } = scratch;
         // Naive order, but over the condensation of *all* edges: a node
         // whose only predecessors are loop-carried must still come after
-        // them, or its placement window is starved at every II. Tarjan
-        // emits components in reverse topological order.
-        let sccs = widening_ir::StronglyConnectedComponents::compute(ddg);
-        let mut order: Vec<NodeId> = Vec::with_capacity(ddg.num_nodes());
-        for comp in sccs.components().iter().rev() {
-            let mut members = comp.clone();
-            members.sort_by_key(|&v| (ta.asap(v), v.0));
-            order.extend(members);
+        // them, or its placement window is starved at every II. The
+        // components were stored in reverse topological order, so walk
+        // them backwards, each sorted by (asap, id).
+        order.clear();
+        for i in (0..comp_ends.len()).rev() {
+            let start = if i == 0 { 0 } else { comp_ends[i - 1] };
+            let base = order.len();
+            order.extend_from_slice(&comp_flat[start..comp_ends[i]]);
+            order[base..].sort_unstable_by_key(|&v| (ta.asap(v), v.0));
         }
-        let (bus, fpu) = self.units();
-        let mut mrt = Mrt::new(ii, bus, fpu);
-        let mut time = vec![None; ddg.num_nodes()];
-        let mut placements: Vec<Option<Placement>> = vec![None; ddg.num_nodes()];
+        mrt.reset(ii, bus, fpu);
+        time.clear();
+        time.resize(n, None);
+        placements.clear();
+        placements.resize(n, None);
         let iil = i64::from(ii);
-        for v in order {
-            let e = self.estart(ddg, v, ii, &time).unwrap_or_else(|| ta.asap(v));
+        for &v in order.iter() {
+            let e = estart(ddg, delays, v, ii, time).unwrap_or_else(|| ta.asap(v));
             // Respect any placed successor (via carried edges) too.
-            let l = self.lstart(ddg, v, ii, &time);
+            let l = lstart(ddg, delays, v, ii, time);
             let hi = l.map_or(e + iil - 1, |l| l.min(e + iil - 1));
             if e > hi {
-                return None;
+                return false;
             }
-            if !self.place_in_window(ddg, v, e..=hi, &mut mrt, &mut time, &mut placements) {
-                return None;
+            if !self.place_in_window(ddg, v, e..=hi, mrt, time, placements) {
+                return false;
             }
         }
-        Some(
-            time.into_iter()
-                .map(|t| t.expect("all nodes placed"))
-                .collect(),
-        )
+        true
     }
+}
+
+/// Earliest start implied by *placed* predecessors.
+fn estart(ddg: &Ddg, delays: &[i64], v: NodeId, ii: u32, time: &[Option<i64>]) -> Option<i64> {
+    let mut e = None;
+    for &ei in ddg.in_edge_ids(v) {
+        let edge = ddg.edge(ei);
+        if let Some(tu) = time[edge.src.index()] {
+            let bound = tu + delays[ei as usize] - i64::from(ii) * i64::from(edge.distance);
+            e = Some(e.map_or(bound, |x: i64| x.max(bound)));
+        }
+    }
+    e
+}
+
+/// Latest start implied by *placed* successors.
+fn lstart(ddg: &Ddg, delays: &[i64], v: NodeId, ii: u32, time: &[Option<i64>]) -> Option<i64> {
+    let mut l = None;
+    for &ei in ddg.out_edge_ids(v) {
+        let edge = ddg.edge(ei);
+        if let Some(ts) = time[edge.dst.index()] {
+            let bound = ts - delays[ei as usize] + i64::from(ii) * i64::from(edge.distance);
+            l = Some(l.map_or(bound, |x: i64| x.min(bound)));
+        }
+    }
+    l
 }
 
 /// Shifts times so the minimum is zero (placement may produce negative
 /// cycles when sweeping bottom-up; a uniform shift preserves both
 /// dependence distances and modulo resource rows up to rotation).
-fn normalize(times: Vec<i64>) -> Vec<u32> {
-    let min = times.iter().copied().min().unwrap_or(0);
-    times
-        .into_iter()
-        .map(|t| u32::try_from(t - min).expect("normalized times fit in u32"))
+fn normalize(time: &[Option<i64>]) -> Vec<u32> {
+    let min = time
+        .iter()
+        .map(|t| t.expect("all nodes placed"))
+        .min()
+        .unwrap_or(0);
+    time.iter()
+        .map(|t| {
+            u32::try_from(t.expect("all nodes placed") - min).expect("normalized times fit in u32")
+        })
         .collect()
 }
 
 // ----- HRMS ordering -----------------------------------------------------
 
-/// Computes the HRMS-lineage pre-order: recurrences first (most critical
-/// first, with path closure between them), every subsequent node adjacent
-/// to the ordered region, sweeping alternately top-down (by height) and
-/// bottom-up (by depth).
-fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
+/// Builds the HRMS priority sets into `scratch` (`sets_flat` /
+/// `set_ends`): each recurrence (sorted by criticality) plus the
+/// path-closure nodes linking it to the previously selected region;
+/// finally everything else. II-independent, so computed once per
+/// schedule call.
+fn hrms_prepare_sets(ddg: &Ddg, bounds: &MiiBounds, s: &mut SchedScratch) {
     let n = ddg.num_nodes();
-    // Priority sets: each recurrence (sorted by criticality) plus the
-    // path-closure nodes linking it to the previously selected region;
-    // finally everything else.
-    let mut sets: Vec<Vec<NodeId>> = Vec::new();
-    let mut selected = vec![false; n];
-    let reach = Reachability::compute(ddg);
+    compute_reachability(ddg, &mut s.reach, &mut s.queue);
+    let SchedScratch {
+        reach,
+        selected,
+        sets_flat,
+        set_ends,
+        ..
+    } = s;
+    selected.clear();
+    selected.resize(n, false);
+    sets_flat.clear();
+    set_ends.clear();
     for rec in bounds.recurrences() {
-        let mut set: Vec<NodeId> = rec
-            .nodes
-            .iter()
-            .copied()
-            .filter(|v| !selected[v.index()])
-            .collect();
-        if sets.iter().any(|s| !s.is_empty()) {
+        let start = sets_flat.len();
+        sets_flat.extend(rec.nodes.iter().copied().filter(|v| !selected[v.index()]));
+        if !set_ends.is_empty() {
             // Path closure: unselected nodes on a directed path between
             // the selected region and this recurrence (either way).
             for v in ddg.node_ids().filter(|v| !selected[v.index()]) {
-                if set.contains(&v) {
+                if sets_flat[start..].contains(&v) {
                     continue;
                 }
                 let from_sel = ddg
                     .node_ids()
                     .filter(|u| selected[u.index()])
-                    .any(|u| reach.reaches(u, v));
-                let to_rec = rec.nodes.iter().any(|&r| reach.reaches(v, r));
-                let from_rec = rec.nodes.iter().any(|&r| reach.reaches(r, v));
+                    .any(|u| reach.get(u.index(), v.index()));
+                let to_rec = rec.nodes.iter().any(|&r| reach.get(v.index(), r.index()));
+                let from_rec = rec.nodes.iter().any(|&r| reach.get(r.index(), v.index()));
                 let to_sel = ddg
                     .node_ids()
                     .filter(|u| selected[u.index()])
-                    .any(|u| reach.reaches(v, u));
+                    .any(|u| reach.get(v.index(), u.index()));
                 if (from_sel && to_rec) || (from_rec && to_sel) {
-                    set.push(v);
+                    sets_flat.push(v);
                 }
             }
         }
-        for &v in &set {
-            selected[v.index()] = true;
+        for i in start..sets_flat.len() {
+            selected[sets_flat[i].index()] = true;
         }
-        if !set.is_empty() {
-            sets.push(set);
+        if sets_flat.len() > start {
+            set_ends.push(sets_flat.len());
         }
     }
-    let rest: Vec<NodeId> = ddg.node_ids().filter(|v| !selected[v.index()]).collect();
-    if !rest.is_empty() {
-        sets.push(rest);
+    let start = sets_flat.len();
+    sets_flat.extend(ddg.node_ids().filter(|v| !selected[v.index()]));
+    if sets_flat.len() > start {
+        set_ends.push(sets_flat.len());
     }
+}
 
-    // Order each set, preferring nodes adjacent to the ordered region.
-    let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut ordered = vec![false; n];
-    for set in sets {
-        let mut in_set = vec![false; n];
-        for &v in &set {
+/// Orders the nodes of each priority set into `scratch.order`,
+/// preferring nodes adjacent to the already-ordered region, sweeping
+/// alternately top-down (by height) and bottom-up (by depth). Depends on
+/// the per-II timing tables, so runs once per attempt — but only reads
+/// the sets prepared per call.
+fn hrms_sweep(ddg: &Ddg, scratch: &mut SchedScratch) {
+    let n = ddg.num_nodes();
+    let SchedScratch {
+        ta,
+        sets_flat,
+        set_ends,
+        order,
+        ordered,
+        in_set,
+        frontier,
+        ..
+    } = scratch;
+    order.clear();
+    ordered.clear();
+    ordered.resize(n, false);
+    let mut set_start = 0;
+    for &set_end in set_ends.iter() {
+        let set = &sets_flat[set_start..set_end];
+        set_start = set_end;
+        in_set.clear();
+        in_set.resize(n, false);
+        for &v in set {
             in_set[v.index()] = true;
         }
         let mut remaining: usize = set.len();
         // Initial frontier: successors (top-down) or predecessors
         // (bottom-up) of the already-ordered region inside this set.
         let mut direction_top_down = true;
-        let mut frontier = frontier_of(ddg, &order, &in_set, &ordered, true);
+        frontier_into(ddg, order, in_set, ordered, true, frontier);
         if frontier.is_empty() {
-            let preds = frontier_of(ddg, &order, &in_set, &ordered, false);
-            if !preds.is_empty() {
+            frontier_into(ddg, order, in_set, ordered, false, frontier);
+            if !frontier.is_empty() {
                 direction_top_down = false;
-                frontier = preds;
             }
         }
         while remaining > 0 {
@@ -545,12 +790,11 @@ fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
                 // current one; if both are empty the set is disconnected
                 // from the ordered region — seed a fresh top-down sweep
                 // at its source-most node.
-                let flipped = frontier_of(ddg, &order, &in_set, &ordered, !direction_top_down);
-                if !flipped.is_empty() {
+                frontier_into(ddg, order, in_set, ordered, !direction_top_down, frontier);
+                if !frontier.is_empty() {
                     direction_top_down = !direction_top_down;
-                    frontier = flipped;
                 } else {
-                    frontier = frontier_of(ddg, &order, &in_set, &ordered, direction_top_down);
+                    frontier_into(ddg, order, in_set, ordered, direction_top_down, frontier);
                 }
                 if frontier.is_empty() {
                     let seed = set
@@ -586,84 +830,72 @@ fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
             remaining -= 1;
             // Extend the frontier with pick's neighbours in this set.
             frontier.retain(|&v| v != pick);
-            let neighbours: Vec<NodeId> = if direction_top_down {
-                ddg.out_edges(pick).map(|e| e.dst).collect()
+            if direction_top_down {
+                for e in ddg.out_edges(pick) {
+                    let w = e.dst;
+                    if in_set[w.index()] && !ordered[w.index()] && !frontier.contains(&w) {
+                        frontier.push(w);
+                    }
+                }
             } else {
-                ddg.in_edges(pick).map(|e| e.src).collect()
-            };
-            for w in neighbours {
-                if in_set[w.index()] && !ordered[w.index()] && !frontier.contains(&w) {
-                    frontier.push(w);
+                for e in ddg.in_edges(pick) {
+                    let w = e.src;
+                    if in_set[w.index()] && !ordered[w.index()] && !frontier.contains(&w) {
+                        frontier.push(w);
+                    }
                 }
             }
         }
     }
-    order
 }
 
-/// Nodes of `in_set`, not yet ordered, adjacent to the ordered region:
-/// successors when `top_down`, predecessors otherwise.
-fn frontier_of(
+/// Collects into `out` the nodes of `in_set`, not yet ordered, adjacent
+/// to the ordered region: successors when `top_down`, predecessors
+/// otherwise. Clears `out` first.
+fn frontier_into(
     ddg: &Ddg,
     order: &[NodeId],
     in_set: &[bool],
     ordered: &[bool],
     top_down: bool,
-) -> Vec<NodeId> {
-    let mut out = Vec::new();
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
     for &u in order {
-        let neighbours: Vec<NodeId> = if top_down {
-            ddg.out_edges(u).map(|e| e.dst).collect()
-        } else {
-            ddg.in_edges(u).map(|e| e.src).collect()
-        };
-        for w in neighbours {
-            if in_set[w.index()] && !ordered[w.index()] && !out.contains(&w) {
-                out.push(w);
+        if top_down {
+            for e in ddg.out_edges(u) {
+                let w = e.dst;
+                if in_set[w.index()] && !ordered[w.index()] && !out.contains(&w) {
+                    out.push(w);
+                }
             }
-        }
-    }
-    out
-}
-
-/// Dense reachability over all edges (any distance), used for path
-/// closure between recurrence sets.
-struct Reachability {
-    n: usize,
-    words: usize,
-    bits: Vec<u64>,
-}
-
-impl Reachability {
-    fn compute(ddg: &Ddg) -> Self {
-        let n = ddg.num_nodes();
-        let words = n.div_ceil(64);
-        let mut bits = vec![0u64; n * words];
-        // BFS from each node. O(n · E / 64) with bitset unions would be
-        // faster, but plain BFS is clear and fast enough for loop bodies.
-        let mut queue = Vec::new();
-        for s in 0..n {
-            queue.clear();
-            queue.push(s as u32);
-            let base = s * words;
-            while let Some(u) = queue.pop() {
-                for e in ddg.out_edges(NodeId(u)) {
-                    let d = e.dst.index();
-                    let (w, m) = (d / 64, 1u64 << (d % 64));
-                    if bits[base + w] & m == 0 {
-                        bits[base + w] |= m;
-                        queue.push(e.dst.0);
-                    }
+        } else {
+            for e in ddg.in_edges(u) {
+                let w = e.src;
+                if in_set[w.index()] && !ordered[w.index()] && !out.contains(&w) {
+                    out.push(w);
                 }
             }
         }
-        Reachability { n, words, bits }
     }
+}
 
-    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
-        debug_assert!(from.index() < self.n && to.index() < self.n);
-        let (w, m) = (to.index() / 64, 1u64 << (to.index() % 64));
-        self.bits[from.index() * self.words + w] & m != 0
+/// Dense reachability over all edges (any distance), used for path
+/// closure between recurrence sets: row `u` of `m` gets a bit for every
+/// node reachable from `u` (excluding `u` itself unless on a cycle).
+fn compute_reachability(ddg: &Ddg, m: &mut BitMatrix, queue: &mut Vec<u32>) {
+    let n = ddg.num_nodes();
+    m.reset(n, n);
+    for src in 0..n {
+        queue.clear();
+        queue.push(src as u32);
+        while let Some(u) = queue.pop() {
+            for e in ddg.out_edges(NodeId(u)) {
+                if m.insert(src, e.dst.index()) {
+                    queue.push(e.dst.0);
+                }
+            }
+        }
     }
 }
 
@@ -676,6 +908,16 @@ mod tests {
 
     fn cfg(x: u32) -> Configuration {
         Configuration::monolithic(x, 1, 256).unwrap()
+    }
+
+    /// The HRMS pre-order as a plain vector (the production path keeps
+    /// it inside the scratch arena).
+    fn hrms_order(ddg: &Ddg, bounds: &MiiBounds, ta: &TimeAnalysis) -> Vec<NodeId> {
+        let mut s = SchedScratch::new();
+        hrms_prepare_sets(ddg, bounds, &mut s);
+        s.ta = ta.clone();
+        hrms_sweep(ddg, &mut s);
+        s.order.clone()
     }
 
     fn daxpy() -> Ddg {
@@ -802,10 +1044,12 @@ mod tests {
     #[test]
     fn reachability_matrix() {
         let g = daxpy();
-        let r = Reachability::compute(&g);
-        assert!(r.reaches(NodeId(0), NodeId(4))); // load x → store
-        assert!(!r.reaches(NodeId(4), NodeId(0)));
-        assert!(!r.reaches(NodeId(0), NodeId(1))); // two loads unrelated
+        let mut m = BitMatrix::new();
+        let mut q = Vec::new();
+        compute_reachability(&g, &mut m, &mut q);
+        assert!(m.get(0, 4)); // load x → store
+        assert!(!m.get(4, 0));
+        assert!(!m.get(0, 1)); // two loads unrelated
     }
 
     #[test]
@@ -839,7 +1083,43 @@ mod tests {
 
     #[test]
     fn normalize_shifts_to_zero() {
-        assert_eq!(normalize(vec![-3, 0, 2]), vec![0, 3, 5]);
-        assert_eq!(normalize(vec![5, 7]), vec![0, 2]);
+        assert_eq!(normalize(&[Some(-3), Some(0), Some(2)]), vec![0, 3, 5]);
+        assert_eq!(normalize(&[Some(5), Some(7)]), vec![0, 2]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        // One warm scratch across many loops and configurations must
+        // reproduce the throwaway-scratch results exactly.
+        let mut scratch = SchedScratch::new();
+        for strat in Strategy::ALL {
+            for x in [1, 2] {
+                for g in [daxpy(), reduction()] {
+                    let sched = ModuloScheduler::with_options(
+                        cfg(x),
+                        M4,
+                        SchedulerOptions {
+                            strategy: strat,
+                            ..Default::default()
+                        },
+                    );
+                    let bounds = MiiBounds::compute(&g, &cfg(x), M4);
+                    let fresh = sched.schedule_with_bounds(&g, &bounds).unwrap();
+                    let reused = sched.schedule_with(&g, &bounds, 1, &mut scratch).unwrap();
+                    assert_eq!(fresh, reused, "{} x{}", strat.label(), x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_ii_matches_search_feasibility() {
+        let g = daxpy();
+        let b = MiiBounds::compute(&g, &cfg(1), M4);
+        let sched = ModuloScheduler::new(cfg(1), M4);
+        let mut s = SchedScratch::new();
+        assert!(!sched.attempt_ii(&g, &b, 2, &mut s)); // below ResMII: 3 mem ops, 1 bus
+        assert!(sched.attempt_ii(&g, &b, 3, &mut s));
+        assert!(sched.attempt_ii(&g, &b, 4, &mut s));
     }
 }

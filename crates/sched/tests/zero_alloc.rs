@@ -1,0 +1,96 @@
+//! Proves the scheduler's steady-state II attempt is heap-free.
+//!
+//! A sweep spends its life re-running `attempt_ii` over warmed scratch
+//! arenas; any per-attempt allocation multiplies across the whole
+//! corpus. This test wraps the global allocator in a counting shim,
+//! warms a [`SchedScratch`] once, and asserts that subsequent attempts
+//! perform **zero** heap allocations.
+//!
+//! The file holds exactly one `#[test]` so no sibling test thread can
+//! allocate concurrently and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use widening_ir::{DdgBuilder, OpKind};
+use widening_machine::{Configuration, CycleModel};
+use widening_sched::{MiiBounds, ModuloScheduler, SchedScratch, SchedulerOptions};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator (frees are not counted: the property under test is "no new
+/// heap memory", and a free implies a matching earlier alloc anyway).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_attempt_allocates_nothing() {
+    // DAXPY body on a 1-bus machine: ResMII = 3 (three memory ops), so
+    // the attempt loop genuinely probes ii = 3 — not a degenerate ii = 1.
+    let mut b = DdgBuilder::new();
+    let x = b.load(1);
+    let y = b.load(1);
+    let m = b.op(OpKind::FMul);
+    let a = b.op(OpKind::FAdd);
+    let s = b.store(1);
+    b.flow(x, m);
+    b.flow(m, a);
+    b.flow(y, a);
+    b.flow(a, s);
+    let ddg = b.build().expect("valid graph");
+
+    let cfg = Configuration::monolithic(1, 1, 256).expect("valid config");
+    let model = CycleModel::Cycles4;
+    let scheduler = ModuloScheduler::with_options(cfg, model, SchedulerOptions::default());
+    let bounds = MiiBounds::compute(&ddg, &cfg, model);
+    assert!(bounds.mii() >= 2, "test graph must exercise a real II");
+
+    let mut scratch = SchedScratch::new();
+    // Warm-up: size every table and buffer for the IIs we will probe
+    // (an infeasible attempt below MII plus the feasible ones above it).
+    for ii in 2..=5 {
+        let _ = scheduler.attempt_ii(&ddg, &bounds, ii, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut feasible = 0u32;
+    for _ in 0..100 {
+        for ii in 2..=5 {
+            if scheduler.attempt_ii(&ddg, &bounds, ii, &mut scratch) {
+                feasible += 1;
+            }
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(feasible, 300, "ii = 3, 4, 5 are feasible; ii = 2 is not");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state attempt_ii must not touch the heap after warm-up"
+    );
+}

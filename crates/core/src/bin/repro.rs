@@ -8,6 +8,9 @@
 //! repro worker --queue DIR --cache-dir DIR [--threads N]
 //!       [--lease-ttl-ms MS] [--no-requeue] [--trace-file FILE]
 //! repro trace summarize FILE
+//! repro perf record [--quick[=N]] [--reps R] [--out FILE]
+//! repro perf compare BASELINE CANDIDATE
+//! repro perf calibrate [--quick[=N]] [--from BENCH.json] [--out FILE]
 //! repro cache stat --cache-dir DIR
 //! repro cache gc --keep-generations N --cache-dir DIR
 //! ```
@@ -64,7 +67,20 @@
 //!   into the same file, one process track per worker.
 //! * `repro trace summarize` — read a `--trace` JSON back and print
 //!   per-stage latency percentiles (p50/p90/p99 from log₂-bucketed
-//!   histograms), per-shard busy time, and per-track span counts.
+//!   histograms), instant-event counts, per-shard busy time, and
+//!   per-track span counts; dropped-event counts are surfaced loudly.
+//! * `repro perf` — the perf ledger: `record` writes a versioned
+//!   machine-readable `BENCH_<stamp>.json` (wall-time probes,
+//!   per-stage percentiles, store counters, per-unit wall times),
+//!   `compare` gates a candidate report against a baseline with
+//!   noise-aware min-of-N thresholds (nonzero exit on regression), and
+//!   `calibrate` fits measured unit latencies against the analytic
+//!   `sweep_priority` mass, writing the calibration `--cost-model`
+//!   loads back.
+//! * `--cost-model FILE` — order sweep units (and distributed shard
+//!   mass estimates) by measured latencies from a `perf calibrate`
+//!   report instead of the analytic priority; aggregates stay
+//!   bitwise-equal.
 //! * `repro cache stat` — per-kind file/byte usage and the generation
 //!   history of a cache directory.
 //! * `repro cache gc` — prune artifacts untouched for the last
@@ -84,6 +100,7 @@ fn main() -> ExitCode {
         Some("worker") => return worker_main(&argv[1..]),
         Some("cache") => return cache_main(&argv[1..]),
         Some("trace") => return trace_main(&argv[1..]),
+        Some("perf") => return widening::perf::perf_main(&argv[1..]),
         _ => {}
     }
 
@@ -98,6 +115,7 @@ fn main() -> ExitCode {
     let mut max_workers: Option<usize> = None;
     let mut chaos_exit_units: Option<u64> = None;
     let mut trace: Option<String> = None;
+    let mut cost_model: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = argv.into_iter().peekable();
@@ -145,6 +163,14 @@ fn main() -> ExitCode {
                 Some(f) if !f.starts_with('-') => trace = Some(f),
                 _ => return usage("--trace needs an output file"),
             },
+            "--cost-model" => match args.next() {
+                Some(f) if !f.starts_with('-') => cost_model = Some(f),
+                _ => {
+                    return usage(
+                        "--cost-model needs a calibration file (see repro perf calibrate)",
+                    )
+                }
+            },
             a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
                 Ok(n) => quick = Some(n),
                 Err(_) => return usage("--quick=N needs an integer"),
@@ -177,6 +203,9 @@ fn main() -> ExitCode {
                 }
             }
             a if a.starts_with("--trace=") => trace = Some(a["--trace=".len()..].to_string()),
+            a if a.starts_with("--cost-model=") => {
+                cost_model = Some(a["--cost-model=".len()..].to_string());
+            }
             "list" => {
                 for n in experiments::ALL {
                     println!("{n}");
@@ -205,6 +234,22 @@ fn main() -> ExitCode {
     let mut seen = std::collections::HashSet::new();
     names.retain(|n| seen.insert(n.clone()));
 
+    // `--cost-model` swaps the analytic sweep_priority ordering for
+    // measured unit latencies (`repro perf calibrate --out FILE`);
+    // pure scheduling, so aggregates stay bitwise-equal either way.
+    let unit_cost = match &cost_model {
+        Some(path) => match widening::cost::CalibratedModel::load(std::path::Path::new(path)) {
+            Ok(model) => {
+                eprintln!("cost-model: {path} ({} calibrated point(s))", model.len());
+                Some(std::sync::Arc::new(model))
+            }
+            Err(why) => {
+                eprintln!("error: cannot load --cost-model {path}: {why}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let caching = cache_dir.is_some() || cache_budget.is_some();
     if let Some(dir) = &cache_dir {
         // One generation stamp per cache-consuming run (workers a
@@ -236,7 +281,15 @@ fn main() -> ExitCode {
         }
         _ => None,
     };
-    let ctx = build_context(quick, seed, threads, cache_dir, cache_budget, extend);
+    let ctx = build_context(
+        quick,
+        seed,
+        threads,
+        cache_dir,
+        cache_budget,
+        extend,
+        unit_cost.clone(),
+    );
     eprintln!(
         "corpus: {} loops (seed {}), {} worker threads",
         ctx.eval.loops().len(),
@@ -255,6 +308,7 @@ fn main() -> ExitCode {
                     max_workers,
                     chaos_exit_units,
                     worker_trace_dir.clone(),
+                    unit_cost.clone(),
                 ) {
                     Ok((reports, worker_counts)) => {
                         fleet_counts = fleet_counts.plus(&worker_counts);
@@ -426,6 +480,22 @@ fn trace_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Ring overflow means every table below undercounts: say so first,
+    // loudly, on stderr, so a truncated trace is never read as a quiet
+    // one.
+    let dropped = doc.total_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} span event(s) were DROPPED at record time (per-thread ring \
+             overflow); every count and percentile below under-reports"
+        );
+        for (pid, n) in &doc.dropped_events {
+            if *n > 0 {
+                let name = doc.processes.get(pid).map_or("?", String::as_str);
+                eprintln!("warning:   {name}: {n} dropped event(s)");
+            }
+        }
+    }
     let us = |v: f64| format!("{v:.1}");
     let mut stages = widening::report::Report::new(format!("Trace — per-stage latency ({path})"))
         .with_columns([
@@ -449,11 +519,25 @@ fn trace_main(args: &[String]) -> ExitCode {
         ]);
     }
     stages.push_note(format!(
-        "{} span(s), {} instant event(s); percentiles are log₂-bucket upper bounds",
+        "{} span(s), {} instant event(s), {} DROPPED event(s); percentiles are log₂-bucket \
+         upper bounds",
         doc.spans.len(),
-        doc.instants
+        doc.instants,
+        dropped
     ));
     println!("{stages}");
+
+    if !doc.instants_by_name.is_empty() {
+        let mut r = widening::report::Report::new("Trace — instant events")
+            .with_columns(["instant", "count"]);
+        for (name, count) in &doc.instants_by_name {
+            r.push_row([name.clone(), count.to_string()]);
+        }
+        r.push_note(
+            "store evictions plus fleet lifecycle: steals, lease expiries, autoscale, respawns",
+        );
+        println!("{r}");
+    }
 
     let shards = obs::analyze::per_shard_stats(&doc.spans);
     if !shards.is_empty() {
@@ -539,6 +623,7 @@ fn cache_main(args: &[String]) -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_context(
     quick: Option<usize>,
     seed: Option<u64>,
@@ -546,6 +631,7 @@ fn build_context(
     cache_dir: Option<String>,
     cache_budget: Option<usize>,
     extend: Option<usize>,
+    unit_cost: Option<std::sync::Arc<widening::cost::CalibratedModel>>,
 ) -> Context {
     let mut spec = CorpusSpec::default();
     if let Some(n) = quick {
@@ -559,7 +645,7 @@ fn build_context(
     let held_back = extend.unwrap_or(0).min(spec.loops.saturating_sub(1));
     let full = generate(&spec);
     let (initial, appended) = full.split_at(full.len() - held_back.min(full.len()));
-    let mut eval = Evaluator::new(initial.to_vec());
+    let mut eval = Evaluator::new(initial.to_vec()).with_unit_cost(unit_cost);
     if let Some(n) = threads {
         eval = eval.with_threads(n);
     }
@@ -597,13 +683,18 @@ fn usage(problem: &str) -> ExitCode {
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
          [--cache-dir DIR] [--cache-budget BYTES] [--extend N] [--shards N] \
          [--max-workers M] [--chaos-exit-units N] [--trace FILE] \
-         <experiment>... | all | list"
+         [--cost-model FILE] <experiment>... | all | list"
     );
     eprintln!(
         "       repro worker --queue DIR --cache-dir DIR [--threads N] [--lease-ttl-ms MS] \
          [--per-unit-results] [--die-after-units N] [--trace-file FILE]"
     );
     eprintln!("       repro trace summarize FILE");
+    eprintln!("       repro perf record [--quick[=N]] [--reps R] [--threads N] [--out FILE]");
+    eprintln!("       repro perf compare BASELINE CANDIDATE [--max-ratio R] [--abs-floor-ms MS]");
+    eprintln!(
+        "       repro perf calibrate [--quick[=N]] [--threads N] [--from BENCH.json] [--out FILE]"
+    );
     eprintln!("       repro cache stat --cache-dir DIR");
     eprintln!("       repro cache gc --keep-generations N --cache-dir DIR");
     eprintln!("experiments: {}", experiments::ALL.join(" "));

@@ -66,6 +66,12 @@ pub struct DistributedOptions {
     /// traces (`worker-<index>.trace.bin`), for the merged fleet
     /// timeline. `None` disables collection.
     pub trace_dir: Option<PathBuf>,
+    /// Measured per-unit cost model (`--cost-model <file>`): steers the
+    /// manifest's LPT unit ordering and the coordinator's autoscale
+    /// mass estimate with calibrated priorities instead of the analytic
+    /// `sweep_priority`. Ordering and scaling only — merged aggregates
+    /// are bitwise-equal with or without it.
+    pub cost_model: Option<Arc<widening_cost::CalibratedModel>>,
 }
 
 impl DistributedOptions {
@@ -83,6 +89,7 @@ impl DistributedOptions {
             batch_results: true,
             chaos_die_after_units: None,
             trace_dir: None,
+            cost_model: None,
         }
     }
 }
@@ -196,8 +203,17 @@ pub fn sweep_distributed(
     cfg.batch_results = opts.batch_results;
     cfg.chaos_die_after_units = opts.chaos_die_after_units;
     cfg.trace_dir = opts.trace_dir.clone();
+    cfg.unit_cost = opts.cost_model.clone();
     let shard_count = cfg.shard_count(loops.len() * specs.len());
-    let manifest = SweepManifest::partition((*loops).clone(), specs.to_vec(), shard_count);
+    let manifest = match &opts.cost_model {
+        Some(model) => SweepManifest::partition_with(
+            (*loops).clone(),
+            specs.to_vec(),
+            shard_count,
+            |x, y, z| model.priority(x, y, z),
+        ),
+        None => SweepManifest::partition((*loops).clone(), specs.to_vec(), shard_count),
+    };
     let run = run_sweep(&manifest, &cfg, launcher)?;
 
     let (aggregates, fallback_units) = merge_published(eval, specs, Some(&manifest));

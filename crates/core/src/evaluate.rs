@@ -114,6 +114,10 @@ pub struct Evaluator {
     /// order. Held only by `extend`; queries never take it.
     extending: Arc<Mutex<()>>,
     threads: usize,
+    /// Measured per-unit cost model (`--cost-model`): replaces the
+    /// analytic `sweep_priority` for the in-process sweep's LPT unit
+    /// order. Pure scheduling — aggregates stay bitwise-equal.
+    unit_cost: Option<Arc<widening_cost::CalibratedModel>>,
 }
 
 impl Evaluator {
@@ -127,7 +131,23 @@ impl Evaluator {
             aggregates: Arc::new(Mutex::new(HashMap::new())),
             extending: Arc::new(Mutex::new(())),
             threads: pool::default_threads(),
+            unit_cost: None,
         }
+    }
+
+    /// Installs a measured cost model for sweep unit ordering (see
+    /// [`Evaluator::sweep_specs`]); `None` restores the analytic
+    /// surrogate.
+    #[must_use]
+    pub fn with_unit_cost(mut self, model: Option<Arc<widening_cost::CalibratedModel>>) -> Self {
+        self.unit_cost = model;
+        self
+    }
+
+    /// The installed measured cost model, if any.
+    #[must_use]
+    pub fn unit_cost(&self) -> Option<&Arc<widening_cost::CalibratedModel>> {
+        self.unit_cost.as_ref()
     }
 
     /// Sets the worker-thread count used for corpus fan-out (evaluation,
@@ -317,7 +337,12 @@ impl Evaluator {
                 .copied()
                 .collect()
         };
-        let order = priority_unit_order(&missing, self.loops().len());
+        let order = match &self.unit_cost {
+            Some(model) => priority_unit_order_with(&missing, self.loops().len(), |x, y, z| {
+                model.priority(x, y, z)
+            }),
+            None => priority_unit_order(&missing, self.loops().len()),
+        };
         let compiled = self
             .pipeline
             .sweep_ordered(&missing, self.threads, Some(&order));
@@ -382,14 +407,20 @@ impl Evaluator {
 /// order, corpus order within a point — the in-process mirror of the
 /// distributed manifest's priority-ordered shards.
 pub(crate) fn priority_unit_order(specs: &[PointSpec], loops: usize) -> Vec<u32> {
+    priority_unit_order_with(specs, loops, widening_cost::sweep_priority)
+}
+
+/// [`priority_unit_order`] under a caller-supplied priority function —
+/// the in-process hook a measured `CalibratedModel` plugs into.
+pub(crate) fn priority_unit_order_with(
+    specs: &[PointSpec],
+    loops: usize,
+    priority: impl Fn(u32, u32, Option<u32>) -> u64,
+) -> Vec<u32> {
     let mut point_order: Vec<usize> = (0..specs.len()).collect();
     point_order.sort_by_key(|&pi| {
         let s = &specs[pi];
-        std::cmp::Reverse(widening_cost::sweep_priority(
-            s.replication,
-            s.width,
-            s.registers,
-        ))
+        std::cmp::Reverse(priority(s.replication, s.width, s.registers))
     });
     let mut order = Vec::with_capacity(specs.len() * loops);
     for pi in point_order {
@@ -672,6 +703,56 @@ mod tests {
             let want = single.sweep_specs(std::slice::from_ref(spec));
             assert_eq!(got.total_cycles.to_bits(), want[0].total_cycles.to_bits());
             assert_eq!(got.per_loop, want[0].per_loop);
+        }
+    }
+
+    #[test]
+    fn calibrated_order_keeps_aggregates_bitwise_equal() {
+        // A measured cost model may invert the analytic LPT order
+        // entirely; the sweep's aggregates must not move by a single
+        // bit. Calibrate from synthetic unit samples that price the
+        // analytically-cheapest point as the most expensive.
+        let specs: Vec<PointSpec> = ["1w1(256:1)", "8w1(32:1)", "4w2(64:1)"]
+            .iter()
+            .map(|s| {
+                PointSpec::scheduled(
+                    &s.parse().unwrap(),
+                    CycleModel::Cycles4,
+                    EvalOptions::default(),
+                )
+            })
+            .collect();
+        let samples: Vec<widening_obs::report::UnitSample> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| widening_obs::report::UnitSample {
+                loop_index: 0,
+                replication: s.replication,
+                width: s.width,
+                registers: s.registers,
+                // Reverse of the analytic order: 1w1(256) "slowest".
+                wall_ns: 1_000_000 * (specs.len() - i) as u64,
+            })
+            .collect();
+        let model = Arc::new(widening_cost::CalibratedModel::from_report(
+            &widening_cost::calibrate(&samples),
+        ));
+        let n = 7;
+        let order = priority_unit_order_with(&specs, n, |x, y, z| model.priority(x, y, z));
+        let analytic = priority_unit_order(&specs, n);
+        assert_ne!(order, analytic, "the model really changed the order");
+        assert_eq!(order[0] as usize / n, 0, "1w1(256) now leads");
+
+        let loops = corpus::generate(&corpus::CorpusSpec::small(n, 5));
+        let calibrated = Evaluator::new(loops.clone())
+            .with_threads(4)
+            .with_unit_cost(Some(model))
+            .sweep_specs(&specs);
+        let default = Evaluator::new(loops).with_threads(4).sweep_specs(&specs);
+        for (got, want) in calibrated.iter().zip(&default) {
+            assert_eq!(got.total_cycles.to_bits(), want.total_cycles.to_bits());
+            assert_eq!(got.per_loop, want.per_loop);
+            assert_eq!(got.spill_ops, want.spill_ops);
         }
     }
 

@@ -14,6 +14,7 @@ mod transients;
 
 pub use ablation::{ablate_latency, ablate_sched, ablate_spill};
 pub use figures::{fig2, fig3, fig4, fig6, fig7};
+pub(crate) use sweeps::sweep_grid_specs;
 pub use sweeps::{shard_table, stage_counter_table, sweep, sweep_distributed_reports};
 pub use tables::{table1, table2, table3, table4, table5, table6};
 pub use tradeoffs::{fig8a, fig8b, fig8c, fig8d, fig9};

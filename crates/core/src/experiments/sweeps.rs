@@ -130,10 +130,13 @@ pub fn sweep(ctx: &Context) -> Report {
 /// remaining-mass estimate warrants it; `chaos_die_after_units` makes
 /// the first worker abandon its shard mid-flight (the CI fault-
 /// injection knob); `trace_dir` makes every spawned worker drop its
-/// binary span trace there for the merged fleet timeline. Returns the
-/// reports (sweep table, per-shard progress, fleet-summed stage
-/// counters) plus the fleet's summed counters so the caller can fold
-/// them into its own `cache:` summary.
+/// binary span trace there for the merged fleet timeline; `cost_model`
+/// replaces the analytic `sweep_priority` mass with measured unit
+/// latencies for shard ordering and autoscale estimates (aggregates
+/// stay bitwise-equal either way). Returns the reports (sweep table,
+/// per-shard progress, fleet-summed stage counters) plus the fleet's
+/// summed counters so the caller can fold them into its own `cache:`
+/// summary.
 ///
 /// # Errors
 ///
@@ -145,12 +148,14 @@ pub fn sweep_distributed_reports(
     max_workers: Option<usize>,
     chaos_die_after_units: Option<u64>,
     trace_dir: Option<std::path::PathBuf>,
+    cost_model: Option<Arc<widening_cost::CalibratedModel>>,
 ) -> Result<(Vec<Report>, StageCounts), String> {
     let specs = sweep_grid_specs();
     let mut opts = DistributedOptions::new(workers);
     opts.max_workers = max_workers.unwrap_or(opts.workers).max(opts.workers);
     opts.chaos_die_after_units = chaos_die_after_units;
     opts.trace_dir = trace_dir;
+    opts.cost_model = cost_model;
     // Split the local thread budget across the baseline fleet.
     opts.worker_threads = (ctx.eval.threads() / opts.workers).max(1);
     let exe = std::env::current_exe().map_err(|e| format!("cannot resolve worker binary: {e}"))?;

@@ -32,7 +32,10 @@
 //!   differential validation against a scalar reference;
 //! * [`experiments`] — one runnable entry per paper table and figure,
 //!   plus the simulation experiments (`simulate`, `transients`) and the
-//!   shared-cache `sweep` demonstration.
+//!   shared-cache `sweep` demonstration;
+//! * [`perf`] — the `repro perf record/compare/calibrate` ledger:
+//!   machine-readable perf reports, the noise-aware regression gate,
+//!   and cost-model calibration against measured unit latencies.
 //!
 //! # Quick start
 //!
@@ -60,6 +63,7 @@
 pub mod distributed;
 mod evaluate;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 mod simulate;
 

@@ -1,0 +1,390 @@
+//! The `repro perf` subcommand family — the repo's perf ledger.
+//!
+//! Three verbs over the machine-readable perf report
+//! ([`widening_obs::report`]):
+//!
+//! * `perf record` runs the standard sweep suite `--reps` times
+//!   (fresh evaluator per repetition, so every sample is a cold
+//!   compile) under an installed span recorder, and writes one
+//!   versioned `BENCH_<stamp>.json` capturing wall-time probes,
+//!   per-stage latency percentiles, store counters, per-unit
+//!   `(loop × config)` wall times, and fleet-event totals.
+//! * `perf compare BASE CAND` diffs two recorded reports probe by
+//!   probe with the noise-aware min-of-N gate
+//!   ([`widening_obs::compare`]) and exits nonzero on any regression —
+//!   the CI perf gate.
+//! * `perf calibrate` joins the analytic
+//!   [`widening_cost::sweep_priority`] mass against measured unit
+//!   latencies (either a fresh traced run or the units of an existing
+//!   `BENCH_*.json` via `--from`), reporting rank correlation, the
+//!   fitted ns-per-priority coefficient and per-loop relative error;
+//!   `--out` writes the calibration JSON that `repro --cost-model`
+//!   loads back as a [`widening_cost::CalibratedModel`].
+//!
+//! Everything here is presentation: the codecs, the gate and the
+//! fitting live in `widening-obs` / `widening-cost` where they are
+//! unit- and property-tested.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use widening_obs as obs;
+use widening_obs::metrics::MetricValue;
+use widening_obs::report::{compare, CompareConfig, PerfReport, Verdict};
+use widening_workload::corpus::{generate, CorpusSpec};
+
+use crate::evaluate::Evaluator;
+use crate::experiments::sweep_grid_specs;
+use crate::report::Report;
+
+/// Default loop count for the quick perf suite: big enough that the
+/// sweep dominates process startup, small enough for a CI smoke job.
+const DEFAULT_QUICK: usize = 48;
+
+/// Corpus seed shared by every perf run, so baselines recorded
+/// yesterday measure the same work as candidates recorded today.
+const PERF_SEED: u64 = 1998;
+
+/// Entry point for `repro perf …`; returns the process exit code.
+#[must_use]
+pub fn perf_main(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("record") => record_main(&args[1..]),
+        Some("compare") => compare_main(&args[1..]),
+        Some("calibrate") => calibrate_main(&args[1..]),
+        _ => usage("perf needs a subcommand: record | compare | calibrate"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
+    eprintln!("usage: repro perf record [--quick[=N]] [--reps R] [--threads N] [--out FILE]");
+    eprintln!("       repro perf compare BASELINE CANDIDATE [--max-ratio R] [--abs-floor-ms MS]");
+    eprintln!(
+        "       repro perf calibrate [--quick[=N]] [--threads N] [--from BENCH.json] [--out FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Seconds since the Unix epoch — the default `BENCH_<stamp>` suffix.
+fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Runs the standard suite once on a fresh evaluator, pushing one
+/// sample per probe into `report`, and returns the repetition's final
+/// metrics snapshot.
+fn run_suite(
+    report: &mut PerfReport,
+    loops: usize,
+    threads: Option<usize>,
+) -> Vec<(String, MetricValue)> {
+    let t = Instant::now();
+    let corpus = generate(&CorpusSpec::small(loops, PERF_SEED));
+    report.push_sample("corpus.generate.wall_ns", ns(t.elapsed()));
+
+    let mut eval = Evaluator::new(corpus);
+    if let Some(n) = threads {
+        eval = eval.with_threads(n);
+    }
+    let specs = sweep_grid_specs();
+    let t = Instant::now();
+    let _ = eval.sweep_specs(&specs);
+    report.push_sample("sweep.wall_ns", ns(t.elapsed()));
+
+    let t = Instant::now();
+    let _ = eval.baseline_256();
+    report.push_sample("baseline256.wall_ns", ns(t.elapsed()));
+
+    // Per-stage compute totals as probes too: the gate then localises a
+    // regression to the stage that slowed down, not just "the sweep".
+    let snapshot = eval.pipeline().metrics().snapshot();
+    for (name, value) in &snapshot {
+        if let MetricValue::Histogram { sum, .. } = value {
+            report.push_sample(&format!("{name}.sum"), *sum);
+        }
+    }
+    snapshot
+}
+
+/// `repro perf record` — run the suite and write the perf report.
+fn record_main(args: &[String]) -> ExitCode {
+    let mut loops = DEFAULT_QUICK;
+    let mut reps: usize = 2;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => loops = DEFAULT_QUICK,
+            "--reps" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => reps = n,
+                _ => return usage("perf record --reps needs a positive integer"),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => return usage("perf record --threads needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => return usage("perf record --out needs a file"),
+            },
+            a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
+                Ok(n) if n >= 1 => loops = n,
+                _ => return usage("perf record --quick=N needs a positive integer"),
+            },
+            a if a.starts_with("--reps=") => match a["--reps=".len()..].parse() {
+                Ok(n) if n >= 1 => reps = n,
+                _ => return usage("perf record --reps=N needs a positive integer"),
+            },
+            a => return usage(&format!("unknown perf record flag {a}")),
+        }
+    }
+
+    // One recorder across all repetitions: units from every rep feed
+    // the calibration joint, and fleet instants (none in-process) stay
+    // zero rather than absent.
+    let recorder = obs::Recorder::new("repro-perf");
+    obs::install(&recorder);
+    obs::set_thread_label("main");
+    let mut report = PerfReport::new();
+    let mut last_snapshot = Vec::new();
+    for _ in 0..reps {
+        last_snapshot = run_suite(&mut report, loops, threads);
+    }
+    obs::uninstall();
+    report.absorb_snapshot(&last_snapshot);
+    report.absorb_traces(&[recorder.snapshot()]);
+
+    let when = stamp();
+    report.meta.insert("stamp-unix-s".into(), when.to_string());
+    report
+        .meta
+        .insert("suite".into(), "sweep+baseline256".into());
+    report.meta.insert("loops".into(), loops.to_string());
+    report.meta.insert("seed".into(), PERF_SEED.to_string());
+    report.meta.insert("reps".into(), reps.to_string());
+    if let Some(n) = threads {
+        report.meta.insert("threads".into(), n.to_string());
+    }
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{when}.json"));
+    if let Err(e) = report.write_file(std::path::Path::new(&path)) {
+        eprintln!("error: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf-record: wrote {path} probes={} stages={} counters={} units={}",
+        report.probes.len(),
+        report.stages.len(),
+        report.counters.len(),
+        report.units.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro perf compare` — the regression gate over two reports.
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut files: Vec<&String> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ratio" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if r >= 1.0 => cfg.max_ratio = r,
+                _ => return usage("perf compare --max-ratio needs a ratio ≥ 1.0"),
+            },
+            "--abs-floor-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => cfg.abs_floor_ns = ms.saturating_mul(1_000_000),
+                None => return usage("perf compare --abs-floor-ms needs milliseconds"),
+            },
+            a if a.starts_with('-') => return usage(&format!("unknown perf compare flag {a}")),
+            _ => files.push(arg),
+        }
+    }
+    let [base_path, cand_path] = files[..] else {
+        return usage("perf compare needs exactly BASELINE and CANDIDATE files");
+    };
+    let read = |path: &String| match PerfReport::read_file(std::path::Path::new(path)) {
+        Ok(r) => Some(r),
+        Err(why) => {
+            eprintln!("error: {path}: {why}");
+            None
+        }
+    };
+    let (Some(base), Some(cand)) = (read(base_path), read(cand_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let cmp = compare(&base, &cand, &cfg);
+    let us = |n: u64| format!("{:.1}", n as f64 / 1_000.0);
+    let mut r = Report::new(format!("Perf compare — {base_path} → {cand_path}")).with_columns([
+        "probe",
+        "base min µs",
+        "cand min µs",
+        "ratio",
+        "verdict",
+    ]);
+    for row in &cmp.rows {
+        let ratio = if row.base_min_ns == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}", row.cand_min_ns as f64 / row.base_min_ns as f64)
+        };
+        r.push_row([
+            row.name.clone(),
+            us(row.base_min_ns),
+            us(row.cand_min_ns),
+            ratio,
+            match row.verdict {
+                Verdict::Ok => "ok".into(),
+                Verdict::Regressed => "REGRESSED".into(),
+                Verdict::Improved => "improved".into(),
+            },
+        ]);
+    }
+    r.push_note(format!(
+        "gate: candidate min > base min × {} + {} ms",
+        cfg.max_ratio,
+        cfg.abs_floor_ns / 1_000_000
+    ));
+    if !cmp.missing.is_empty() {
+        r.push_note(format!(
+            "missing from candidate: {}",
+            cmp.missing.join(", ")
+        ));
+    }
+    if !cmp.added.is_empty() {
+        r.push_note(format!("new in candidate: {}", cmp.added.join(", ")));
+    }
+    println!("{r}");
+    println!(
+        "perf-compare: probes={} regressions={} improvements={} missing={} added={}",
+        cmp.rows.len(),
+        cmp.regressions(),
+        cmp.improvements(),
+        cmp.missing.len(),
+        cmp.added.len()
+    );
+    if cmp.regressions() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `repro perf calibrate` — fit the cost model against measured units.
+fn calibrate_main(args: &[String]) -> ExitCode {
+    let mut loops = DEFAULT_QUICK;
+    let mut threads: Option<usize> = None;
+    let mut from: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => loops = DEFAULT_QUICK,
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => return usage("perf calibrate --threads needs a positive integer"),
+            },
+            "--from" => match it.next() {
+                Some(f) => from = Some(f.clone()),
+                None => return usage("perf calibrate --from needs a BENCH_*.json file"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => return usage("perf calibrate --out needs a file"),
+            },
+            a if a.starts_with("--quick=") => match a["--quick=".len()..].parse() {
+                Ok(n) if n >= 1 => loops = n,
+                _ => return usage("perf calibrate --quick=N needs a positive integer"),
+            },
+            a => return usage(&format!("unknown perf calibrate flag {a}")),
+        }
+    }
+
+    let units = match &from {
+        Some(path) => match PerfReport::read_file(std::path::Path::new(path)) {
+            Ok(r) => r.units,
+            Err(why) => {
+                eprintln!("error: {path}: {why}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            // A fresh traced run of the standard suite.
+            let recorder = obs::Recorder::new("repro-perf");
+            obs::install(&recorder);
+            obs::set_thread_label("main");
+            let mut scratch = PerfReport::new();
+            let _ = run_suite(&mut scratch, loops, threads);
+            obs::uninstall();
+            scratch.absorb_traces(&[recorder.snapshot()]);
+            scratch.units
+        }
+    };
+    if units.is_empty() {
+        eprintln!("error: no sweep units to calibrate against");
+        return ExitCode::FAILURE;
+    }
+
+    let cal = widening_cost::calibrate(&units);
+    let us = |n: u64| format!("{:.1}", n as f64 / 1_000.0);
+    let mut r =
+        Report::new("Cost-model calibration — measured vs analytic priority").with_columns([
+            "config",
+            "units",
+            "median µs",
+            "mean µs",
+            "analytic",
+            "calibrated",
+        ]);
+    for p in &cal.points {
+        let cfg = match p.registers {
+            Some(z) => format!("{}w{}({z})", p.replication, p.width),
+            None => format!("{}w{}(peak)", p.replication, p.width),
+        };
+        r.push_row([
+            cfg,
+            p.units.to_string(),
+            us(p.median_ns),
+            us(p.mean_ns),
+            p.analytic_priority.to_string(),
+            p.calibrated_priority.to_string(),
+        ]);
+    }
+    r.push_note(format!(
+        "fit: {:.1} ns per analytic priority unit (least squares through the origin)",
+        cal.scale_ns_per_priority
+    ));
+    r.push_note(format!(
+        "per-loop mass relative error: mean {:.3}, worst {:.3}",
+        cal.mean_loop_rel_err, cal.max_loop_rel_err
+    ));
+    println!("{r}");
+    println!(
+        "perf-calibrate: units={} loops={} points={} rank-correlation={:.4} \
+         scale-ns-per-priority={:.1} mean-loop-rel-err={:.4}",
+        cal.unit_count,
+        cal.loop_count,
+        cal.points.len(),
+        cal.rank_correlation,
+        cal.scale_ns_per_priority,
+        cal.mean_loop_rel_err
+    );
+    if let Some(path) = out {
+        if let Err(e) = cal.write_file(std::path::Path::new(&path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("perf-calibrate: wrote {path} (load with repro --cost-model {path})");
+    }
+    ExitCode::SUCCESS
+}

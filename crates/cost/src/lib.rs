@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod area;
+pub mod calibrate;
 mod cell;
 mod linalg;
 mod model;
@@ -54,6 +55,7 @@ mod sia;
 mod timing;
 
 pub use area::AreaModel;
+pub use calibrate::{calibrate, CalibratedModel, CalibrationReport};
 pub use cell::{CellGeometry, CellModel};
 pub use model::{CostModel, DesignPoint, IMPLEMENTABLE_BUDGET};
 pub use priority::{configuration_priority, sweep_mass, sweep_priority};

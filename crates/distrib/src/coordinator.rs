@@ -33,9 +33,11 @@
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use widening_cost::CalibratedModel;
 use widening_obs as obs;
 use widening_obs::SpanKind;
 use widening_pipeline::StageCounts;
@@ -86,6 +88,14 @@ pub struct CoordinatorConfig {
     /// in-process workers record into the caller's global recorder
     /// instead and ignore this.
     pub trace_dir: Option<PathBuf>,
+    /// Measured per-unit cost model (`--cost-model`): prices static
+    /// shard masses and the autoscale threshold from calibration data
+    /// instead of the analytic `sweep_priority`. Workers' heartbeat
+    /// mass stamps stay analytic either way — calibrated priorities
+    /// are rescaled into the same unit family, so the two estimates
+    /// mix consistently. Only ordering/scaling changes; aggregates are
+    /// bitwise-equal regardless.
+    pub unit_cost: Option<Arc<CalibratedModel>>,
 }
 
 impl CoordinatorConfig {
@@ -108,6 +118,7 @@ impl CoordinatorConfig {
             batch_results: true,
             chaos_die_after_units: None,
             trace_dir: None,
+            unit_cost: None,
         }
     }
 
@@ -120,15 +131,27 @@ impl CoordinatorConfig {
             .max(1)
     }
 
+    /// The static priority mass of one manifest shard under this
+    /// configuration's cost model: measured when
+    /// [`CoordinatorConfig::unit_cost`] is set, analytic otherwise.
+    #[must_use]
+    pub fn shard_mass(&self, manifest: &SweepManifest, shard: usize) -> u64 {
+        match &self.unit_cost {
+            Some(model) => manifest.shard_mass_with(shard, |x, y, z| model.priority(x, y, z)),
+            None => manifest.shard_mass(shard),
+        }
+    }
+
     /// The autoscale threshold in effect for a manifest: the explicit
     /// [`CoordinatorConfig::mass_per_worker`], or half the manifest's
     /// mean per-ceiling-worker mass — so a full queue scales out to
     /// `max_workers` and a mostly-drained one stops asking for hands.
+    /// Mass is priced by [`CoordinatorConfig::shard_mass`].
     #[must_use]
     pub fn effective_mass_per_worker(&self, manifest: &SweepManifest) -> u64 {
         self.mass_per_worker.unwrap_or_else(|| {
             let total: u64 = (0..manifest.shards.len())
-                .map(|s| manifest.shard_mass(s))
+                .map(|s| self.shard_mass(manifest, s))
                 .fold(0, u64::saturating_add);
             (total / (2 * self.max_workers.max(1) as u64)).max(1)
         })
@@ -334,7 +357,7 @@ pub fn run_on_queue(
         .map(|(_, m)| m)
         .ok_or_else(|| DistribError::QueueUnreadable(queue.root().to_path_buf()))?;
     let shard_masses: Vec<u64> = (0..queue.shard_count())
-        .map(|s| manifest.shard_mass(s))
+        .map(|s| cfg.shard_mass(&manifest, s))
         .collect();
     let mass_per_worker = cfg.effective_mass_per_worker(&manifest);
     let max_workers = cfg.max_workers.max(cfg.workers).max(1);

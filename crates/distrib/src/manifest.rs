@@ -47,12 +47,28 @@ impl SweepManifest {
     ///   keep corpus order.
     #[must_use]
     pub fn partition(loops: Vec<Loop>, specs: Vec<PointSpec>, shard_count: usize) -> Self {
+        Self::partition_with(loops, specs, shard_count, sweep_priority)
+    }
+
+    /// [`SweepManifest::partition`] with a caller-supplied priority
+    /// function — how a measured [`widening_cost::CalibratedModel`]
+    /// replaces the analytic surrogate for LPT ordering. The sharding
+    /// *shape* (loop-major round-robin) is priority-independent; only
+    /// the within-shard unit order changes, so aggregates remain
+    /// bitwise-equal under any priority.
+    #[must_use]
+    pub fn partition_with(
+        loops: Vec<Loop>,
+        specs: Vec<PointSpec>,
+        shard_count: usize,
+        priority: impl Fn(u32, u32, Option<u32>) -> u64,
+    ) -> Self {
         let n = loops.len() as u32;
         // Design points, heaviest first (stable: ties keep input order).
         let mut spec_order: Vec<u32> = (0..specs.len() as u32).collect();
         spec_order.sort_by_key(|&si| {
             let spec = &specs[si as usize];
-            std::cmp::Reverse(sweep_priority(spec.replication, spec.width, spec.registers))
+            std::cmp::Reverse(priority(spec.replication, spec.width, spec.registers))
         });
         let shard_count = shard_count.max(1).min(loops.len().max(1));
         let mut shards = vec![Vec::new(); shard_count];
@@ -111,6 +127,35 @@ impl SweepManifest {
     #[must_use]
     pub fn shard_mass(&self, shard: usize) -> u64 {
         self.units_mass(&self.shards[shard])
+    }
+
+    /// [`SweepManifest::units_mass`] under a caller-supplied priority
+    /// function (e.g. a measured [`widening_cost::CalibratedModel`]).
+    /// Saturating, like the analytic mass.
+    #[must_use]
+    pub fn units_mass_with(
+        &self,
+        units: &[u32],
+        priority: impl Fn(u32, u32, Option<u32>) -> u64,
+    ) -> u64 {
+        units
+            .iter()
+            .map(|&u| {
+                let spec = &self.specs[self.spec_of(u)];
+                priority(spec.replication, spec.width, spec.registers)
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// [`SweepManifest::shard_mass`] under a caller-supplied priority
+    /// function.
+    #[must_use]
+    pub fn shard_mass_with(
+        &self,
+        shard: usize,
+        priority: impl Fn(u32, u32, Option<u32>) -> u64,
+    ) -> u64 {
+        self.units_mass_with(&self.shards[shard], priority)
     }
 
     /// The content-addressed result key of every unit in a shard's
@@ -306,5 +351,27 @@ mod tests {
         // And the overall heaviest spec is the pressure-starved 8w1(32).
         let first = m.shards[0][0];
         assert_eq!(m.spec_of(first), 1);
+    }
+
+    #[test]
+    fn partition_with_reorders_units_but_not_membership() {
+        let default = SweepManifest::partition(kernels::all(), specs(), 3);
+        // An inverted priority flips each shard's spec order...
+        let inverted = SweepManifest::partition_with(kernels::all(), specs(), 3, |x, y, z| {
+            u64::MAX - widening_cost::sweep_priority(x, y, z)
+        });
+        for (d, i) in default.shards.iter().zip(&inverted.shards) {
+            let mut ds = d.clone();
+            let mut is = i.clone();
+            ds.sort_unstable();
+            is.sort_unstable();
+            // ...while every shard keeps exactly the same unit set.
+            assert_eq!(ds, is);
+            assert_ne!(d.first(), i.first(), "order actually changed");
+        }
+        // A constant priority keeps submission (spec) order — ties are
+        // stable.
+        let flat = SweepManifest::partition_with(kernels::all(), specs(), 3, |_, _, _| 7);
+        assert_eq!(flat.spec_of(flat.shards[0][0]), 0);
     }
 }

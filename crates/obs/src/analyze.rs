@@ -35,10 +35,36 @@ pub struct ChromeDoc {
     pub spans: Vec<SpanRec>,
     /// Number of instant (`"ph":"i"`) events.
     pub instants: usize,
+    /// Instant events grouped by name (`evict`, `steal-claim`,
+    /// `scale-up`, ...), name → count.
+    pub instants_by_name: BTreeMap<String, u64>,
     /// `pid` → process name (from `process_name` metadata).
     pub processes: BTreeMap<u64, String>,
+    /// `pid` → events that process lost to ring overflow, parsed from
+    /// the `(dropped_events=N)` suffix the emitter appends to every
+    /// process name. Nonzero counts mean the tables below undercount.
+    pub dropped_events: BTreeMap<u64, u64>,
     /// `(pid, tid)` → thread name (from `thread_name` metadata).
     pub threads: BTreeMap<(u64, u64), String>,
+}
+
+impl ChromeDoc {
+    /// Total events dropped across all processes.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_events.values().sum()
+    }
+}
+
+/// The `(dropped_events=N)` suffix [`crate::chrome`] folds into each
+/// process label, parsed back out.
+fn dropped_from_label(label: &str) -> Option<u64> {
+    label
+        .rsplit_once("(dropped_events=")?
+        .1
+        .strip_suffix(')')?
+        .parse()
+        .ok()
 }
 
 fn num(event: &Value, key: &str) -> Option<f64> {
@@ -97,7 +123,11 @@ pub fn parse_chrome(root: &Value) -> Result<ChromeDoc, String> {
                     args_num,
                 });
             }
-            "i" | "I" | "R" => doc.instants += 1,
+            "i" | "I" | "R" => {
+                doc.instants += 1;
+                let name = obj.get("name").and_then(Value::as_str).unwrap_or("?");
+                *doc.instants_by_name.entry(name.to_string()).or_insert(0) += 1;
+            }
             "B" => *open_begins.entry((pid, tid)).or_insert(0) += 1,
             "E" => {
                 let open = open_begins.entry((pid, tid)).or_insert(0);
@@ -116,6 +146,9 @@ pub fn parse_chrome(root: &Value) -> Result<ChromeDoc, String> {
                     .to_string();
                 match name {
                     "process_name" => {
+                        if let Some(dropped) = dropped_from_label(&arg) {
+                            doc.dropped_events.insert(pid, dropped);
+                        }
                         doc.processes.insert(pid, arg);
                     }
                     "thread_name" => {
@@ -329,7 +362,10 @@ mod tests {
         let doc = doc_from(&[trace]);
         assert_eq!(doc.spans.len(), 2);
         assert_eq!(doc.instants, 1);
+        assert_eq!(doc.instants_by_name.get("evict"), Some(&1));
         assert_eq!(doc.processes[&1], "repro (dropped_events=0)");
+        assert_eq!(doc.dropped_events.get(&1), Some(&0));
+        assert_eq!(doc.total_dropped(), 0);
         assert_eq!(doc.threads[&(1, 1)], "main");
 
         let stats = per_stage_stats(&doc.spans);
@@ -378,6 +414,33 @@ mod tests {
         assert_eq!(shards[0].units, 4);
         assert_eq!(shards[1].steals, 1);
         assert_eq!(shards[1].units, 2);
+    }
+
+    #[test]
+    fn dropped_event_counters_survive_the_round_trip() {
+        let trace = ProcessTrace {
+            process: "worker-1".into(),
+            wall_anchor_ns: 0,
+            dropped: 42,
+            tracks: vec![TrackTrace {
+                tid: 1,
+                label: "w".into(),
+                events: vec![Event {
+                    kind: SpanKind::StealClaim,
+                    start_ns: 5,
+                    end_ns: 5,
+                    a: 1,
+                    b: 3,
+                }],
+            }],
+        };
+        let doc = doc_from(&[trace]);
+        assert_eq!(doc.dropped_events.get(&1), Some(&42));
+        assert_eq!(doc.total_dropped(), 42);
+        assert_eq!(doc.instants_by_name.get("steal-claim"), Some(&1));
+        // Labels without the suffix simply have no counter.
+        assert_eq!(dropped_from_label("plain label"), None);
+        assert_eq!(dropped_from_label("x (dropped_events=7)"), Some(7));
     }
 
     #[test]

@@ -69,6 +69,84 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()?.get(key)
     }
+
+    /// Serialises the value back to compact JSON text.
+    ///
+    /// The inverse of [`parse`]: `parse(&v.to_json()) == Ok(v)` for any
+    /// tree this module can produce (numbers are held as `f64`, so
+    /// integers up to 2⁵³ round-trip exactly; non-finite numbers render
+    /// as `null`, which JSON cannot express). Keys come out in
+    /// `BTreeMap` order, making the output deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a number: integers (the common case — counters and
+/// nanosecond timestamps) without a fractional part, everything else
+/// via `f64`'s shortest round-trip formatting.
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse a JSON document. Trailing non-whitespace is an error.
@@ -304,5 +382,26 @@ mod tests {
     fn unicode_and_escapes_round_trip() {
         let v = parse(r#""café ✓ \"q\"""#).unwrap();
         assert_eq!(v.as_str(), Some("café ✓ \"q\""));
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let text = r#"{"a": [1, 2.5, -3e2], "b": "x\n\"y\"", "c": true, "d": null}"#;
+        let v = parse(text).unwrap();
+        let emitted = v.to_json();
+        assert_eq!(parse(&emitted).unwrap(), v);
+        // Integers render without a decimal point.
+        assert!(emitted.contains("[1,2.5,-300]"), "{emitted}");
+        // Control characters stay escaped.
+        assert!(emitted.contains("x\\n\\\"y\\\""), "{emitted}");
+    }
+
+    #[test]
+    fn writer_handles_large_integers_exactly() {
+        // Nanosecond wall times fit comfortably under 2^53.
+        let ns = 4_503_599_627_370_495u64; // 2^52 - 1
+        let v = Value::Number(ns as f64);
+        assert_eq!(v.to_json(), ns.to_string());
+        assert_eq!(parse(&v.to_json()).unwrap().as_f64(), Some(ns as f64));
     }
 }

@@ -26,6 +26,11 @@
 //!   open it at <https://ui.perfetto.dev>), and [`analyze`] parses that
 //!   JSON back (via the tiny [`json`] parser) into per-stage and
 //!   per-track latency tables.
+//! * [`report`] — the **perf ledger**: a versioned machine-readable
+//!   perf report (`BENCH_<stamp>.json`) with per-stage percentiles,
+//!   store counters, per-unit wall times and fleet events, plus the
+//!   min-of-N noise-gated [`report::compare`] that backs
+//!   `repro perf compare` in CI.
 //!
 //! # Recording
 //!
@@ -54,11 +59,13 @@ pub mod analyze;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace_file};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use report::{compare, CompareConfig, Comparison, PerfReport};
 pub use span::{
     format_point, install, instant, is_enabled, now_ns, pack_point, record_span, set_thread_label,
     span, uninstall, unpack_point, Recorder, SpanGuard, SpanKind,

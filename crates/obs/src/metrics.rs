@@ -195,10 +195,12 @@ pub enum MetricValue {
     Counter(u64),
     /// Gauge value.
     Gauge(u64),
-    /// Histogram summary: `(count, p50, p90, p99)`.
+    /// Histogram summary: `(count, sum, p50, p90, p99)`.
     Histogram {
         /// Number of samples.
         count: u64,
+        /// Sum of all samples (wrapping on overflow).
+        sum: u64,
         /// Median (bucket upper bound), `None` when empty.
         p50: Option<u64>,
         /// 90th percentile.
@@ -283,6 +285,7 @@ impl MetricsRegistry {
                 name.clone(),
                 MetricValue::Histogram {
                     count: h.count(),
+                    sum: h.sum(),
                     p50: h.p50(),
                     p90: h.p90(),
                     p99: h.p99(),
@@ -363,6 +366,35 @@ mod tests {
         assert_eq!(h.p99(), Some(2047));
         assert_eq!(h.percentile(1.0), Some(2047));
         assert_eq!(h.percentile(0.0), Some(15), "q=0 clamps to rank 1");
+    }
+
+    /// Audit for the "p99 of a single-sample histogram reports 0"
+    /// report: it does not reproduce. `percentile` clamps the rank to
+    /// `[1, count]`, so every quantile of a one-sample histogram lands
+    /// in the sample's bucket and reports that bucket's **upper
+    /// bound** — never 0 unless the sample itself was 0. These
+    /// regression tests pin the boundary behaviour.
+    #[test]
+    fn single_sample_percentiles_at_bucket_boundaries() {
+        // Exact powers of two sit at the *low* edge of their bucket;
+        // 2^k - 1 at the high edge. Both must report the same upper
+        // bound for every quantile.
+        for value in [1u64, 2, 3, 4, 7, 8, 1023, 1024, (1 << 52) - 1, 1 << 52] {
+            let h = Histogram::new();
+            h.record(value);
+            let upper = bucket_upper(bucket_of(value));
+            assert!(upper >= value, "upper bound covers the sample");
+            for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.percentile(q), Some(upper), "value={value} q={q}");
+            }
+        }
+        // The two extremes: 0 has its own bucket; u64::MAX saturates.
+        let zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.p99(), Some(0));
+        let max = Histogram::new();
+        max.record(u64::MAX);
+        assert_eq!(max.p99(), Some(u64::MAX));
     }
 
     #[test]

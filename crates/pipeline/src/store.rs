@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use widening_obs as obs;
-use widening_obs::{Counter, Gauge, MetricsRegistry};
+use widening_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Lock shards per store: enough to keep a ~16-thread sweep off each
 /// other's locks, small enough to cost nothing.
@@ -62,6 +62,10 @@ pub(crate) struct StoreMetrics {
     disk_hits: Arc<Counter>,
     evictions: Arc<Counter>,
     resident: Arc<Gauge>,
+    /// Live stage-execution latency (`Fetch::Computed` only — disk
+    /// decodes and memo hits would drown the signal the perf ledger
+    /// reads percentiles from).
+    latency: Arc<Histogram>,
 }
 
 impl StoreMetrics {
@@ -73,6 +77,7 @@ impl StoreMetrics {
             disk_hits: registry.counter(&format!("store.{stage}.disk-hits")),
             evictions: registry.counter(&format!("store.{stage}.evictions")),
             resident: registry.gauge(&format!("store.{stage}.resident-bytes")),
+            latency: registry.histogram(&format!("store.{stage}.latency-ns")),
         }
     }
 
@@ -169,14 +174,21 @@ impl<K: Eq + Hash + Clone, V: Clone> StageStore<K, V> {
         let mut source = None;
         let value = cell
             .get_or_init(|| {
+                let started = std::time::Instant::now();
                 let (value, fetched) = fetch();
-                source = Some(fetched);
+                let elapsed = started.elapsed();
+                source = Some((fetched, elapsed));
                 value
             })
             .clone();
-        if let Some(fetched) = source {
+        if let Some((fetched, elapsed)) = source {
             match fetched {
-                Fetch::Computed => self.metrics.runs.inc(),
+                Fetch::Computed => {
+                    self.metrics.runs.inc();
+                    self.metrics
+                        .latency
+                        .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+                }
                 Fetch::Disk => self.metrics.disk_hits.inc(),
             };
             let bytes = size_of(&value);
@@ -447,6 +459,19 @@ mod tests {
         store.get_or_fetch(2, |_| 8, || (2, Fetch::Computed));
         assert_eq!(store.runs(), 1);
         assert_eq!(store.disk_hits(), 1);
+    }
+
+    #[test]
+    fn only_computed_fetches_record_latency() {
+        let registry = MetricsRegistry::new();
+        let store: StageStore<u32, u32> =
+            StageStore::pinned(StoreMetrics::for_stage(&registry, "t"));
+        store.get_or_fetch(1, |_| 8, || (1, Fetch::Computed));
+        store.get_or_fetch(2, |_| 8, || (2, Fetch::Disk));
+        store.get_or_fetch(1, |_| 8, || unreachable!("memo hit"));
+        let hist = registry.histogram("store.t.latency-ns");
+        assert_eq!(hist.count(), 1, "one live run, one sample");
+        assert!(hist.p99().is_some());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Simulator hot-path benchmark: simulated loops per second at the
-//! scalar baseline `1w1` versus the paper's winner `4w2`, plus the
+//! scalar baseline `1w1` versus the paper's winner `4w2`, for both
+//! execution backends — the cycle-level interpreter and the lowered
+//! `WideProgram` bytecode — plus the lowering step itself and the
 //! scalar reference interpreter alone. Future PRs touching the
-//! simulator's issue loop, operand resolution or forwarding rings
-//! should watch these numbers.
+//! simulator's issue loop, operand resolution, forwarding rings or the
+//! bytecode executor should watch these numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use widening::lower::lower;
 use widening::machine::{Configuration, CycleModel};
 use widening::regalloc::schedule_with_registers;
-use widening::sim::{run_reference, simulate_scheduled, WideMachine};
+use widening::sim::{run_reference, simulate_scheduled, Backend, WideMachine};
 use widening::transform::widen;
 use widening::workload::kernels;
 
@@ -49,6 +52,35 @@ fn bench_sim_throughput(c: &mut Criterion) {
                 }
             })
         });
+
+        // The lowering step itself: CompiledLoop → WideProgram. Paid
+        // once per design point (then memoized), so it only has to be
+        // cheap relative to scheduling — but it should never regress
+        // silently either.
+        g.bench_function(format!("lower_{spec}"), |b| {
+            b.iter(|| {
+                for (l, outcome, result) in &prepared {
+                    black_box(lower(l.ddg(), outcome, result).num_insts());
+                }
+            })
+        });
+
+        // The decode-free bytecode executor over pre-lowered programs —
+        // the apples-to-apples rival of `machine_only` above (same
+        // trips, same stats, bitwise-equal runs).
+        let programs: Vec<_> = prepared
+            .iter()
+            .map(|(l, outcome, result)| (l.clone(), lower(l.ddg(), outcome, result)))
+            .collect();
+        g.bench_function(format!("lowered_exec_{spec}"), |b| {
+            b.iter(|| {
+                for (l, program) in &programs {
+                    let run = program.exec(l.trip_count().min(100));
+                    black_box(run.stats.cycles);
+                }
+            })
+        });
+
         g.bench_function(format!("validated_{spec}"), |b| {
             b.iter(|| {
                 for (l, outcome, result) in &prepared {
@@ -58,6 +90,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
                         result,
                         model,
                         l.trip_count().min(100),
+                        Backend::Interpret,
                     )
                     .unwrap();
                     assert!(report.is_validated());

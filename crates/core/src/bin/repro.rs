@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate]
-//!       [--cache-dir DIR] [--cache-budget BYTES] [--extend N]
-//!       [--shards N] [--trace FILE] <experiment>... | all | list
+//!       [--exec interpret|lowered|differential] [--cache-dir DIR]
+//!       [--cache-budget BYTES] [--extend N] [--shards N] [--trace FILE]
+//!       <experiment>... | all | list
 //! repro worker --queue DIR --cache-dir DIR [--threads N]
 //!       [--lease-ttl-ms MS] [--no-requeue] [--trace-file FILE]
 //! repro trace summarize FILE
@@ -26,6 +27,12 @@
 //!   named experiments. With `--cache-dir`, validated per-loop
 //!   summaries persist too, so a second `--simulate` run warm-starts
 //!   from the disk tier.
+//! * `--exec MODE` — execution backend for the simulation experiments:
+//!   `interpret` (the cycle-level interpreter, default), `lowered`
+//!   (flat `WideProgram` bytecode, lowered once per design point
+//!   through the pipeline's memoized — and disk-persisted — lower
+//!   stage), or `differential` (run **both** and fail on the first
+//!   bitwise difference; the interpreter is the oracle).
 //! * `--cache-dir DIR` — persist stage artifacts in a content-addressed
 //!   on-disk store under `DIR`; a second run over the same corpus
 //!   decodes every stage instead of recompiling it. Prints a final
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
     let mut chaos_exit_units: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut cost_model: Option<String> = None;
+    let mut exec: Option<widening::sim::Backend> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = argv.into_iter().peekable();
@@ -163,6 +171,11 @@ fn main() -> ExitCode {
                 Some(f) if !f.starts_with('-') => trace = Some(f),
                 _ => return usage("--trace needs an output file"),
             },
+            "--exec" => match args.next().map(|s| s.parse()) {
+                Some(Ok(b)) => exec = Some(b),
+                Some(Err(why)) => return usage(&why),
+                None => return usage("--exec needs a backend: interpret | lowered | differential"),
+            },
             "--cost-model" => match args.next() {
                 Some(f) if !f.starts_with('-') => cost_model = Some(f),
                 _ => {
@@ -203,6 +216,10 @@ fn main() -> ExitCode {
                 }
             }
             a if a.starts_with("--trace=") => trace = Some(a["--trace=".len()..].to_string()),
+            a if a.starts_with("--exec=") => match a["--exec=".len()..].parse() {
+                Ok(b) => exec = Some(b),
+                Err(why) => return usage(&why),
+            },
             a if a.starts_with("--cost-model=") => {
                 cost_model = Some(a["--cost-model=".len()..].to_string());
             }
@@ -289,12 +306,14 @@ fn main() -> ExitCode {
         cache_budget,
         extend,
         unit_cost.clone(),
-    );
+    )
+    .with_backend(exec.unwrap_or_default());
     eprintln!(
-        "corpus: {} loops (seed {}), {} worker threads",
+        "corpus: {} loops (seed {}), {} worker threads, {} exec backend",
         ctx.eval.loops().len(),
         seed.unwrap_or_else(|| CorpusSpec::default().seed),
-        ctx.eval.threads()
+        ctx.eval.threads(),
+        ctx.backend,
     );
     // Stage work done outside this process (distributed sweep workers),
     // folded into the final `cache:` summary.
@@ -656,7 +675,7 @@ fn build_context(
         });
     }
     eval.extend(appended.to_vec());
-    Context { eval }
+    Context::over(eval)
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix.
@@ -681,7 +700,8 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro [--quick[=N]] [--csv] [--seed S] [--threads N] [--simulate] \
-         [--cache-dir DIR] [--cache-budget BYTES] [--extend N] [--shards N] \
+         [--exec interpret|lowered|differential] [--cache-dir DIR] \
+         [--cache-budget BYTES] [--extend N] [--shards N] \
          [--max-workers M] [--chaos-exit-units N] [--trace FILE] \
          [--cost-model FILE] <experiment>... | all | list"
     );

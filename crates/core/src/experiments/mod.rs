@@ -22,32 +22,53 @@ pub use transients::{simulate, transients};
 
 use crate::evaluate::Evaluator;
 use crate::report::Report;
+use widening_sim::Backend;
 use widening_workload::corpus::{self, CorpusSpec};
 
 /// Shared experiment state: the corpus evaluator (which owns the cost
-/// models and the result cache).
+/// models and the result cache) and the execution backend the
+/// simulation experiments run on.
 #[derive(Debug, Clone)]
 pub struct Context {
     /// The corpus evaluator.
     pub eval: Evaluator,
+    /// Execution backend for the simulation experiments (`repro
+    /// --exec`): the cycle-level interpreter (default), the lowered
+    /// bytecode, or both in lock-step.
+    pub backend: Backend,
 }
 
 impl Context {
     /// The paper-scale context: the full 1180-loop surrogate corpus.
     #[must_use]
     pub fn paper() -> Self {
-        Context {
-            eval: Evaluator::new(corpus::perfect_club_surrogate()),
-        }
+        Context::over(Evaluator::new(corpus::perfect_club_surrogate()))
     }
 
     /// A reduced context for tests, benches and `repro --quick`: same
     /// corpus mix, fewer loops.
     #[must_use]
     pub fn quick(loops: usize) -> Self {
+        Context::over(Evaluator::new(corpus::generate(&CorpusSpec::small(
+            loops, 1998,
+        ))))
+    }
+
+    /// A context over an existing evaluator, on the default
+    /// (interpreter) backend.
+    #[must_use]
+    pub fn over(eval: Evaluator) -> Self {
         Context {
-            eval: Evaluator::new(corpus::generate(&CorpusSpec::small(loops, 1998))),
+            eval,
+            backend: Backend::default(),
         }
+    }
+
+    /// Selects the execution backend for the simulation experiments.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 

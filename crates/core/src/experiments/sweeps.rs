@@ -299,6 +299,14 @@ pub fn stage_counter_table(c: &StageCounts) -> Report {
         c.schedule_evictions,
         c.schedule_resident_bytes,
     ));
+    r.push_row(row(
+        "lower",
+        c.lower_runs,
+        c.lower_requests,
+        c.lower_disk_hits,
+        0,
+        0,
+    ));
     r.push_note(format!(
         "live runs {} · disk hits {} · memo+disk hits {}",
         c.live_runs(),

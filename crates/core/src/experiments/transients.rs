@@ -46,6 +46,7 @@ pub fn simulate(ctx: &Context) -> Report {
             CycleModel::Cycles4,
             &EvalOptions::default(),
             None,
+            ctx.backend,
         );
         r.push_row([
             spec.to_string(),
@@ -67,6 +68,7 @@ pub fn simulate(ctx: &Context) -> Report {
         "every simulated loop's final memory and value checksums match the scalar \
          reference bitwise",
     );
+    r.push_note(format!("execution backend: {}", ctx.backend));
     r.push_note(
         "dyn/analytic > 1: fill/drain transient the II·⌈trip/Y⌉ accounting omits; \
          failed = register pressure, as in the analytic pipeline",
@@ -91,6 +93,7 @@ pub fn transients(ctx: &Context) -> Report {
                 CycleModel::Cycles4,
                 &EvalOptions::default(),
                 Some(trip),
+                ctx.backend,
             );
             row.push(f2(sim.transient_ratio()));
         }
@@ -109,7 +112,9 @@ mod tests {
 
     #[test]
     fn simulate_report_is_well_formed() {
-        let ctx = Context::quick(8);
+        // Differential keeps the lowered backend honest on every run of
+        // this experiment's quick corpus.
+        let ctx = Context::quick(8).with_backend(widening_sim::Backend::Differential);
         let r = simulate(&ctx);
         assert_eq!(r.rows.len(), SIM_CONFIGS.len());
         for row in &r.rows {

@@ -28,8 +28,12 @@
 //!   path lives in [`distributed`]);
 //! * `widening-cost` — register-cell/area/timing models, SIA roadmap;
 //! * `widening-workload` — the Perfect-Club-surrogate corpus;
-//! * `widening-sim` — cycle-accurate wide-datapath simulator with
-//!   differential validation against a scalar reference;
+//! * `widening-lower` — the execution backend: lowers a compiled wide
+//!   loop to flat `WideProgram` bytecode with a tight decode-free
+//!   executor;
+//! * `widening-sim` — cycle-accurate wide-datapath simulator
+//!   (interpreter, lowered-bytecode and differential backends) with
+//!   validation against a scalar reference;
 //! * [`experiments`] — one runnable entry per paper table and figure,
 //!   plus the simulation experiments (`simulate`, `transients`) and the
 //!   shared-cache `sweep` demonstration;
@@ -75,6 +79,7 @@ pub use simulate::{simulate_corpus, SimCorpusEval, SimLoopEval};
 pub use widening_cost as cost;
 pub use widening_distrib as distrib;
 pub use widening_ir as ir;
+pub use widening_lower as lower;
 pub use widening_machine as machine;
 pub use widening_pipeline as pipeline;
 pub use widening_regalloc as regalloc;
@@ -97,7 +102,7 @@ pub mod prelude {
     };
     pub use widening_regalloc::{schedule_with_registers, SpillOptions};
     pub use widening_sched::{MiiBounds, ModuloScheduler, Schedule, Strategy};
-    pub use widening_sim::{simulate_loop, SimReport};
+    pub use widening_sim::{simulate_loop, Backend, SimReport};
     pub use widening_transform::widen;
     pub use widening_workload::{corpus, kernels};
 }

@@ -103,6 +103,29 @@ fn run_suite(
     let _ = eval.baseline_256();
     report.push_sample("baseline256.wall_ns", ns(t.elapsed()));
 
+    // Both execution backends over the paper's winning configuration:
+    // the interpreter and the lowered bytecode (lowering included in
+    // the first lowered sample, memoized for the rest). The pair is the
+    // ledger's record of the lowered backend's speedup.
+    let sim_cfg: widening_machine::Configuration =
+        "4w2(128:1)".parse().expect("static configuration");
+    for backend in [
+        widening_sim::Backend::Interpret,
+        widening_sim::Backend::Lowered,
+    ] {
+        let t = Instant::now();
+        let sim = crate::simulate::simulate_corpus(
+            &eval,
+            &sim_cfg,
+            widening_machine::CycleModel::Cycles4,
+            &crate::evaluate::EvalOptions::default(),
+            None,
+            backend,
+        );
+        report.push_sample(&format!("simulate.{backend}.wall_ns"), ns(t.elapsed()));
+        assert!(sim.all_validated(), "perf suite simulation diverged");
+    }
+
     // Per-stage compute totals as probes too: the gate then localises a
     // regression to the stage that slowed down, not just "the sweep".
     let snapshot = eval.pipeline().metrics().snapshot();

@@ -29,7 +29,7 @@ use widening_machine::{Configuration, CycleModel};
 use widening_pipeline::codec::{Reader, Writer};
 use widening_pipeline::exchange::{sim_summary_key, SIM_SUMMARY_KIND};
 use widening_pipeline::{pool, Exchange, PointSpec};
-use widening_sim::{simulate_scheduled, SimStats};
+use widening_sim::{simulate_scheduled, simulate_with_program, Backend, SimStats};
 
 use crate::evaluate::{EvalOptions, Evaluator};
 
@@ -142,6 +142,15 @@ impl SimCorpusEval {
 /// Simulates the whole corpus on `cfg`, optionally forcing every loop to
 /// `trip_override` iterations (used by the transients experiment to
 /// sweep trip counts).
+///
+/// `backend` selects the execution engine: the cycle-level interpreter,
+/// the lowered `WideProgram` bytecode, or both in lock-step
+/// ([`Backend::Differential`], which errors on the first divergence).
+/// Backends that execute bytecode materialize the program through the
+/// pipeline's memoized (and disk-persisted) lower stage, so a transients
+/// sweep lowers each design point **once** across all its trip
+/// overrides, and a warm `--simulate` run decodes programs from disk
+/// with zero live lower-stage runs.
 #[must_use]
 pub fn simulate_corpus(
     eval: &Evaluator,
@@ -149,6 +158,7 @@ pub fn simulate_corpus(
     model: CycleModel,
     opts: &EvalOptions,
     trip_override: Option<u64>,
+    backend: Backend,
 ) -> SimCorpusEval {
     let loops = eval.loops();
     let spec = PointSpec::scheduled(cfg, model, *opts);
@@ -166,7 +176,15 @@ pub fn simulate_corpus(
         let key = exchange
             .as_ref()
             .zip(pipeline.content_fingerprint(li))
-            .map(|(_, fp)| sim_summary_key(fp, &spec, trip));
+            .map(|(_, fp)| {
+                // The backend is part of the summary key: a persisted
+                // interpreter run must never short-circuit a
+                // differential run (the whole point of which is to
+                // execute both engines).
+                let mut key = sim_summary_key(fp, &spec, trip);
+                key.extend_from_slice(backend.label().as_bytes());
+                key
+            });
         if let (Some(ex), Some(key)) = (&exchange, &key) {
             if let Some((ii, stats)) = ex
                 .get(SIM_SUMMARY_KIND, key)
@@ -189,7 +207,41 @@ pub fn simulate_corpus(
         let stage = compiled
             .scheduled()
             .expect("scheduled design points always carry a schedule stage");
-        match simulate_scheduled(l.ddg(), compiled.wide(), &stage.result, model, trip) {
+        // Bytecode-executing backends fetch the program from the
+        // memoized lower stage (shared across trips and warm-started
+        // from disk) instead of lowering inline per run.
+        let program = if backend.uses_lowered() {
+            match pipeline.lowered(li, &spec) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    return SimLoopEval::Failed {
+                        why: format!("pipeline failed: {e}"),
+                    }
+                }
+            }
+        } else {
+            None
+        };
+        let outcome = match &program {
+            Some(p) => simulate_with_program(
+                l.ddg(),
+                compiled.wide(),
+                &stage.result,
+                model,
+                trip,
+                backend,
+                p,
+            ),
+            None => simulate_scheduled(
+                l.ddg(),
+                compiled.wide(),
+                &stage.result,
+                model,
+                trip,
+                backend,
+            ),
+        };
+        match outcome {
             Ok(report) if report.is_validated() => {
                 if let (Some(ex), Some(key)) = (&exchange, &key) {
                     ex.put(
@@ -247,12 +299,14 @@ mod tests {
     fn kernels_simulate_and_validate() {
         let ev = Evaluator::new(kernels::all());
         let cfg = Configuration::monolithic(2, 2, 128).unwrap();
+        // Differential: interpreter and lowered bytecode in lock-step.
         let r = simulate_corpus(
             &ev,
             &cfg,
             CycleModel::Cycles4,
             &EvalOptions::default(),
             None,
+            Backend::Differential,
         );
         assert!(r.all_validated(), "divergent: {}", r.divergent);
         assert_eq!(r.failed, 0);
@@ -272,6 +326,7 @@ mod tests {
                 CycleModel::Cycles4,
                 &EvalOptions::default(),
                 None,
+                Backend::Differential,
             );
             assert!(r.all_validated(), "{spec}: {} divergent", r.divergent);
         }
@@ -292,6 +347,7 @@ mod tests {
             CycleModel::Cycles4,
             &EvalOptions::default(),
             None,
+            Backend::Interpret,
         );
         assert!(cold.all_validated());
         assert_eq!(cold.warm_hits, 0, "cold run must execute");
@@ -306,6 +362,7 @@ mod tests {
             CycleModel::Cycles4,
             &EvalOptions::default(),
             None,
+            Backend::Interpret,
         );
         assert_eq!(warm.warm_hits, warm.validated);
         assert_eq!(warm.validated, cold.validated);
@@ -328,6 +385,7 @@ mod tests {
             CycleModel::Cycles4,
             &EvalOptions::default(),
             Some(4),
+            Backend::Lowered,
         );
         let long = simulate_corpus(
             &ev,
@@ -335,14 +393,17 @@ mod tests {
             CycleModel::Cycles4,
             &EvalOptions::default(),
             Some(64),
+            Backend::Lowered,
         );
         assert!(short.dynamic_cycles < long.dynamic_cycles);
         // Short trips amplify the transient share.
         assert!(short.transient_ratio() >= long.transient_ratio());
-        // Both trip counts replayed one memoized schedule per loop.
-        assert_eq!(
-            ev.pipeline().stage_counts().schedule_runs,
-            kernels::all().len() as u64
-        );
+        // Both trip counts replayed one memoized schedule per loop —
+        // and, on the lowered backend, one memoized program per loop:
+        // trip overrides share the trip-independent bytecode.
+        let c = ev.pipeline().stage_counts();
+        assert_eq!(c.schedule_runs, kernels::all().len() as u64);
+        assert_eq!(c.lower_runs, kernels::all().len() as u64);
+        assert_eq!(c.lower_requests, 2 * kernels::all().len() as u64);
     }
 }

@@ -60,7 +60,7 @@ use crate::queue::{JobQueue, LeaseObserver, LeaseStamp, LeaseWatch};
 use crate::DistribError;
 
 /// Version of the [`ShardReport`] encoding.
-const REPORT_VERSION: u32 = 2;
+const REPORT_VERSION: u32 = 3;
 
 /// Batch part tag of the shard owner's record.
 const PART_OWNER: u8 = 0;
@@ -206,6 +206,9 @@ impl ShardReport {
             c.schedule_disk_hits,
             c.schedule_evictions,
             c.schedule_resident_bytes,
+            c.lower_runs,
+            c.lower_requests,
+            c.lower_disk_hits,
         ] {
             w.u64(v);
         }
@@ -235,6 +238,9 @@ impl ShardReport {
             schedule_disk_hits: r.u64()?,
             schedule_evictions: r.u64()?,
             schedule_resident_bytes: r.u64()?,
+            lower_runs: r.u64()?,
+            lower_requests: r.u64()?,
+            lower_disk_hits: r.u64()?,
         };
         r.exhausted().then_some(ShardReport {
             shard,
@@ -1035,6 +1041,9 @@ mod tests {
                 schedule_disk_hits: 9,
                 schedule_evictions: 5,
                 schedule_resident_bytes: 1 << 20,
+                lower_runs: 12,
+                lower_requests: 48,
+                lower_disk_hits: 3,
             }),
         };
         let bytes = report.encode();

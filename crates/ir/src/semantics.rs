@@ -28,8 +28,14 @@ const DIV_GUARD: f64 = 1.0e-6;
 /// Bounds `x` to `(-1e6, 1e6)` deterministically; non-finite inputs
 /// collapse to `1.0`. Applied to every operation result.
 #[must_use]
+#[inline]
 pub fn squash(x: f64) -> f64 {
-    if x.is_finite() {
+    // In-range values (the overwhelmingly common case) are their own
+    // remainder bit for bit, so the `fmod` call is skipped. `-0.0`
+    // takes the fast path too, matching `fmod(-0.0, b) == -0.0`.
+    if x > -SQUASH_BOUND && x < SQUASH_BOUND {
+        x
+    } else if x.is_finite() {
         x % SQUASH_BOUND
     } else {
         1.0
@@ -41,6 +47,7 @@ pub fn squash(x: f64) -> f64 {
 /// operations with no register operands. Values are small dyadic
 /// rationals, exactly representable in an `f64`.
 #[must_use]
+#[inline]
 pub fn source_value(node: u32, iteration: i64) -> f64 {
     let mut h = (u64::from(node) << 32) ^ (iteration as u64) ^ 0x9E37_79B9_7F4A_7C15;
     h ^= h >> 33;
@@ -53,6 +60,7 @@ pub fn source_value(node: u32, iteration: i64) -> f64 {
 /// `iteration` (loads and stores use disjoint regions; see the simulator
 /// crate for the layout).
 #[must_use]
+#[inline]
 pub fn initial_memory_value(node: u32, iteration: i64) -> f64 {
     source_value(node ^ 0x4D45_4D00, iteration)
 }
@@ -73,6 +81,7 @@ pub fn initial_memory_value(node: u32, iteration: i64) -> f64 {
 /// With no operands the value is [`source_value`]. Every result is
 /// [`squash`]ed.
 #[must_use]
+#[inline]
 pub fn eval_op(kind: OpKind, inputs: &[f64], node: u32, iteration: i64) -> f64 {
     if inputs.is_empty() {
         return squash(source_value(node, iteration));

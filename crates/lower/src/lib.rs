@@ -1,0 +1,48 @@
+//! **widening-lower** — lowers a compiled+allocated wide loop to a flat,
+//! executable register-machine program, for the *Widening Resources*
+//! (MICRO 1998) reproduction.
+//!
+//! The interpreting simulator in `widening-sim` re-derives everything on
+//! every issue: it walks the original graph's in-edges, maps operands
+//! through the widening outcome, consults the allocator's location table
+//! and allocates fresh value vectors per operation. [`lower`] does all of
+//! that **once**, at compile time, producing a [`WideProgram`]: per-row
+//! instruction streams whose operands are pre-resolved descriptors
+//! (producer ring slot, lane index, block delta, read mode) and whose
+//! register/slot indices come from a flattened location table. The
+//! decode-free [`WideProgram::exec`] loop then replays the schedule's
+//! exact issue order — prologue, parameterized kernel re-entry per block,
+//! epilogue — and reproduces the interpreter's [`WideRun`] (final memory,
+//! per-node checksums and all dynamic counters) **bitwise**.
+//!
+//! Three compile-time transformations make the executable fast without
+//! changing observable behaviour:
+//!
+//! * lane-crossing forwards (wide-to-wide dependences whose original
+//!   distance is not a multiple of `Y`) are compiled to explicit
+//!   ring-buffer moves plus a register-owner probe that decides the
+//!   `cross_block_reads` counter exactly as the interpreter's register
+//!   file would;
+//! * spill-slot traffic is compiled away: a slot provably mirrors its
+//!   victim's value ring, so reloads become owner updates plus slot
+//!   counters and consumers read the victim ring directly;
+//! * trip-count and ragged-tail handling stay runtime parameters of
+//!   `exec`, so one lowered program serves every trip count (the
+//!   cross-trip batching the `transients` experiment relies on).
+//!
+//! The crate also owns the execution substrate both backends share —
+//! [`Memory`], [`checksum_step`], [`SimStats`] and [`WideRun`] — so the
+//! interpreter (`widening-sim`) can depend on this crate and compare
+//! runs without a dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod memory;
+pub mod program;
+mod stats;
+
+pub use memory::Memory;
+pub use program::{lower, WideProgram};
+pub use stats::{checksum_step, SimStats, WideRun};

@@ -1,4 +1,4 @@
-//! The concrete memory both interpreters execute against.
+//! The concrete memory every execution backend runs against.
 //!
 //! Every memory operation of the **original** loop body owns a private
 //! region of `trip` cells; the cell for iteration `i` is `base + i`.
@@ -32,17 +32,28 @@ impl Memory {
     /// original loop `ddg`.
     #[must_use]
     pub fn for_loop(ddg: &Ddg, trip: u64) -> Self {
+        let layout: Vec<(u32, bool)> = ddg
+            .node_ids()
+            .filter(|&v| ddg.op(v).kind().is_memory())
+            .map(|v| (v.0, ddg.op(v).kind() == widening_ir::OpKind::Load))
+            .collect();
+        Memory::from_layout(ddg.num_nodes(), &layout, trip)
+    }
+
+    /// Lays out memory from a pre-extracted layout: the memory nodes of
+    /// the original loop in ascending node-id order, each flagged
+    /// load/store. This is how a self-contained [`crate::WideProgram`]
+    /// rebuilds memory without the graph; [`Memory::for_loop`] delegates
+    /// here so both constructions are identical by definition.
+    #[must_use]
+    pub fn from_layout(num_nodes: usize, mem_nodes: &[(u32, bool)], trip: u64) -> Self {
         let trip_len = usize::try_from(trip).expect("trip count fits usize");
-        let mut base = vec![None; ddg.num_nodes()];
+        let mut base = vec![None; num_nodes];
         let mut data = Vec::new();
-        for v in ddg.node_ids() {
-            let op = ddg.op(v);
-            if !op.kind().is_memory() {
-                continue;
-            }
-            base[v.index()] = Some(data.len());
-            if op.kind() == widening_ir::OpKind::Load {
-                data.extend((0..trip_len).map(|i| semantics::initial_memory_value(v.0, i as i64)));
+        for &(v, is_load) in mem_nodes {
+            base[v as usize] = Some(data.len());
+            if is_load {
+                data.extend((0..trip_len).map(|i| semantics::initial_memory_value(v, i as i64)));
             } else {
                 data.extend(std::iter::repeat_n(0.0, trip_len));
             }
@@ -56,12 +67,20 @@ impl Memory {
         self.trip
     }
 
+    /// Every cell of every region, in layout order — the raw state a
+    /// bitwise backend comparison runs over.
+    #[must_use]
+    pub fn cells(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Reads the cell of memory op `v` for iteration `i`.
     ///
     /// # Panics
     ///
     /// Panics if `v` is not a memory operation or `i` is out of range.
     #[must_use]
+    #[inline]
     pub fn read(&self, v: NodeId, i: u64) -> f64 {
         self.data[self.index(v, i)]
     }
@@ -71,6 +90,7 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `v` is not a memory operation or `i` is out of range.
+    #[inline]
     pub fn write(&mut self, v: NodeId, i: u64, value: f64) {
         let idx = self.index(v, i);
         self.data[idx] = value;
@@ -87,6 +107,19 @@ impl Memory {
         &self.data[b..b + self.trip as usize]
     }
 
+    #[inline]
+    /// Mutable region of memory op `v`, one cell per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a memory operation.
+    pub(crate) fn region_mut(&mut self, v: NodeId) -> &mut [f64] {
+        let b = self.base[v.index()].expect("memory operation");
+        let trip = self.trip as usize;
+        &mut self.data[b..b + trip]
+    }
+
+    #[inline]
     fn index(&self, v: NodeId, i: u64) -> usize {
         assert!(
             i < self.trip,
@@ -131,6 +164,14 @@ mod tests {
         m.write(st, 2, 7.5);
         assert_eq!(m.region(st), &[0.0, 0.0, 7.5, 0.0]);
         assert_eq!(m.read(st, 2), 7.5);
+    }
+
+    #[test]
+    fn layout_construction_matches_for_loop() {
+        let g = ld_st();
+        let m = Memory::for_loop(&g, 6);
+        let layout = [(0u32, true), (2u32, false)];
+        assert_eq!(m, Memory::from_layout(3, &layout, 6));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Dynamic execution counters and the result of one wide execution —
+//! the common currency of every execution backend.
+
+use crate::memory::Memory;
+
+/// Dynamic counters from one wide-datapath execution. Both the
+/// interpreting simulator and the lowered-bytecode backend fill this in,
+/// and a correct lowering matches the interpreter **bitwise** on every
+/// field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Exact dynamic cycles: prologue + kernel + epilogue.
+    pub cycles: u64,
+    /// Widened kernel iterations executed (`⌈trip / Y⌉`).
+    pub blocks: u64,
+    /// The paper's steady-state accounting for the same run:
+    /// `II · blocks`.
+    pub steady_state_cycles: u64,
+    /// Operations issued (wide or scalar instruction slots consumed).
+    pub issued_ops: u64,
+    /// Lanes skipped because the trip count is not a multiple of `Y`
+    /// (the final partial block).
+    pub masked_lanes: u64,
+    /// Operand lanes that needed an instance one block older than the
+    /// widened dependence edge records (wide-to-wide edges whose
+    /// original distance is not a multiple of `Y`); served by the
+    /// forwarding network, not the register file.
+    pub cross_block_reads: u64,
+    /// Wide values written to / read from spill slots.
+    pub spill_slot_accesses: u64,
+}
+
+impl SimStats {
+    /// Dynamic minus steady-state cycles: the fill/drain transient the
+    /// analytic model omits (negative when the pipeline drains inside
+    /// the last initiation interval).
+    #[must_use]
+    pub fn transient_cycles(&self) -> i64 {
+        self.cycles as i64 - self.steady_state_cycles as i64
+    }
+}
+
+/// The result of one wide execution, from either backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideRun {
+    /// Final memory state (same layout as the reference's).
+    pub memory: Memory,
+    /// Per **original** node checksums, comparable to the scalar
+    /// reference interpreter's.
+    pub checksums: Vec<u64>,
+    /// Dynamic counters.
+    pub stats: SimStats,
+}
+
+impl WideRun {
+    /// Whether two runs are bitwise identical: every memory cell, every
+    /// checksum and every dynamic counter. (`f64` equality would accept
+    /// `0.0 == -0.0`; backend equivalence must not.)
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &WideRun) -> bool {
+        self.stats == other.stats
+            && self.checksums == other.checksums
+            && self.memory.trip() == other.memory.trip()
+            && self.memory.cells().len() == other.memory.cells().len()
+            && self
+                .memory
+                .cells()
+                .iter()
+                .zip(other.memory.cells())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Order-independent accumulation of one `(iteration, value)` sample
+/// into a node's checksum. XOR of mixed samples, so the wide backends
+/// may compute scalar lanes in any issue order.
+#[must_use]
+#[inline]
+pub fn checksum_step(iteration: u64, value: f64) -> u64 {
+    let mut h = value.to_bits() ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 29)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_step_is_order_independent_by_xor() {
+        let s1 = checksum_step(0, 1.5) ^ checksum_step(1, 2.5);
+        let s2 = checksum_step(1, 2.5) ^ checksum_step(0, 1.5);
+        assert_eq!(s1, s2);
+        assert_ne!(checksum_step(0, 1.5), checksum_step(1, 1.5));
+        assert_ne!(checksum_step(0, 1.5), checksum_step(0, 2.5));
+    }
+
+    #[test]
+    fn transient_is_signed() {
+        let s = SimStats {
+            cycles: 10,
+            steady_state_cycles: 12,
+            ..SimStats::default()
+        };
+        assert_eq!(s.transient_cycles(), -2);
+    }
+}

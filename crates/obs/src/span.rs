@@ -81,11 +81,17 @@ pub enum SpanKind {
     /// (`a` = token total, `b` = mass estimate) or a worker retired on
     /// one (`a` = token claimed, `b` = 0).
     ScaleDown = 20,
+    /// Live lower-stage execution (schedule → wide bytecode).
+    /// `a` = loop, `b` = packed point.
+    Lower = 21,
+    /// Disk decode of a lowered-program artifact. `a` = loop,
+    /// `b` = packed point.
+    LowerDecode = 22,
 }
 
 /// Every kind, in wire order. Kept in sync with the enum by the
 /// round-trip test below.
-pub(crate) const ALL_KINDS: [SpanKind; 21] = [
+pub(crate) const ALL_KINDS: [SpanKind; 23] = [
     SpanKind::Widen,
     SpanKind::Mii,
     SpanKind::BaseSchedule,
@@ -107,6 +113,8 @@ pub(crate) const ALL_KINDS: [SpanKind; 21] = [
     SpanKind::ScaleUp,
     SpanKind::Respawn,
     SpanKind::ScaleDown,
+    SpanKind::Lower,
+    SpanKind::LowerDecode,
 ];
 
 impl SpanKind {
@@ -144,6 +152,8 @@ impl SpanKind {
             SpanKind::ScaleUp => "scale-up",
             SpanKind::Respawn => "respawn",
             SpanKind::ScaleDown => "scale-down",
+            SpanKind::Lower => "lower",
+            SpanKind::LowerDecode => "decode:lower",
         }
     }
 
@@ -151,13 +161,16 @@ impl SpanKind {
     #[must_use]
     pub fn category(self) -> &'static str {
         match self {
-            SpanKind::Widen | SpanKind::Mii | SpanKind::BaseSchedule | SpanKind::Schedule => {
-                "stage"
-            }
+            SpanKind::Widen
+            | SpanKind::Mii
+            | SpanKind::BaseSchedule
+            | SpanKind::Schedule
+            | SpanKind::Lower => "stage",
             SpanKind::WidenDecode
             | SpanKind::MiiDecode
             | SpanKind::BaseDecode
-            | SpanKind::SchedDecode => "disk",
+            | SpanKind::SchedDecode
+            | SpanKind::LowerDecode => "disk",
             SpanKind::SweepUnit | SpanKind::QueueWait => "sweep",
             SpanKind::WorkerShard
             | SpanKind::WorkerSteal
@@ -183,6 +196,8 @@ impl SpanKind {
             | SpanKind::BaseDecode
             | SpanKind::Schedule
             | SpanKind::SchedDecode
+            | SpanKind::Lower
+            | SpanKind::LowerDecode
             | SpanKind::SweepUnit
             | SpanKind::QueueWait => ("loop", "point"),
             SpanKind::WorkerShard | SpanKind::WorkerSteal => ("shard", "units"),
@@ -209,6 +224,8 @@ impl SpanKind {
                 | SpanKind::BaseDecode
                 | SpanKind::Schedule
                 | SpanKind::SchedDecode
+                | SpanKind::Lower
+                | SpanKind::LowerDecode
                 | SpanKind::SweepUnit
                 | SpanKind::QueueWait
         )

@@ -901,6 +901,49 @@ pub(crate) fn decode_sched(
     r.exhausted().then_some(SchedPayload::Full(result))
 }
 
+// ---- lowered stage (stage 5) -------------------------------------------
+
+/// Encodes a lowered-stage entry. The program payload delegates to the
+/// lowering crate's own versioned codec ([`widening_lower::codec`]);
+/// this wrapper only adds the ok/error tag so memoized pipeline
+/// failures persist exactly like the other stages' do.
+pub(crate) fn encode_lowered(
+    result: &Result<Arc<widening_lower::WideProgram>, PipelineError>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    match result {
+        Ok(program) => {
+            w.u8(0);
+            w.bytes(&widening_lower::codec::encode_program(program));
+        }
+        Err(e) => {
+            w.u8(1);
+            encode_pipeline_error(&mut w, e);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a lowered-stage entry. The program codec validates its own
+/// version tag and every cross-reference, so a corrupt payload degrades
+/// to a miss here like everywhere else.
+pub(crate) fn decode_lowered(
+    bytes: &[u8],
+) -> Option<Result<Arc<widening_lower::WideProgram>, PipelineError>> {
+    let mut r = Reader::new(bytes);
+    match r.u8()? {
+        0 => {
+            let program = widening_lower::codec::decode_program(r.take(bytes.len() - 1)?)?;
+            Some(Ok(Arc::new(program)))
+        }
+        1 => {
+            let e = decode_pipeline_error(&mut r)?;
+            r.exhausted().then_some(Err(e))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,7 @@ pub(crate) const STAGE_WIDEN: &str = "widen";
 pub(crate) const STAGE_MII: &str = "mii";
 pub(crate) const STAGE_BASE: &str = "base";
 pub(crate) const STAGE_SCHED: &str = "sched";
+pub(crate) const STAGE_LOWER: &str = "lower";
 
 #[derive(Debug)]
 pub(crate) struct DiskTier {

@@ -14,8 +14,10 @@ use widening_regalloc::SpillOptions;
 use widening_sched::{MiiBounds, Strategy};
 use widening_transform::WideningOutcome;
 
+use widening_lower::WideProgram;
+
 use crate::codec;
-use crate::disk::{DiskTier, STAGE_BASE, STAGE_MII, STAGE_SCHED, STAGE_WIDEN};
+use crate::disk::{DiskTier, STAGE_BASE, STAGE_LOWER, STAGE_MII, STAGE_SCHED, STAGE_WIDEN};
 use crate::error::PipelineError;
 use crate::pool::par_map;
 use crate::stage::{
@@ -139,6 +141,12 @@ pub struct Pipeline {
     bounds: StageStore<MiiKey, Arc<MiiBounds>>,
     base: StageStore<BaseKey, Result<Arc<BaseSchedule>, PipelineError>>,
     scheduled: StageStore<SchedKey, Result<Arc<ScheduledStage>, PipelineError>>,
+    /// Stage 5: executable wide-loop bytecode lowered from the
+    /// scheduled stage. Keyed identically to `scheduled` — lowering
+    /// consumes the schedule/allocation/spill result and nothing else
+    /// (in particular no cycle-count model), so the content key is the
+    /// schedule's content key.
+    lowered: StageStore<SchedKey, Result<Arc<WideProgram>, PipelineError>>,
 }
 
 impl Pipeline {
@@ -182,6 +190,10 @@ impl Pipeline {
             scheduled: StageStore::bounded(
                 config.memory_budget,
                 StoreMetrics::for_stage(&metrics, "schedule"),
+            ),
+            lowered: StageStore::bounded(
+                config.memory_budget,
+                StoreMetrics::for_stage(&metrics, "lower"),
             ),
             metrics,
             config,
@@ -272,6 +284,9 @@ impl Pipeline {
             schedule_disk_hits: self.scheduled.disk_hits(),
             schedule_evictions: self.scheduled.evictions(),
             schedule_resident_bytes: self.scheduled.resident_bytes(),
+            lower_runs: self.lowered.runs(),
+            lower_requests: self.lowered.requests(),
+            lower_disk_hits: self.lowered.disk_hits(),
         }
     }
 
@@ -293,14 +308,16 @@ impl Pipeline {
         let Some(registers) = spec.registers else {
             return;
         };
-        self.scheduled.seal_if(|k| {
+        let of_point = |k: &SchedKey| {
             k.width == spec.width
                 && k.replication == spec.replication
                 && k.registers == registers
                 && k.model == spec.model
                 && k.strategy == spec.opts.strategy
                 && k.spill == spec.opts.spill
-        });
+        };
+        self.scheduled.seal_if(of_point);
+        self.lowered.seal_if(of_point);
     }
 
     /// Stage 1, memoized: the widened DDG (+ origin metadata) of loop
@@ -515,6 +532,66 @@ impl Pipeline {
         Ok(CompiledLoop::new(spec.width, wide, bounds, scheduled))
     }
 
+    /// Stage 5, memoized: loop `li`'s scheduled wide loop lowered to
+    /// flat executable bytecode (see [`widening_lower::WideProgram`]).
+    /// The program is trip-count independent, so one entry serves every
+    /// simulated trip of the design point — a transients sweep lowers
+    /// once and executes per trip override.
+    ///
+    /// Runs (or replays) the full staged chain on a miss; a warm disk
+    /// tier decodes the persisted program without touching the schedule
+    /// stage at all.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] when the underlying schedule stage fails — the
+    /// failure is memoized (and persisted) under the lower stage too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li` is out of corpus bounds or `spec` is a peak-mode
+    /// point (no register file, nothing to lower).
+    pub fn lowered(&self, li: usize, spec: &PointSpec) -> Result<Arc<WideProgram>, PipelineError> {
+        let registers = spec
+            .registers
+            .expect("peak-mode design points have no schedule to lower");
+        let key = SchedKey {
+            li: li as u32,
+            width: spec.width,
+            replication: spec.replication,
+            registers,
+            model: spec.model,
+            strategy: spec.opts.strategy,
+            spill: spec.opts.spill,
+        };
+        self.lowered.get_or_fetch(key, program_bytes, || {
+            let key_bytes = || self.sched_key_bytes(li, spec, registers);
+            let (a, b) = (
+                li as u64,
+                obs::pack_point(spec.replication, spec.width, Some(registers)),
+            );
+            let decode = obs::span(SpanKind::LowerDecode, a, b);
+            if let Some(result) = self.disk_load(STAGE_LOWER, key_bytes, codec::decode_lowered) {
+                return (result, Fetch::Disk);
+            }
+            decode.cancel();
+            let result = self.compile(li, spec).map(|compiled| {
+                let _run = obs::span(SpanKind::Lower, a, b);
+                let stage = compiled
+                    .scheduled()
+                    .expect("registers given, so compile produced a schedule stage");
+                let loops = self.loops();
+                Arc::new(widening_lower::lower(
+                    loops[li].ddg(),
+                    compiled.wide(),
+                    &stage.result,
+                ))
+            });
+            self.disk_store(STAGE_LOWER, key_bytes, || codec::encode_lowered(&result));
+            (result, Fetch::Computed)
+        })
+    }
+
     /// Compiles every `(loop × design point)` work unit in parallel on
     /// `threads` workers with shared stage stores, returning one
     /// corpus-ordered artifact vector per design point.
@@ -701,6 +778,15 @@ fn stage_bytes(result: &Result<Arc<ScheduledStage>, PipelineError>) -> usize {
                     .map(|s| 48 + s.reloads.len() * 8)
                     .sum::<usize>()
         }
+        Err(_) => 64,
+    }
+}
+
+/// Resident-size estimate of a lowered-stage entry for the in-memory
+/// byte budget.
+fn program_bytes(result: &Result<Arc<WideProgram>, PipelineError>) -> usize {
+    match result {
+        Ok(p) => p.approx_bytes(),
         Err(_) => 64,
     }
 }

@@ -333,6 +333,12 @@ pub struct StageCounts {
     /// Approximate bytes currently resident in the in-memory
     /// schedule-stage tier.
     pub schedule_resident_bytes: u64,
+    /// Lowering stage executions (scheduled wide loop → bytecode).
+    pub lower_runs: u64,
+    /// Lowering stage lookups.
+    pub lower_requests: u64,
+    /// Lowered programs decoded from the disk tier.
+    pub lower_disk_hits: u64,
 }
 
 impl StageCounts {
@@ -344,22 +350,28 @@ impl StageCounts {
             + (self.mii_requests - self.mii_runs)
             + (self.base_schedule_requests - self.base_schedule_runs)
             + (self.schedule_requests - self.schedule_runs)
+            + (self.lower_requests - self.lower_runs)
     }
 
-    /// Total live stage executions across all four stages — zero on a
+    /// Total live stage executions across all five stages — zero on a
     /// fully warm-started run.
     #[must_use]
     pub fn live_runs(&self) -> u64 {
-        self.widen_runs + self.mii_runs + self.base_schedule_runs + self.schedule_runs
+        self.widen_runs
+            + self.mii_runs
+            + self.base_schedule_runs
+            + self.schedule_runs
+            + self.lower_runs
     }
 
-    /// Total artifacts served by the disk tier across all four stages.
+    /// Total artifacts served by the disk tier across all five stages.
     #[must_use]
     pub fn disk_hits(&self) -> u64 {
         self.widen_disk_hits
             + self.mii_disk_hits
             + self.base_schedule_disk_hits
             + self.schedule_disk_hits
+            + self.lower_disk_hits
     }
 
     /// All-zero counters — the identity for [`StageCounts::plus`].
@@ -393,6 +405,9 @@ impl StageCounts {
             schedule_resident_bytes: self
                 .schedule_resident_bytes
                 .max(other.schedule_resident_bytes),
+            lower_runs: self.lower_runs + other.lower_runs,
+            lower_requests: self.lower_requests + other.lower_requests,
+            lower_disk_hits: self.lower_disk_hits + other.lower_disk_hits,
         }
     }
 
@@ -430,6 +445,11 @@ impl StageCounts {
                 .schedule_evictions
                 .saturating_sub(baseline.schedule_evictions),
             schedule_resident_bytes: self.schedule_resident_bytes,
+            lower_runs: self.lower_runs.saturating_sub(baseline.lower_runs),
+            lower_requests: self.lower_requests.saturating_sub(baseline.lower_requests),
+            lower_disk_hits: self
+                .lower_disk_hits
+                .saturating_sub(baseline.lower_disk_hits),
         }
     }
 }

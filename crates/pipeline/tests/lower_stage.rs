@@ -1,0 +1,148 @@
+//! Lowered-bytecode stage contracts: memoization, disk-tier warm
+//! start (including memoized failures), and lifecycle coverage of the
+//! `lower` kind directory.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use widening_lower::codec::encode_program;
+use widening_machine::{Configuration, CycleModel};
+use widening_pipeline::{maint, CompileOptions, Pipeline, PointSpec, StoreConfig};
+use widening_workload::corpus::{generate, CorpusSpec};
+
+fn point(spec: &str) -> PointSpec {
+    let cfg: Configuration = spec.parse().expect("valid literal");
+    PointSpec::scheduled(&cfg, CycleModel::Cycles4, CompileOptions::default())
+}
+
+/// A fresh, empty cache directory unique to this test invocation.
+fn cache_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "widening-lower-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn lowering_is_memoized_per_design_point() {
+    let loops = generate(&CorpusSpec::small(8, 17));
+    let n = loops.len();
+    let pipeline = Pipeline::new(loops);
+    let spec = point("4w2(64:1)");
+
+    let first: Vec<_> = (0..n).map(|li| pipeline.lowered(li, &spec)).collect();
+    let c = pipeline.stage_counts();
+    assert_eq!(c.lower_runs, n as u64, "{c:?}");
+    assert_eq!(c.lower_requests, n as u64, "{c:?}");
+
+    // Replays hand back the very same Arc, and run nothing.
+    for (li, a) in first.iter().enumerate() {
+        let b = pipeline.lowered(li, &spec);
+        match (a, &b) {
+            (Ok(a), Ok(b)) => assert!(Arc::ptr_eq(a, b)),
+            (a, b) => panic!("replay changed outcome: {a:?} vs {b:?}"),
+        }
+    }
+    let c = pipeline.stage_counts();
+    assert_eq!(c.lower_runs, n as u64, "{c:?}");
+    assert_eq!(c.lower_requests, 2 * n as u64, "{c:?}");
+
+    // A different design point is a different entry.
+    let other = point("4w2(128:1)");
+    let _ = pipeline.lowered(0, &other);
+    assert_eq!(pipeline.stage_counts().lower_runs, n as u64 + 1);
+}
+
+#[test]
+fn warm_start_decodes_lowered_programs_without_live_runs() {
+    let dir = cache_dir("warm");
+    let loops = generate(&CorpusSpec::small(10, 23));
+    let n = loops.len();
+    // 8w1(32:1) included deliberately: some loops fail under pressure
+    // and the memoized failure must warm from disk too.
+    let pts = [point("2w2(64:1)"), point("8w1(32:1)")];
+
+    let cold = Pipeline::with_config(Arc::new(loops.clone()), StoreConfig::persistent(&dir));
+    let cold_results: Vec<_> = pts
+        .iter()
+        .flat_map(|spec| (0..n).map(move |li| (li, spec)))
+        .map(|(li, spec)| cold.lowered(li, spec))
+        .collect();
+    let cc = cold.stage_counts();
+    // Every unit (memoized failures included) computes live on a cold
+    // directory.
+    assert_eq!(cc.lower_runs, 2 * n as u64, "{cc:?}");
+    assert_eq!(cc.lower_disk_hits, 0, "{cc:?}");
+    drop(cold);
+
+    let warm = Pipeline::with_config(Arc::new(loops), StoreConfig::persistent(&dir));
+    let warm_results: Vec<_> = pts
+        .iter()
+        .flat_map(|spec| (0..n).map(move |li| (li, spec)))
+        .map(|(li, spec)| warm.lowered(li, spec))
+        .collect();
+    let wc = warm.stage_counts();
+    assert_eq!(wc.live_runs(), 0, "warm start must decode, not run: {wc:?}");
+    assert_eq!(wc.lower_disk_hits, 2 * n as u64, "{wc:?}");
+    assert_eq!(warm.disk_errors(), 0);
+
+    // The decoded programs are bitwise-identical artifacts, and the
+    // memoized failures replay verbatim.
+    for (a, b) in cold_results.iter().zip(&warm_results) {
+        match (a, b) {
+            (Ok(a), Ok(b)) => assert_eq!(encode_program(a), encode_program(b)),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("warm start changed outcome: {a:?} vs {b:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn lifecycle_covers_the_lower_kind_directory() {
+    let dir = cache_dir("maint");
+    let loops = generate(&CorpusSpec::small(6, 29));
+    let n = loops.len();
+    let pipeline = Pipeline::with_config(Arc::new(loops), StoreConfig::persistent(&dir));
+    maint::record_run(&dir).expect("generation log writable");
+    let spec = point("2w2(64:1)");
+    for li in 0..n {
+        let _ = pipeline.lowered(li, &spec);
+    }
+    drop(pipeline);
+
+    // stat enumerates the new kind alongside the compile stages.
+    let stat = maint::stat(&dir).expect("versioned store present");
+    let lower = stat
+        .kinds
+        .iter()
+        .find(|k| k.kind == "lower")
+        .expect("lower kind dir enumerated");
+    assert_eq!(lower.files, n as u64, "{stat:?}");
+    assert!(lower.bytes > 0);
+
+    // gc with a generous horizon examines lower artifacts but prunes
+    // nothing; with a 1-run horizon after a later run, stale lower
+    // artifacts are reclaimed like any other kind's.
+    let keep = maint::gc(&dir, 8).expect("gc runs");
+    assert_eq!(keep.pruned, 0, "{keep:?}");
+    assert!(keep.examined >= n as u64, "{keep:?}");
+
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    maint::record_run(&dir).expect("generation log writable");
+    let prune = maint::gc(&dir, 1).expect("gc runs");
+    assert!(prune.pruned >= n as u64, "{prune:?}");
+    let after = maint::stat(&dir).expect("versioned store present");
+    let lower_after = after
+        .kinds
+        .iter()
+        .find(|k| k.kind == "lower")
+        .map_or(0, |k| k.files);
+    assert_eq!(lower_after, 0, "{after:?}");
+    let _ = std::fs::remove_dir_all(dir);
+}

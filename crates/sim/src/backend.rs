@@ -1,0 +1,82 @@
+//! Execution backend selection.
+//!
+//! The simulator has two ways to execute a compiled wide loop: the
+//! cycle-accurate interpreting machine ([`crate::WideMachine`]) and the
+//! lowered-bytecode backend ([`widening_lower::WideProgram`]). Both
+//! produce the same [`widening_lower::WideRun`]; [`Backend::Differential`]
+//! runs both and demands bitwise agreement, making the interpreter the
+//! oracle for the lowering.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which engine executes the compiled wide loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The cycle-accurate interpreting simulator: walks the schedule,
+    /// register file and spill slots structure by structure, flagging
+    /// machine-state violations as hard errors.
+    #[default]
+    Interpret,
+    /// The lowered-bytecode backend: executes a pre-resolved
+    /// [`widening_lower::WideProgram`] with no per-cycle decoding.
+    Lowered,
+    /// Runs both backends and requires bitwise-identical results —
+    /// every memory cell, checksum and dynamic counter.
+    Differential,
+}
+
+impl Backend {
+    /// All backends, in CLI declaration order.
+    pub const ALL: [Backend; 3] = [Backend::Interpret, Backend::Lowered, Backend::Differential];
+
+    /// Stable lowercase label, used in summary keys and `--exec`
+    /// parsing.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Interpret => "interpret",
+            Backend::Lowered => "lowered",
+            Backend::Differential => "differential",
+        }
+    }
+
+    /// Whether this backend executes the lowered bytecode (alone or as
+    /// one half of a differential run).
+    #[must_use]
+    pub fn uses_lowered(self) -> bool {
+        !matches!(self, Backend::Interpret)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.label() == s)
+            .ok_or_else(|| {
+                format!("unknown backend {s:?} (expected interpret|lowered|differential)")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(b.label().parse::<Backend>().unwrap(), b);
+        }
+        assert!("native".parse::<Backend>().is_err());
+    }
+}

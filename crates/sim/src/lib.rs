@@ -9,14 +9,21 @@
 //! runs them:
 //!
 //! * [`reference::run_reference`] executes the original scalar loop
-//!   sequentially over concrete [`memory::Memory`] — the ground truth;
+//!   sequentially over concrete [`Memory`] — the ground truth;
 //! * [`machine::WideMachine`] executes the verified wide schedule
 //!   cycle-accurately — prologue, kernel, epilogue, a real wide register
 //!   file laid out by the allocator's location table, and spill slots —
 //!   flagging register clobbers and premature reads as hard errors;
+//! * [`widening_lower::WideProgram`] (selected via
+//!   [`Backend::Lowered`]) executes the same compiled loop as flat
+//!   bytecode with pre-resolved register and slot indices — no per-cycle
+//!   decoding — and must match the interpreter **bitwise**;
 //! * [`simulate_loop`] runs the whole widen → schedule → allocate →
-//!   spill → simulate pipeline for one loop and compares final memory
-//!   and per-operation value checksums bitwise ([`SimReport`]).
+//!   spill → simulate pipeline for one loop on a chosen [`Backend`] and
+//!   compares final memory and per-operation value checksums bitwise
+//!   ([`SimReport`]). [`Backend::Differential`] additionally runs *both*
+//!   execution backends and fails with [`SimError::BackendDivergence`]
+//!   on any bitwise difference between them.
 //!
 //! Because both interpreters share one executable semantics
 //! ([`widening_ir::semantics`]) and fold operands in the same order,
@@ -33,7 +40,7 @@
 //!
 //! ```
 //! use widening_machine::{Configuration, CycleModel};
-//! use widening_sim::simulate_loop;
+//! use widening_sim::{simulate_loop, Backend};
 //! use widening_workload::kernels;
 //!
 //! let cfg: Configuration = "2w2(64:1)".parse()?;
@@ -42,6 +49,7 @@
 //!     &cfg,
 //!     CycleModel::Cycles4,
 //!     &Default::default(),
+//!     Backend::Differential,
 //! )?;
 //! assert!(report.is_validated());
 //! // Dynamic cycles = steady state + fill/drain transient.
@@ -55,17 +63,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod machine;
-pub mod memory;
 pub mod reference;
 mod report;
 
+pub use backend::Backend;
 pub use machine::{WideMachine, WideRun};
-pub use memory::Memory;
 pub use reference::{run_reference, ReferenceRun};
 pub use report::{Divergence, SimError, SimFailure, SimReport, SimStats};
+pub use widening_lower::{checksum_step, Memory};
 
 use widening_ir::{Ddg, Loop, NodeId, OpKind};
+use widening_lower::WideProgram;
 use widening_machine::{Configuration, CycleModel};
 use widening_pipeline::{compile_ddg, CompileOptions, PointSpec};
 use widening_regalloc::PressureResult;
@@ -91,12 +101,13 @@ pub fn simulate_ddg(
     cfg: &Configuration,
     model: CycleModel,
     opts: &CompileOptions,
+    backend: Backend,
 ) -> Result<SimReport, SimFailure> {
     let compiled = compile_ddg(ddg, &PointSpec::scheduled(cfg, model, *opts))?;
     let stage = compiled
         .scheduled()
         .expect("finite register file implies a schedule stage");
-    simulate_scheduled(ddg, compiled.wide(), &stage.result, model, trip)
+    simulate_scheduled(ddg, compiled.wide(), &stage.result, model, trip, backend)
 }
 
 /// [`simulate_ddg`] for a named [`Loop`], using its own trip count.
@@ -109,13 +120,16 @@ pub fn simulate_loop(
     cfg: &Configuration,
     model: CycleModel,
     opts: &CompileOptions,
+    backend: Backend,
 ) -> Result<SimReport, SimFailure> {
-    simulate_ddg(l.ddg(), l.trip_count(), cfg, model, opts)
+    simulate_ddg(l.ddg(), l.trip_count(), cfg, model, opts, backend)
 }
 
-/// Simulates an already-scheduled loop and validates it against the
-/// scalar reference. Use this form to simulate one schedule at many
-/// trip counts without re-scheduling.
+/// Simulates an already-scheduled loop on `backend` and validates it
+/// against the scalar reference. Use this form to simulate one schedule
+/// at many trip counts without re-scheduling; backends needing lowered
+/// bytecode lower it on the spot (see [`simulate_with_program`] to reuse
+/// a memoized [`WideProgram`] instead).
 ///
 /// # Errors
 ///
@@ -126,8 +140,76 @@ pub fn simulate_scheduled(
     result: &PressureResult,
     model: CycleModel,
     trip: u64,
+    backend: Backend,
 ) -> Result<SimReport, SimFailure> {
-    let wide = WideMachine::new(original, outcome, result, model, trip).run()?;
+    let program = backend
+        .uses_lowered()
+        .then(|| widening_lower::lower(original, outcome, result));
+    execute(
+        original,
+        outcome,
+        result,
+        model,
+        trip,
+        backend,
+        program.as_ref(),
+    )
+}
+
+/// [`simulate_scheduled`] with the lowered bytecode supplied by the
+/// caller (typically decoded from the pipeline's memoized `lower`
+/// stage), so [`Backend::Lowered`] and [`Backend::Differential`] runs
+/// never re-lower. `program` must be the lowering of exactly this
+/// `(outcome, result)` pair; [`Backend::Interpret`] ignores it.
+///
+/// # Errors
+///
+/// See [`simulate_ddg`].
+pub fn simulate_with_program(
+    original: &Ddg,
+    outcome: &WideningOutcome,
+    result: &PressureResult,
+    model: CycleModel,
+    trip: u64,
+    backend: Backend,
+    program: &WideProgram,
+) -> Result<SimReport, SimFailure> {
+    execute(
+        original,
+        outcome,
+        result,
+        model,
+        trip,
+        backend,
+        Some(program),
+    )
+}
+
+/// Runs the selected backend(s) and differentially validates against
+/// the scalar reference.
+fn execute(
+    original: &Ddg,
+    outcome: &WideningOutcome,
+    result: &PressureResult,
+    model: CycleModel,
+    trip: u64,
+    backend: Backend,
+    program: Option<&WideProgram>,
+) -> Result<SimReport, SimFailure> {
+    let program =
+        |what: &str| program.unwrap_or_else(|| panic!("backend {what} requires a lowered program"));
+    let wide = match backend {
+        Backend::Interpret => WideMachine::new(original, outcome, result, model, trip).run()?,
+        Backend::Lowered => program("lowered").exec(trip),
+        Backend::Differential => {
+            let interp = WideMachine::new(original, outcome, result, model, trip).run()?;
+            let lowered = program("differential").exec(trip);
+            if let Some(detail) = backend_divergence(&interp, &lowered) {
+                return Err(SimError::BackendDivergence { detail }.into());
+            }
+            interp
+        }
+    };
     let reference = reference::run_reference(original, trip);
     let divergences = compare(original, &reference, &wide);
     Ok(SimReport {
@@ -136,6 +218,42 @@ pub fn simulate_scheduled(
         ii: result.schedule.ii(),
         spill_ops: result.spill_stores + result.spill_loads,
     })
+}
+
+/// Describes the first bitwise difference between the two backends'
+/// runs, or `None` when they agree everywhere.
+fn backend_divergence(interp: &WideRun, lowered: &WideRun) -> Option<String> {
+    if interp.stats != lowered.stats {
+        return Some(format!(
+            "stats differ: interpreter {:?}, lowered {:?}",
+            interp.stats, lowered.stats
+        ));
+    }
+    for (v, (a, b)) in interp.checksums.iter().zip(&lowered.checksums).enumerate() {
+        if a != b {
+            return Some(format!(
+                "checksum of n{v} differs: interpreter {a:#018x}, lowered {b:#018x}"
+            ));
+        }
+    }
+    if interp.memory.cells().len() != lowered.memory.cells().len() {
+        return Some("memory layouts differ".to_string());
+    }
+    for (i, (a, b)) in interp
+        .memory
+        .cells()
+        .iter()
+        .zip(lowered.memory.cells())
+        .enumerate()
+    {
+        if a.to_bits() != b.to_bits() {
+            return Some(format!(
+                "memory cell {i} differs: interpreter {a}, lowered {b}"
+            ));
+        }
+    }
+    debug_assert!(interp.bitwise_eq(lowered));
+    None
 }
 
 /// Bitwise comparison of the two executions: store regions cell by cell,
@@ -186,9 +304,14 @@ mod tests {
 
     const M4: CycleModel = CycleModel::Cycles4;
 
+    // Every test runs differentially: the interpreter is the oracle and
+    // the lowered bytecode must match it bitwise, so the whole suite
+    // doubles as lowering coverage.
+    const BE: Backend = Backend::Differential;
+
     fn sim(l: &Loop, spec: &str) -> SimReport {
         let cfg: Configuration = spec.parse().unwrap();
-        simulate_loop(l, &cfg, M4, &Default::default())
+        simulate_loop(l, &cfg, M4, &Default::default(), BE)
             .unwrap_or_else(|e| panic!("{} on {spec}: {e}", l.name()))
     }
 
@@ -218,7 +341,7 @@ mod tests {
                 "4w2(128:1)",
             ] {
                 let cfg: Configuration = spec.parse().unwrap();
-                let r = simulate_loop(&kernel, &cfg, M4, &Default::default())
+                let r = simulate_loop(&kernel, &cfg, M4, &Default::default(), BE)
                     .unwrap_or_else(|e| panic!("{} on {spec}: {e}", kernel.name()));
                 assert!(
                     r.is_validated(),
@@ -257,7 +380,7 @@ mod tests {
         let g = b.build().unwrap();
         let cfg: Configuration = "2w2(64:1)".parse().unwrap();
         for trip in 1..=9 {
-            let r = simulate_ddg(&g, trip, &cfg, M4, &Default::default()).unwrap();
+            let r = simulate_ddg(&g, trip, &cfg, M4, &Default::default(), BE).unwrap();
             assert!(r.is_validated(), "trip {trip}: {:?}", r.divergences);
         }
     }
@@ -266,7 +389,7 @@ mod tests {
     fn masked_lanes_counted_for_ragged_trips() {
         let daxpy = kernels::daxpy();
         let cfg: Configuration = "1w4(64:1)".parse().unwrap();
-        let r = simulate_ddg(daxpy.ddg(), 10, &cfg, M4, &Default::default()).unwrap();
+        let r = simulate_ddg(daxpy.ddg(), 10, &cfg, M4, &Default::default(), BE).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
         assert_eq!(r.stats.blocks, 3);
         // 12 lanes in 3 blocks, 10 live iterations, 5 packed ops → 2·5
@@ -280,7 +403,7 @@ mod tests {
         // must route values through the spill slots and still match.
         let fir = kernels::fir5();
         let cfg: Configuration = "4w1(32:1)".parse().unwrap();
-        let r = simulate_loop(&fir, &cfg, M4, &Default::default()).unwrap();
+        let r = simulate_loop(&fir, &cfg, M4, &Default::default(), BE).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
     }
 
@@ -308,7 +431,7 @@ mod tests {
         b.flow(a, s);
         let g = b.build().unwrap();
         let cfg: Configuration = "1w4(64:1)".parse().unwrap();
-        let r = simulate_ddg(&g, 40, &cfg, M4, &Default::default()).unwrap();
+        let r = simulate_ddg(&g, 40, &cfg, M4, &Default::default(), BE).unwrap();
         assert!(r.is_validated(), "{:?}", r.divergences);
         assert!(
             r.stats.cross_block_reads > 0,

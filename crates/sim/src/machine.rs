@@ -27,13 +27,14 @@
 //! file is still checked for every binding read.
 
 use widening_ir::{semantics, Ddg, NodeId, OpKind};
+use widening_lower::{checksum_step, Memory, SimStats};
 use widening_machine::CycleModel;
 use widening_regalloc::PressureResult;
 use widening_transform::{NodeMapping, WideningOutcome};
 
-use crate::memory::Memory;
-use crate::reference::checksum_step;
-use crate::report::{SimError, SimStats};
+use crate::report::SimError;
+
+pub use widening_lower::WideRun;
 
 /// What a final-graph node does when it issues.
 #[derive(Debug, Clone)]
@@ -114,18 +115,6 @@ enum Commit {
         block: u64,
         data: Vec<f64>,
     },
-}
-
-/// The result of one wide execution.
-#[derive(Debug, Clone)]
-pub struct WideRun {
-    /// Final memory state (same layout as the reference's).
-    pub memory: Memory,
-    /// Per **original** node checksums, comparable to
-    /// [`crate::reference::ReferenceRun::checksums`].
-    pub checksums: Vec<u64>,
-    /// Dynamic counters.
-    pub stats: SimStats,
 }
 
 /// A configured wide-datapath simulation over one scheduled loop.

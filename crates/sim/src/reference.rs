@@ -5,19 +5,9 @@
 //! differentially checked against.
 
 use widening_ir::{semantics, Ddg, NodeId, OpKind};
+use widening_lower::Memory;
 
-use crate::memory::Memory;
-
-/// Order-independent accumulation of one `(iteration, value)` sample
-/// into a node's checksum. XOR of mixed samples, so the wide simulator
-/// may compute scalar lanes in any issue order.
-#[must_use]
-pub fn checksum_step(iteration: u64, value: f64) -> u64 {
-    let mut h = value.to_bits() ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-    h ^ (h >> 29)
-}
+pub use widening_lower::checksum_step;
 
 /// Ground truth for one `(loop, trip count)` pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,14 +133,5 @@ mod tests {
         let b = run_reference(&g, 10);
         // One extra iteration must change every live checksum.
         assert_ne!(a.checksums[2], b.checksums[2]);
-    }
-
-    #[test]
-    fn checksum_step_is_order_independent_by_xor() {
-        let s1 = checksum_step(0, 1.5) ^ checksum_step(1, 2.5);
-        let s2 = checksum_step(1, 2.5) ^ checksum_step(0, 1.5);
-        assert_eq!(s1, s2);
-        assert_ne!(checksum_step(0, 1.5), checksum_step(1, 1.5));
-        assert_ne!(checksum_step(0, 1.5), checksum_step(0, 2.5));
     }
 }

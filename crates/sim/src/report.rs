@@ -7,39 +7,7 @@ use std::fmt;
 use widening_ir::NodeId;
 use widening_pipeline::PipelineError;
 
-/// Dynamic counters from one wide-datapath simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SimStats {
-    /// Exact dynamic cycles: prologue + kernel + epilogue.
-    pub cycles: u64,
-    /// Widened kernel iterations executed (`⌈trip / Y⌉`).
-    pub blocks: u64,
-    /// The paper's steady-state accounting for the same run:
-    /// `II · blocks`.
-    pub steady_state_cycles: u64,
-    /// Operations issued (wide or scalar instruction slots consumed).
-    pub issued_ops: u64,
-    /// Lanes skipped because the trip count is not a multiple of `Y`
-    /// (the final partial block).
-    pub masked_lanes: u64,
-    /// Operand lanes that needed an instance one block older than the
-    /// widened dependence edge records (wide-to-wide edges whose
-    /// original distance is not a multiple of `Y`); served by the
-    /// forwarding network, not the register file.
-    pub cross_block_reads: u64,
-    /// Wide values written to / read from spill slots.
-    pub spill_slot_accesses: u64,
-}
-
-impl SimStats {
-    /// Dynamic minus steady-state cycles: the fill/drain transient the
-    /// analytic model omits (negative when the pipeline drains inside
-    /// the last initiation interval).
-    #[must_use]
-    pub fn transient_cycles(&self) -> i64 {
-        self.cycles as i64 - self.steady_state_cycles as i64
-    }
-}
+pub use widening_lower::SimStats;
 
 /// A hard error while executing the schedule: the machine state the
 /// schedule + allocation promised was violated. Each variant points at
@@ -81,6 +49,14 @@ pub enum SimError {
         /// Kernel iteration of the reload.
         block: u64,
     },
+    /// A differential run found the lowered-bytecode backend disagreeing
+    /// with the interpreter — a lowering bug, never a schedule bug (the
+    /// interpreter is the oracle).
+    BackendDivergence {
+        /// The first difference found: stats, a checksum or a memory
+        /// cell.
+        detail: String,
+    },
     /// The simulator's own bookkeeping failed; always a bug in the
     /// simulator, never in the schedule under test.
     Internal(String),
@@ -117,6 +93,9 @@ impl fmt::Display for SimError {
                     f,
                     "spill reload {reload} found no value at iteration {block}"
                 )
+            }
+            SimError::BackendDivergence { detail } => {
+                write!(f, "lowered backend diverged from the interpreter: {detail}")
             }
             SimError::Internal(what) => write!(f, "simulator invariant violated: {what}"),
         }

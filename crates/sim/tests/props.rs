@@ -4,13 +4,19 @@
 //! wide execution must match the scalar reference bitwise, and its
 //! dynamic cycle count must equal the analytic steady-state term
 //! `II · ⌈trip/Y⌉` plus the schedule's fill/drain transient.
+//!
+//! Every simulation here runs [`Backend::Differential`]: the
+//! interpreting machine and the lowered-bytecode backend execute the
+//! same compiled loop and must agree bitwise on every memory cell,
+//! checksum and dynamic counter — any lowering bug fails the property
+//! as a `BackendDivergence` before the reference comparison even runs.
 
 use proptest::prelude::*;
 use widening_ir::{Ddg, DdgBuilder, EdgeKind, NodeId, OpKind};
 use widening_machine::{Configuration, CycleModel};
 use widening_regalloc::{schedule_with_registers, RegallocError, SpillOptions};
 use widening_sched::SchedulerOptions;
-use widening_sim::{simulate_scheduled, SimFailure};
+use widening_sim::{simulate_scheduled, Backend, SimFailure};
 use widening_transform::widen;
 
 /// A random but always-valid loop body mixing unit/strided memory ops,
@@ -95,7 +101,7 @@ proptest! {
             Err(e) => return Err(TestCaseError::fail(format!("pipeline: {e}"))),
         };
 
-        let report = match simulate_scheduled(&g, &outcome, &result, model, trip) {
+        let report = match simulate_scheduled(&g, &outcome, &result, model, trip, Backend::Differential) {
             Ok(r) => r,
             Err(SimFailure::Execution(e)) => {
                 return Err(TestCaseError::fail(format!(
@@ -146,10 +152,44 @@ proptest! {
             Ok(r) => r,
             Err(e) => return Err(TestCaseError::fail(format!("pipeline: {e}"))),
         };
-        let report = simulate_scheduled(&g, &outcome, &result, model, trip)
+        let report = simulate_scheduled(&g, &outcome, &result, model, trip, Backend::Differential)
             .map_err(|e| TestCaseError::fail(format!("{e}")))?;
         prop_assert!(report.is_validated(), "trip {trip}: {:?}", report.divergences);
         prop_assert_eq!(report.stats.masked_lanes, 0);
         prop_assert_eq!(report.stats.cross_block_reads, 0);
+    }
+
+    /// Spill-heavy differential: a tiny register file forces spill code
+    /// on most generated loops; the lowered backend's compiled spill
+    /// counters must still match the interpreter's concrete slot
+    /// traffic bitwise, and both must match the scalar reference.
+    #[test]
+    fn spill_heavy_lowering_matches_interpreter(
+        g in arb_ddg(),
+        yi in 0usize..3,
+        trip in 1u64..48,
+    ) {
+        let y = [1u32, 2, 4][yi];
+        let cfg = Configuration::monolithic(4, y, 32).expect("powers of two");
+        let model = CycleModel::Cycles4;
+        let outcome = widen(&g, y);
+        let result = match schedule_with_registers(
+            outcome.ddg(),
+            &cfg,
+            model,
+            &SchedulerOptions::default(),
+            &SpillOptions::default(),
+        ) {
+            Ok(r) => r,
+            Err(RegallocError::Pressure { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("pipeline: {e}"))),
+        };
+        let report = simulate_scheduled(&g, &outcome, &result, model, trip, Backend::Differential)
+            .map_err(|e| TestCaseError::fail(format!("{cfg} trip {trip}: {e}")))?;
+        prop_assert!(
+            report.is_validated(),
+            "{cfg} trip {trip}: {:?}",
+            report.divergences
+        );
     }
 }
